@@ -1,0 +1,99 @@
+// ablation_multires — the worked example of §4: refining one angle
+// from a +-5 degree uncertainty down to 0.001-degree precision costs
+// 5000 matchings for a one-step search but only ~35 for the
+// multi-resolution schedule; for three angles the gap is "almost four
+// orders of magnitude".  This bench counts BOTH analytically (the
+// paper's arithmetic) and empirically: it runs a one-step exhaustive
+// search and the multi-resolution search on the same view at a
+// feasible resolution and compares matchings, wall time and the
+// answers they find.
+
+#include <cstdio>
+
+#include "bench_helpers.hpp"
+#include "por/baseline/single_resolution.hpp"
+#include "por/core/refiner.hpp"
+#include "por/util/table.hpp"
+#include "por/util/timer.hpp"
+
+using namespace por;
+
+int main() {
+  std::printf("ablation_multires: one-step exhaustive vs multi-resolution "
+              "search (paper §4 worked example)\n\n");
+
+  // ---- the paper's arithmetic, exactly ----
+  std::printf("analytic counts (per the paper's example: start 65 deg, "
+              "domain 60..70, target 0.001-deg class precision):\n");
+  const double one_step_per_angle = 10.0 / 0.002;
+  const std::uint64_t multi_per_angle =
+      core::multires_matchings(10.0, 0.002, 5, 10.0, 1);
+  std::printf("  one angle:    one-step %s vs multi-resolution %s matchings "
+              "(paper: 5000 vs 35)\n",
+              util::fmt_grouped(static_cast<long long>(one_step_per_angle)).c_str(),
+              util::fmt_grouped(static_cast<long long>(multi_per_angle)).c_str());
+  const double one_step_three = std::pow(one_step_per_angle, 3.0);
+  const std::uint64_t multi_three =
+      core::multires_matchings(10.0, 0.002, 5, 10.0, 3);
+  std::printf("  three angles: one-step %s vs multi-resolution %s -> gain "
+              "%s ('almost four orders of magnitude' per angle-triple)\n\n",
+              util::fmt_sci(one_step_three, 2).c_str(),
+              util::fmt_grouped(static_cast<long long>(multi_three)).c_str(),
+              util::fmt_sci(one_step_three / multi_three, 1).c_str());
+
+  // ---- empirical comparison at a feasible scale ----
+  bench::WorkloadSpec spec;
+  spec.l = 32;
+  spec.view_count = 1;
+  spec.snr = 0.0;
+  spec.seed = 4242;
+  bench::Workload w = bench::asymmetric_workload(spec);
+
+  core::MatchOptions match;
+  match.r_map = 12.0;
+  const core::FourierMatcher matcher(w.map, match);
+  const auto spectrum = matcher.prepare_view(w.views[0]);
+  const em::Orientation truth = w.truth[0];
+  const em::Orientation start{truth.theta + 1.2, truth.phi - 0.8,
+                              truth.omega + 1.5};
+
+  // One-step exhaustive: +-2 degrees at 0.1-degree steps = 41^3.
+  matcher.reset_matchings();
+  util::WallTimer one_timer;
+  const auto one_step = baseline::single_resolution_search(
+      matcher, spectrum, start, 2.0, 0.1);
+  const double one_seconds = one_timer.seconds();
+
+  // Multi-resolution to the same final step.
+  core::RefinerConfig config;
+  config.schedule = {core::SearchLevel{1.0, 5, 1.0, 3},
+                     core::SearchLevel{0.25, 5, 0.25, 3},
+                     core::SearchLevel{0.1, 5, 0.1, 3}};
+  config.match = match;
+  config.refine_centers = false;
+  const core::OrientationRefiner refiner(
+      core::FourierMatcher(w.map, match), config);
+  util::WallTimer multi_timer;
+  const auto multi = refiner.refine_view(w.views[0], start);
+  const double multi_seconds = multi_timer.seconds();
+
+  util::Table table({"search", "matchings", "wall (s)",
+                     "error vs truth (deg)"});
+  table.add_row({"one-step exhaustive (0.1 deg)",
+                 util::fmt_grouped(static_cast<long long>(one_step.matchings)),
+                 util::fmt(one_seconds, 2),
+                 util::fmt(em::geodesic_deg(one_step.best, truth), 3)});
+  table.add_row({"multi-resolution (1 -> 0.1 deg)",
+                 util::fmt_grouped(static_cast<long long>(multi.matchings)),
+                 util::fmt(multi_seconds, 2),
+                 util::fmt(em::geodesic_deg(multi.orientation, truth), 3)});
+  std::printf("%s\n", table.render().c_str());
+
+  const double speedup = one_seconds / std::max(1e-9, multi_seconds);
+  const bool same_answer =
+      em::geodesic_deg(one_step.best, multi.orientation) < 0.5;
+  std::printf("speedup %.1fx with matching answers (%s)\n", speedup,
+              same_answer ? "agree within the final grid"
+                          : "DIFFER — check convergence");
+  return same_answer && multi.matchings < one_step.matchings ? 0 : 1;
+}

@@ -1,0 +1,114 @@
+// ablation_noise — tests §3's motivation: "Several methods including
+// the method of common lines can be used to this end.  Here we
+// describe a procedure for the refinement of orientations that is
+// less sensitive to the noise caused by experimental errors."
+//
+// Two comparisons across SNR levels:
+//   1. matching against the (averaged, hence denoised) reference map
+//      vs the common-lines method, which must locate a 1D line shared
+//      by two RAW noisy views — the paper's actual noise argument;
+//   2. the r_map band limit as the matcher's own robustness knob:
+//      full-band matching degrades at low SNR where the outer shells
+//      are pure noise, band-limited matching does not.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_helpers.hpp"
+#include "por/baseline/common_lines.hpp"
+#include "por/core/refiner.hpp"
+#include "por/metrics/orientation_error.hpp"
+#include "por/util/table.hpp"
+
+using namespace por;
+
+namespace {
+
+double angdiff(double a, double b) {
+  const double d = std::abs(a - b);
+  return std::min(d, 180.0 - d);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "ablation_noise: orientation information vs noise —\n"
+      "  refine@r_map: refinement error, band-limited matching\n"
+      "  refine@full:  refinement error, full-band matching\n"
+      "  common lines: error of the common-line angle located between\n"
+      "                two raw views (the alternative method of §3)\n\n");
+
+  util::Table table({"SNR", "init err (deg)", "refine@r_map=8 (deg)",
+                     "refine@full (deg)", "common-line err (deg)"});
+
+  const auto identity = em::SymmetryGroup::identity();
+  double band_low = 0.0, full_low = 0.0, lines_low = 0.0;
+
+  for (double snr : {16.0, 4.0, 1.0, 0.5}) {
+    bench::WorkloadSpec spec;
+    spec.l = 32;
+    spec.view_count = 10;
+    spec.snr = snr;
+    spec.quantize_deg = 2.0;
+    spec.seed = 9090 + static_cast<std::uint64_t>(snr * 10);
+    bench::Workload w = bench::asymmetric_workload(spec);
+
+    auto refine_with = [&](double r_map) {
+      core::RefinerConfig config;
+      config.schedule = {core::SearchLevel{1.0, 3, 1.0, 3},
+                         core::SearchLevel{0.25, 5, 0.25, 3}};
+      config.match.r_map = r_map;
+      config.refine_centers = false;
+      const core::OrientationRefiner refiner(w.map, config);
+      std::vector<em::Orientation> refined;
+      for (std::size_t i = 0; i < w.views.size(); ++i) {
+        refined.push_back(
+            refiner.refine_view(w.views[i], w.initial[i]).orientation);
+      }
+      return metrics::orientation_error_stats(refined, w.truth, identity).mean;
+    };
+
+    const double err_band = refine_with(8.0);
+    const double err_full = refine_with(0.0);  // 0 = Nyquist
+
+    // Common lines between consecutive view pairs: compare the located
+    // line angles against the geometric prediction from ground truth.
+    double line_err = 0.0;
+    int pairs = 0;
+    for (std::size_t i = 0; i + 1 < w.views.size(); i += 2) {
+      const auto predicted =
+          baseline::common_line_from_orientations(w.truth[i], w.truth[i + 1]);
+      const auto estimated =
+          baseline::estimate_common_line(w.views[i], w.views[i + 1], 60);
+      line_err += 0.5 * (angdiff(estimated.angle_in_a, predicted.angle_in_a) +
+                         angdiff(estimated.angle_in_b, predicted.angle_in_b));
+      ++pairs;
+    }
+    line_err /= pairs;
+
+    if (snr == 0.5) {
+      band_low = err_band;
+      full_low = err_full;
+      lines_low = line_err;
+    }
+    const double init =
+        metrics::orientation_error_stats(w.initial, w.truth, identity).mean;
+    table.add_row({util::fmt(snr, 1), util::fmt(init, 3),
+                   util::fmt(err_band, 3), util::fmt(err_full, 3),
+                   util::fmt(line_err, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const bool vs_lines = band_low < lines_low;
+  std::printf("paper shape (map matching degrades gracefully while common "
+              "lines collapse in noise): %s\n",
+              vs_lines ? "REPRODUCED" : "NOT reproduced");
+  std::printf(
+      "note: the r_map band limit is primarily a COST knob (§3: 'the\n"
+      "number of operations is reduced accordingly'); at r_map=8 each\n"
+      "matching touches (8/16)^2 = 25%% of the full-band samples at an\n"
+      "accuracy cost of %.2f deg at the lowest SNR (%.3f vs %.3f).\n",
+      band_low - full_low, band_low, full_low);
+  return vs_lines ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+// ablation_sliding_window — quantifies §4's trade-off: "this sliding-
+// window approach increases the number of matching operations, but at
+// the same time improves the quality of the solution."  Views start
+// with initial errors larger than the first-level window, so a static
+// window cannot reach the truth; the sliding window pays extra
+// matchings to get there.
+
+#include <cstdio>
+
+#include "bench_helpers.hpp"
+#include "por/core/refiner.hpp"
+#include "por/metrics/orientation_error.hpp"
+#include "por/util/table.hpp"
+
+using namespace por;
+
+int main() {
+  std::printf("ablation_sliding_window: solution quality and matching cost "
+              "with the window slides disabled / enabled\n\n");
+
+  bench::WorkloadSpec spec;
+  spec.l = 32;
+  spec.view_count = 16;
+  spec.snr = 8.0;
+  spec.quantize_deg = 1.0;  // ignored; we perturb manually below
+  spec.seed = 7777;
+  bench::Workload w = bench::asymmetric_workload(spec);
+
+  // Initial errors of ~2-3 degrees per angle: beyond the +-1 degree
+  // level-1 window, so slides are REQUIRED to reach the basin.
+  util::Rng rng(31);
+  for (std::size_t i = 0; i < w.initial.size(); ++i) {
+    w.initial[i] = em::Orientation{w.truth[i].theta + rng.uniform(1.5, 3.0),
+                                   w.truth[i].phi - rng.uniform(1.5, 3.0),
+                                   w.truth[i].omega + rng.uniform(1.5, 3.0)};
+  }
+
+  util::Table table({"max_slides", "orient err mean (deg)",
+                     "orient err max (deg)", "matchings / view",
+                     "slides / view"});
+  const auto identity = em::SymmetryGroup::identity();
+  double err_static = 0.0, err_sliding = 0.0;
+  for (int max_slides : {0, 1, 2, 4, 8}) {
+    core::RefinerConfig config;
+    config.schedule = {core::SearchLevel{1.0, 3, 1.0, 3},
+                       core::SearchLevel{0.25, 5, 0.25, 3}};
+    config.match.r_map = 12.0;
+    config.refine_centers = false;
+    config.max_slides = max_slides;
+    const core::OrientationRefiner refiner(w.map, config);
+    const auto results = refiner.refine(w.views, w.initial);
+
+    std::vector<em::Orientation> refined;
+    std::uint64_t matchings = 0, slides = 0;
+    for (const auto& r : results) {
+      refined.push_back(r.orientation);
+      matchings += r.matchings;
+      slides += static_cast<std::uint64_t>(r.window_slides);
+    }
+    const auto stats =
+        metrics::orientation_error_stats(refined, w.truth, identity);
+    if (max_slides == 0) err_static = stats.mean;
+    if (max_slides == 8) err_sliding = stats.mean;
+    table.add_row({std::to_string(max_slides), util::fmt(stats.mean, 3),
+                   util::fmt(stats.max, 3),
+                   util::fmt(static_cast<double>(matchings) /
+                                 static_cast<double>(w.views.size()),
+                             0),
+                   util::fmt(static_cast<double>(slides) /
+                                 static_cast<double>(w.views.size()),
+                             2)});
+  }
+  const auto initial_stats =
+      metrics::orientation_error_stats(w.initial, w.truth, identity);
+  std::printf("initial error: mean %.3f deg\n\n%s\n", initial_stats.mean,
+              table.render().c_str());
+
+  std::printf("paper shape (slides cost matchings but improve quality): %s\n",
+              err_sliding < err_static ? "REPRODUCED" : "NOT reproduced");
+  return err_sliding < err_static ? 0 : 1;
+}

@@ -1,0 +1,19 @@
+// fig5_sindbis_fsc — reproduction of the paper's Fig. 5: the Sindbis
+// correlation-coefficient plot, old vs new orientations (the paper's
+// curves cross 0.5 at 11.2 A and 10.0 A respectively).
+
+#include "fig_fsc.hpp"
+
+int main() {
+  por::bench::WorkloadSpec spec;
+  spec.l = 48;
+  spec.view_count = 72;
+  spec.snr = 6.0;
+  spec.quantize_deg = 9.0;  // coarse legacy grid; small boxes need
+                            // larger angular errors for a visible FSC gap  // coarse "old" orientations
+  spec.seed = 5151;
+  por::bench::Workload w = por::bench::sindbis_workload(spec);
+  return por::bench::run_fsc_figure(
+      "Fig. 5 (reproduction): correlation-coefficient plot, Sindbis-like "
+      "particle", w, 2.8);
+}

@@ -1,0 +1,19 @@
+// fig6_reo_fsc — reproduction of the paper's Fig. 6: the reovirus
+// correlation-coefficient plot, old vs new orientations (8.6 A -> 8.0 A
+// in the paper).
+
+#include "fig_fsc.hpp"
+
+int main() {
+  por::bench::WorkloadSpec spec;
+  spec.l = 48;
+  spec.view_count = 60;
+  spec.snr = 6.0;
+  spec.quantize_deg = 9.0;  // coarse legacy grid; small boxes need
+                            // larger angular errors for a visible FSC gap
+  spec.seed = 6161;
+  por::bench::Workload w = por::bench::reo_workload(spec);
+  return por::bench::run_fsc_figure(
+      "Fig. 6 (reproduction): correlation-coefficient plot, reovirus-like "
+      "particle", w, 2.8);
+}

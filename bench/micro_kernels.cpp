@@ -1,0 +1,141 @@
+// micro_kernels — google-benchmark microbenchmarks of the hot kernels
+// behind every table: the 1D/2D/3D FFTs (including the paper's odd
+// image sizes via Bluestein), central-section extraction, the fused
+// matching distance, real-space projection, and volume rotation.
+
+#include <benchmark/benchmark.h>
+
+#include "por/core/matcher.hpp"
+#include "por/em/pad.hpp"
+#include "por/em/phantom.hpp"
+#include "por/em/projection.hpp"
+#include "por/em/rotate.hpp"
+#include "por/fft/fft1d.hpp"
+#include "por/fft/fftnd.hpp"
+#include "por/util/rng.hpp"
+
+namespace {
+
+using namespace por;
+
+std::vector<fft::cdouble> random_signal(std::size_t n) {
+  util::Rng rng(n);
+  std::vector<fft::cdouble> x(n);
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return x;
+}
+
+void BM_Fft1D(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const fft::Fft1D plan(n);
+  auto x = random_signal(n);
+  for (auto _ : state) {
+    plan.forward(x.data());
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+// Powers of two and the paper's image sizes (Bluestein path).
+BENCHMARK(BM_Fft1D)->Arg(64)->Arg(256)->Arg(331)->Arg(511)->Arg(512);
+
+void BM_Fft2D(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto x = random_signal(n * n);
+  for (auto _ : state) {
+    fft::fft2d_forward(x.data(), n, n);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_Fft2D)->Arg(64)->Arg(96)->Arg(128);
+
+void BM_Fft3D(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto x = random_signal(n * n * n);
+  for (auto _ : state) {
+    fft::fft3d_forward(x.data(), n, n, n);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Fft3D)->Arg(32)->Arg(64);
+
+struct MatchFixture {
+  std::size_t l = 48;
+  em::BlobModel model;
+  core::FourierMatcher matcher;
+  em::Image<em::cdouble> spectrum;
+
+  MatchFixture()
+      : model([] {
+          em::PhantomSpec spec;
+          spec.l = 48;
+          return em::make_asymmetric(spec, 30);
+        }()),
+        matcher(model.rasterize(48), [] {
+          core::MatchOptions options;
+          options.r_map = 20.0;
+          return options;
+        }()),
+        spectrum(matcher.prepare_view(model.project_analytic(48, {40, 70, 20}))) {}
+};
+
+void BM_MatchingDistance(benchmark::State& state) {
+  static MatchFixture fixture;
+  double angle = 0.0;
+  for (auto _ : state) {
+    angle += 0.01;
+    benchmark::DoNotOptimize(
+        fixture.matcher.distance(fixture.spectrum, {40 + angle, 70, 20}));
+  }
+  state.SetLabel("one matching operation (cut + distance), l=48 pad=2");
+}
+BENCHMARK(BM_MatchingDistance);
+
+void BM_CentralSlice(benchmark::State& state) {
+  static MatchFixture fixture;
+  double angle = 0.0;
+  for (auto _ : state) {
+    angle += 0.01;
+    benchmark::DoNotOptimize(fixture.matcher.cut({40 + angle, 70, 20}));
+  }
+}
+BENCHMARK(BM_CentralSlice);
+
+void BM_AnalyticProjection(benchmark::State& state) {
+  static MatchFixture fixture;
+  double angle = 0.0;
+  for (auto _ : state) {
+    angle += 0.01;
+    benchmark::DoNotOptimize(
+        fixture.model.project_analytic(48, {40 + angle, 70, 20}));
+  }
+}
+BENCHMARK(BM_AnalyticProjection);
+
+void BM_RealspaceProjection(benchmark::State& state) {
+  static MatchFixture fixture;
+  static const em::Volume<double> map = fixture.model.rasterize(48);
+  double angle = 0.0;
+  for (auto _ : state) {
+    angle += 0.01;
+    benchmark::DoNotOptimize(em::project_volume(map, {40 + angle, 70, 20}, 1));
+  }
+}
+BENCHMARK(BM_RealspaceProjection);
+
+void BM_VolumeRotation(benchmark::State& state) {
+  static MatchFixture fixture;
+  static const em::Volume<double> map = fixture.model.rasterize(48);
+  double angle = 0.0;
+  for (auto _ : state) {
+    angle += 0.01;
+    benchmark::DoNotOptimize(
+        em::rotate_volume(map, em::Mat3::rot_z(1.0 + angle)));
+  }
+}
+BENCHMARK(BM_VolumeRotation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// symmetry_detection — quantifies the paper's §6 claim: "The algorithm
+// can be used to determine the symmetry group of a symmetric particle
+// and for the 3D reconstruction of particles exhibiting no symmetry or
+// any symmetry."  Particles of nine point groups, each posed in a
+// random unknown frame, are classified by the SymmetryDetector.
+
+#include <cstdio>
+
+#include "por/core/symmetry_detect.hpp"
+#include "por/em/phantom.hpp"
+#include "por/em/rotate.hpp"
+#include "por/util/rng.hpp"
+#include "por/util/table.hpp"
+#include "por/util/timer.hpp"
+
+using namespace por;
+
+int main() {
+  std::printf("symmetry_detection: point-group identification from the "
+              "density map alone (unknown pose)\n\n");
+
+  const std::size_t l = 28;
+  core::DetectorConfig config;
+  config.coarse_step_deg = 9.0;
+  config.threshold = 0.8;
+  config.max_fold = 6;
+  const core::SymmetryDetector detector(config);
+
+  em::PhantomSpec spec;
+  spec.l = l;
+  struct Case {
+    const char* truth;
+    em::BlobModel model;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"C1", em::make_asymmetric(spec, 24)});
+  cases.push_back({"C2", em::make_with_symmetry(spec, em::SymmetryGroup::cyclic(2), 5)});
+  cases.push_back({"C3", em::make_with_symmetry(spec, em::SymmetryGroup::cyclic(3), 4)});
+  cases.push_back({"C5", em::make_with_symmetry(spec, em::SymmetryGroup::cyclic(5), 4)});
+  cases.push_back({"C6", em::make_with_symmetry(spec, em::SymmetryGroup::cyclic(6), 3)});
+  cases.push_back({"D2", em::make_with_symmetry(spec, em::SymmetryGroup::dihedral(2), 4)});
+  cases.push_back({"D3", em::make_with_symmetry(spec, em::SymmetryGroup::dihedral(3), 3)});
+  cases.push_back({"D5", em::make_with_symmetry(spec, em::SymmetryGroup::dihedral(5), 3)});
+  cases.push_back({"I", em::make_sindbis_like(spec)});
+
+  util::Rng rng(86);
+  util::Table table({"true group", "detected", "axes", "best corr",
+                     "seconds", "verdict"});
+  int correct = 0;
+  for (auto& test_case : cases) {
+    const em::Orientation pose{rng.uniform(0, 180), rng.uniform(0, 360),
+                               rng.uniform(0, 360)};
+    const em::Volume<double> map =
+        test_case.model.rotated(em::rotation_matrix(pose)).rasterize(l);
+    util::WallTimer timer;
+    const core::DetectionResult result = detector.detect(map);
+    const double seconds = timer.seconds();
+    const bool ok = result.group == test_case.truth;
+    correct += ok ? 1 : 0;
+    table.add_row({test_case.truth, result.group,
+                   std::to_string(result.axes.size()),
+                   result.axes.empty()
+                       ? "-"
+                       : util::fmt(result.axes.front().correlation, 3),
+                   util::fmt(seconds, 1), ok ? "ok" : "WRONG"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("%d / %zu identified correctly\n", correct, cases.size());
+  std::printf("paper claim ('this method allows us to determine its "
+              "symmetry group'): %s\n",
+              correct >= static_cast<int>(cases.size()) - 1 ? "REPRODUCED"
+                                                            : "NOT reproduced");
+  return correct >= static_cast<int>(cases.size()) - 1 ? 0 : 1;
+}

@@ -1,0 +1,20 @@
+// table1_sindbis_steps — reproduction of the paper's Table 1: "The
+// time for different steps of the orientation refinement process for
+// the structure determination of Sindbis virus", on the scaled
+// alphavirus-like workload.
+
+#include "table_steps.hpp"
+
+int main() {
+  por::bench::WorkloadSpec spec;
+  spec.l = 48;
+  spec.view_count = 48;
+  spec.snr = 6.0;
+  spec.quantize_deg = 3.0;
+  spec.seed = 1111;
+  por::bench::Workload w = por::bench::sindbis_workload(spec);
+  return por::bench::run_step_table(
+      "Table 1 (reproduction): per-step times of one refinement cycle, "
+      "Sindbis-like particle",
+      w, 4);
+}

@@ -1,0 +1,21 @@
+// table2_reo_steps — reproduction of the paper's Table 2: the same
+// per-step breakdown for the (larger) reovirus-like workload.  The
+// paper's reo runs are ~5x slower per stage than Sindbis (bigger
+// images, fewer views); the scaled workload keeps the bigger-particle
+// relation by using a denser phantom and more Fourier-space radius.
+
+#include "table_steps.hpp"
+
+int main() {
+  por::bench::WorkloadSpec spec;
+  spec.l = 64;  // reo views are larger than Sindbis views (511 vs 331)
+  spec.view_count = 32;
+  spec.snr = 6.0;
+  spec.quantize_deg = 3.0;
+  spec.seed = 2222;
+  por::bench::Workload w = por::bench::reo_workload(spec);
+  return por::bench::run_step_table(
+      "Table 2 (reproduction): per-step times of one refinement cycle, "
+      "reovirus-like particle",
+      w, 4);
+}

@@ -1,0 +1,172 @@
+// sindbis_pipeline — the paper's Sindbis experiment, end to end, on a
+// synthetic alphavirus-like particle.
+//
+// The paper took orientations previously determined by symmetry-
+// exploiting programs ("old") and showed that the new Fourier-space
+// multi-resolution refinement pushes the FSC 0.5 crossing to higher
+// resolution (11.2 A -> 10.0 A on the real data).  This example
+// replays that protocol:
+//
+//   1. build an icosahedral alphavirus-like phantom,
+//   2. simulate a view set through CTF + noise,
+//   3. assign "old" orientations with the exhaustive asymmetric-unit
+//      projection matcher (fixed coarse grid),
+//   4. refine with the new algorithm (distributed across vmpi ranks),
+//   5. reconstruct from old vs refined orientations and compare FSC
+//      curves and true-map correlations.
+//
+//   ./sindbis_pipeline [--l 48] [--views 60] [--snr 2] [--ranks 4]
+
+#include <cstdio>
+
+#include "por/core/parallel_refiner.hpp"
+#include "por/core/pipeline.hpp"
+#include "por/em/noise.hpp"
+#include "por/em/phantom.hpp"
+#include "por/em/projection.hpp"
+#include "por/metrics/orientation_error.hpp"
+#include "por/util/cli.hpp"
+#include "por/util/rng.hpp"
+#include "por/util/table.hpp"
+#include "por/vmpi/runtime.hpp"
+
+using namespace por;
+
+int main(int argc, char** argv) {
+  util::CliParser cli(argc, argv);
+  const std::size_t l = cli.get_int("l", 48);
+  const int view_count = static_cast<int>(cli.get_int("views", 60));
+  const double snr = cli.get_double("snr", 2.0);
+  const int ranks = static_cast<int>(cli.get_int("ranks", 4));
+  const double cli_r_map = cli.get_double("r_map", 0.0);
+  cli.assert_all_consumed();
+
+  std::printf("sindbis-like pipeline: l=%zu views=%d snr=%.1f ranks=%d\n\n", l,
+              view_count, snr, ranks);
+
+  em::PhantomSpec spec;
+  spec.l = l;
+  const em::BlobModel particle = em::make_sindbis_like(spec);
+  const em::Volume<double> truth_map = particle.rasterize(l);
+  const auto icos = em::SymmetryGroup::icosahedral();
+
+  // ---- simulated microscope ----
+  em::CtfParams ctf;
+  ctf.pixel_size_a = 2.8;
+  ctf.defocus_a = 16000.0;
+  util::Rng rng(403);
+  const double wiener_snr = std::max(1.0, snr * 10.0);
+  std::vector<em::Image<double>> views;            // raw CTF'd views
+  std::vector<em::Image<double>> corrected_views;  // for reconstruction/FSC
+  std::vector<em::Orientation> truth;
+  for (int i = 0; i < view_count; ++i) {
+    double theta, phi;
+    rng.sphere_point(theta, phi);
+    const em::Orientation o{em::rad2deg(theta), em::rad2deg(phi),
+                            rng.uniform(0.0, 360.0)};
+    em::Image<em::cdouble> spectrum =
+        em::centered_fft2(particle.project_analytic(l, o));
+    em::apply_ctf(spectrum, ctf);
+    em::Image<double> view = em::centered_ifft2(spectrum);
+    em::add_gaussian_noise(view, snr, rng);
+    // Step (e) for reconstruction/FSC: a Wiener-corrected copy.  The
+    // refiner corrects its own copies internally (config.ctf below).
+    em::Image<em::cdouble> corrected = em::centered_fft2(view);
+    em::correct_ctf(corrected, ctf, em::CtfCorrection::kWiener, wiener_snr);
+    corrected_views.push_back(em::centered_ifft2(corrected));
+    views.push_back(std::move(view));
+    truth.push_back(o);
+  }
+
+  // ---- "old" orientations: the legacy programs delivered angles on a
+  // ~3-degree grid (the paper starts from "a rough estimation of the
+  // orientation, say at 3 degrees") — model that as the truth
+  // quantized to 3 degrees.  (The from-scratch global matcher is
+  // exercised by examples/micrograph_to_map and the figure benches.)
+  std::vector<em::Orientation> old_orientations;
+  old_orientations.reserve(truth.size());
+  for (const auto& o : truth) {
+    auto quantize = [](double deg) { return 3.0 * std::round(deg / 3.0); };
+    old_orientations.push_back(
+        em::Orientation{quantize(o.theta), quantize(o.phi), quantize(o.omega)});
+  }
+  const auto old_error =
+      metrics::orientation_error_stats(old_orientations, truth, icos);
+  std::printf("old (3-degree grid) orientations: error mean=%.2f deg "
+              "median=%.2f deg\n\n",
+              old_error.mean, old_error.median);
+
+  // ---- the new refinement, distributed over vmpi ranks ----
+  core::RefinerConfig refiner_config;
+  refiner_config.schedule = {core::SearchLevel{1.0, 3, 1.0, 3},
+                             core::SearchLevel{0.25, 5, 0.25, 3},
+                             core::SearchLevel{0.05, 5, 0.05, 3}};
+  // Match only out to the radius where per-pixel signal survives the
+  // noise: the paper raises r_map gradually with the resolution of the
+  // map rather than matching at Nyquist from the start.
+  refiner_config.match.r_map = cli_r_map > 0.0
+                                   ? cli_r_map
+                                   : static_cast<double>(l) / 4.0;
+  refiner_config.ctf = ctf;
+  refiner_config.ctf_correction = em::CtfCorrection::kWiener;
+  refiner_config.wiener_snr = wiener_snr;
+
+  std::vector<em::Orientation> refined = old_orientations;
+  std::vector<std::pair<double, double>> centers(views.size(), {0.0, 0.0});
+  std::printf("refining on %d vmpi ranks...\n", ranks);
+  const auto report = [&] {
+    std::vector<core::ViewResult> results;
+    auto rep = vmpi::RunReport{};
+    rep = vmpi::run(ranks, [&](vmpi::Comm& comm) {
+      auto r = core::parallel_refine(comm, truth_map, l, views,
+                                     old_orientations, centers,
+                                     refiner_config);
+      if (comm.is_root()) results = std::move(r.results);
+    });
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      refined[i] = results[i].orientation;
+      centers[i] = {results[i].center_x, results[i].center_y};
+    }
+    return rep;
+  }();
+  std::printf("communication: %llu messages, %.1f MB\n\n",
+              static_cast<unsigned long long>(report.messages),
+              static_cast<double>(report.bytes) / 1e6);
+
+  const auto new_error = metrics::orientation_error_stats(refined, truth, icos);
+  std::printf("refined orientations: error mean=%.3f deg median=%.3f deg\n\n",
+              new_error.mean, new_error.median);
+
+  // ---- maps from old vs refined orientations ----
+  const em::Volume<double> old_map =
+      recon::fourier_reconstruct(corrected_views, old_orientations);
+  const em::Volume<double> new_map =
+      recon::fourier_reconstruct(corrected_views, refined, centers);
+
+  const auto old_curve = core::RefinementPipeline::odd_even_fsc(
+      corrected_views, old_orientations, {}, {});
+  const auto new_curve = core::RefinementPipeline::odd_even_fsc(
+      corrected_views, refined, centers, {});
+
+  util::Table table({"shell radius (px)", "FSC old", "FSC new"});
+  for (std::size_t s = 1; s < old_curve.correlation.size(); ++s) {
+    table.add_row({util::fmt(old_curve.shell_radius[s], 1),
+                   util::fmt(old_curve.correlation[s], 3),
+                   util::fmt(new_curve.correlation[s], 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const double old_cross = metrics::crossing_radius(old_curve, 0.5);
+  const double new_cross = metrics::crossing_radius(new_curve, 0.5);
+  std::printf("FSC 0.5 crossing: old %.2f px (%.1f A), new %.2f px (%.1f A)\n",
+              old_cross,
+              metrics::radius_to_resolution_a(old_cross, l, ctf.pixel_size_a),
+              new_cross,
+              metrics::radius_to_resolution_a(new_cross, l, ctf.pixel_size_a));
+  std::printf("map correlation vs ground truth: old %.4f, new %.4f\n",
+              metrics::volume_correlation(old_map, truth_map),
+              metrics::volume_correlation(new_map, truth_map));
+  const bool improved = new_cross >= old_cross && new_error.mean < old_error.mean;
+  std::printf("\nsindbis pipeline %s\n", improved ? "PASSED" : "FAILED");
+  return improved ? 0 : 1;
+}

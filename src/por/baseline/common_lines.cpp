@@ -1,0 +1,144 @@
+#include "por/baseline/common_lines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace por::baseline {
+
+namespace {
+
+/// Polar angle of a 3D direction expressed in a view's in-plane basis,
+/// folded to [0, 180).
+double in_plane_angle_deg(const em::Vec3& direction, const em::Mat3& rotation) {
+  const em::Vec3 eu = rotation * em::Vec3{1, 0, 0};
+  const em::Vec3 ev = rotation * em::Vec3{0, 1, 0};
+  double angle =
+      em::rad2deg(std::atan2(direction.dot(ev), direction.dot(eu)));
+  angle = std::fmod(angle, 180.0);
+  if (angle < 0.0) angle += 180.0;
+  return angle;
+}
+
+/// Normalized |<a, b>| correlation of two complex lines.  The shared
+/// 3D line may be walked in opposite directions by the two views
+/// (their in-plane angles are only defined modulo 180 degrees), so the
+/// anti-parallel hypothesis a(t) == b(-t) is scored as well and the
+/// better of the two returned.
+double line_correlation(const std::vector<em::cdouble>& a,
+                        const std::vector<em::cdouble>& b) {
+  double na = 0.0, nb = 0.0;
+  em::cdouble fwd{0.0, 0.0}, rev{0.0, 0.0};
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    na += std::norm(a[i]);
+    nb += std::norm(b[i]);
+    fwd += a[i] * std::conj(b[i]);
+    rev += a[i] * std::conj(b[n - 1 - i]);
+  }
+  const double denom = std::sqrt(na * nb);
+  if (denom == 0.0) return 0.0;
+  return std::max(std::abs(fwd), std::abs(rev)) / denom;
+}
+
+double default_radius(const em::Image<double>& view, double radius) {
+  if (radius > 0.0) return radius;
+  return static_cast<double>(view.nx()) / 2.0 - 2.0;
+}
+
+}  // namespace
+
+CommonLine common_line_from_orientations(const em::Orientation& a,
+                                         const em::Orientation& b) {
+  const em::Mat3 ra = em::rotation_matrix(a);
+  const em::Mat3 rb = em::rotation_matrix(b);
+  const em::Vec3 na = ra * em::Vec3{0, 0, 1};
+  const em::Vec3 nb = rb * em::Vec3{0, 0, 1};
+  const em::Vec3 direction = na.cross(nb);
+  if (direction.norm() < 1e-9) {
+    throw std::invalid_argument(
+        "common_line_from_orientations: parallel views share every line");
+  }
+  const em::Vec3 unit = direction.normalized();
+  return CommonLine{in_plane_angle_deg(unit, ra),
+                    in_plane_angle_deg(unit, rb)};
+}
+
+std::vector<em::cdouble> central_line(const em::Image<double>& view,
+                                      double angle_deg, double radius) {
+  const std::size_t n = view.nx();
+  if (view.ny() != n) {
+    throw std::invalid_argument("central_line: view must be square");
+  }
+  const double c = std::floor(static_cast<double>(n) / 2.0);
+  const double a = em::deg2rad(angle_deg);
+  const double dx = std::cos(a), dy = std::sin(a);
+  const auto r = static_cast<long>(std::floor(radius));
+
+  std::vector<em::cdouble> line;
+  line.reserve(2 * static_cast<std::size_t>(r));
+  for (long t = -r; t <= r; ++t) {
+    if (std::abs(t) < 2) continue;  // exclude DC neighbourhood
+    const double kx = t * dx, ky = t * dy;
+    em::cdouble sum{0.0, 0.0};
+    for (std::size_t y = 0; y < n; ++y) {
+      const double py = static_cast<double>(y) - c;
+      for (std::size_t x = 0; x < n; ++x) {
+        const double px = static_cast<double>(x) - c;
+        const double phase = -2.0 * std::numbers::pi * (kx * px + ky * py) /
+                             static_cast<double>(n);
+        sum += view(y, x) * em::cdouble(std::cos(phase), std::sin(phase));
+      }
+    }
+    line.push_back(sum);
+  }
+  return line;
+}
+
+CommonLine estimate_common_line(const em::Image<double>& view_a,
+                                const em::Image<double>& view_b,
+                                std::size_t line_count, double radius) {
+  if (line_count < 2) {
+    throw std::invalid_argument("estimate_common_line: need >= 2 lines");
+  }
+  const double ra = default_radius(view_a, radius);
+  const double rb = default_radius(view_b, radius);
+  const double step = 180.0 / static_cast<double>(line_count);
+
+  std::vector<std::vector<em::cdouble>> lines_a(line_count),
+      lines_b(line_count);
+  for (std::size_t i = 0; i < line_count; ++i) {
+    const double angle = static_cast<double>(i) * step;
+    lines_a[i] = central_line(view_a, angle, ra);
+    lines_b[i] = central_line(view_b, angle, rb);
+  }
+
+  CommonLine best;
+  double best_corr = -1.0;
+  for (std::size_t i = 0; i < line_count; ++i) {
+    for (std::size_t j = 0; j < line_count; ++j) {
+      const double corr = line_correlation(lines_a[i], lines_b[j]);
+      if (corr > best_corr) {
+        best_corr = corr;
+        best.angle_in_a = static_cast<double>(i) * step;
+        best.angle_in_b = static_cast<double>(j) * step;
+      }
+    }
+  }
+  return best;
+}
+
+double common_line_consistency(const em::Image<double>& view_a,
+                               const em::Image<double>& view_b,
+                               const em::Orientation& a,
+                               const em::Orientation& b, double radius) {
+  const CommonLine predicted = common_line_from_orientations(a, b);
+  return line_correlation(
+      central_line(view_a, predicted.angle_in_a, default_radius(view_a, radius)),
+      central_line(view_b, predicted.angle_in_b,
+                   default_radius(view_b, radius)));
+}
+
+}  // namespace por::baseline

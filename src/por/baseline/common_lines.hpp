@@ -1,0 +1,66 @@
+// por/baseline/common_lines.hpp
+//
+// The method of common lines (paper §3: "several methods including the
+// method of common lines can be used to this end", ref [2]): any two
+// central sections of the same 3D transform intersect in a line
+// through the origin, so two projections of one particle share a 1D
+// line in their 2D transforms.  Locating that line in each view
+// constrains their relative orientation; with enough pairs an initial
+// orientation set can be bootstrapped.
+//
+// The reproduction provides the two primitives the method is built
+// from — the geometric common line predicted from two orientations,
+// and its data-driven estimate — plus a consistency score used as an
+// orientation sanity check.  Line samples are computed by direct DFT
+// summation over the view pixels (exact to machine precision); the
+// peak of the line-correlation landscape of small blob phantoms is
+// shallow, so interpolated sampling would bury it in gridding error.
+#pragma once
+
+#include <cstddef>
+
+#include "por/em/grid.hpp"
+#include "por/em/orientation.hpp"
+
+namespace por::baseline {
+
+/// A common line, described by its in-plane polar angle (degrees, in
+/// [0, 180)) in each of the two views.
+struct CommonLine {
+  double angle_in_a = 0.0;
+  double angle_in_b = 0.0;
+};
+
+/// Predicted common line of two views from their orientations: the
+/// intersection of the two central-section planes, expressed in each
+/// view's in-plane coordinates.  Throws std::invalid_argument when the
+/// views are (anti)parallel and every line is common.
+[[nodiscard]] CommonLine common_line_from_orientations(
+    const em::Orientation& a, const em::Orientation& b);
+
+/// Exact central line of a view's spectrum at polar angle `angle_deg`:
+/// samples at radii t = -radius..radius (|t| < 2 excluded, unit
+/// steps), phases measured about the image center.
+[[nodiscard]] std::vector<em::cdouble> central_line(
+    const em::Image<double>& view, double angle_deg, double radius);
+
+/// Estimated common line from data: scan `line_count` polar angles
+/// over [0, 180) in each view and return the pair with the highest
+/// normalized line correlation (Hermitian reversal handled).
+/// `radius` = 0 means the view's information limit (l/2 - 2).
+[[nodiscard]] CommonLine estimate_common_line(const em::Image<double>& view_a,
+                                              const em::Image<double>& view_b,
+                                              std::size_t line_count = 90,
+                                              double radius = 0.0);
+
+/// Correlation of the two views along the common line PREDICTED by the
+/// given orientations — high when the orientations are consistent with
+/// the data, lower when they are wrong.  A cheap cross-check on a
+/// refined orientation pair.
+[[nodiscard]] double common_line_consistency(const em::Image<double>& view_a,
+                                             const em::Image<double>& view_b,
+                                             const em::Orientation& a,
+                                             const em::Orientation& b,
+                                             double radius = 0.0);
+
+}  // namespace por::baseline

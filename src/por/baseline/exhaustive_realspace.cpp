@@ -1,0 +1,106 @@
+#include "por/baseline/exhaustive_realspace.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "por/em/interp.hpp"
+#include "por/em/projection.hpp"
+#include "por/metrics/distance.hpp"
+
+namespace por::baseline {
+
+em::Image<double> rotate_image(const em::Image<double>& img,
+                               double angle_deg) {
+  const std::size_t n = img.nx();
+  if (img.ny() != n) throw std::invalid_argument("rotate_image: not square");
+  const double c = std::floor(static_cast<double>(n) / 2.0);
+  const double a = em::deg2rad(angle_deg);
+  const double ca = std::cos(a), sa = std::sin(a);
+  const em::Image<em::cdouble> source = em::to_complex(img);
+  em::Image<double> out(n, n, 0.0);
+  for (std::size_t y = 0; y < n; ++y) {
+    const double v = static_cast<double>(y) - c;
+    for (std::size_t x = 0; x < n; ++x) {
+      const double u = static_cast<double>(x) - c;
+      // Sample the input at R(angle) * p.
+      const double su = ca * u - sa * v;
+      const double sv = sa * u + ca * v;
+      out(y, x) = em::interp_bilinear(source, sv + c, su + c).real();
+    }
+  }
+  return out;
+}
+
+ExhaustiveRealspaceMatcher::ExhaustiveRealspaceMatcher(
+    const em::Volume<double>& reference_map, const OldMethodConfig& config)
+    : config_(config) {
+  if (config_.direction_step_deg <= 0.0 || config_.omega_step_deg <= 0.0) {
+    throw std::invalid_argument("ExhaustiveRealspaceMatcher: bad steps");
+  }
+  if (config_.icosahedral_restricted) {
+    const em::IcosahedralAsymmetricUnit asym_unit;
+    directions_ = asym_unit.grid(config_.direction_step_deg);
+  } else {
+    directions_ = global_sphere_grid(config_.direction_step_deg);
+  }
+  if (directions_.empty()) {
+    throw std::runtime_error("ExhaustiveRealspaceMatcher: empty grid");
+  }
+  templates_.reserve(directions_.size());
+  for (const auto& direction : directions_) {
+    templates_.push_back(em::project_volume(reference_map, direction,
+                                            config_.projector_steps));
+  }
+  omega_count_ = static_cast<std::size_t>(
+      std::ceil(360.0 / config_.omega_step_deg));
+}
+
+ExhaustiveRealspaceMatcher::Match ExhaustiveRealspaceMatcher::best_match(
+    const em::Image<double>& view) const {
+  Match best;
+  best.correlation = -2.0;
+  for (std::size_t w = 0; w < omega_count_; ++w) {
+    const double omega = static_cast<double>(w) * config_.omega_step_deg;
+    // Rotating the VIEW by -omega is equivalent to rotating every
+    // template by +omega, but costs one rotation instead of
+    // direction_count() of them.
+    const em::Image<double> rotated_view = rotate_image(view, -omega);
+    for (std::size_t d = 0; d < directions_.size(); ++d) {
+      const double corr =
+          metrics::realspace_correlation(rotated_view, templates_[d]);
+      if (corr > best.correlation) {
+        best.correlation = corr;
+        best.orientation = directions_[d];
+        best.orientation.omega = omega;
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<em::Orientation> global_sphere_grid(double step_deg) {
+  if (step_deg <= 0.0) {
+    throw std::invalid_argument("global_sphere_grid: step must be > 0");
+  }
+  std::vector<em::Orientation> grid;
+  for (double theta = 0.0; theta <= 180.0 + 1e-9; theta += step_deg) {
+    const double sin_theta =
+        std::max(std::sin(em::deg2rad(theta)), 1e-6);
+    const double phi_step = std::min(360.0, step_deg / sin_theta);
+    for (double phi = 0.0; phi < 360.0 - 1e-9; phi += phi_step) {
+      grid.push_back(em::Orientation{theta, phi, 0.0});
+      if (theta < 1e-9 || theta > 180.0 - 1e-9) break;  // poles: one point
+    }
+  }
+  return grid;
+}
+
+std::vector<em::Orientation> ExhaustiveRealspaceMatcher::assign(
+    const std::vector<em::Image<double>>& views) const {
+  std::vector<em::Orientation> out;
+  out.reserve(views.size());
+  for (const auto& view : views) out.push_back(best_orientation(view));
+  return out;
+}
+
+}  // namespace por::baseline

@@ -1,0 +1,87 @@
+// por/baseline/exhaustive_realspace.hpp
+//
+// The "old method" baseline: global real-space projection matching
+// over a fixed angular grid restricted to the icosahedral asymmetric
+// unit — the strategy of the symmetry-exploiting programs the paper
+// compares against (ref [17], and the legacy orientations behind the
+// "old" curves of Figs. 2/3/5/6).  It only works for particles whose
+// symmetry is KNOWN to be icosahedral and is limited by its fixed grid
+// spacing; the paper's refinement starts from its output and improves
+// it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "por/em/grid.hpp"
+#include "por/em/orientation.hpp"
+#include "por/em/symmetry.hpp"
+
+namespace por::baseline {
+
+struct OldMethodConfig {
+  double direction_step_deg = 3.0;  ///< grid over the search domain
+  double omega_step_deg = 6.0;      ///< in-plane grid
+  int projector_steps = 1;          ///< ray samples per voxel
+  /// true: search the icosahedral asymmetric unit only (the legacy
+  /// symmetry-exploiting behaviour, Fig. 1b).  false: search the whole
+  /// sphere — required for particles of unknown symmetry, and the
+  /// reason the asymmetric search space is six orders of magnitude
+  /// larger (§3).
+  bool icosahedral_restricted = true;
+};
+
+/// Precomputes projection templates of a reference map on the
+/// asymmetric-unit grid and matches views by maximum real-space
+/// cross-correlation.
+class ExhaustiveRealspaceMatcher {
+ public:
+  ExhaustiveRealspaceMatcher(const em::Volume<double>& reference_map,
+                             const OldMethodConfig& config);
+
+  /// Best match for one view: orientation plus its correlation score
+  /// (used to gate out views that match nothing well).
+  struct Match {
+    em::Orientation orientation;
+    double correlation = -1.0;
+  };
+  [[nodiscard]] Match best_match(const em::Image<double>& view) const;
+
+  /// Best-correlating (theta, phi, omega) for one view.
+  [[nodiscard]] em::Orientation best_orientation(
+      const em::Image<double>& view) const {
+    return best_match(view).orientation;
+  }
+
+  /// Batch version.
+  [[nodiscard]] std::vector<em::Orientation> assign(
+      const std::vector<em::Image<double>>& views) const;
+
+  [[nodiscard]] std::size_t direction_count() const {
+    return templates_.size();
+  }
+  [[nodiscard]] std::size_t omega_count() const { return omega_count_; }
+
+  /// Total correlations evaluated per view (the baseline's cost).
+  [[nodiscard]] std::size_t comparisons_per_view() const {
+    return templates_.size() * omega_count_;
+  }
+
+ private:
+  OldMethodConfig config_;
+  std::vector<em::Orientation> directions_;        // omega = 0
+  std::vector<em::Image<double>> templates_;       // one per direction
+  std::size_t omega_count_ = 0;
+};
+
+/// In-plane rotation of an image about its center voxel by
+/// `angle_deg` (bilinear; zero outside).  out(p) = in(R(angle) * p).
+[[nodiscard]] em::Image<double> rotate_image(const em::Image<double>& img,
+                                             double angle_deg);
+
+/// Quasi-uniform view-direction grid over the full sphere with
+/// approximately `step_deg` spacing (omega = 0): latitude rings with a
+/// phi step widened by 1/sin(theta).
+[[nodiscard]] std::vector<em::Orientation> global_sphere_grid(double step_deg);
+
+}  // namespace por::baseline

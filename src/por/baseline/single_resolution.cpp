@@ -1,0 +1,53 @@
+#include "por/baseline/single_resolution.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace por::baseline {
+
+std::uint64_t single_resolution_cost(double half_range_deg, double step_deg) {
+  if (half_range_deg <= 0.0 || step_deg <= 0.0) {
+    throw std::invalid_argument("single_resolution_cost: bad arguments");
+  }
+  const auto per_angle = static_cast<std::uint64_t>(
+      std::floor(2.0 * half_range_deg / step_deg)) + 1;
+  return per_angle * per_angle * per_angle;
+}
+
+SingleResolutionResult single_resolution_search(
+    const core::FourierMatcher& matcher,
+    const em::Image<em::cdouble>& view_spectrum, const em::Orientation& center,
+    double half_range_deg, double step_deg, std::uint64_t max_matchings) {
+  const std::uint64_t cost = single_resolution_cost(half_range_deg, step_deg);
+  if (cost > max_matchings) {
+    throw std::invalid_argument(
+        "single_resolution_search: " + std::to_string(cost) +
+        " matchings exceed the limit; this is the blow-up the "
+        "multi-resolution schedule avoids");
+  }
+  const auto per_angle = static_cast<long>(
+      std::floor(2.0 * half_range_deg / step_deg)) + 1;
+
+  SingleResolutionResult result;
+  result.best_distance = std::numeric_limits<double>::infinity();
+  for (long it = 0; it < per_angle; ++it) {
+    const double theta = center.theta - half_range_deg + it * step_deg;
+    for (long ip = 0; ip < per_angle; ++ip) {
+      const double phi = center.phi - half_range_deg + ip * step_deg;
+      for (long io = 0; io < per_angle; ++io) {
+        const double omega = center.omega - half_range_deg + io * step_deg;
+        const double d =
+            matcher.distance(view_spectrum, em::Orientation{theta, phi, omega});
+        ++result.matchings;
+        if (d < result.best_distance) {
+          result.best_distance = d;
+          result.best = em::Orientation{theta, phi, omega};
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace por::baseline

@@ -1,0 +1,40 @@
+// por/baseline/single_resolution.hpp
+//
+// One-step (single-resolution) exhaustive Fourier search — the
+// strawman of the paper's §4 worked example: reaching 0.002-degree
+// precision over a +-5 degree uncertainty in one pass costs
+// (range/step)^3 matchings, versus a handful of w^3 grids for the
+// multi-resolution schedule.  Used by bench/ablation_multires to
+// reproduce the "5000 vs 35 matchings per angle" comparison and to
+// verify both searches land on the same orientation.
+#pragma once
+
+#include <cstdint>
+
+#include "por/core/matcher.hpp"
+#include "por/core/search_domain.hpp"
+
+namespace por::baseline {
+
+struct SingleResolutionResult {
+  em::Orientation best;
+  double best_distance = 0.0;
+  std::uint64_t matchings = 0;
+};
+
+/// Exhaustively search the cube [center - half_range, center +
+/// half_range]^3 with spacing `step_deg`.  Throws std::invalid_argument
+/// if the grid would exceed `max_matchings` (the whole point of the
+/// baseline is that this blows up, so the guard keeps benches honest
+/// about when it is infeasible rather than hanging).
+[[nodiscard]] SingleResolutionResult single_resolution_search(
+    const core::FourierMatcher& matcher,
+    const em::Image<em::cdouble>& view_spectrum, const em::Orientation& center,
+    double half_range_deg, double step_deg,
+    std::uint64_t max_matchings = 50'000'000);
+
+/// The matching count the search WOULD need, without running it.
+[[nodiscard]] std::uint64_t single_resolution_cost(double half_range_deg,
+                                                   double step_deg);
+
+}  // namespace por::baseline

@@ -1,0 +1,105 @@
+#include "por/core/center_refine.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace por::core {
+
+namespace {
+
+/// d(translate(F, -dx, -dy), C) over the matching annulus, with the
+/// translation folded into the loop as a per-sample phase ramp (no
+/// spectrum copies).
+double translated_distance(const em::Image<em::cdouble>& f,
+                           const em::Image<em::cdouble>& c, double dx,
+                           double dy, double r_max, double r_min,
+                           metrics::Weighting weighting) {
+  const std::size_t n = f.nx();
+  const double center = std::floor(static_cast<double>(n) / 2.0);
+  const long lo =
+      std::max<long>(0, static_cast<long>(std::floor(center - r_max)));
+  const long hi = std::min<long>(static_cast<long>(n) - 1,
+                                 static_cast<long>(std::ceil(center + r_max)));
+  double sum = 0.0;
+  for (long y = lo; y <= hi; ++y) {
+    const double ky = static_cast<double>(y) - center;
+    for (long x = lo; x <= hi; ++x) {
+      const double kx = static_cast<double>(x) - center;
+      const double radius = std::sqrt(kx * kx + ky * ky);
+      if (radius > r_max || radius < r_min) continue;
+      // Translating the image by (-dx, -dy) multiplies F by
+      // exp(+2*pi*i*(kx*dx + ky*dy)/n).
+      const double angle = 2.0 * std::numbers::pi *
+                           (kx * dx + ky * dy) / static_cast<double>(n);
+      const em::cdouble shifted =
+          f(static_cast<std::size_t>(y), static_cast<std::size_t>(x)) *
+          em::cdouble(std::cos(angle), std::sin(angle));
+      const em::cdouble diff =
+          shifted - c(static_cast<std::size_t>(y), static_cast<std::size_t>(x));
+      const double weight =
+          weighting == metrics::Weighting::kRadial ? radius / r_max : 1.0;
+      sum += weight * std::norm(diff);
+    }
+  }
+  return sum / static_cast<double>(n * n);
+}
+
+}  // namespace
+
+CenterResult refine_center(const FourierMatcher& matcher,
+                           const em::Image<em::cdouble>& view_spectrum,
+                           const em::Image<em::cdouble>& best_cut,
+                           double start_dx, double start_dy, double step_px,
+                           int box_width, int max_slides) {
+  if (box_width < 2 || step_px <= 0.0) {
+    throw std::invalid_argument("refine_center: bad box");
+  }
+  const double r_max = matcher.padded_r_map();
+  const double r_min =
+      matcher.options().r_min * static_cast<double>(matcher.options().pad);
+
+  CenterResult result;
+  result.dx = start_dx;
+  result.dy = start_dy;
+  double cx = start_dx, cy = start_dy;
+
+  for (int round = 0;; ++round) {
+    double best = std::numeric_limits<double>::infinity();
+    int best_iy = 0, best_ix = 0;
+    for (int iy = 0; iy < box_width; ++iy) {
+      const double dy =
+          cy + (static_cast<double>(iy) -
+                static_cast<double>(box_width - 1) / 2.0) *
+                   step_px;
+      for (int ix = 0; ix < box_width; ++ix) {
+        const double dx =
+            cx + (static_cast<double>(ix) -
+                  static_cast<double>(box_width - 1) / 2.0) *
+                     step_px;
+        const double d =
+            translated_distance(view_spectrum, best_cut, dx, dy, r_max, r_min,
+                                matcher.options().weighting);
+        ++result.evaluations;
+        if (d < best) {
+          best = d;
+          best_iy = iy;
+          best_ix = ix;
+          result.dx = dx;
+          result.dy = dy;
+          result.best_distance = d;
+        }
+      }
+    }
+    const bool on_edge = best_iy == 0 || best_iy == box_width - 1 ||
+                         best_ix == 0 || best_ix == box_width - 1;
+    if (!on_edge || round >= max_slides) break;
+    cx = result.dx;
+    cy = result.dy;
+    ++result.slides;
+  }
+  return result;
+}
+
+}  // namespace por::core

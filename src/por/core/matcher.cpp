@@ -1,0 +1,162 @@
+#include "por/core/matcher.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "por/em/interp.hpp"
+#include "por/em/projection.hpp"
+
+namespace por::core {
+
+namespace {
+
+double resolve_padded_radius(double unpadded, std::size_t l, std::size_t pad,
+                             double fallback) {
+  if (unpadded < 0.0) throw std::invalid_argument("matcher: negative radius");
+  if (unpadded == 0.0) return fallback;
+  return unpadded * static_cast<double>(pad);
+}
+
+}  // namespace
+
+FourierMatcher::FourierMatcher(const em::Volume<double>& density_map,
+                               const MatchOptions& options)
+    : FourierMatcher(
+          em::centered_fft3(em::pad_volume(density_map, options.pad)),
+          density_map.nx(), options) {
+  if (!density_map.is_cube()) {
+    throw std::invalid_argument("FourierMatcher: map must be cubic");
+  }
+}
+
+FourierMatcher::FourierMatcher(em::Volume<em::cdouble> centered_padded_spectrum,
+                               std::size_t l, const MatchOptions& options)
+    : l_(l),
+      options_(options),
+      spectrum_(std::move(centered_padded_spectrum)) {
+  if (options_.pad < 1) {
+    throw std::invalid_argument("FourierMatcher: pad must be >= 1");
+  }
+  const std::size_t big = l_ * options_.pad;
+  if (spectrum_.nx() != big || !spectrum_.is_cube()) {
+    throw std::invalid_argument("FourierMatcher: spectrum size mismatch");
+  }
+  // Default r_map: the unpadded Nyquist radius.  Stored in padded px.
+  const double nyquist_padded = static_cast<double>(big) / 2.0 - 1.0;
+  padded_r_map_ = resolve_padded_radius(options_.r_map, l_, options_.pad,
+                                        nyquist_padded);
+  padded_r_map_ = std::min(padded_r_map_, nyquist_padded);
+  padded_r_min_ = options_.r_min * static_cast<double>(options_.pad);
+
+  // Precompute the view-transfer envelope by integer padded radius:
+  // what a prepared view's signal amplitude retains relative to the
+  // pristine cut after CTF + correction.
+  if (options_.ctf) {
+    const std::size_t table_size = big / 2 + 2;
+    transfer_table_.resize(table_size);
+    const double physical_scale =
+        1.0 / (static_cast<double>(big) * options_.ctf->pixel_size_a);
+    for (std::size_t r = 0; r < table_size; ++r) {
+      const double s = static_cast<double>(r) * physical_scale;
+      const double c = em::ctf_value(*options_.ctf, s);
+      switch (options_.ctf_correction) {
+        case em::CtfCorrection::kPhaseFlip:
+          transfer_table_[r] = std::abs(c);
+          break;
+        case em::CtfCorrection::kWiener:
+          transfer_table_[r] = c * c / (c * c + 1.0 / options_.wiener_snr);
+          break;
+      }
+    }
+  }
+}
+
+double FourierMatcher::cut_transfer(double padded_radius) const {
+  if (transfer_table_.empty()) return 1.0;
+  const double clamped = std::clamp(
+      padded_radius, 0.0, static_cast<double>(transfer_table_.size() - 1));
+  const std::size_t lo = static_cast<std::size_t>(std::floor(clamped));
+  const std::size_t hi = std::min(lo + 1, transfer_table_.size() - 1);
+  const double t = clamped - static_cast<double>(lo);
+  return (1.0 - t) * transfer_table_[lo] + t * transfer_table_[hi];
+}
+
+em::Image<em::cdouble> FourierMatcher::prepare_view(
+    const em::Image<double>& view) const {
+  if (view.nx() != l_ || view.ny() != l_) {
+    throw std::invalid_argument("prepare_view: view edge mismatch");
+  }
+  em::Image<em::cdouble> spectrum =
+      em::centered_fft2(em::pad_image(view, options_.pad));
+  if (options_.ctf) {
+    em::correct_ctf(spectrum, *options_.ctf, options_.ctf_correction,
+                    options_.wiener_snr);
+  }
+  return spectrum;
+}
+
+double FourierMatcher::distance(const em::Image<em::cdouble>& view_spectrum,
+                                const em::Orientation& o) const {
+  const std::size_t big = l_ * options_.pad;
+  if (view_spectrum.nx() != big || view_spectrum.ny() != big) {
+    throw std::invalid_argument("distance: view spectrum size mismatch");
+  }
+  ++matchings_;
+
+  const em::Mat3 r = em::rotation_matrix(o);
+  const em::Vec3 eu = r * em::Vec3{1, 0, 0};
+  const em::Vec3 ev = r * em::Vec3{0, 1, 0};
+  const double c = std::floor(static_cast<double>(big) / 2.0);
+  const double r_max = padded_r_map_;
+  const double r_min = padded_r_min_;
+
+  // Restrict the loops to the bounding box of the r_map disk: this is
+  // where the paper's "the number of operations is reduced
+  // accordingly" comes from.
+  const long lo = std::max<long>(0, static_cast<long>(std::floor(c - r_max)));
+  const long hi =
+      std::min<long>(static_cast<long>(big) - 1,
+                     static_cast<long>(std::ceil(c + r_max)));
+
+  double sum = 0.0;
+  for (long y = lo; y <= hi; ++y) {
+    const double kv = static_cast<double>(y) - c;
+    for (long x = lo; x <= hi; ++x) {
+      const double ku = static_cast<double>(x) - c;
+      const double radius = std::sqrt(ku * ku + kv * kv);
+      if (radius > r_max || radius < r_min) continue;
+      const em::Vec3 q = ku * eu + kv * ev;
+      const em::cdouble cut_sample =
+          cut_transfer(radius) *
+          em::interp_trilinear(spectrum_, q.z + c, q.y + c, q.x + c);
+      const em::cdouble diff =
+          view_spectrum(static_cast<std::size_t>(y),
+                        static_cast<std::size_t>(x)) -
+          cut_sample;
+      const double weight = options_.weighting == metrics::Weighting::kRadial
+                                ? radius / r_max
+                                : 1.0;
+      sum += weight * std::norm(diff);
+    }
+  }
+  return sum / static_cast<double>(big * big);
+}
+
+em::Image<em::cdouble> FourierMatcher::cut(const em::Orientation& o) const {
+  em::Image<em::cdouble> slice = em::extract_central_slice(spectrum_, o);
+  if (!transfer_table_.empty()) {
+    const std::size_t big = slice.nx();
+    const double center = std::floor(static_cast<double>(big) / 2.0);
+    for (std::size_t y = 0; y < big; ++y) {
+      for (std::size_t x = 0; x < big; ++x) {
+        const double radius = std::hypot(static_cast<double>(y) - center,
+                                         static_cast<double>(x) - center);
+        slice(y, x) *= cut_transfer(radius);
+      }
+    }
+  }
+  return slice;
+}
+
+}  // namespace por::core

@@ -1,0 +1,102 @@
+// por/core/matcher.hpp
+//
+// The matching kernel: "a matching operation consists of two steps:
+// (1) construct a cut into the 3D DFT with a given orientation and
+// (2) compute the distance between the 2D DFT of the experimental
+// view and the cut" (§4).  FourierMatcher fuses the two steps — it
+// samples the cut point-by-point inside the r_map disk and accumulates
+// the weighted distance without materializing the cut image, which is
+// what makes the O(l^2) per matching of §3 achievable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "por/em/ctf.hpp"
+#include "por/em/grid.hpp"
+#include "por/em/orientation.hpp"
+#include "por/em/pad.hpp"
+#include "por/metrics/distance.hpp"
+
+namespace por::core {
+
+/// Matching configuration shared by refiner, baselines and benches.
+struct MatchOptions {
+  std::size_t pad = em::kDefaultPad;  ///< spectrum oversampling factor
+  double r_map = 0.0;  ///< matching radius in UNPADDED Fourier px (0 = Nyquist)
+  double r_min = 0.0;  ///< exclude radii below this (unpadded Fourier px)
+  metrics::Weighting weighting = metrics::Weighting::kUniform;
+
+  /// CTF of the micrograph the views came from.  When set, step (e)
+  /// corrects each view AND the matcher multiplies every cut sample by
+  /// the view's residual signal transfer (|CTF| after phase flipping,
+  /// CTF^2/(CTF^2 + 1/snr) after Wiener filtering) so the comparison
+  /// is unbiased — comparing an amplitude-attenuated view against a
+  /// full-amplitude cut would systematically favour orientations whose
+  /// cuts have less power near the CTF zeros.
+  std::optional<em::CtfParams> ctf;
+  em::CtfCorrection ctf_correction = em::CtfCorrection::kPhaseFlip;
+  double wiener_snr = 10.0;
+};
+
+/// Matches view spectra against central sections of one density map.
+///
+/// Construction computes the padded centered 3D spectrum once (the
+/// paper replicates exactly this object on every node); an externally
+/// computed spectrum can be supplied instead (the parallel driver
+/// builds it with the slab-parallel 3D DFT).
+class FourierMatcher {
+ public:
+  /// Build the 3D spectrum from a density map (edge l).
+  FourierMatcher(const em::Volume<double>& density_map,
+                 const MatchOptions& options);
+
+  /// Adopt an existing centered padded spectrum (edge l * options.pad).
+  FourierMatcher(em::Volume<em::cdouble> centered_padded_spectrum,
+                 std::size_t l, const MatchOptions& options);
+
+  [[nodiscard]] std::size_t edge() const { return l_; }
+  [[nodiscard]] const MatchOptions& options() const { return options_; }
+  [[nodiscard]] const em::Volume<em::cdouble>& spectrum() const {
+    return spectrum_;
+  }
+
+  /// Step (d)+(e) for one view: padded centered 2D DFT, CTF-corrected
+  /// per options().ctf.  The result is what `distance` expects.
+  [[nodiscard]] em::Image<em::cdouble> prepare_view(
+      const em::Image<double>& view) const;
+
+  /// One matching operation: d(F, C_o) over the r_map disk.
+  /// Increments the matching counter.
+  [[nodiscard]] double distance(const em::Image<em::cdouble>& view_spectrum,
+                                const em::Orientation& o) const;
+
+  /// Materialized cut with the view-transfer envelope applied — the
+  /// exact object `distance` compares a prepared view against (used by
+  /// center refinement and diagnostics).
+  [[nodiscard]] em::Image<em::cdouble> cut(const em::Orientation& o) const;
+
+  /// Residual signal transfer of a prepared view at `padded_radius`
+  /// Fourier pixels from the origin (1 when no CTF is configured).
+  [[nodiscard]] double cut_transfer(double padded_radius) const;
+
+  /// Matching-operation counter (total calls to distance()); the
+  /// quantity the paper's Tables 1/2 track through the sliding window.
+  [[nodiscard]] std::uint64_t matchings() const { return matchings_; }
+  void reset_matchings() const { matchings_ = 0; }
+
+  /// Matching radius in PADDED Fourier pixels.
+  [[nodiscard]] double padded_r_map() const { return padded_r_map_; }
+
+ private:
+  std::size_t l_;
+  MatchOptions options_;
+  double padded_r_map_;
+  double padded_r_min_;
+  em::Volume<em::cdouble> spectrum_;
+  std::vector<double> transfer_table_;  ///< envelope by padded radius px
+  mutable std::uint64_t matchings_ = 0;
+};
+
+}  // namespace por::core

@@ -1,0 +1,228 @@
+#include "por/core/parallel_refiner.hpp"
+
+#include <stdexcept>
+
+#include "por/em/pad.hpp"
+#include "por/em/projection.hpp"
+#include "por/fft/parallel_fft3d.hpp"
+#include "por/io/map_io.hpp"
+#include "por/io/stack_io.hpp"
+#include "por/io/orientation_io.hpp"
+#include "por/io/master_io.hpp"
+
+namespace por::core {
+
+namespace {
+
+constexpr vmpi::Tag kViewBlockTag = 200;
+constexpr vmpi::Tag kInitTag = 201;
+constexpr vmpi::Tag kResultTag = 202;
+
+/// Reduce a StepTimes with max over ranks so the report reflects the
+/// slowest rank, which is what determines the wall clock of the cycle.
+util::StepTimes reduce_times_max(vmpi::Comm& comm,
+                                 const util::StepTimes& mine) {
+  // Fixed step vocabulary keeps the reduction a plain vector allreduce.
+  static const char* kSteps[] = {"3D DFT", "Read image", "FFT analysis",
+                                 "Orientation refinement",
+                                 "Center refinement"};
+  std::vector<double> values;
+  values.reserve(std::size(kSteps));
+  for (const char* step : kSteps) values.push_back(mine.get(step));
+  values = comm.allreduce(values, vmpi::ReduceOp::kMax);
+  util::StepTimes out;
+  for (std::size_t i = 0; i < std::size(kSteps); ++i) {
+    out.add(kSteps[i], values[i]);
+  }
+  return out;
+}
+
+/// The shared steps (a)-(o) once the root holds map/views/orientations
+/// in memory.
+ParallelRefineReport refine_distributed(
+    vmpi::Comm& comm, const em::Volume<double>& map_on_root, std::size_t l,
+    const std::vector<em::Image<double>>& views_on_root,
+    const std::vector<em::Orientation>& initial_on_root,
+    const std::vector<std::pair<double, double>>& centers_on_root,
+    const RefinerConfig& config) {
+  util::StepTimes times;
+  const std::size_t padded_edge = l * config.match.pad;
+  if (padded_edge % static_cast<std::size_t>(comm.size()) != 0) {
+    throw std::invalid_argument(
+        "parallel_refine: padded edge must divide by the rank count");
+  }
+
+  // ---- step (a): slab-parallel 3D DFT, replicated by all-gather ----
+  util::WallTimer dft_timer;
+  std::vector<em::cdouble> raw;
+  if (comm.is_root()) {
+    if (map_on_root.nx() != l || !map_on_root.is_cube()) {
+      throw std::invalid_argument("parallel_refine: map edge mismatch");
+    }
+    raw = em::to_complex(em::pad_volume(map_on_root, config.match.pad))
+              .storage();
+  }
+  raw = fft::parallel_fft3d_forward(comm, std::move(raw), padded_edge);
+  em::Volume<em::cdouble> raw_volume(padded_edge);
+  raw_volume.storage() = std::move(raw);
+  em::Volume<em::cdouble> spectrum =
+      em::centered_from_raw_fft3(std::move(raw_volume));
+  times.add("3D DFT", dft_timer.seconds());
+
+  // ---- steps (b)+(c): master distributes views and orientations ----
+  util::WallTimer read_timer;
+  const std::size_t m =
+      comm.is_root() ? views_on_root.size() : 0;  // broadcast below
+  std::vector<std::size_t> meta{m};
+  comm.bcast(0, meta);
+  const std::size_t total_views = meta[0];
+
+  struct InitRecord {
+    em::Orientation orientation;
+    double cx, cy;
+  };
+
+  std::vector<em::Image<double>> my_views;
+  std::vector<InitRecord> my_init;
+  if (comm.is_root()) {
+    if (initial_on_root.size() != total_views ||
+        (!centers_on_root.empty() && centers_on_root.size() != total_views)) {
+      throw std::invalid_argument("parallel_refine: input sizes disagree");
+    }
+    for (int r = comm.size() - 1; r >= 0; --r) {
+      const std::size_t begin = io::block_begin(total_views, comm.size(), r);
+      const std::size_t share = io::block_share(total_views, comm.size(), r);
+      std::vector<double> flat;
+      flat.reserve(share * l * l);
+      std::vector<InitRecord> init;
+      init.reserve(share);
+      for (std::size_t i = begin; i < begin + share; ++i) {
+        flat.insert(flat.end(), views_on_root[i].storage().begin(),
+                    views_on_root[i].storage().end());
+        init.push_back(InitRecord{
+            initial_on_root[i],
+            centers_on_root.empty() ? 0.0 : centers_on_root[i].first,
+            centers_on_root.empty() ? 0.0 : centers_on_root[i].second});
+      }
+      if (r == 0) {
+        my_init = std::move(init);
+        my_views.reserve(share);
+        for (std::size_t i = 0; i < share; ++i) {
+          em::Image<double> img(l, l);
+          std::copy(flat.begin() + i * l * l, flat.begin() + (i + 1) * l * l,
+                    img.storage().begin());
+          my_views.push_back(std::move(img));
+        }
+      } else {
+        comm.send(r, kViewBlockTag, flat);
+        comm.send(r, kInitTag, init);
+      }
+    }
+  } else {
+    auto flat = comm.recv<double>(0, kViewBlockTag);
+    my_init = comm.recv<InitRecord>(0, kInitTag);
+    const std::size_t share = my_init.size();
+    my_views.reserve(share);
+    for (std::size_t i = 0; i < share; ++i) {
+      em::Image<double> img(l, l);
+      std::copy(flat.begin() + i * l * l, flat.begin() + (i + 1) * l * l,
+                img.storage().begin());
+      my_views.push_back(std::move(img));
+    }
+  }
+  times.add("Read image", read_timer.seconds());
+
+  // ---- steps (d)-(l): refine my block ----
+  OrientationRefiner refiner(
+      FourierMatcher(std::move(spectrum), l, config.matcher_options()),
+      config);
+  std::vector<ViewResult> my_results;
+  my_results.reserve(my_views.size());
+  for (std::size_t i = 0; i < my_views.size(); ++i) {
+    my_results.push_back(refiner.refine_view(my_views[i],
+                                             my_init[i].orientation,
+                                             my_init[i].cx, my_init[i].cy));
+  }
+  // Fold the refiner's internal accounting into this rank's report.
+  for (const auto& [step, secs] : refiner.times().entries()) {
+    times.add(step, secs);
+  }
+
+  // ---- step (m): wait for all nodes ----
+  comm.barrier();
+
+  // ---- step (o): gather results on the master ----
+  ParallelRefineReport report;
+  report.results = comm.gather(0, my_results);
+  std::uint64_t my_matchings = 0, my_slides = 0;
+  for (const auto& r : my_results) {
+    my_matchings += r.matchings;
+    my_slides += static_cast<std::uint64_t>(r.window_slides);
+  }
+  report.total_matchings =
+      comm.allreduce_value(my_matchings, vmpi::ReduceOp::kSum);
+  report.total_slides = comm.allreduce_value(my_slides, vmpi::ReduceOp::kSum);
+  report.times = reduce_times_max(comm, times);
+  return report;
+}
+
+}  // namespace
+
+ParallelRefineReport parallel_refine(
+    vmpi::Comm& comm, const em::Volume<double>& map_on_root, std::size_t l,
+    const std::vector<em::Image<double>>& views_on_root,
+    const std::vector<em::Orientation>& initial_on_root,
+    const std::vector<std::pair<double, double>>& centers_on_root,
+    const RefinerConfig& config) {
+  return refine_distributed(comm, map_on_root, l, views_on_root,
+                            initial_on_root, centers_on_root, config);
+}
+
+ParallelRefineReport parallel_refine_files(
+    vmpi::Comm& comm, const std::string& map_path,
+    const std::string& stack_path, const std::string& orientations_in_path,
+    const std::string& orientations_out_path, const RefinerConfig& config) {
+  // Step (a.1): the master reads the density map and the inputs.
+  em::Volume<double> map;
+  std::vector<em::Image<double>> views;
+  std::vector<em::Orientation> initial;
+  std::vector<std::pair<double, double>> centers;
+  std::size_t l = 0;
+  if (comm.is_root()) {
+    map = io::read_map(map_path);
+    views = io::read_stack(stack_path);
+    const auto records = io::read_orientations(orientations_in_path);
+    if (records.size() != views.size()) {
+      throw std::runtime_error(
+          "parallel_refine_files: stack and orientation file disagree");
+    }
+    initial.reserve(records.size());
+    centers.reserve(records.size());
+    for (const auto& rec : records) {
+      initial.push_back(rec.orientation);
+      centers.emplace_back(rec.center_x, rec.center_y);
+    }
+    l = map.nx();
+  }
+  std::vector<std::size_t> meta{l};
+  comm.bcast(0, meta);
+  l = meta[0];
+
+  ParallelRefineReport report = refine_distributed(
+      comm, map, l, views, initial, centers, config);
+
+  if (comm.is_root()) {
+    std::vector<io::ViewOrientation> out;
+    out.reserve(report.results.size());
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+      out.push_back(io::ViewOrientation{i, report.results[i].orientation,
+                                        report.results[i].center_x,
+                                        report.results[i].center_y});
+    }
+    io::write_orientations(orientations_out_path, out,
+                           "refined by por::core::parallel_refine_files");
+  }
+  return report;
+}
+
+}  // namespace por::core

@@ -1,0 +1,59 @@
+// por/core/parallel_refiner.hpp
+//
+// The distributed-memory orientation refinement program (paper §4,
+// steps a-o, complete):
+//
+//   a. slab-parallel 3D DFT of the density map, replicated everywhere
+//   b. the master distributes the views in blocks of m/P
+//   c. the master distributes the matching initial orientations
+//   d-l. every rank refines its own views (embarrassingly parallel)
+//   m. barrier
+//   n. (the multi-resolution loop is inside the per-view refiner)
+//   o. the master collects and writes the refined orientation file
+//
+// Per-step wall times are recorded under the same step names as the
+// paper's Tables 1 and 2 ("3D DFT", "Read image", "FFT analysis",
+// "Orientation refinement"), reduced with a max across ranks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "por/core/refiner.hpp"
+#include "por/vmpi/comm.hpp"
+
+namespace por::core {
+
+/// Result of a distributed refinement run.
+struct ParallelRefineReport {
+  /// Refined records for every view, in global view order.  Complete
+  /// on the root rank; empty on the others.
+  std::vector<ViewResult> results;
+  /// Max-over-ranks wall time per step (valid on every rank).
+  util::StepTimes times;
+  /// Matching operations summed over ranks (valid on every rank).
+  std::uint64_t total_matchings = 0;
+  /// Window slides summed over ranks (valid on every rank).
+  std::uint64_t total_slides = 0;
+};
+
+/// In-memory SPMD driver: the root rank supplies the map, all views
+/// and all initial orientations; other ranks pass empty containers.
+/// `l` is the map/view edge; l * config.match.pad must be divisible by
+/// comm.size().
+[[nodiscard]] ParallelRefineReport parallel_refine(
+    vmpi::Comm& comm, const em::Volume<double>& map_on_root, std::size_t l,
+    const std::vector<em::Image<double>>& views_on_root,
+    const std::vector<em::Orientation>& initial_on_root,
+    const std::vector<std::pair<double, double>>& centers_on_root,
+    const RefinerConfig& config);
+
+/// File-based SPMD driver covering the paper's I/O model: the master
+/// reads the map, the view stack and the orientation file, distributes
+/// work, and writes the refined orientation file at the end.
+[[nodiscard]] ParallelRefineReport parallel_refine_files(
+    vmpi::Comm& comm, const std::string& map_path,
+    const std::string& stack_path, const std::string& orientations_in_path,
+    const std::string& orientations_out_path, const RefinerConfig& config);
+
+}  // namespace por::core

@@ -1,0 +1,121 @@
+#include "por/core/refiner.hpp"
+
+#include "por/em/projection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace por::core {
+
+OrientationRefiner::OrientationRefiner(const em::Volume<double>& density_map,
+                                       const RefinerConfig& config)
+    : matcher_(density_map, config.matcher_options()), config_(config) {
+  if (config_.schedule.empty()) {
+    throw std::invalid_argument("OrientationRefiner: empty schedule");
+  }
+}
+
+OrientationRefiner::OrientationRefiner(FourierMatcher matcher,
+                                       const RefinerConfig& config)
+    : matcher_(std::move(matcher)), config_(config) {
+  if (config_.schedule.empty()) {
+    throw std::invalid_argument("OrientationRefiner: empty schedule");
+  }
+}
+
+ViewResult OrientationRefiner::refine_view(const em::Image<double>& view,
+                                           const em::Orientation& initial,
+                                           double center_x,
+                                           double center_y) const {
+  // Step (d)+(e): 2D DFT of the view and CTF correction.
+  util::WallTimer fft_timer;
+  em::Image<em::cdouble> spectrum = matcher_.prepare_view(view);
+  times_.add("FFT analysis", fft_timer.seconds());
+
+  ViewResult result;
+  result.orientation = initial;
+  result.center_x = center_x;
+  result.center_y = center_y;
+
+  // The spectrum used for matching carries the current center
+  // correction: translate by (-cx, -cy) so the particle sits exactly
+  // on the box center, as the cuts assume.  Offsets are in pixels,
+  // which are the same physical units on the padded grid.
+  em::Image<em::cdouble> centered = spectrum;
+  if (center_x != 0.0 || center_y != 0.0) {
+    em::apply_translation_phase(centered, -center_x, -center_y);
+  }
+
+  // Step (n): iterate the levels of the multi-resolution schedule.
+  const int passes =
+      config_.refine_centers ? std::max(1, config_.max_passes_per_level) : 1;
+  for (const SearchLevel& level : config_.schedule) {
+    for (int pass = 0; pass < passes; ++pass) {
+      // Steps (f)-(j): sliding-window angular search at this resolution.
+      util::WallTimer refine_timer;
+      const SearchDomain domain{result.orientation, level.angular_step_deg,
+                                level.angular_width};
+      const WindowResult window = sliding_window_search(
+          matcher_, centered, domain, config_.max_slides);
+      const double moved_deg =
+          em::geodesic_deg(result.orientation, window.best);
+      result.orientation = window.best;
+      result.final_distance = window.best_distance;
+      result.matchings += window.matchings;
+      result.window_slides += window.slides;
+      times_.add("Orientation refinement", refine_timer.seconds());
+
+      if (!config_.refine_centers) break;
+
+      // Steps (k)-(l): center refinement against the best cut.
+      util::WallTimer center_timer;
+      const em::Image<em::cdouble> best_cut = matcher_.cut(result.orientation);
+      const CenterResult center = refine_center(
+          matcher_, spectrum, best_cut, result.center_x, result.center_y,
+          level.center_step_px, level.center_width, config_.max_slides);
+      const double center_moved = std::hypot(center.dx - result.center_x,
+                                             center.dy - result.center_y);
+      result.center_x = center.dx;
+      result.center_y = center.dy;
+      result.center_evals += center.evaluations;
+      // Re-apply the improved center to the matching spectrum.
+      centered = spectrum;
+      if (result.center_x != 0.0 || result.center_y != 0.0) {
+        em::apply_translation_phase(centered, -result.center_x,
+                                    -result.center_y);
+      }
+      times_.add("Center refinement", center_timer.seconds());
+
+      // The angular search and the center search are coupled; stop
+      // alternating once a pass changes neither appreciably.
+      if (moved_deg < 0.25 * level.angular_step_deg &&
+          center_moved < 0.25 * level.center_step_px) {
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<ViewResult> OrientationRefiner::refine(
+    const std::vector<em::Image<double>>& views,
+    const std::vector<em::Orientation>& initial_orientations,
+    const std::vector<std::pair<double, double>>& initial_centers) const {
+  if (views.size() != initial_orientations.size()) {
+    throw std::invalid_argument("refine: views/orientations size mismatch");
+  }
+  if (!initial_centers.empty() && initial_centers.size() != views.size()) {
+    throw std::invalid_argument("refine: centers size mismatch");
+  }
+  std::vector<ViewResult> results;
+  results.reserve(views.size());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    const double cx = initial_centers.empty() ? 0.0 : initial_centers[i].first;
+    const double cy = initial_centers.empty() ? 0.0 : initial_centers[i].second;
+    results.push_back(refine_view(views[i], initial_orientations[i], cx, cy));
+  }
+  return results;
+}
+
+}  // namespace por::core

@@ -1,0 +1,100 @@
+// por/core/refiner.hpp
+//
+// The sliding-window multi-resolution orientation refinement algorithm
+// (paper §4, steps a-o) for one node: given the current density map
+// and a set of experimental views with rough initial orientations,
+// produce refined orientations and centers.
+//
+// The distributed-memory SPMD driver that wraps this with the paper's
+// steps (a)-(c) and (m)-(o) lives in por/core/parallel_refiner.hpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "por/core/center_refine.hpp"
+#include "por/core/matcher.hpp"
+#include "por/core/search_domain.hpp"
+#include "por/core/sliding_window.hpp"
+#include "por/util/timer.hpp"
+
+namespace por::core {
+
+/// Full refinement configuration.
+struct RefinerConfig {
+  std::vector<SearchLevel> schedule;  ///< multi-resolution levels, coarse->fine
+  MatchOptions match;                 ///< pad / r_map / weighting
+  int max_slides = 8;                 ///< sliding-window cap per level
+  bool refine_centers = true;         ///< run step (k) at each level
+  /// Angular search and center refinement are coupled (a wrong center
+  /// skews the angular minimum and vice versa); each level alternates
+  /// the two until they agree, up to this many passes.
+  int max_passes_per_level = 3;
+  std::optional<em::CtfParams> ctf;   ///< CTF of the views' micrograph
+  em::CtfCorrection ctf_correction = em::CtfCorrection::kPhaseFlip;
+  double wiener_snr = 10.0;
+
+  RefinerConfig() : schedule(paper_schedule()) {}
+
+  /// The match options with the CTF settings folded in (the matcher
+  /// needs them to keep view and cut amplitudes comparable).
+  [[nodiscard]] MatchOptions matcher_options() const {
+    MatchOptions merged = match;
+    if (ctf && !merged.ctf) {
+      merged.ctf = ctf;
+      merged.ctf_correction = ctf_correction;
+      merged.wiener_snr = wiener_snr;
+    }
+    return merged;
+  }
+};
+
+/// Refined parameters of one view (the paper's O_refined record:
+/// angles + center).
+struct ViewResult {
+  em::Orientation orientation;
+  double center_x = 0.0;
+  double center_y = 0.0;
+  double final_distance = 0.0;
+  std::uint64_t matchings = 0;       ///< angular matchings spent
+  std::uint64_t center_evals = 0;    ///< center positions tried
+  int window_slides = 0;             ///< total slides over all levels
+};
+
+/// Orientation refinement against a fixed density map.
+class OrientationRefiner {
+ public:
+  /// Builds the padded centered 3D DFT of `density_map` (step a, serial).
+  OrientationRefiner(const em::Volume<double>& density_map,
+                     const RefinerConfig& config);
+
+  /// Adopts a matcher whose spectrum was produced elsewhere (e.g. by
+  /// the slab-parallel 3D DFT).
+  OrientationRefiner(FourierMatcher matcher, const RefinerConfig& config);
+
+  /// Steps (d)-(l) for one view.
+  [[nodiscard]] ViewResult refine_view(const em::Image<double>& view,
+                                       const em::Orientation& initial,
+                                       double center_x = 0.0,
+                                       double center_y = 0.0) const;
+
+  /// Refine a batch; also accumulates per-step wall times into
+  /// `times()` under the paper's step names ("FFT analysis",
+  /// "Orientation refinement", "Center refinement").
+  [[nodiscard]] std::vector<ViewResult> refine(
+      const std::vector<em::Image<double>>& views,
+      const std::vector<em::Orientation>& initial_orientations,
+      const std::vector<std::pair<double, double>>& initial_centers = {}) const;
+
+  [[nodiscard]] const FourierMatcher& matcher() const { return matcher_; }
+  [[nodiscard]] const RefinerConfig& config() const { return config_; }
+  [[nodiscard]] util::StepTimes& times() const { return times_; }
+
+ private:
+  FourierMatcher matcher_;
+  RefinerConfig config_;
+  mutable util::StepTimes times_;
+};
+
+}  // namespace por::core

@@ -1,0 +1,52 @@
+#include "por/core/sliding_window.hpp"
+
+#include <limits>
+
+namespace por::core {
+
+WindowResult sliding_window_search(const FourierMatcher& matcher,
+                                   const em::Image<em::cdouble>& view_spectrum,
+                                   const SearchDomain& initial_domain,
+                                   int max_slides) {
+  WindowResult result;
+  SearchDomain domain = initial_domain;
+  const std::uint64_t matchings_before = matcher.matchings();
+
+  for (int round = 0;; ++round) {
+    // Step (g)+(h): distances to every cut in the domain, keep the min.
+    double best_distance = std::numeric_limits<double>::infinity();
+    int best_it = 0, best_ip = 0, best_io = 0;
+    em::Orientation best = domain.center;
+    for (int it = 0; it < domain.width; ++it) {
+      for (int ip = 0; ip < domain.width; ++ip) {
+        for (int io = 0; io < domain.width; ++io) {
+          const em::Orientation o{domain.center.theta + domain.offset(it),
+                                  domain.center.phi + domain.offset(ip),
+                                  domain.center.omega + domain.offset(io)};
+          const double d = matcher.distance(view_spectrum, o);
+          if (d < best_distance) {
+            best_distance = d;
+            best = o;
+            best_it = it;
+            best_ip = ip;
+            best_io = io;
+          }
+        }
+      }
+    }
+    result.best = best;
+    result.best_distance = best_distance;
+
+    // Step (i): slide if the best fit touches the edge.
+    if (!domain.on_edge(best_it, best_ip, best_io) || round >= max_slides) {
+      break;
+    }
+    domain = domain.recentered(best);
+    ++result.slides;
+  }
+
+  result.matchings = matcher.matchings() - matchings_before;
+  return result;
+}
+
+}  // namespace por::core

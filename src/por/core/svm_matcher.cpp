@@ -1,0 +1,92 @@
+#include "por/core/svm_matcher.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace por::core {
+
+SvmMatcher::SvmMatcher(BrickStore& store, std::size_t l,
+                       const MatchOptions& options)
+    : store_(store), l_(l), options_(options) {
+  if (options_.pad < 1) {
+    throw std::invalid_argument("SvmMatcher: pad must be >= 1");
+  }
+  const std::size_t big = l_ * options_.pad;
+  if (store_.edge() != big) {
+    throw std::invalid_argument("SvmMatcher: store edge mismatch");
+  }
+  const double nyquist_padded = static_cast<double>(big) / 2.0 - 1.0;
+  padded_r_map_ = options_.r_map > 0.0
+                      ? std::min(options_.r_map * options_.pad, nyquist_padded)
+                      : nyquist_padded;
+  padded_r_min_ = options_.r_min * static_cast<double>(options_.pad);
+
+  if (options_.ctf) {
+    const std::size_t table_size = big / 2 + 2;
+    transfer_table_.resize(table_size);
+    const double physical_scale =
+        1.0 / (static_cast<double>(big) * options_.ctf->pixel_size_a);
+    for (std::size_t r = 0; r < table_size; ++r) {
+      const double s = static_cast<double>(r) * physical_scale;
+      const double c = em::ctf_value(*options_.ctf, s);
+      transfer_table_[r] =
+          options_.ctf_correction == em::CtfCorrection::kPhaseFlip
+              ? std::abs(c)
+              : c * c / (c * c + 1.0 / options_.wiener_snr);
+    }
+  }
+}
+
+double SvmMatcher::distance(const em::Image<em::cdouble>& view_spectrum,
+                            const em::Orientation& o) {
+  const std::size_t big = l_ * options_.pad;
+  if (view_spectrum.nx() != big || view_spectrum.ny() != big) {
+    throw std::invalid_argument("SvmMatcher: view spectrum size mismatch");
+  }
+  ++matchings_;
+
+  const em::Mat3 r = em::rotation_matrix(o);
+  const em::Vec3 eu = r * em::Vec3{1, 0, 0};
+  const em::Vec3 ev = r * em::Vec3{0, 1, 0};
+  const double c = std::floor(static_cast<double>(big) / 2.0);
+  const long lo =
+      std::max<long>(0, static_cast<long>(std::floor(c - padded_r_map_)));
+  const long hi =
+      std::min<long>(static_cast<long>(big) - 1,
+                     static_cast<long>(std::ceil(c + padded_r_map_)));
+
+  double sum = 0.0;
+  for (long y = lo; y <= hi; ++y) {
+    const double kv = static_cast<double>(y) - c;
+    for (long x = lo; x <= hi; ++x) {
+      const double ku = static_cast<double>(x) - c;
+      const double radius = std::sqrt(ku * ku + kv * kv);
+      if (radius > padded_r_map_ || radius < padded_r_min_) continue;
+      const em::Vec3 q = ku * eu + kv * ev;
+      double transfer = 1.0;
+      if (!transfer_table_.empty()) {
+        const double clamped = std::min(
+            radius, static_cast<double>(transfer_table_.size() - 1));
+        const auto lo_idx = static_cast<std::size_t>(std::floor(clamped));
+        const std::size_t hi_idx =
+            std::min(lo_idx + 1, transfer_table_.size() - 1);
+        const double t = clamped - static_cast<double>(lo_idx);
+        transfer =
+            (1.0 - t) * transfer_table_[lo_idx] + t * transfer_table_[hi_idx];
+      }
+      const em::cdouble cut_sample =
+          transfer * store_.sample(q.z + c, q.y + c, q.x + c);
+      const em::cdouble diff =
+          view_spectrum(static_cast<std::size_t>(y),
+                        static_cast<std::size_t>(x)) -
+          cut_sample;
+      const double weight = options_.weighting == metrics::Weighting::kRadial
+                                ? radius / padded_r_map_
+                                : 1.0;
+      sum += weight * std::norm(diff);
+    }
+  }
+  return sum / static_cast<double>(big * big);
+}
+
+}  // namespace por::core

@@ -1,0 +1,42 @@
+// por/core/svm_matcher.hpp
+//
+// The matching kernel running against a demand-paged BrickStore
+// instead of a replicated spectrum — the complete realization of the
+// paper's §6 alternative, used by bench/ablation_replication to put
+// numbers on the replicate-vs-fetch trade-off.
+#pragma once
+
+#include "por/core/brick_store.hpp"
+#include "por/core/matcher.hpp"
+
+namespace por::core {
+
+/// Same matching semantics as FourierMatcher::distance, but every cut
+/// sample is read through a BrickStore (local bricks, LRU-cached
+/// remote bricks, on-demand fetches).
+class SvmMatcher {
+ public:
+  /// `store` must hold the padded centered spectrum of edge
+  /// l * options.pad.  CTF options are honoured exactly as in
+  /// FourierMatcher.
+  SvmMatcher(BrickStore& store, std::size_t l, const MatchOptions& options);
+
+  /// One matching operation through the brick store.
+  [[nodiscard]] double distance(const em::Image<em::cdouble>& view_spectrum,
+                                const em::Orientation& o);
+
+  [[nodiscard]] std::uint64_t matchings() const { return matchings_; }
+  [[nodiscard]] const BrickStore& store() const { return store_; }
+  [[nodiscard]] double padded_r_map() const { return padded_r_map_; }
+
+ private:
+  BrickStore& store_;
+  std::size_t l_;
+  MatchOptions options_;
+  double padded_r_map_;
+  double padded_r_min_;
+  std::vector<double> transfer_table_;
+  std::uint64_t matchings_ = 0;
+};
+
+}  // namespace por::core

@@ -1,0 +1,178 @@
+#include "por/core/symmetry_detect.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "por/em/rotate.hpp"
+#include "por/metrics/fsc.hpp"
+
+namespace por::core {
+
+namespace {
+
+/// Angle (degrees) between two axes, identifying antipodes.
+double axis_angle_deg(const em::Vec3& a, const em::Vec3& b) {
+  const double c = std::clamp(std::abs(a.normalized().dot(b.normalized())),
+                              0.0, 1.0);
+  return em::rad2deg(std::acos(c));
+}
+
+em::Vec3 from_angles(double theta_deg, double phi_deg) {
+  const double theta = em::deg2rad(theta_deg), phi = em::deg2rad(phi_deg);
+  return {std::sin(theta) * std::cos(phi), std::sin(theta) * std::sin(phi),
+          std::cos(theta)};
+}
+
+}  // namespace
+
+SymmetryDetector::SymmetryDetector(const DetectorConfig& config)
+    : config_(config) {
+  if (config_.coarse_step_deg <= 0.0 || config_.max_fold < 2 ||
+      config_.threshold <= 0.0 || config_.threshold >= 1.0) {
+    throw std::invalid_argument("SymmetryDetector: bad config");
+  }
+}
+
+double SymmetryDetector::self_correlation(const em::Volume<double>& map,
+                                          const em::Vec3& axis, int fold) {
+  const em::Mat3 rot =
+      em::Mat3::axis_angle(axis, 2.0 * std::numbers::pi / fold);
+  return metrics::volume_correlation(map, em::rotate_volume(map, rot));
+}
+
+DetectionResult SymmetryDetector::detect(const em::Volume<double>& map) const {
+  std::vector<DetectedAxis> found;
+
+  for (int fold = 2; fold <= config_.max_fold; ++fold) {
+    // Coarse hemisphere scan.
+    std::vector<DetectedAxis> candidates;
+    for (double theta = 0.0; theta <= 90.0 + 1e-9;
+         theta += config_.coarse_step_deg) {
+      // Shrink the phi sweep near the pole so axis density stays even.
+      const double sin_theta =
+          std::max(std::sin(em::deg2rad(theta)), 1e-3);
+      const double phi_step =
+          std::min(120.0, config_.coarse_step_deg / sin_theta);
+      for (double phi = 0.0; phi < 360.0 - 1e-9; phi += phi_step) {
+        const em::Vec3 axis = from_angles(theta, phi);
+        const double corr = self_correlation(map, axis, fold);
+        if (corr >= config_.threshold) {
+          candidates.push_back(DetectedAxis{axis, fold, corr});
+        }
+      }
+    }
+    // Non-maximum suppression, then local refinement of survivors.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const DetectedAxis& a, const DetectedAxis& b) {
+                return a.correlation > b.correlation;
+              });
+    std::vector<DetectedAxis> kept;
+    for (const auto& cand : candidates) {
+      bool dominated = false;
+      for (const auto& k : kept) {
+        if (axis_angle_deg(cand.axis, k.axis) <
+            1.8 * config_.coarse_step_deg) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) kept.push_back(cand);
+    }
+    for (auto& axis : kept) {
+      // Coarse-to-fine local search of the axis direction.
+      double step = config_.coarse_step_deg / 2.0;
+      for (int round = 0; round < config_.refine_rounds; ++round) {
+        bool improved = true;
+        while (improved) {
+          improved = false;
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              if (dx == 0 && dy == 0) continue;
+              // Perturb in the axis' tangent plane.
+              const em::Vec3 t1 =
+                  std::abs(axis.axis.z) < 0.9
+                      ? axis.axis.cross({0, 0, 1}).normalized()
+                      : axis.axis.cross({1, 0, 0}).normalized();
+              const em::Vec3 t2 = axis.axis.cross(t1).normalized();
+              const double s = em::deg2rad(step);
+              const em::Vec3 trial =
+                  (axis.axis + (s * dx) * t1 + (s * dy) * t2).normalized();
+              const double corr = self_correlation(map, trial, axis.fold);
+              if (corr > axis.correlation) {
+                axis.correlation = corr;
+                axis.axis = trial;
+                improved = true;
+              }
+            }
+          }
+        }
+        step /= 2.0;
+      }
+      if (axis.axis.z < 0.0) axis.axis = -1.0 * axis.axis;
+    }
+    found.insert(found.end(), kept.begin(), kept.end());
+  }
+
+  std::sort(found.begin(), found.end(),
+            [](const DetectedAxis& a, const DetectedAxis& b) {
+              return a.correlation > b.correlation;
+            });
+
+  // ---- classification ----
+  auto count_fold = [&](int fold) {
+    return std::count_if(found.begin(), found.end(),
+                         [fold](const DetectedAxis& a) {
+                           return a.fold == fold;
+                         });
+  };
+  DetectionResult result;
+  result.axes = found;
+  const auto n5 = count_fold(5);
+  const auto n4 = count_fold(4);
+  const auto n3 = count_fold(3);
+  const auto n2 = count_fold(2);
+
+  if (n5 >= 2) {
+    result.group = "I";  // icosahedral: six 5-fold axes (two suffice)
+    return result;
+  }
+  if (n4 >= 2) {
+    result.group = "O";  // octahedral: three 4-fold axes
+    return result;
+  }
+  if (n3 >= 3 && n4 == 0 && n5 == 0 && n2 >= 2) {
+    result.group = "T";  // tetrahedral: four 3-folds, three 2-folds
+    return result;
+  }
+  // Highest-fold principal axis.
+  int principal_fold = 0;
+  const DetectedAxis* principal = nullptr;
+  for (const auto& a : found) {
+    if (a.fold > principal_fold) {
+      principal_fold = a.fold;
+      principal = &a;
+    }
+  }
+  if (principal == nullptr) {
+    result.group = "C1";
+    return result;
+  }
+  // Dn: n 2-fold axes perpendicular to the principal axis.
+  long perpendicular_twofolds = 0;
+  for (const auto& a : found) {
+    if (a.fold != 2 || &a == principal) continue;
+    const double angle =
+        std::abs(90.0 - axis_angle_deg(a.axis, principal->axis));
+    if (angle < 6.0) ++perpendicular_twofolds;
+  }
+  if (perpendicular_twofolds >= std::max<long>(2, principal_fold / 2)) {
+    result.group = "D" + std::to_string(principal_fold);
+  } else {
+    result.group = "C" + std::to_string(principal_fold);
+  }
+  return result;
+}
+
+}  // namespace por::core

@@ -1,0 +1,58 @@
+// por/core/symmetry_detect.hpp
+//
+// Symmetry-group determination from a refined density map.
+//
+// The paper emphasizes that, because the refinement never assumes a
+// symmetry, "if the virus exhibits any symmetry this method allows us
+// to determine its symmetry group" (§1, §6).  The detector makes that
+// concrete: it scans a grid of candidate rotation axes, scores each
+// (axis, fold) by the real-space correlation between the map and the
+// map rotated by 2*pi/fold about that axis, keeps high-scoring axes
+// (with a local multi-resolution refinement of the axis direction —
+// the same coarse-to-fine idea as the orientation search), and
+// classifies the surviving axis set as C1, Cn, Dn, T, O or I.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "por/em/grid.hpp"
+#include "por/em/orientation.hpp"
+
+namespace por::core {
+
+struct DetectorConfig {
+  double coarse_step_deg = 8.0;  ///< axis-grid spacing for the scan
+  double threshold = 0.75;       ///< min self-correlation to accept an axis
+  int max_fold = 6;              ///< folds 2..max_fold are tested
+  int refine_rounds = 3;         ///< local axis-refinement rounds (step/2 each)
+};
+
+/// One detected rotational symmetry axis.
+struct DetectedAxis {
+  em::Vec3 axis;            ///< unit direction (hemisphere z >= 0 preferred)
+  int fold = 1;             ///< n of the n-fold rotation
+  double correlation = 0.0; ///< self-correlation under the rotation
+};
+
+struct DetectionResult {
+  std::string group;               ///< "C1", "C5", "D7", "T", "O", "I"
+  std::vector<DetectedAxis> axes;  ///< surviving axes, best first
+};
+
+class SymmetryDetector {
+ public:
+  explicit SymmetryDetector(const DetectorConfig& config = {});
+
+  /// Correlation of `map` with itself rotated by 2*pi/fold about axis.
+  [[nodiscard]] static double self_correlation(const em::Volume<double>& map,
+                                               const em::Vec3& axis, int fold);
+
+  /// Scan, refine and classify.
+  [[nodiscard]] DetectionResult detect(const em::Volume<double>& map) const;
+
+ private:
+  DetectorConfig config_;
+};
+
+}  // namespace por::core

@@ -1,0 +1,132 @@
+#include "por/em/ctf_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "por/em/projection.hpp"
+
+namespace por::em {
+
+std::vector<double> radial_power_spectrum(const Image<double>& image) {
+  if (image.nx() != image.ny() || image.nx() == 0) {
+    throw std::invalid_argument("radial_power_spectrum: image must be square");
+  }
+  const std::size_t n = image.nx();
+  const Image<cdouble> spectrum = centered_fft2(image);
+  const double c = std::floor(static_cast<double>(n) / 2.0);
+  std::vector<double> sum(n / 2 + 1, 0.0);
+  std::vector<std::size_t> counts(n / 2 + 1, 0);
+  for (std::size_t y = 0; y < n; ++y) {
+    const double ky = static_cast<double>(y) - c;
+    for (std::size_t x = 0; x < n; ++x) {
+      const double kx = static_cast<double>(x) - c;
+      const auto r = static_cast<std::size_t>(
+          std::lround(std::sqrt(kx * kx + ky * ky)));
+      if (r >= sum.size()) continue;
+      sum[r] += std::norm(spectrum(y, x));
+      ++counts[r];
+    }
+  }
+  for (std::size_t r = 0; r < sum.size(); ++r) {
+    if (counts[r] > 0) sum[r] /= static_cast<double>(counts[r]);
+  }
+  return sum;
+}
+
+std::vector<double> mean_radial_power_spectrum(
+    const std::vector<Image<double>>& images) {
+  if (images.empty()) {
+    throw std::invalid_argument("mean_radial_power_spectrum: no images");
+  }
+  std::vector<double> mean = radial_power_spectrum(images.front());
+  for (std::size_t i = 1; i < images.size(); ++i) {
+    const auto power = radial_power_spectrum(images[i]);
+    if (power.size() != mean.size()) {
+      throw std::invalid_argument(
+          "mean_radial_power_spectrum: images differ in size");
+    }
+    for (std::size_t r = 0; r < mean.size(); ++r) mean[r] += power[r];
+  }
+  for (double& v : mean) v /= static_cast<double>(images.size());
+  return mean;
+}
+
+namespace {
+
+/// Correlation of the whitened observed rings with |CTF|^2 over the
+/// fitting band.  Whitening: divide out a moving-average envelope so
+/// only the oscillation pattern matters.
+double ring_score(const std::vector<double>& power, std::size_t n,
+                  const CtfParams& params, double defocus,
+                  const DefocusFitOptions& options) {
+  CtfParams trial = params;
+  trial.defocus_a = defocus;
+  const auto lo = static_cast<std::size_t>(options.fit_lo_frac *
+                                           static_cast<double>(n) / 2.0);
+  const auto hi = static_cast<std::size_t>(options.fit_hi_frac *
+                                           static_cast<double>(n) / 2.0);
+  if (hi <= lo + 4 || hi >= power.size()) return -1.0;
+
+  // Moving-average envelope of the log power (window ~9 shells).
+  std::vector<double> logp(power.size());
+  for (std::size_t r = 0; r < power.size(); ++r) {
+    logp[r] = std::log(power[r] + 1e-30);
+  }
+  auto envelope = [&](std::size_t r) {
+    const std::size_t w = 4;
+    const std::size_t a = r > w ? r - w : 0;
+    const std::size_t b = std::min(power.size() - 1, r + w);
+    double acc = 0.0;
+    for (std::size_t i = a; i <= b; ++i) acc += logp[i];
+    return acc / static_cast<double>(b - a + 1);
+  };
+
+  double cross = 0.0, aa = 0.0, bb = 0.0;
+  for (std::size_t r = lo; r <= hi; ++r) {
+    const double observed = logp[r] - envelope(r);  // whitened rings
+    const double s = static_cast<double>(r) /
+                     (static_cast<double>(n) * trial.pixel_size_a);
+    const double c = ctf_value(trial, s);
+    const double predicted = c * c - 0.5;  // zero-mean-ish oscillation
+    cross += observed * predicted;
+    aa += observed * observed;
+    bb += predicted * predicted;
+  }
+  const double denom = std::sqrt(aa * bb);
+  return denom > 0.0 ? cross / denom : -1.0;
+}
+
+}  // namespace
+
+DefocusFit fit_defocus(const std::vector<double>& power, std::size_t n,
+                       const CtfParams& params,
+                       const DefocusFitOptions& options) {
+  if (options.min_defocus_a >= options.max_defocus_a ||
+      options.coarse_step_a <= 0.0 || options.fine_step_a <= 0.0) {
+    throw std::invalid_argument("fit_defocus: bad options");
+  }
+  DefocusFit best;
+  best.score = -2.0;
+  for (double defocus = options.min_defocus_a;
+       defocus <= options.max_defocus_a; defocus += options.coarse_step_a) {
+    const double score = ring_score(power, n, params, defocus, options);
+    if (score > best.score) {
+      best.score = score;
+      best.defocus_a = defocus;
+    }
+  }
+  const double center = best.defocus_a;
+  for (double defocus = center - options.coarse_step_a;
+       defocus <= center + options.coarse_step_a;
+       defocus += options.fine_step_a) {
+    const double score = ring_score(power, n, params, defocus, options);
+    if (score > best.score) {
+      best.score = score;
+      best.defocus_a = defocus;
+    }
+  }
+  return best;
+}
+
+}  // namespace por::em

@@ -1,0 +1,55 @@
+// por/em/ctf_fit.hpp
+//
+// Defocus estimation from image power spectra.
+//
+// The paper assumes each micrograph's CTF is known ("the views
+// originated from the same micrograph have the same CTF") — in
+// practice the defocus is fitted from the data first.  This module
+// implements the standard 1D procedure: compute the rotationally
+// averaged power spectrum of the image (or of many boxed views
+// averaged together), whiten out the smooth envelope, and find the
+// defocus whose theoretical |CTF|^2 oscillation pattern best
+// correlates with the observed Thon rings.
+#pragma once
+
+#include <vector>
+
+#include "por/em/ctf.hpp"
+#include "por/em/grid.hpp"
+
+namespace por::em {
+
+/// Rotationally averaged power spectrum of an image: mean |F|^2 per
+/// integer Fourier-pixel radius (index = radius, up to nx/2).
+[[nodiscard]] std::vector<double> radial_power_spectrum(
+    const Image<double>& image);
+
+/// Average power spectrum of a set of equally-sized images (the usual
+/// way to beat per-view noise before fitting).
+[[nodiscard]] std::vector<double> mean_radial_power_spectrum(
+    const std::vector<Image<double>>& images);
+
+struct DefocusFit {
+  double defocus_a = 0.0;   ///< best defocus (Angstrom, underfocus > 0)
+  double score = 0.0;       ///< correlation of |CTF|^2 with the rings
+};
+
+struct DefocusFitOptions {
+  double min_defocus_a = 5000.0;
+  double max_defocus_a = 40000.0;
+  double coarse_step_a = 500.0;
+  double fine_step_a = 50.0;
+  /// Fit ring positions only between these fractions of Nyquist (the
+  /// lowest shells are envelope-dominated, the highest noise-dominated).
+  double fit_lo_frac = 0.15;
+  double fit_hi_frac = 0.9;
+};
+
+/// Fit the defocus of `params` (all other CTF settings taken from it)
+/// to an observed radial power spectrum of images with `n` pixels per
+/// edge.  Two-stage grid search (coarse then fine around the best).
+[[nodiscard]] DefocusFit fit_defocus(const std::vector<double>& power,
+                                     std::size_t n, const CtfParams& params,
+                                     const DefocusFitOptions& options = {});
+
+}  // namespace por::em

@@ -1,0 +1,155 @@
+// por/em/grid.hpp
+//
+// Dense 2D and 3D lattices: the experimental views (Image) and the
+// electron density map / its DFT (Volume).  Row-major storage matching
+// the FFT module's layout; bounds are checked in debug builds via at().
+#pragma once
+
+#include <cassert>
+#include <complex>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace por::em {
+
+using cdouble = std::complex<double>;
+
+/// A dense ny x nx raster, stored row-major: (y, x) -> y*nx + x.
+template <typename T>
+class Image {
+ public:
+  Image() = default;
+  Image(std::size_t ny, std::size_t nx, T fill = T{})
+      : ny_(ny), nx_(nx), data_(ny * nx, fill) {}
+
+  [[nodiscard]] std::size_t ny() const { return ny_; }
+  [[nodiscard]] std::size_t nx() const { return nx_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] T& operator()(std::size_t y, std::size_t x) {
+    assert(y < ny_ && x < nx_);
+    return data_[y * nx_ + x];
+  }
+  [[nodiscard]] const T& operator()(std::size_t y, std::size_t x) const {
+    assert(y < ny_ && x < nx_);
+    return data_[y * nx_ + x];
+  }
+
+  /// Checked access; throws std::out_of_range.
+  [[nodiscard]] T& at(std::size_t y, std::size_t x) {
+    if (y >= ny_ || x >= nx_) throw std::out_of_range("Image::at");
+    return data_[y * nx_ + x];
+  }
+  [[nodiscard]] const T& at(std::size_t y, std::size_t x) const {
+    if (y >= ny_ || x >= nx_) throw std::out_of_range("Image::at");
+    return data_[y * nx_ + x];
+  }
+
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+  [[nodiscard]] std::vector<T>& storage() { return data_; }
+  [[nodiscard]] const std::vector<T>& storage() const { return data_; }
+
+  void fill(T value) { data_.assign(data_.size(), value); }
+
+  bool operator==(const Image&) const = default;
+
+ private:
+  std::size_t ny_ = 0;
+  std::size_t nx_ = 0;
+  std::vector<T> data_;
+};
+
+/// A dense nz x ny x nx brick, stored row-major: (z,y,x) -> (z*ny+y)*nx+x.
+template <typename T>
+class Volume {
+ public:
+  Volume() = default;
+  Volume(std::size_t nz, std::size_t ny, std::size_t nx, T fill = T{})
+      : nz_(nz), ny_(ny), nx_(nx), data_(nz * ny * nx, fill) {}
+
+  /// Cube of edge l.
+  explicit Volume(std::size_t l, T fill = T{}) : Volume(l, l, l, fill) {}
+
+  [[nodiscard]] std::size_t nz() const { return nz_; }
+  [[nodiscard]] std::size_t ny() const { return ny_; }
+  [[nodiscard]] std::size_t nx() const { return nx_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  [[nodiscard]] bool is_cube() const { return nz_ == ny_ && ny_ == nx_; }
+
+  [[nodiscard]] T& operator()(std::size_t z, std::size_t y, std::size_t x) {
+    assert(z < nz_ && y < ny_ && x < nx_);
+    return data_[(z * ny_ + y) * nx_ + x];
+  }
+  [[nodiscard]] const T& operator()(std::size_t z, std::size_t y,
+                                    std::size_t x) const {
+    assert(z < nz_ && y < ny_ && x < nx_);
+    return data_[(z * ny_ + y) * nx_ + x];
+  }
+
+  [[nodiscard]] T& at(std::size_t z, std::size_t y, std::size_t x) {
+    if (z >= nz_ || y >= ny_ || x >= nx_) throw std::out_of_range("Volume::at");
+    return data_[(z * ny_ + y) * nx_ + x];
+  }
+  [[nodiscard]] const T& at(std::size_t z, std::size_t y,
+                            std::size_t x) const {
+    if (z >= nz_ || y >= ny_ || x >= nx_) throw std::out_of_range("Volume::at");
+    return data_[(z * ny_ + y) * nx_ + x];
+  }
+
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+  [[nodiscard]] std::vector<T>& storage() { return data_; }
+  [[nodiscard]] const std::vector<T>& storage() const { return data_; }
+
+  void fill(T value) { data_.assign(data_.size(), value); }
+
+  bool operator==(const Volume&) const = default;
+
+ private:
+  std::size_t nz_ = 0;
+  std::size_t ny_ = 0;
+  std::size_t nx_ = 0;
+  std::vector<T> data_;
+};
+
+/// Promote a real raster to complex (imaginary part zero).
+template <typename T>
+[[nodiscard]] Image<cdouble> to_complex(const Image<T>& in) {
+  Image<cdouble> out(in.ny(), in.nx());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out.storage()[i] = cdouble(static_cast<double>(in.storage()[i]), 0.0);
+  }
+  return out;
+}
+
+template <typename T>
+[[nodiscard]] Volume<cdouble> to_complex(const Volume<T>& in) {
+  Volume<cdouble> out(in.nz(), in.ny(), in.nx());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out.storage()[i] = cdouble(static_cast<double>(in.storage()[i]), 0.0);
+  }
+  return out;
+}
+
+/// Extract the real part of a complex raster.
+[[nodiscard]] inline Image<double> real_part(const Image<cdouble>& in) {
+  Image<double> out(in.ny(), in.nx());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out.storage()[i] = in.storage()[i].real();
+  }
+  return out;
+}
+
+[[nodiscard]] inline Volume<double> real_part(const Volume<cdouble>& in) {
+  Volume<double> out(in.nz(), in.ny(), in.nx());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out.storage()[i] = in.storage()[i].real();
+  }
+  return out;
+}
+
+}  // namespace por::em

@@ -1,0 +1,247 @@
+#include "por/em/micrograph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "por/em/noise.hpp"
+#include "por/em/projection.hpp"
+
+namespace por::em {
+
+Micrograph synthesize_micrograph(const BlobModel& model,
+                                 const MicrographSpec& spec) {
+  if (spec.box == 0 || spec.box > spec.width || spec.box > spec.height) {
+    throw std::invalid_argument("synthesize_micrograph: bad box size");
+  }
+  util::Rng rng(spec.seed);
+  Micrograph mic;
+  mic.pixels = Image<double>(spec.height, spec.width, 0.0);
+  mic.ctf = spec.ctf;
+
+  // Place particles with a minimum spacing of one box edge so the
+  // boxer can separate them (rejection sampling with a retry cap).
+  const double margin = static_cast<double>(spec.box) / 2.0;
+  const double min_dist2 =
+      static_cast<double>(spec.box) * static_cast<double>(spec.box);
+  int attempts = 0;
+  while (mic.truth.size() < spec.particle_count) {
+    if (++attempts > 10000) {
+      throw std::runtime_error(
+          "synthesize_micrograph: could not place all particles without "
+          "overlap; enlarge the micrograph or reduce particle_count");
+    }
+    const double cx =
+        rng.uniform(margin, static_cast<double>(spec.width) - margin);
+    const double cy =
+        rng.uniform(margin, static_cast<double>(spec.height) - margin);
+    bool clash = false;
+    for (const auto& p : mic.truth) {
+      const double dx = p.center_x - cx, dy = p.center_y - cy;
+      if (dx * dx + dy * dy < min_dist2) {
+        clash = true;
+        break;
+      }
+    }
+    if (clash) continue;
+
+    PlacedParticle placed;
+    placed.center_x = cx;
+    placed.center_y = cy;
+    double theta, phi;
+    rng.sphere_point(theta, phi);
+    placed.orientation = Orientation{rad2deg(theta), rad2deg(phi),
+                                     rng.uniform(0.0, 360.0)};
+    mic.truth.push_back(placed);
+
+    // Render the projection in its own box (analytic, with the
+    // sub-pixel offset of the true center), optionally pass it through
+    // the CTF, and paste it into the micrograph.
+    const double px = std::floor(cx), py = std::floor(cy);
+    Image<double> view = model.project_analytic(
+        spec.box, placed.orientation, cx - px, cy - py);
+    if (spec.apply_ctf) {
+      Image<cdouble> spectrum = centered_fft2(view);
+      apply_ctf(spectrum, spec.ctf);
+      view = centered_ifft2(spectrum);
+    }
+    const long half = static_cast<long>(spec.box) / 2;
+    const long ox = static_cast<long>(px) - half;
+    const long oy = static_cast<long>(py) - half;
+    for (std::size_t y = 0; y < spec.box; ++y) {
+      const long my = oy + static_cast<long>(y);
+      if (my < 0 || my >= static_cast<long>(spec.height)) continue;
+      for (std::size_t x = 0; x < spec.box; ++x) {
+        const long mx = ox + static_cast<long>(x);
+        if (mx < 0 || mx >= static_cast<long>(spec.width)) continue;
+        mic.pixels(static_cast<std::size_t>(my),
+                   static_cast<std::size_t>(mx)) += view(y, x);
+      }
+    }
+  }
+
+  add_gaussian_noise(mic.pixels, spec.snr, rng);
+  return mic;
+}
+
+Image<double> box_particle(const Image<double>& micrograph, double cx,
+                           double cy, std::size_t box) {
+  Image<double> out(box, box, 0.0);
+  const long half = static_cast<long>(box) / 2;
+  const long ox = static_cast<long>(std::floor(cx)) - half;
+  const long oy = static_cast<long>(std::floor(cy)) - half;
+  for (std::size_t y = 0; y < box; ++y) {
+    const long my = oy + static_cast<long>(y);
+    if (my < 0 || my >= static_cast<long>(micrograph.ny())) continue;
+    for (std::size_t x = 0; x < box; ++x) {
+      const long mx = ox + static_cast<long>(x);
+      if (mx < 0 || mx >= static_cast<long>(micrograph.nx())) continue;
+      out(y, x) = micrograph(static_cast<std::size_t>(my),
+                             static_cast<std::size_t>(mx));
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> detect_particles(
+    const Image<double>& micrograph, double radius, std::size_t count) {
+  // Correlate with a soft disk: score(x, y) = sum of pixels within
+  // `radius`, computed with a summed-area table over a square
+  // approximation for speed, then refined by true disk summation at
+  // candidate maxima.
+  const std::size_t ny = micrograph.ny(), nx = micrograph.nx();
+  const long r = std::max<long>(1, static_cast<long>(std::lround(radius)));
+
+  // Summed-area table (1-based).
+  std::vector<double> sat((ny + 1) * (nx + 1), 0.0);
+  auto sat_at = [&](std::size_t y, std::size_t x) -> double& {
+    return sat[y * (nx + 1) + x];
+  };
+  for (std::size_t y = 1; y <= ny; ++y) {
+    for (std::size_t x = 1; x <= nx; ++x) {
+      sat_at(y, x) = micrograph(y - 1, x - 1) + sat_at(y - 1, x) +
+                     sat_at(y, x - 1) - sat_at(y - 1, x - 1);
+    }
+  }
+  auto box_sum = [&](long y0, long x0, long y1, long x1) {
+    y0 = std::clamp<long>(y0, 0, static_cast<long>(ny));
+    x0 = std::clamp<long>(x0, 0, static_cast<long>(nx));
+    y1 = std::clamp<long>(y1, 0, static_cast<long>(ny));
+    x1 = std::clamp<long>(x1, 0, static_cast<long>(nx));
+    return sat_at(y1, x1) - sat_at(y0, x1) - sat_at(y1, x0) + sat_at(y0, x0);
+  };
+
+  Image<double> score(ny, nx, 0.0);
+  for (long y = 0; y < static_cast<long>(ny); ++y) {
+    for (long x = 0; x < static_cast<long>(nx); ++x) {
+      score(y, x) = box_sum(y - r, x - r, y + r + 1, x + r + 1);
+    }
+  }
+
+  // Greedy non-maximum suppression: repeatedly take the global max and
+  // zero a 2r-radius neighbourhood around it.
+  std::vector<std::pair<double, double>> centers;
+  const long suppress = 2 * r;
+  for (std::size_t k = 0; k < count; ++k) {
+    double best = -1e300;
+    long by = -1, bx = -1;
+    for (long y = r; y < static_cast<long>(ny) - r; ++y) {
+      for (long x = r; x < static_cast<long>(nx) - r; ++x) {
+        if (score(y, x) > best) {
+          best = score(y, x);
+          by = y;
+          bx = x;
+        }
+      }
+    }
+    if (by < 0) break;
+    // Sub-pixel center: intensity-weighted centroid of the matched-
+    // filter score in a +-r window around the peak (scores are offset
+    // by the local minimum so the weights are non-negative).
+    double weight_sum = 0.0, cx = 0.0, cy = 0.0, local_min = 1e300;
+    for (long y = std::max<long>(0, by - r);
+         y <= std::min<long>(static_cast<long>(ny) - 1, by + r); ++y) {
+      for (long x = std::max<long>(0, bx - r);
+           x <= std::min<long>(static_cast<long>(nx) - 1, bx + r); ++x) {
+        local_min = std::min(local_min, score(y, x));
+      }
+    }
+    for (long y = std::max<long>(0, by - r);
+         y <= std::min<long>(static_cast<long>(ny) - 1, by + r); ++y) {
+      for (long x = std::max<long>(0, bx - r);
+           x <= std::min<long>(static_cast<long>(nx) - 1, bx + r); ++x) {
+        const double w = score(y, x) - local_min;
+        weight_sum += w;
+        cx += w * static_cast<double>(x);
+        cy += w * static_cast<double>(y);
+      }
+    }
+    if (weight_sum > 0.0) {
+      centers.emplace_back(cx / weight_sum, cy / weight_sum);
+    } else {
+      centers.emplace_back(static_cast<double>(bx), static_cast<double>(by));
+    }
+    for (long y = std::max<long>(0, by - suppress);
+         y <= std::min<long>(static_cast<long>(ny) - 1, by + suppress); ++y) {
+      for (long x = std::max<long>(0, bx - suppress);
+           x <= std::min<long>(static_cast<long>(nx) - 1, bx + suppress);
+           ++x) {
+        score(y, x) = -1e300;
+      }
+    }
+  }
+  return centers;
+}
+
+std::vector<std::pair<double, double>> refine_centers_by_template(
+    const Image<double>& micrograph,
+    const std::vector<std::pair<double, double>>& picks,
+    const Image<double>& reference, int search_radius_px) {
+  if (reference.nx() != reference.ny() || reference.nx() == 0) {
+    throw std::invalid_argument(
+        "refine_centers_by_template: reference must be square");
+  }
+  const std::size_t box = reference.nx();
+  std::vector<std::pair<double, double>> refined;
+  refined.reserve(picks.size());
+  for (const auto& [px, py] : picks) {
+    double best_corr = -2.0;
+    std::pair<double, double> best{px, py};
+    for (int dy = -search_radius_px; dy <= search_radius_px; ++dy) {
+      for (int dx = -search_radius_px; dx <= search_radius_px; ++dx) {
+        const double cx = px + dx, cy = py + dy;
+        const Image<double> window = box_particle(micrograph, cx, cy, box);
+        double corr = 0.0;
+        {
+          // Normalized cross-correlation (zero-mean).
+          const double n = static_cast<double>(window.size());
+          double mw = 0.0, mr = 0.0;
+          for (std::size_t i = 0; i < window.size(); ++i) {
+            mw += window.storage()[i];
+            mr += reference.storage()[i];
+          }
+          mw /= n;
+          mr /= n;
+          double cross = 0.0, ww = 0.0, rr = 0.0;
+          for (std::size_t i = 0; i < window.size(); ++i) {
+            const double a = window.storage()[i] - mw;
+            const double b = reference.storage()[i] - mr;
+            cross += a * b;
+            ww += a * a;
+            rr += b * b;
+          }
+          const double denom = std::sqrt(ww * rr);
+          corr = denom > 0.0 ? cross / denom : 0.0;
+        }
+        if (corr > best_corr) {
+          best_corr = corr;
+          best = {cx, cy};
+        }
+      }
+    }
+    refined.push_back(best);
+  }
+  return refined;
+}
+
+}  // namespace por::em

@@ -1,0 +1,83 @@
+// por/em/micrograph.hpp
+//
+// Synthetic micrographs and particle boxing — the reproduction's stand-
+// in for the paper's Step A ("extract individual particle projections
+// from micrographs and identify the center of each projection"), which
+// the authors performed with the toolchain of Martin et al. [22] on
+// scanned film.
+//
+// A micrograph is a large raster containing many copies of one
+// particle at random orientations and positions, imaged through the
+// CTF and buried in noise; the boxer recovers candidate centers with a
+// matched disk filter and cuts fixed-size windows around them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "por/em/ctf.hpp"
+#include "por/em/grid.hpp"
+#include "por/em/orientation.hpp"
+#include "por/em/phantom.hpp"
+#include "por/util/rng.hpp"
+
+namespace por::em {
+
+/// Ground truth for one particle placed in a micrograph.
+struct PlacedParticle {
+  double center_x = 0.0;  ///< pixel coordinates in the micrograph
+  double center_y = 0.0;
+  Orientation orientation;  ///< true projection orientation
+};
+
+/// A synthetic micrograph plus the truth that generated it.
+struct Micrograph {
+  Image<double> pixels;
+  std::vector<PlacedParticle> truth;
+  CtfParams ctf;
+};
+
+struct MicrographSpec {
+  std::size_t height = 512;
+  std::size_t width = 512;
+  std::size_t particle_count = 12;
+  std::size_t box = 64;        ///< particle box edge; also min spacing
+  double snr = 0.5;            ///< per-pixel signal-to-noise ratio
+  bool apply_ctf = true;
+  CtfParams ctf;
+  std::uint64_t seed = 99;
+};
+
+/// Render `spec.particle_count` copies of `model` at random
+/// orientations and non-overlapping random positions, apply the CTF
+/// and add noise.
+[[nodiscard]] Micrograph synthesize_micrograph(const BlobModel& model,
+                                               const MicrographSpec& spec);
+
+/// Cut a box x box window centered at (cx, cy) (nearest-pixel); pixels
+/// outside the micrograph are zero.
+[[nodiscard]] Image<double> box_particle(const Image<double>& micrograph,
+                                         double cx, double cy,
+                                         std::size_t box);
+
+/// Candidate particle centers found with a matched disk filter: the
+/// micrograph is correlated with a soft disk of radius `radius` and
+/// the `count` strongest non-overlapping local maxima are returned
+/// (x, y pairs, strongest first).
+[[nodiscard]] std::vector<std::pair<double, double>> detect_particles(
+    const Image<double>& micrograph, double radius, std::size_t count);
+
+/// Sharpen detected centers by local template correlation: for each
+/// pick, every integer offset within `search_radius_px` is scored by
+/// the normalized cross-correlation of the re-boxed window against
+/// `reference` (e.g. a rotationally averaged projection of the current
+/// map), and the best offset wins.  The disk filter localizes to a
+/// few pixels; this step brings centers close enough for the
+/// orientation matcher, leaving only the sub-pixel remainder to the
+/// refinement's step (k).
+[[nodiscard]] std::vector<std::pair<double, double>> refine_centers_by_template(
+    const Image<double>& micrograph,
+    const std::vector<std::pair<double, double>>& picks,
+    const Image<double>& reference, int search_radius_px = 4);
+
+}  // namespace por::em

@@ -1,0 +1,65 @@
+#include "por/em/orientation.hpp"
+
+#include <algorithm>
+
+namespace por::em {
+
+Mat3 Mat3::axis_angle(const Vec3& axis, double angle) {
+  const Vec3 u = axis.normalized();
+  const double c = std::cos(angle), s = std::sin(angle), t = 1.0 - c;
+  Mat3 r;
+  r.m = {t * u.x * u.x + c,       t * u.x * u.y - s * u.z, t * u.x * u.z + s * u.y,
+         t * u.x * u.y + s * u.z, t * u.y * u.y + c,       t * u.y * u.z - s * u.x,
+         t * u.x * u.z - s * u.y, t * u.y * u.z + s * u.x, t * u.z * u.z + c};
+  return r;
+}
+
+Mat3 rotation_matrix(const Orientation& o) {
+  return Mat3::rot_z(deg2rad(o.phi)) * Mat3::rot_y(deg2rad(o.theta)) *
+         Mat3::rot_z(deg2rad(o.omega));
+}
+
+Orientation euler_from_matrix(const Mat3& r) {
+  // R = Rz(phi) Ry(theta) Rz(omega); R(2,2) = cos(theta).
+  const double ct = std::clamp(r(2, 2), -1.0, 1.0);
+  const double theta = std::acos(ct);
+  double phi, omega;
+  const double st = std::sin(theta);
+  if (st > 1e-10) {
+    phi = std::atan2(r(1, 2), r(0, 2));
+    omega = std::atan2(r(2, 1), -r(2, 0));
+  } else {
+    // Gimbal: only phi + omega (theta=0) or phi - omega (theta=pi)
+    // is determined; put the whole angle into omega.
+    phi = 0.0;
+    if (ct > 0.0) {
+      omega = std::atan2(r(1, 0), r(0, 0));
+    } else {
+      omega = std::atan2(r(1, 0), -r(0, 0));
+    }
+  }
+  auto wrap360 = [](double deg) {
+    deg = std::fmod(deg, 360.0);
+    return deg < 0.0 ? deg + 360.0 : deg;
+  };
+  return Orientation{rad2deg(theta), wrap360(rad2deg(phi)),
+                     wrap360(rad2deg(omega))};
+}
+
+Vec3 view_axis(const Orientation& o) {
+  const double theta = deg2rad(o.theta), phi = deg2rad(o.phi);
+  return {std::sin(theta) * std::cos(phi), std::sin(theta) * std::sin(phi),
+          std::cos(theta)};
+}
+
+double geodesic_deg(const Mat3& a, const Mat3& b) {
+  const Mat3 rel = a.transposed() * b;
+  const double c = std::clamp((rel.trace() - 1.0) / 2.0, -1.0, 1.0);
+  return rad2deg(std::acos(c));
+}
+
+double geodesic_deg(const Orientation& a, const Orientation& b) {
+  return geodesic_deg(rotation_matrix(a), rotation_matrix(b));
+}
+
+}  // namespace por::em

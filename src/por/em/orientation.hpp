@@ -1,0 +1,151 @@
+// por/em/orientation.hpp
+//
+// Orientations of projection views.
+//
+// The paper (Fig. 1a) characterizes a view by three angles: (theta,
+// phi) give the direction of the projection axis in spherical
+// coordinates and omega is the in-plane rotation about that axis.  We
+// realize this as the ZYZ Euler convention
+//
+//     R(theta, phi, omega) = Rz(phi) * Ry(theta) * Rz(omega)
+//
+// so that the view (projection) direction is R * z_hat and the central
+// section through the 3D DFT is spanned by R * x_hat and R * y_hat.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+namespace por::em {
+
+/// A 3-vector with the handful of operations the geometry code needs.
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  friend Vec3 operator+(const Vec3& a, const Vec3& b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend Vec3 operator-(const Vec3& a, const Vec3& b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend Vec3 operator*(double s, const Vec3& v) {
+    return {s * v.x, s * v.y, s * v.z};
+  }
+  [[nodiscard]] double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] double norm() const { return std::sqrt(dot(*this)); }
+  [[nodiscard]] Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec3{x / n, y / n, z / n} : Vec3{};
+  }
+};
+
+/// Row-major 3x3 rotation matrix.
+struct Mat3 {
+  std::array<double, 9> m{1, 0, 0, 0, 1, 0, 0, 0, 1};
+
+  [[nodiscard]] static Mat3 identity() { return {}; }
+
+  [[nodiscard]] double operator()(int r, int c) const { return m[r * 3 + c]; }
+  double& operator()(int r, int c) { return m[r * 3 + c]; }
+
+  [[nodiscard]] Vec3 operator*(const Vec3& v) const {
+    return {m[0] * v.x + m[1] * v.y + m[2] * v.z,
+            m[3] * v.x + m[4] * v.y + m[5] * v.z,
+            m[6] * v.x + m[7] * v.y + m[8] * v.z};
+  }
+
+  [[nodiscard]] Mat3 operator*(const Mat3& o) const {
+    Mat3 out;
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c) {
+        double sum = 0.0;
+        for (int k = 0; k < 3; ++k) sum += (*this)(r, k) * o(k, c);
+        out(r, c) = sum;
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] Mat3 transposed() const {
+    Mat3 out;
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c) out(r, c) = (*this)(c, r);
+    }
+    return out;
+  }
+
+  [[nodiscard]] double trace() const { return m[0] + m[4] + m[8]; }
+
+  /// Rotation about +z by `angle` radians.
+  [[nodiscard]] static Mat3 rot_z(double angle) {
+    const double c = std::cos(angle), s = std::sin(angle);
+    Mat3 r;
+    r.m = {c, -s, 0, s, c, 0, 0, 0, 1};
+    return r;
+  }
+
+  /// Rotation about +y by `angle` radians.
+  [[nodiscard]] static Mat3 rot_y(double angle) {
+    const double c = std::cos(angle), s = std::sin(angle);
+    Mat3 r;
+    r.m = {c, 0, s, 0, 1, 0, -s, 0, c};
+    return r;
+  }
+
+  /// Rotation about +x by `angle` radians.
+  [[nodiscard]] static Mat3 rot_x(double angle) {
+    const double c = std::cos(angle), s = std::sin(angle);
+    Mat3 r;
+    r.m = {1, 0, 0, 0, c, -s, 0, s, c};
+    return r;
+  }
+
+  /// Rotation of `angle` radians about an arbitrary (unit) axis.
+  [[nodiscard]] static Mat3 axis_angle(const Vec3& axis, double angle);
+};
+
+/// Degrees <-> radians.
+[[nodiscard]] constexpr double deg2rad(double deg) {
+  return deg * std::numbers::pi / 180.0;
+}
+[[nodiscard]] constexpr double rad2deg(double rad) {
+  return rad * 180.0 / std::numbers::pi;
+}
+
+/// The (theta, phi, omega) triple of the paper, stored in DEGREES
+/// because every resolution schedule and table in the paper is
+/// expressed in degrees (1, 0.1, 0.01, 0.002).
+struct Orientation {
+  double theta = 0.0;  ///< colatitude of the view axis, [0, 180]
+  double phi = 0.0;    ///< azimuth of the view axis, [0, 360)
+  double omega = 0.0;  ///< in-plane rotation, [0, 360)
+
+  bool operator==(const Orientation&) const = default;
+};
+
+/// Rotation matrix of an orientation: Rz(phi) * Ry(theta) * Rz(omega).
+[[nodiscard]] Mat3 rotation_matrix(const Orientation& o);
+
+/// Recover (theta, phi, omega) in degrees from a rotation matrix
+/// (theta in [0,180], phi/omega in [0,360)); inverse of
+/// rotation_matrix up to the usual gimbal ambiguity at theta = 0/180,
+/// where phi is set to 0 and omega carries the whole in-plane angle.
+[[nodiscard]] Orientation euler_from_matrix(const Mat3& r);
+
+/// Direction of the projection axis (R * z_hat).
+[[nodiscard]] Vec3 view_axis(const Orientation& o);
+
+/// Geodesic distance between two orientations in degrees: the angle of
+/// the relative rotation Ra^T * Rb, in [0, 180].
+[[nodiscard]] double geodesic_deg(const Orientation& a, const Orientation& b);
+
+/// Geodesic distance between two rotation matrices in degrees.
+[[nodiscard]] double geodesic_deg(const Mat3& a, const Mat3& b);
+
+}  // namespace por::em

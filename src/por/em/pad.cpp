@@ -1,0 +1,81 @@
+#include "por/em/pad.hpp"
+
+#include <stdexcept>
+
+namespace por::em {
+
+namespace {
+
+/// Offset that aligns floor(l/2) of the inner lattice with floor(L/2)
+/// of the outer one.
+std::size_t center_offset(std::size_t l, std::size_t big) {
+  return big / 2 - l / 2;
+}
+
+}  // namespace
+
+Image<double> pad_image(const Image<double>& img, std::size_t factor) {
+  if (factor < 1) throw std::invalid_argument("pad_image: factor must be >= 1");
+  const std::size_t l = img.nx();
+  if (img.ny() != l) throw std::invalid_argument("pad_image: image not square");
+  const std::size_t big = l * factor;
+  Image<double> out(big, big, 0.0);
+  const std::size_t off = center_offset(l, big);
+  for (std::size_t y = 0; y < l; ++y) {
+    for (std::size_t x = 0; x < l; ++x) {
+      out(y + off, x + off) = img(y, x);
+    }
+  }
+  return out;
+}
+
+Volume<double> pad_volume(const Volume<double>& vol, std::size_t factor) {
+  if (factor < 1) throw std::invalid_argument("pad_volume: factor must be >= 1");
+  const std::size_t l = vol.nx();
+  if (!vol.is_cube()) throw std::invalid_argument("pad_volume: volume not cubic");
+  const std::size_t big = l * factor;
+  Volume<double> out(big, 0.0);
+  const std::size_t off = center_offset(l, big);
+  for (std::size_t z = 0; z < l; ++z) {
+    for (std::size_t y = 0; y < l; ++y) {
+      for (std::size_t x = 0; x < l; ++x) {
+        out(z + off, y + off, x + off) = vol(z, y, x);
+      }
+    }
+  }
+  return out;
+}
+
+Image<double> crop_image(const Image<double>& padded, std::size_t l) {
+  const std::size_t big = padded.nx();
+  if (padded.ny() != big || l > big) {
+    throw std::invalid_argument("crop_image: bad sizes");
+  }
+  const std::size_t off = center_offset(l, big);
+  Image<double> out(l, l);
+  for (std::size_t y = 0; y < l; ++y) {
+    for (std::size_t x = 0; x < l; ++x) {
+      out(y, x) = padded(y + off, x + off);
+    }
+  }
+  return out;
+}
+
+Volume<double> crop_volume(const Volume<double>& padded, std::size_t l) {
+  const std::size_t big = padded.nx();
+  if (!padded.is_cube() || l > big) {
+    throw std::invalid_argument("crop_volume: bad sizes");
+  }
+  const std::size_t off = center_offset(l, big);
+  Volume<double> out(l);
+  for (std::size_t z = 0; z < l; ++z) {
+    for (std::size_t y = 0; y < l; ++y) {
+      for (std::size_t x = 0; x < l; ++x) {
+        out(z, y, x) = padded(z + off, y + off, x + off);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace por::em

@@ -1,0 +1,161 @@
+#include "por/em/projection.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "por/fft/fftnd.hpp"
+#include "por/em/interp.hpp"
+
+namespace por::em {
+
+namespace {
+
+/// Multiply spectrum (already fftshifted, zero frequency at n/2) by
+/// exp(sign * 2*pi*i * k.c / n) per axis, turning phases measured about
+/// index 0 into phases measured about the center voxel (sign=+1) or
+/// back (sign=-1).
+void apply_center_phase2(Image<cdouble>& spec, double sign) {
+  const std::size_t ny = spec.ny(), nx = spec.nx();
+  const double cy = std::floor(static_cast<double>(ny) / 2.0);
+  const double cx = std::floor(static_cast<double>(nx) / 2.0);
+  for (std::size_t y = 0; y < ny; ++y) {
+    const double ky = static_cast<double>(y) - cy;
+    for (std::size_t x = 0; x < nx; ++x) {
+      const double kx = static_cast<double>(x) - cx;
+      const double angle = sign * 2.0 * std::numbers::pi *
+                           (ky * cy / static_cast<double>(ny) +
+                            kx * cx / static_cast<double>(nx));
+      spec(y, x) *= cdouble(std::cos(angle), std::sin(angle));
+    }
+  }
+}
+
+void apply_center_phase3(Volume<cdouble>& spec, double sign) {
+  const std::size_t nz = spec.nz(), ny = spec.ny(), nx = spec.nx();
+  const double cz = std::floor(static_cast<double>(nz) / 2.0);
+  const double cy = std::floor(static_cast<double>(ny) / 2.0);
+  const double cx = std::floor(static_cast<double>(nx) / 2.0);
+  for (std::size_t z = 0; z < nz; ++z) {
+    const double kz = static_cast<double>(z) - cz;
+    for (std::size_t y = 0; y < ny; ++y) {
+      const double ky = static_cast<double>(y) - cy;
+      for (std::size_t x = 0; x < nx; ++x) {
+        const double kx = static_cast<double>(x) - cx;
+        const double angle = sign * 2.0 * std::numbers::pi *
+                             (kz * cz / static_cast<double>(nz) +
+                              ky * cy / static_cast<double>(ny) +
+                              kx * cx / static_cast<double>(nx));
+        spec(z, y, x) *= cdouble(std::cos(angle), std::sin(angle));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Image<cdouble> centered_fft2(const Image<double>& img) {
+  Image<cdouble> spec = to_complex(img);
+  fft::fft2d_forward(spec.data(), spec.ny(), spec.nx());
+  fft::fftshift2d(spec.data(), spec.ny(), spec.nx());
+  apply_center_phase2(spec, +1.0);
+  return spec;
+}
+
+Image<double> centered_ifft2(const Image<cdouble>& spec) {
+  Image<cdouble> work = spec;
+  apply_center_phase2(work, -1.0);
+  fft::ifftshift2d(work.data(), work.ny(), work.nx());
+  fft::fft2d_inverse(work.data(), work.ny(), work.nx());
+  return real_part(work);
+}
+
+Volume<cdouble> centered_fft3(const Volume<double>& vol) {
+  Volume<cdouble> spec = to_complex(vol);
+  fft::fft3d_forward(spec.data(), spec.nz(), spec.ny(), spec.nx());
+  fft::fftshift3d(spec.data(), spec.nz(), spec.ny(), spec.nx());
+  apply_center_phase3(spec, +1.0);
+  return spec;
+}
+
+Volume<cdouble> centered_from_raw_fft3(Volume<cdouble> raw) {
+  fft::fftshift3d(raw.data(), raw.nz(), raw.ny(), raw.nx());
+  apply_center_phase3(raw, +1.0);
+  return raw;
+}
+
+Volume<double> centered_ifft3(const Volume<cdouble>& spec) {
+  Volume<cdouble> work = spec;
+  apply_center_phase3(work, -1.0);
+  fft::ifftshift3d(work.data(), work.nz(), work.ny(), work.nx());
+  fft::fft3d_inverse(work.data(), work.nz(), work.ny(), work.nx());
+  return real_part(work);
+}
+
+Image<double> project_volume(const Volume<double>& vol, const Orientation& o,
+                             int steps_per_voxel) {
+  const std::size_t l = vol.nx();
+  Image<double> out(vol.ny(), vol.nx(), 0.0);
+  const Mat3 r = rotation_matrix(o);
+  const Vec3 eu = r * Vec3{1, 0, 0};
+  const Vec3 ev = r * Vec3{0, 1, 0};
+  const Vec3 ew = r * Vec3{0, 0, 1};
+  const double c = std::floor(static_cast<double>(l) / 2.0);
+  const double step = 1.0 / steps_per_voxel;
+  const double half_span = static_cast<double>(l) / 2.0;
+
+  for (std::size_t y = 0; y < out.ny(); ++y) {
+    const double v = static_cast<double>(y) - c;
+    for (std::size_t x = 0; x < out.nx(); ++x) {
+      const double u = static_cast<double>(x) - c;
+      double acc = 0.0;
+      for (double w = -half_span; w <= half_span; w += step) {
+        const Vec3 p = u * eu + v * ev + w * ew;
+        acc += interp_trilinear(vol, p.z + c, p.y + c, p.x + c);
+      }
+      out(y, x) = acc * step;
+    }
+  }
+  return out;
+}
+
+Image<cdouble> extract_central_slice(const Volume<cdouble>& centered_spectrum,
+                                     const Orientation& o) {
+  const std::size_t l = centered_spectrum.nx();
+  Image<cdouble> slice(l, l);
+  const Mat3 r = rotation_matrix(o);
+  const Vec3 eu = r * Vec3{1, 0, 0};
+  const Vec3 ev = r * Vec3{0, 1, 0};
+  const double c = std::floor(static_cast<double>(l) / 2.0);
+
+  for (std::size_t y = 0; y < l; ++y) {
+    const double kv = static_cast<double>(y) - c;
+    for (std::size_t x = 0; x < l; ++x) {
+      const double ku = static_cast<double>(x) - c;
+      const Vec3 q = ku * eu + kv * ev;
+      slice(y, x) =
+          interp_trilinear(centered_spectrum, q.z + c, q.y + c, q.x + c);
+    }
+  }
+  return slice;
+}
+
+void apply_translation_phase(Image<cdouble>& centered_spectrum, double dx,
+                             double dy) {
+  const std::size_t ny = centered_spectrum.ny(), nx = centered_spectrum.nx();
+  const double cy = std::floor(static_cast<double>(ny) / 2.0);
+  const double cx = std::floor(static_cast<double>(nx) / 2.0);
+  for (std::size_t y = 0; y < ny; ++y) {
+    const double ky = static_cast<double>(y) - cy;
+    for (std::size_t x = 0; x < nx; ++x) {
+      const double kx = static_cast<double>(x) - cx;
+      // Translating the image by (+dx, +dy) multiplies its spectrum by
+      // exp(-2*pi*i*(kx*dx/nx + ky*dy/ny)).
+      const double angle = -2.0 * std::numbers::pi *
+                           (kx * dx / static_cast<double>(nx) +
+                            ky * dy / static_cast<double>(ny));
+      centered_spectrum(y, x) *= cdouble(std::cos(angle), std::sin(angle));
+    }
+  }
+}
+
+}  // namespace por::em

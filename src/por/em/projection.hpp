@@ -1,0 +1,69 @@
+// por/em/projection.hpp
+//
+// Projection geometry: centered Fourier transforms, real-space
+// projection, and central-section extraction from the 3D DFT.
+//
+// Centering convention.  Objects (particles) are centered on the voxel
+// c = floor(l/2) of their lattice.  A "centered" transform measures
+// phases about c and stores the zero frequency at index c, so the
+// spectrum of a centered object is smooth and safe to interpolate —
+// cutting an oblique section through the raw (origin-at-index-0) DFT
+// of a centered object would interpolate a (-1)^k-modulated array and
+// destroy the slice.  All Fourier-domain matching in the library works
+// on centered spectra.
+#pragma once
+
+#include "por/em/grid.hpp"
+#include "por/em/orientation.hpp"
+
+namespace por::em {
+
+// ---- centered transforms ---------------------------------------------------
+
+/// Forward 2D DFT with phases about the image center and the zero
+/// frequency at (ny/2, nx/2).
+[[nodiscard]] Image<cdouble> centered_fft2(const Image<double>& img);
+
+/// Inverse of centered_fft2 (returns the real part).
+[[nodiscard]] Image<double> centered_ifft2(const Image<cdouble>& spec);
+
+/// Forward 3D DFT with phases about the volume center and the zero
+/// frequency at (nz/2, ny/2, nx/2).
+[[nodiscard]] Volume<cdouble> centered_fft3(const Volume<double>& vol);
+
+/// Inverse of centered_fft3 (returns the real part).
+[[nodiscard]] Volume<double> centered_ifft3(const Volume<cdouble>& spec);
+
+/// Turn a raw forward 3D DFT (origin at index 0, e.g. the output of
+/// the slab-parallel transform) into the centered convention:
+/// fftshift + center-phase.  centered_fft3(v) ==
+/// centered_from_raw_fft3(fft3d_forward(v)).
+[[nodiscard]] Volume<cdouble> centered_from_raw_fft3(Volume<cdouble> raw);
+
+// ---- projection ------------------------------------------------------------
+
+/// Real-space projection of `vol` along the view axis of `o`: the view
+/// plane is spanned by R*x_hat (image x) and R*y_hat (image y) and the
+/// ray direction is R*z_hat; trilinear sampling, `steps_per_voxel`
+/// samples per voxel of ray length.  The projection image has the same
+/// edge length as the (cubic) volume.
+[[nodiscard]] Image<double> project_volume(const Volume<double>& vol,
+                                           const Orientation& o,
+                                           int steps_per_voxel = 2);
+
+/// Cut the central section with orientation `o` out of a centered 3D
+/// spectrum (paper step f): sample point for image frequency (ku, kv)
+/// is q = ku * (R x_hat) + kv * (R y_hat), trilinear interpolation,
+/// zero outside.  The result is the centered 2D spectrum that the
+/// projection with orientation `o` would have.
+[[nodiscard]] Image<cdouble> extract_central_slice(
+    const Volume<cdouble>& centered_spectrum, const Orientation& o);
+
+/// Multiply a centered 2D spectrum by the phase ramp that translates
+/// the underlying image by (dx, dy) pixels (positive dx moves the image
+/// toward +x).  This is how step (k) re-centers views without touching
+/// pixel data.
+void apply_translation_phase(Image<cdouble>& centered_spectrum, double dx,
+                             double dy);
+
+}  // namespace por::em

@@ -1,0 +1,73 @@
+#include "por/em/quaternion.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace por::em {
+
+Quaternion quaternion_from_matrix(const Mat3& r) {
+  // Shepperd's method: pick the largest of the four candidate pivots.
+  const double trace = r.trace();
+  Quaternion q;
+  if (trace > 0.0) {
+    const double s = std::sqrt(trace + 1.0) * 2.0;
+    q.w = 0.25 * s;
+    q.x = (r(2, 1) - r(1, 2)) / s;
+    q.y = (r(0, 2) - r(2, 0)) / s;
+    q.z = (r(1, 0) - r(0, 1)) / s;
+  } else if (r(0, 0) > r(1, 1) && r(0, 0) > r(2, 2)) {
+    const double s = std::sqrt(1.0 + r(0, 0) - r(1, 1) - r(2, 2)) * 2.0;
+    q.w = (r(2, 1) - r(1, 2)) / s;
+    q.x = 0.25 * s;
+    q.y = (r(0, 1) + r(1, 0)) / s;
+    q.z = (r(0, 2) + r(2, 0)) / s;
+  } else if (r(1, 1) > r(2, 2)) {
+    const double s = std::sqrt(1.0 + r(1, 1) - r(0, 0) - r(2, 2)) * 2.0;
+    q.w = (r(0, 2) - r(2, 0)) / s;
+    q.x = (r(0, 1) + r(1, 0)) / s;
+    q.y = 0.25 * s;
+    q.z = (r(1, 2) + r(2, 1)) / s;
+  } else {
+    const double s = std::sqrt(1.0 + r(2, 2) - r(0, 0) - r(1, 1)) * 2.0;
+    q.w = (r(1, 0) - r(0, 1)) / s;
+    q.x = (r(0, 2) + r(2, 0)) / s;
+    q.y = (r(1, 2) + r(2, 1)) / s;
+    q.z = 0.25 * s;
+  }
+  return q.normalized();
+}
+
+Mat3 matrix_from_quaternion(const Quaternion& quaternion) {
+  const Quaternion q = quaternion.normalized();
+  Mat3 r;
+  const double w = q.w, x = q.x, y = q.y, z = q.z;
+  r.m = {1 - 2 * (y * y + z * z), 2 * (x * y - w * z),     2 * (x * z + w * y),
+         2 * (x * y + w * z),     1 - 2 * (x * x + z * z), 2 * (y * z - w * x),
+         2 * (x * z - w * y),     2 * (y * z + w * x),     1 - 2 * (x * x + y * y)};
+  return r;
+}
+
+Mat3 mean_rotation(const std::vector<Mat3>& rotations) {
+  if (rotations.empty()) {
+    throw std::invalid_argument("mean_rotation: empty input");
+  }
+  const Quaternion anchor = quaternion_from_matrix(rotations.front());
+  Quaternion sum{0.0, 0.0, 0.0, 0.0};
+  for (const auto& r : rotations) {
+    Quaternion q = quaternion_from_matrix(r);
+    // q and -q are the same rotation; align signs with the anchor so
+    // the average does not cancel.
+    if (q.dot(anchor) < 0.0) q = q.negated();
+    sum.w += q.w;
+    sum.x += q.x;
+    sum.y += q.y;
+    sum.z += q.z;
+  }
+  if (sum.norm() < 1e-12) {
+    throw std::invalid_argument(
+        "mean_rotation: rotations too spread out to average");
+  }
+  return matrix_from_quaternion(sum.normalized());
+}
+
+}  // namespace por::em

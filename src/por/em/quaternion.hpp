@@ -1,0 +1,46 @@
+// por/em/quaternion.hpp
+//
+// Unit quaternions and rotation averaging.
+//
+// Orientation refinement fixes views only RELATIVE to the evolving
+// map, so a refined set can carry a common drift rotation against the
+// ground-truth frame.  Separating that drift from the per-view scatter
+// (metrics::drift_corrected_orientation_errors) needs a mean rotation,
+// which is computed here by sign-aligned quaternion averaging — exact
+// for tightly clustered rotations, which is the drift regime.
+#pragma once
+
+#include <vector>
+
+#include "por/em/orientation.hpp"
+
+namespace por::em {
+
+/// A quaternion (w + xi + yj + zk); rotations use unit quaternions.
+struct Quaternion {
+  double w = 1.0, x = 0.0, y = 0.0, z = 0.0;
+
+  [[nodiscard]] double dot(const Quaternion& o) const {
+    return w * o.w + x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] double norm() const { return std::sqrt(dot(*this)); }
+  [[nodiscard]] Quaternion normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Quaternion{w / n, x / n, y / n, z / n} : Quaternion{};
+  }
+  [[nodiscard]] Quaternion negated() const { return {-w, -x, -y, -z}; }
+};
+
+/// Quaternion of a rotation matrix (Shepperd's method, numerically
+/// safe for all rotation angles).
+[[nodiscard]] Quaternion quaternion_from_matrix(const Mat3& r);
+
+/// Rotation matrix of a (unit) quaternion.
+[[nodiscard]] Mat3 matrix_from_quaternion(const Quaternion& q);
+
+/// Chordal-mean rotation of a set: average the sign-aligned
+/// quaternions and renormalize.  Accurate when the rotations cluster
+/// within a few tens of degrees; throws on an empty input.
+[[nodiscard]] Mat3 mean_rotation(const std::vector<Mat3>& rotations);
+
+}  // namespace por::em

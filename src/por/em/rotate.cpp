@@ -1,0 +1,31 @@
+#include "por/em/rotate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "por/em/interp.hpp"
+
+namespace por::em {
+
+Volume<double> rotate_volume(const Volume<double>& vol, const Mat3& r) {
+  if (!vol.is_cube()) {
+    throw std::invalid_argument("rotate_volume: volume must be cubic");
+  }
+  const std::size_t l = vol.nx();
+  const double c = std::floor(static_cast<double>(l) / 2.0);
+  const Mat3 rinv = r.transposed();  // rotations: inverse == transpose
+  Volume<double> out(l, 0.0);
+  for (std::size_t z = 0; z < l; ++z) {
+    for (std::size_t y = 0; y < l; ++y) {
+      for (std::size_t x = 0; x < l; ++x) {
+        const Vec3 p{static_cast<double>(x) - c, static_cast<double>(y) - c,
+                     static_cast<double>(z) - c};
+        const Vec3 q = rinv * p;
+        out(z, y, x) = interp_trilinear(vol, q.z + c, q.y + c, q.x + c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace por::em

@@ -1,0 +1,18 @@
+// por/em/rotate.hpp
+//
+// Real-space volume rotation by trilinear resampling, used by the
+// symmetry detector (rotate the map by a candidate symmetry operation
+// and correlate with itself) and by tests of the rotation conventions.
+#pragma once
+
+#include "por/em/grid.hpp"
+#include "por/em/orientation.hpp"
+
+namespace por::em {
+
+/// Resample `vol` rotated by `r` about the center voxel floor(l/2):
+/// out(p) = vol(R^-1 (p - c) + c).  Samples falling outside are zero.
+[[nodiscard]] Volume<double> rotate_volume(const Volume<double>& vol,
+                                           const Mat3& r);
+
+}  // namespace por::em

@@ -1,0 +1,133 @@
+#include "por/fft/fft1d.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <utility>
+
+namespace por::fft {
+
+namespace {
+
+std::vector<std::size_t> make_bitrev(std::size_t n) {
+  std::vector<std::size_t> rev(n);
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < bits; ++b) {
+      if (i & (std::size_t{1} << b)) r |= std::size_t{1} << (bits - 1 - b);
+    }
+    rev[i] = r;
+  }
+  return rev;
+}
+
+std::vector<cdouble> make_roots(std::size_t n) {
+  std::vector<cdouble> roots(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double angle =
+        -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
+    roots[k] = {std::cos(angle), std::sin(angle)};
+  }
+  return roots;
+}
+
+}  // namespace
+
+Fft1D::Fft1D(std::size_t n) : n_(n), pow2_(is_pow2(n)) {
+  if (n == 0) throw std::invalid_argument("Fft1D: length must be >= 1");
+  if (pow2_) {
+    bitrev_ = make_bitrev(n_);
+    roots_ = make_roots(n_);
+    return;
+  }
+  // Bluestein setup.  chirp_[k] = exp(+i*pi*k^2/n); the inner circular
+  // convolution length must be >= 2n-1 and a power of two.
+  m_ = next_pow2(2 * n_ - 1);
+  inner_ = std::make_unique<Fft1D>(m_);
+  chirp_.resize(n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    // k^2 mod 2n keeps the phase argument small and exact.
+    const std::size_t k2 = (k * k) % (2 * n_);
+    const double angle =
+        std::numbers::pi * static_cast<double>(k2) / static_cast<double>(n_);
+    chirp_[k] = {std::cos(angle), std::sin(angle)};
+  }
+  std::vector<cdouble> b(m_, cdouble{0.0, 0.0});
+  b[0] = chirp_[0];
+  for (std::size_t k = 1; k < n_; ++k) {
+    b[k] = chirp_[k];
+    b[m_ - k] = chirp_[k];  // symmetric wrap for negative indices
+  }
+  inner_->forward(b.data());
+  chirp_fft_ = std::move(b);
+}
+
+void Fft1D::transform(cdouble* data, bool inverse) const {
+  if (n_ == 1) return;
+  if (!inverse) {
+    if (pow2_) {
+      pow2_forward(data);
+    } else {
+      bluestein_forward(data);
+    }
+    return;
+  }
+  // inverse(x) = conj(forward(conj(x))) / n
+  for (std::size_t i = 0; i < n_; ++i) data[i] = std::conj(data[i]);
+  if (pow2_) {
+    pow2_forward(data);
+  } else {
+    bluestein_forward(data);
+  }
+  const double scale = 1.0 / static_cast<double>(n_);
+  for (std::size_t i = 0; i < n_; ++i) data[i] = std::conj(data[i]) * scale;
+}
+
+void Fft1D::pow2_forward(cdouble* data) const {
+  const std::size_t n = n_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len >> 1;
+    const std::size_t step = n / len;  // stride into the root table
+    for (std::size_t block = 0; block < n; block += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const cdouble w = roots_[k * step];
+        const cdouble even = data[block + k];
+        const cdouble odd = data[block + k + half] * w;
+        data[block + k] = even + odd;
+        data[block + k + half] = even - odd;
+      }
+    }
+  }
+}
+
+void Fft1D::bluestein_forward(cdouble* data) const {
+  // a[k] = x[k] * conj(chirp[k]), zero-padded to m.
+  std::vector<cdouble> a(m_, cdouble{0.0, 0.0});
+  for (std::size_t k = 0; k < n_; ++k) a[k] = data[k] * std::conj(chirp_[k]);
+  inner_->forward(a.data());
+  for (std::size_t k = 0; k < m_; ++k) a[k] *= chirp_fft_[k];
+  inner_->inverse(a.data());
+  for (std::size_t k = 0; k < n_; ++k) data[k] = a[k] * std::conj(chirp_[k]);
+}
+
+void Fft1D::forward_strided(cdouble* base, std::size_t stride) const {
+  std::vector<cdouble> line(n_);
+  for (std::size_t i = 0; i < n_; ++i) line[i] = base[i * stride];
+  forward(line.data());
+  for (std::size_t i = 0; i < n_; ++i) base[i * stride] = line[i];
+}
+
+void Fft1D::inverse_strided(cdouble* base, std::size_t stride) const {
+  std::vector<cdouble> line(n_);
+  for (std::size_t i = 0; i < n_; ++i) line[i] = base[i * stride];
+  inverse(line.data());
+  for (std::size_t i = 0; i < n_; ++i) base[i * stride] = line[i];
+}
+
+}  // namespace por::fft

@@ -1,0 +1,122 @@
+#include "por/fft/fftnd.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace por::fft {
+
+namespace {
+
+/// Roll a 1D sequence left by `shift` positions (circular).
+template <typename Iter>
+void roll_axis(Iter first, std::size_t n, std::size_t shift) {
+  std::rotate(first, first + shift, first + n);
+}
+
+/// Apply a circular shift of `shift` along axis y of an ny x nx array.
+void roll_rows(cdouble* data, std::size_t ny, std::size_t nx,
+               std::size_t shift) {
+  if (shift == 0) return;
+  std::vector<cdouble> column(ny);
+  for (std::size_t x = 0; x < nx; ++x) {
+    for (std::size_t y = 0; y < ny; ++y) column[y] = data[y * nx + x];
+    roll_axis(column.begin(), ny, shift);
+    for (std::size_t y = 0; y < ny; ++y) data[y * nx + x] = column[y];
+  }
+}
+
+void roll_cols(cdouble* data, std::size_t ny, std::size_t nx,
+               std::size_t shift) {
+  if (shift == 0) return;
+  for (std::size_t y = 0; y < ny; ++y) {
+    roll_axis(data + y * nx, nx, shift);
+  }
+}
+
+}  // namespace
+
+void fft2d_forward(cdouble* data, std::size_t ny, std::size_t nx) {
+  const Fft1D row_plan(nx);
+  const Fft1D col_plan(ny);
+  for (std::size_t y = 0; y < ny; ++y) row_plan.forward(data + y * nx);
+  for (std::size_t x = 0; x < nx; ++x) col_plan.forward_strided(data + x, nx);
+}
+
+void fft2d_inverse(cdouble* data, std::size_t ny, std::size_t nx) {
+  const Fft1D row_plan(nx);
+  const Fft1D col_plan(ny);
+  for (std::size_t y = 0; y < ny; ++y) row_plan.inverse(data + y * nx);
+  for (std::size_t x = 0; x < nx; ++x) col_plan.inverse_strided(data + x, nx);
+}
+
+void fft3d_forward(cdouble* data, std::size_t nz, std::size_t ny,
+                   std::size_t nx) {
+  // xy planes first (matches the paper's step a.3), then lines along z.
+  for (std::size_t z = 0; z < nz; ++z) {
+    fft2d_forward(data + z * ny * nx, ny, nx);
+  }
+  const Fft1D z_plan(nz);
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      z_plan.forward_strided(data + y * nx + x, ny * nx);
+    }
+  }
+}
+
+void fft3d_inverse(cdouble* data, std::size_t nz, std::size_t ny,
+                   std::size_t nx) {
+  for (std::size_t z = 0; z < nz; ++z) {
+    fft2d_inverse(data + z * ny * nx, ny, nx);
+  }
+  const Fft1D z_plan(nz);
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      z_plan.inverse_strided(data + y * nx + x, ny * nx);
+    }
+  }
+}
+
+void fftshift2d(cdouble* data, std::size_t ny, std::size_t nx) {
+  roll_cols(data, ny, nx, (nx + 1) / 2);
+  roll_rows(data, ny, nx, (ny + 1) / 2);
+}
+
+void ifftshift2d(cdouble* data, std::size_t ny, std::size_t nx) {
+  roll_cols(data, ny, nx, nx / 2);
+  roll_rows(data, ny, nx, ny / 2);
+}
+
+void fftshift3d(cdouble* data, std::size_t nz, std::size_t ny,
+                std::size_t nx) {
+  for (std::size_t z = 0; z < nz; ++z) fftshift2d(data + z * ny * nx, ny, nx);
+  // shift along z
+  std::vector<cdouble> line(nz);
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      const std::size_t stride = ny * nx;
+      cdouble* base = data + y * nx + x;
+      for (std::size_t z = 0; z < nz; ++z) line[z] = base[z * stride];
+      roll_axis(line.begin(), nz, (nz + 1) / 2);
+      for (std::size_t z = 0; z < nz; ++z) base[z * stride] = line[z];
+    }
+  }
+}
+
+void ifftshift3d(cdouble* data, std::size_t nz, std::size_t ny,
+                 std::size_t nx) {
+  for (std::size_t z = 0; z < nz; ++z) ifftshift2d(data + z * ny * nx, ny, nx);
+  std::vector<cdouble> line(nz);
+  const std::size_t shift = nz / 2;
+  if (shift == 0) return;
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      const std::size_t stride = ny * nx;
+      cdouble* base = data + y * nx + x;
+      for (std::size_t z = 0; z < nz; ++z) line[z] = base[z * stride];
+      roll_axis(line.begin(), nz, shift);
+      for (std::size_t z = 0; z < nz; ++z) base[z * stride] = line[z];
+    }
+  }
+}
+
+}  // namespace por::fft

@@ -1,0 +1,47 @@
+// por/fft/fftnd.hpp
+//
+// 2D and 3D complex DFTs by row-column decomposition, plus the
+// centering (fftshift) helpers used when treating the transform as a
+// lattice centred on the zero frequency.
+//
+// Layouts are row-major:
+//   2D: data[y * nx + x]
+//   3D: data[(z * ny + y) * nx + x]
+#pragma once
+
+#include <cstddef>
+
+#include "por/fft/fft1d.hpp"
+
+namespace por::fft {
+
+// ---- 2D -------------------------------------------------------------------
+
+/// In-place forward 2D DFT of an ny x nx array.
+void fft2d_forward(cdouble* data, std::size_t ny, std::size_t nx);
+
+/// In-place inverse 2D DFT (includes the 1/(ny*nx) factor).
+void fft2d_inverse(cdouble* data, std::size_t ny, std::size_t nx);
+
+// ---- 3D -------------------------------------------------------------------
+
+/// In-place forward 3D DFT of an nz x ny x nx array.
+void fft3d_forward(cdouble* data, std::size_t nz, std::size_t ny,
+                   std::size_t nx);
+
+/// In-place inverse 3D DFT (includes the 1/(nz*ny*nx) factor).
+void fft3d_inverse(cdouble* data, std::size_t nz, std::size_t ny,
+                   std::size_t nx);
+
+// ---- centering ------------------------------------------------------------
+
+/// Swap half-spaces so the zero frequency moves to (n/2, ...) — the
+/// centered layout used by the slice extractor.  fftshift2d followed by
+/// ifftshift2d is the identity (they differ for odd sizes).
+void fftshift2d(cdouble* data, std::size_t ny, std::size_t nx);
+void ifftshift2d(cdouble* data, std::size_t ny, std::size_t nx);
+void fftshift3d(cdouble* data, std::size_t nz, std::size_t ny, std::size_t nx);
+void ifftshift3d(cdouble* data, std::size_t nz, std::size_t ny,
+                 std::size_t nx);
+
+}  // namespace por::fft

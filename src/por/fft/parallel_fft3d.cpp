@@ -1,0 +1,94 @@
+#include "por/fft/parallel_fft3d.hpp"
+
+#include <stdexcept>
+
+#include "por/fft/fftnd.hpp"
+
+namespace por::fft {
+
+std::vector<cdouble> parallel_fft3d_forward(vmpi::Comm& comm,
+                                            std::vector<cdouble> full_on_root,
+                                            std::size_t l) {
+  const int p = comm.size();
+  if (l % static_cast<std::size_t>(p) != 0) {
+    throw std::invalid_argument(
+        "parallel_fft3d_forward: cube edge must be divisible by the number "
+        "of ranks");
+  }
+  if (comm.is_root() && full_on_root.size() != l * l * l) {
+    throw std::invalid_argument(
+        "parallel_fft3d_forward: root volume must hold l^3 voxels");
+  }
+  const std::size_t slab = l / static_cast<std::size_t>(p);  // planes per rank
+
+  // (a.2) master scatters z-slabs; z-slabs are contiguous in (z,y,x).
+  std::vector<cdouble> zslab = comm.scatter(0, full_on_root);
+  full_on_root.clear();
+  full_on_root.shrink_to_fit();
+
+  // (a.3) 2D DFT of every xy-plane in the z-slab.
+  for (std::size_t zl = 0; zl < slab; ++zl) {
+    fft2d_forward(zslab.data() + zl * l * l, l, l);
+  }
+
+  // (a.4) global exchange: block for rank r holds my z-planes restricted
+  // to y in [r*slab, (r+1)*slab), layout (z_local, y_local, x).
+  std::vector<std::vector<cdouble>> outgoing(p);
+  for (int r = 0; r < p; ++r) {
+    auto& block = outgoing[r];
+    block.resize(slab * slab * l);
+    const std::size_t y0 = static_cast<std::size_t>(r) * slab;
+    for (std::size_t zl = 0; zl < slab; ++zl) {
+      for (std::size_t yl = 0; yl < slab; ++yl) {
+        const cdouble* src = zslab.data() + (zl * l + (y0 + yl)) * l;
+        cdouble* dst = block.data() + (zl * slab + yl) * l;
+        std::copy(src, src + l, dst);
+      }
+    }
+  }
+  zslab.clear();
+  zslab.shrink_to_fit();
+  std::vector<std::vector<cdouble>> incoming = comm.alltoall(outgoing);
+  outgoing.clear();
+
+  // Assemble the y-slab with layout (y_local, z, x) so z-lines have a
+  // fixed stride of l.
+  std::vector<cdouble> yslab(slab * l * l);
+  for (int src_rank = 0; src_rank < p; ++src_rank) {
+    const auto& block = incoming[src_rank];
+    const std::size_t z0 = static_cast<std::size_t>(src_rank) * slab;
+    for (std::size_t zl = 0; zl < slab; ++zl) {
+      for (std::size_t yl = 0; yl < slab; ++yl) {
+        const cdouble* src = block.data() + (zl * slab + yl) * l;
+        cdouble* dst = yslab.data() + (yl * l + (z0 + zl)) * l;
+        std::copy(src, src + l, dst);
+      }
+    }
+  }
+  incoming.clear();
+
+  // (a.5) 1D DFT along z for every (y_local, x) line.
+  const Fft1D z_plan(l);
+  for (std::size_t yl = 0; yl < slab; ++yl) {
+    for (std::size_t x = 0; x < l; ++x) {
+      z_plan.forward_strided(yslab.data() + yl * l * l + x, l);
+    }
+  }
+
+  // (a.6) all-gather: concatenation in rank order yields layout (y,z,x);
+  // transpose back to the library's canonical (z,y,x).
+  std::vector<cdouble> gathered = comm.allgather(yslab);
+  yslab.clear();
+  yslab.shrink_to_fit();
+  std::vector<cdouble> out(l * l * l);
+  for (std::size_t y = 0; y < l; ++y) {
+    for (std::size_t z = 0; z < l; ++z) {
+      const cdouble* src = gathered.data() + (y * l + z) * l;
+      cdouble* dst = out.data() + (z * l + y) * l;
+      std::copy(src, src + l, dst);
+    }
+  }
+  return out;
+}
+
+}  // namespace por::fft

@@ -1,0 +1,34 @@
+// por/fft/parallel_fft3d.hpp
+//
+// The paper's Step (a): a slab-decomposed, distributed-memory parallel
+// 3D DFT that ends with every rank holding a full copy of the
+// transformed volume.
+//
+//   a.1  the master holds the electron density map D (l^3 voxels)
+//   a.2  the master scatters one z-slab of l/P xy-planes to each rank
+//   a.3  each rank runs a 2D DFT on every xy-plane of its z-slab
+//   a.4  a global exchange (all-to-all) re-slabs the data into y-slabs
+//   a.5  each rank runs 1D DFTs along z inside its y-slab
+//   a.6  an all-gather replicates the complete 3D DFT on every rank
+//
+// Replication (a.6) is the paper's deliberate space-for-communication
+// trade-off (§6): each subsequent matching step can then cut arbitrary
+// central sections without any further communication.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "por/fft/fft1d.hpp"
+#include "por/vmpi/comm.hpp"
+
+namespace por::fft {
+
+/// SPMD collective: every rank calls it; `full_on_root` is consumed on
+/// rank 0 and ignored elsewhere.  `l` is the cube edge and must be
+/// divisible by comm.size().  Returns the complete forward 3D DFT
+/// (layout (z,y,x), unnormalized, origin at index 0) on every rank.
+[[nodiscard]] std::vector<cdouble> parallel_fft3d_forward(
+    vmpi::Comm& comm, std::vector<cdouble> full_on_root, std::size_t l);
+
+}  // namespace por::fft

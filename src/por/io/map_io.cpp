@@ -1,0 +1,67 @@
+#include "por/io/map_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace por::io {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'O', 'R', 'M'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_bytes(std::ofstream& out, const void* data, std::size_t bytes,
+                 const std::string& path) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  if (!out) throw std::runtime_error("write_map: write failed for " + path);
+}
+
+void read_bytes(std::ifstream& in, void* data, std::size_t bytes,
+                const std::string& path) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (in.gcount() != static_cast<std::streamsize>(bytes)) {
+    throw std::runtime_error("read_map: truncated file " + path);
+  }
+}
+
+}  // namespace
+
+void write_map(const std::string& path, const em::Volume<double>& vol) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("write_map: cannot open " + path);
+  write_bytes(out, kMagic, sizeof kMagic, path);
+  write_bytes(out, &kVersion, sizeof kVersion, path);
+  const std::uint64_t dims[3] = {vol.nz(), vol.ny(), vol.nx()};
+  write_bytes(out, dims, sizeof dims, path);
+  write_bytes(out, vol.data(), vol.size() * sizeof(double), path);
+}
+
+em::Volume<double> read_map(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_map: cannot open " + path);
+  char magic[4];
+  read_bytes(in, magic, sizeof magic, path);
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("read_map: bad magic in " + path);
+  }
+  std::uint32_t version = 0;
+  read_bytes(in, &version, sizeof version, path);
+  if (version != kVersion) {
+    throw std::runtime_error("read_map: unsupported version in " + path);
+  }
+  std::uint64_t dims[3];
+  read_bytes(in, dims, sizeof dims, path);
+  constexpr std::uint64_t kMaxEdge = 1u << 14;
+  if (dims[0] == 0 || dims[1] == 0 || dims[2] == 0 || dims[0] > kMaxEdge ||
+      dims[1] > kMaxEdge || dims[2] > kMaxEdge) {
+    throw std::runtime_error("read_map: implausible dimensions in " + path);
+  }
+  em::Volume<double> vol(dims[0], dims[1], dims[2]);
+  read_bytes(in, vol.data(), vol.size() * sizeof(double), path);
+  return vol;
+}
+
+}  // namespace por::io

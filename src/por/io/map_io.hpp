@@ -1,0 +1,25 @@
+// por/io/map_io.hpp
+//
+// Binary electron-density-map files ("PORM" format): a minimal,
+// self-describing little-endian container playing the role the lab's
+// map files play in the paper's pipeline (step a.1 reads one, step o's
+// next cycle writes one).
+//
+// Layout: magic "PORM" | u32 version | u64 nz, ny, nx | f64 voxels
+// in (z, y, x) row-major order.
+#pragma once
+
+#include <string>
+
+#include "por/em/grid.hpp"
+
+namespace por::io {
+
+/// Write `vol` to `path`; throws std::runtime_error on I/O failure.
+void write_map(const std::string& path, const em::Volume<double>& vol);
+
+/// Read a map written by write_map; throws std::runtime_error on I/O
+/// failure or malformed contents.
+[[nodiscard]] em::Volume<double> read_map(const std::string& path);
+
+}  // namespace por::io

@@ -1,0 +1,48 @@
+#include "por/io/orientation_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace por::io {
+
+void write_orientations(const std::string& path,
+                        const std::vector<ViewOrientation>& records,
+                        const std::string& comment) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("write_orientations: cannot open " + path);
+  out << "# por orientation file: index theta phi omega center_x center_y\n";
+  if (!comment.empty()) out << "# " << comment << "\n";
+  out.precision(10);
+  for (const auto& rec : records) {
+    out << rec.view_index << ' ' << rec.orientation.theta << ' '
+        << rec.orientation.phi << ' ' << rec.orientation.omega << ' '
+        << rec.center_x << ' ' << rec.center_y << '\n';
+  }
+  if (!out) throw std::runtime_error("write_orientations: write failed");
+}
+
+std::vector<ViewOrientation> read_orientations(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_orientations: cannot open " + path);
+  std::vector<ViewOrientation> records;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    ViewOrientation rec;
+    if (!(fields >> rec.view_index >> rec.orientation.theta >>
+          rec.orientation.phi >> rec.orientation.omega >> rec.center_x >>
+          rec.center_y)) {
+      throw std::runtime_error("read_orientations: malformed line " +
+                               std::to_string(line_number) + " in " + path);
+    }
+    records.push_back(rec);
+  }
+  return records;
+}
+
+}  // namespace por::io

@@ -1,0 +1,45 @@
+#include "por/io/pgm.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace por::io {
+
+void write_pgm(const std::string& path, const em::Image<double>& img) {
+  if (img.empty()) throw std::invalid_argument("write_pgm: empty image");
+  double lo = img.storage()[0], hi = img.storage()[0];
+  for (double v : img.storage()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double scale = hi > lo ? 255.0 / (hi - lo) : 0.0;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("write_pgm: cannot open " + path);
+  out << "P5\n" << img.nx() << ' ' << img.ny() << "\n255\n";
+  std::vector<unsigned char> row(img.nx());
+  for (std::size_t y = 0; y < img.ny(); ++y) {
+    for (std::size_t x = 0; x < img.nx(); ++x) {
+      row[x] = static_cast<unsigned char>((img(y, x) - lo) * scale);
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  if (!out) throw std::runtime_error("write_pgm: write failed for " + path);
+}
+
+void write_pgm_section(const std::string& path,
+                       const em::Volume<double>& volume) {
+  if (volume.empty()) throw std::invalid_argument("write_pgm_section: empty");
+  em::Image<double> section(volume.ny(), volume.nx());
+  const std::size_t z = volume.nz() / 2;
+  for (std::size_t y = 0; y < volume.ny(); ++y) {
+    for (std::size_t x = 0; x < volume.nx(); ++x) {
+      section(y, x) = volume(z, y, x);
+    }
+  }
+  write_pgm(path, section);
+}
+
+}  // namespace por::io

@@ -1,0 +1,21 @@
+// por/io/pgm.hpp
+//
+// Plain 8-bit PGM output for quick visual inspection of views, cross
+// sections and micrographs (every image viewer opens PGM; no library
+// dependency).  Values are min/max normalized to 0..255.
+#pragma once
+
+#include <string>
+
+#include "por/em/grid.hpp"
+
+namespace por::io {
+
+/// Write `img` as a binary (P5) PGM file; throws on I/O failure.
+void write_pgm(const std::string& path, const em::Image<double>& img);
+
+/// Write the central z-section of a volume.
+void write_pgm_section(const std::string& path,
+                       const em::Volume<double>& volume);
+
+}  // namespace por::io

@@ -1,0 +1,109 @@
+#include "por/io/stack_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace por::io {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'O', 'R', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  std::uint64_t count = 0;
+  std::uint64_t ny = 0;
+  std::uint64_t nx = 0;
+};
+
+Header read_header(std::ifstream& in, const std::string& path) {
+  char magic[4];
+  in.read(magic, sizeof magic);
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof version);
+  Header h;
+  in.read(reinterpret_cast<char*>(&h.count), sizeof h.count);
+  in.read(reinterpret_cast<char*>(&h.ny), sizeof h.ny);
+  in.read(reinterpret_cast<char*>(&h.nx), sizeof h.nx);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0 ||
+      version != kVersion) {
+    throw std::runtime_error("read_stack: bad header in " + path);
+  }
+  constexpr std::uint64_t kMaxEdge = 1u << 14;
+  if (h.ny > kMaxEdge || h.nx > kMaxEdge ||
+      (h.count > 0 && (h.ny == 0 || h.nx == 0))) {
+    throw std::runtime_error("read_stack: implausible dimensions in " + path);
+  }
+  return h;
+}
+
+constexpr std::size_t kHeaderBytes =
+    sizeof kMagic + sizeof kVersion + 3 * sizeof(std::uint64_t);
+
+}  // namespace
+
+void write_stack(const std::string& path,
+                 const std::vector<em::Image<double>>& images) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("write_stack: cannot open " + path);
+  const std::uint64_t count = images.size();
+  const std::uint64_t ny = count ? images.front().ny() : 0;
+  const std::uint64_t nx = count ? images.front().nx() : 0;
+  for (const auto& img : images) {
+    if (img.ny() != ny || img.nx() != nx) {
+      throw std::invalid_argument("write_stack: images differ in size");
+    }
+  }
+  out.write(kMagic, sizeof kMagic);
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof kVersion);
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  out.write(reinterpret_cast<const char*>(&ny), sizeof ny);
+  out.write(reinterpret_cast<const char*>(&nx), sizeof nx);
+  for (const auto& img : images) {
+    out.write(reinterpret_cast<const char*>(img.data()),
+              static_cast<std::streamsize>(img.size() * sizeof(double)));
+  }
+  if (!out) throw std::runtime_error("write_stack: write failed for " + path);
+}
+
+std::vector<em::Image<double>> read_stack(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_stack: cannot open " + path);
+  const Header h = read_header(in, path);
+  return read_stack_range(path, 0, h.count);
+}
+
+std::size_t stack_count(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("stack_count: cannot open " + path);
+  return read_header(in, path).count;
+}
+
+std::vector<em::Image<double>> read_stack_range(const std::string& path,
+                                                std::size_t first,
+                                                std::size_t count) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_stack_range: cannot open " + path);
+  const Header h = read_header(in, path);
+  if (first + count > h.count) {
+    throw std::out_of_range("read_stack_range: range beyond stack");
+  }
+  const std::size_t image_bytes = h.ny * h.nx * sizeof(double);
+  in.seekg(static_cast<std::streamoff>(kHeaderBytes + first * image_bytes));
+  std::vector<em::Image<double>> images;
+  images.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    em::Image<double> img(h.ny, h.nx);
+    in.read(reinterpret_cast<char*>(img.data()),
+            static_cast<std::streamsize>(image_bytes));
+    if (in.gcount() != static_cast<std::streamsize>(image_bytes)) {
+      throw std::runtime_error("read_stack_range: truncated file " + path);
+    }
+    images.push_back(std::move(img));
+  }
+  return images;
+}
+
+}  // namespace por::io

@@ -1,0 +1,35 @@
+// por/io/stack_io.hpp
+//
+// Binary image-stack files ("PORS" format): the container for sets of
+// experimental views (paper step b reads "the file containing the 2D
+// views of the virus" in groups and distributes them).
+//
+// Layout: magic "PORS" | u32 version | u64 count, ny, nx | f64 pixels
+// of image 0 (row-major), image 1, ...
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "por/em/grid.hpp"
+
+namespace por::io {
+
+/// Write a stack of equally-sized images; throws on I/O failure or if
+/// the images disagree in size.
+void write_stack(const std::string& path,
+                 const std::vector<em::Image<double>>& images);
+
+/// Read an entire stack.
+[[nodiscard]] std::vector<em::Image<double>> read_stack(
+    const std::string& path);
+
+/// Number of images in the stack without reading pixel data.
+[[nodiscard]] std::size_t stack_count(const std::string& path);
+
+/// Read images [first, first + count) only — the master node uses this
+/// to stream groups of views (paper step b).
+[[nodiscard]] std::vector<em::Image<double>> read_stack_range(
+    const std::string& path, std::size_t first, std::size_t count);
+
+}  // namespace por::io

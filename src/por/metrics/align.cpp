@@ -1,0 +1,65 @@
+#include "por/metrics/align.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "por/em/rotate.hpp"
+#include "por/metrics/fsc.hpp"
+
+namespace por::metrics {
+
+namespace {
+
+em::Mat3 small_rotation(double rx, double ry, double rz) {
+  return em::Mat3::rot_x(em::deg2rad(rx)) * em::Mat3::rot_y(em::deg2rad(ry)) *
+         em::Mat3::rot_z(em::deg2rad(rz));
+}
+
+}  // namespace
+
+AlignmentResult align_volume_rotation(const em::Volume<double>& map,
+                                      const em::Volume<double>& reference,
+                                      double max_angle_deg) {
+  if (max_angle_deg <= 0.0) {
+    throw std::invalid_argument("align_volume_rotation: bad max angle");
+  }
+  double params[3] = {0.0, 0.0, 0.0};
+  auto score = [&](const double p[3]) {
+    return volume_correlation(
+        em::rotate_volume(map, small_rotation(p[0], p[1], p[2])), reference);
+  };
+  AlignmentResult result;
+  result.correlation = volume_correlation(map, reference);
+
+  double step = max_angle_deg / 2.0;
+  while (step > 0.05) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (int axis = 0; axis < 3; ++axis) {
+        for (double direction : {+1.0, -1.0}) {
+          double trial[3] = {params[0], params[1], params[2]};
+          trial[axis] += direction * step;
+          if (std::abs(trial[axis]) > max_angle_deg) continue;
+          const double corr = score(trial);
+          if (corr > result.correlation) {
+            result.correlation = corr;
+            params[axis] = trial[axis];
+            improved = true;
+          }
+        }
+      }
+    }
+    step /= 2.0;
+  }
+  result.rotation = small_rotation(params[0], params[1], params[2]);
+  return result;
+}
+
+double aligned_volume_correlation(const em::Volume<double>& map,
+                                  const em::Volume<double>& reference,
+                                  double max_angle_deg) {
+  return align_volume_rotation(map, reference, max_angle_deg).correlation;
+}
+
+}  // namespace por::metrics

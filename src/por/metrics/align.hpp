@@ -1,0 +1,36 @@
+// por/metrics/align.hpp
+//
+// Global rotational alignment of two density maps.
+//
+// Orientation refinement only constrains views RELATIVE to each other
+// and to the evolving map, so the final reconstruction can drift by a
+// small global rotation against an external reference (with C1
+// particles nothing pins the absolute frame).  Comparing maps voxel-
+// by-voxel without removing that drift under-reports the quality of a
+// better-refined map; this helper finds the small rotation that
+// maximizes the real-space correlation.
+#pragma once
+
+#include "por/em/grid.hpp"
+#include "por/em/orientation.hpp"
+
+namespace por::metrics {
+
+struct AlignmentResult {
+  em::Mat3 rotation;          ///< apply to `map` to best match `reference`
+  double correlation = 0.0;   ///< correlation after alignment
+};
+
+/// Local search (coordinate descent over an axis-angle perturbation,
+/// coarse-to-fine) for the rotation within `max_angle_deg` of identity
+/// that maximizes volume_correlation(rotate(map, R), reference).
+[[nodiscard]] AlignmentResult align_volume_rotation(
+    const em::Volume<double>& map, const em::Volume<double>& reference,
+    double max_angle_deg = 5.0);
+
+/// Convenience: the correlation of the two maps after drift removal.
+[[nodiscard]] double aligned_volume_correlation(
+    const em::Volume<double>& map, const em::Volume<double>& reference,
+    double max_angle_deg = 5.0);
+
+}  // namespace por::metrics

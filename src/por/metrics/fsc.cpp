@@ -1,0 +1,118 @@
+#include "por/metrics/fsc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "por/em/projection.hpp"
+
+namespace por::metrics {
+
+FscCurve fourier_shell_correlation(const em::Volume<double>& a,
+                                   const em::Volume<double>& b) {
+  if (a.nz() != b.nz() || a.ny() != b.ny() || a.nx() != b.nx()) {
+    throw std::invalid_argument("fsc: volumes differ in size");
+  }
+  if (!a.is_cube()) {
+    throw std::invalid_argument("fsc: volumes must be cubic");
+  }
+  const std::size_t l = a.nx();
+  const em::Volume<em::cdouble> fa = em::centered_fft3(a);
+  const em::Volume<em::cdouble> fb = em::centered_fft3(b);
+
+  const std::size_t nshells = l / 2;
+  std::vector<double> cross(nshells, 0.0), pa(nshells, 0.0), pb(nshells, 0.0);
+  std::vector<double> radius_sum(nshells, 0.0);
+  std::vector<std::size_t> counts(nshells, 0);
+
+  const double c = std::floor(static_cast<double>(l) / 2.0);
+  for (std::size_t z = 0; z < l; ++z) {
+    const double kz = static_cast<double>(z) - c;
+    for (std::size_t y = 0; y < l; ++y) {
+      const double ky = static_cast<double>(y) - c;
+      for (std::size_t x = 0; x < l; ++x) {
+        const double kx = static_cast<double>(x) - c;
+        const double radius = std::sqrt(kx * kx + ky * ky + kz * kz);
+        const auto shell = static_cast<std::size_t>(std::floor(radius));
+        if (shell >= nshells) continue;
+        const em::cdouble va = fa(z, y, x), vb = fb(z, y, x);
+        cross[shell] += (va * std::conj(vb)).real();
+        pa[shell] += std::norm(va);
+        pb[shell] += std::norm(vb);
+        radius_sum[shell] += radius;
+        ++counts[shell];
+      }
+    }
+  }
+
+  FscCurve curve;
+  curve.shell_radius.reserve(nshells);
+  curve.correlation.reserve(nshells);
+  for (std::size_t s = 0; s < nshells; ++s) {
+    if (counts[s] == 0) continue;
+    const double denom = std::sqrt(pa[s] * pb[s]);
+    curve.shell_radius.push_back(radius_sum[s] /
+                                 static_cast<double>(counts[s]));
+    curve.correlation.push_back(denom > 0.0 ? cross[s] / denom : 0.0);
+  }
+  return curve;
+}
+
+double crossing_radius(const FscCurve& curve, double threshold) {
+  if (curve.correlation.empty()) {
+    throw std::invalid_argument("crossing_radius: empty curve");
+  }
+  for (std::size_t i = 0; i < curve.correlation.size(); ++i) {
+    if (curve.correlation[i] < threshold) {
+      if (i == 0) return curve.shell_radius[0];
+      // Interpolate between the previous (above) and this (below) shell.
+      const double c0 = curve.correlation[i - 1], c1 = curve.correlation[i];
+      const double r0 = curve.shell_radius[i - 1], r1 = curve.shell_radius[i];
+      const double t = (c0 - threshold) / (c0 - c1);
+      return r0 + t * (r1 - r0);
+    }
+  }
+  return curve.shell_radius.back();
+}
+
+double radius_to_resolution_a(double radius, std::size_t l,
+                              double pixel_size_a) {
+  if (radius <= 0.0) {
+    throw std::invalid_argument("radius_to_resolution_a: radius must be > 0");
+  }
+  return static_cast<double>(l) * pixel_size_a / radius;
+}
+
+double fsc_resolution_a(const em::Volume<double>& a,
+                        const em::Volume<double>& b, double pixel_size_a,
+                        double threshold) {
+  const FscCurve curve = fourier_shell_correlation(a, b);
+  return radius_to_resolution_a(crossing_radius(curve, threshold), a.nx(),
+                                pixel_size_a);
+}
+
+double volume_correlation(const em::Volume<double>& a,
+                          const em::Volume<double>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("volume_correlation: size mismatch");
+  }
+  const double n = static_cast<double>(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a.storage()[i];
+    mb += b.storage()[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cross = 0.0, aa = 0.0, bb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a.storage()[i] - ma;
+    const double db = b.storage()[i] - mb;
+    cross += da * db;
+    aa += da * da;
+    bb += db * db;
+  }
+  const double denom = std::sqrt(aa * bb);
+  return denom > 0.0 ? cross / denom : 0.0;
+}
+
+}  // namespace por::metrics

@@ -1,0 +1,145 @@
+#include "por/metrics/power_spectrum.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "por/em/projection.hpp"
+
+namespace por::metrics {
+
+namespace {
+
+/// Visit each voxel of a centered cubic spectrum with its integer
+/// shell index (or skip if beyond Nyquist).
+template <typename Fn>
+void for_each_shell(const em::Volume<em::cdouble>& spectrum, Fn&& fn) {
+  const std::size_t l = spectrum.nx();
+  const double c = std::floor(static_cast<double>(l) / 2.0);
+  const std::size_t max_shell = l / 2;
+  for (std::size_t z = 0; z < l; ++z) {
+    const double kz = static_cast<double>(z) - c;
+    for (std::size_t y = 0; y < l; ++y) {
+      const double ky = static_cast<double>(y) - c;
+      for (std::size_t x = 0; x < l; ++x) {
+        const double kx = static_cast<double>(x) - c;
+        const auto shell = static_cast<std::size_t>(
+            std::lround(std::sqrt(kx * kx + ky * ky + kz * kz)));
+        if (shell > max_shell) continue;
+        fn(z, y, x, shell);
+      }
+    }
+  }
+}
+
+std::vector<double> shell_power(const em::Volume<em::cdouble>& spectrum) {
+  const std::size_t shells = spectrum.nx() / 2 + 1;
+  std::vector<double> power(shells, 0.0);
+  std::vector<std::size_t> counts(shells, 0);
+  for_each_shell(spectrum, [&](std::size_t z, std::size_t y, std::size_t x,
+                               std::size_t shell) {
+    power[shell] += std::norm(spectrum(z, y, x));
+    ++counts[shell];
+  });
+  for (std::size_t s = 0; s < shells; ++s) {
+    if (counts[s] > 0) power[s] /= static_cast<double>(counts[s]);
+  }
+  return power;
+}
+
+void check_cube(const em::Volume<double>& volume, const char* who) {
+  if (!volume.is_cube() || volume.nx() == 0) {
+    throw std::invalid_argument(std::string(who) + ": volume must be cubic");
+  }
+}
+
+}  // namespace
+
+std::vector<double> radial_power_spectrum_3d(const em::Volume<double>& volume) {
+  check_cube(volume, "radial_power_spectrum_3d");
+  return shell_power(em::centered_fft3(volume));
+}
+
+double estimate_b_factor(const em::Volume<double>& volume,
+                         double pixel_size_a, double fit_lo_frac,
+                         double fit_hi_frac) {
+  check_cube(volume, "estimate_b_factor");
+  if (pixel_size_a <= 0.0 || fit_lo_frac >= fit_hi_frac) {
+    throw std::invalid_argument("estimate_b_factor: bad arguments");
+  }
+  const std::size_t l = volume.nx();
+  const std::vector<double> power = radial_power_spectrum_3d(volume);
+  const auto lo = static_cast<std::size_t>(
+      std::max(1.0, fit_lo_frac * static_cast<double>(l) / 2.0));
+  const auto hi = static_cast<std::size_t>(fit_hi_frac *
+                                           static_cast<double>(l) / 2.0);
+  if (hi <= lo + 2 || hi >= power.size()) {
+    throw std::invalid_argument("estimate_b_factor: fit band too narrow");
+  }
+  // Least squares of y = ln F = a - (B/4) s^2 on x = s^2.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  std::size_t count = 0;
+  for (std::size_t r = lo; r <= hi; ++r) {
+    if (power[r] <= 0.0) continue;
+    const double s = static_cast<double>(r) /
+                     (static_cast<double>(l) * pixel_size_a);
+    const double x = s * s;
+    const double y = 0.5 * std::log(power[r]);  // ln amplitude
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++count;
+  }
+  const double n = static_cast<double>(count);
+  const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  return -4.0 * slope;  // slope = -B/4
+}
+
+em::Volume<double> apply_b_factor(const em::Volume<double>& volume,
+                                  double b_factor_a2, double pixel_size_a) {
+  check_cube(volume, "apply_b_factor");
+  if (pixel_size_a <= 0.0) {
+    throw std::invalid_argument("apply_b_factor: bad pixel size");
+  }
+  const std::size_t l = volume.nx();
+  em::Volume<em::cdouble> spectrum = em::centered_fft3(volume);
+  const double c = std::floor(static_cast<double>(l) / 2.0);
+  for (std::size_t z = 0; z < l; ++z) {
+    const double kz = static_cast<double>(z) - c;
+    for (std::size_t y = 0; y < l; ++y) {
+      const double ky = static_cast<double>(y) - c;
+      for (std::size_t x = 0; x < l; ++x) {
+        const double kx = static_cast<double>(x) - c;
+        const double s = std::sqrt(kx * kx + ky * ky + kz * kz) /
+                         (static_cast<double>(l) * pixel_size_a);
+        spectrum(z, y, x) *= std::exp(b_factor_a2 * s * s / 4.0);
+      }
+    }
+  }
+  return em::centered_ifft3(spectrum);
+}
+
+em::Volume<double> match_amplitudes(const em::Volume<double>& map,
+                                    const em::Volume<double>& reference) {
+  check_cube(map, "match_amplitudes");
+  if (map.nx() != reference.nx() || !reference.is_cube()) {
+    throw std::invalid_argument("match_amplitudes: size mismatch");
+  }
+  em::Volume<em::cdouble> spectrum = em::centered_fft3(map);
+  const std::vector<double> own = shell_power(spectrum);
+  const std::vector<double> target = radial_power_spectrum_3d(reference);
+
+  std::vector<double> gain(own.size(), 1.0);
+  for (std::size_t s = 0; s < own.size(); ++s) {
+    if (own[s] > 0.0 && target[s] > 0.0) {
+      gain[s] = std::sqrt(target[s] / own[s]);
+    }
+  }
+  for_each_shell(spectrum, [&](std::size_t z, std::size_t y, std::size_t x,
+                               std::size_t shell) {
+    spectrum(z, y, x) *= gain[shell];
+  });
+  return em::centered_ifft3(spectrum);
+}
+
+}  // namespace por::metrics

@@ -1,0 +1,45 @@
+// por/metrics/power_spectrum.hpp
+//
+// Structure-factor utilities — the role of the "Parallel Structure
+// Factor" companion program of the paper's software suite: shell-
+// averaged power spectra of maps, Guinier-style B-factor estimation,
+// and per-shell amplitude scaling (map sharpening / reference-profile
+// matching), all of which the iterative B<->C loop uses when pushing
+// the resolution of a refined map.
+#pragma once
+
+#include <vector>
+
+#include "por/em/grid.hpp"
+
+namespace por::metrics {
+
+/// Shell-averaged |F|^2 of a cubic volume: index = integer Fourier
+/// radius, up to l/2.
+[[nodiscard]] std::vector<double> radial_power_spectrum_3d(
+    const em::Volume<double>& volume);
+
+/// Estimate the Guinier/temperature factor B from the high-resolution
+/// falloff: a least-squares fit of ln F(s) ~ const - (B/4) s^2 over
+/// the shells between `fit_lo_frac` and `fit_hi_frac` of Nyquist.
+/// Positive B = the map's amplitudes decay (blurring); returns the
+/// fitted B in Angstrom^2.
+[[nodiscard]] double estimate_b_factor(const em::Volume<double>& volume,
+                                       double pixel_size_a,
+                                       double fit_lo_frac = 0.3,
+                                       double fit_hi_frac = 0.9);
+
+/// Multiply the volume's spectrum by exp(+B s^2 / 4): B > 0 sharpens
+/// (undoes a temperature factor), B < 0 dampens.
+[[nodiscard]] em::Volume<double> apply_b_factor(const em::Volume<double>& volume,
+                                                double b_factor_a2,
+                                                double pixel_size_a);
+
+/// Rescale each Fourier shell of `map` so its shell-averaged amplitude
+/// matches `reference` (classic amplitude correction against a better
+/// determined profile).  Shells where the map has no power are left
+/// untouched.
+[[nodiscard]] em::Volume<double> match_amplitudes(
+    const em::Volume<double>& map, const em::Volume<double>& reference);
+
+}  // namespace por::metrics

@@ -1,0 +1,69 @@
+#include "por/recon/backprojection.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "por/em/interp.hpp"
+#include "por/em/projection.hpp"
+
+namespace por::recon {
+
+namespace {
+
+/// Multiply a view's centered spectrum by |k| (2D ramp), normalized so
+/// the filter is 1 at half the Nyquist radius.
+em::Image<double> ramp_filter(const em::Image<double>& view) {
+  em::Image<em::cdouble> spectrum = em::centered_fft2(view);
+  const std::size_t n = view.nx();
+  const double c = std::floor(static_cast<double>(n) / 2.0);
+  const double norm_radius = static_cast<double>(n) / 4.0;
+  for (std::size_t y = 0; y < n; ++y) {
+    const double ky = static_cast<double>(y) - c;
+    for (std::size_t x = 0; x < n; ++x) {
+      const double kx = static_cast<double>(x) - c;
+      spectrum(y, x) *= std::sqrt(kx * kx + ky * ky) / norm_radius;
+    }
+  }
+  return em::centered_ifft2(spectrum);
+}
+
+}  // namespace
+
+em::Volume<double> backproject(const std::vector<em::Image<double>>& views,
+                               const std::vector<em::Orientation>& orientations,
+                               const BackprojectOptions& options) {
+  if (views.empty() || views.size() != orientations.size()) {
+    throw std::invalid_argument("backproject: bad views/orientations");
+  }
+  const std::size_t l = views.front().nx();
+  em::Volume<double> volume(l, 0.0);
+  const double c = std::floor(static_cast<double>(l) / 2.0);
+
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    const em::Image<double> view =
+        options.ramp_filter ? ramp_filter(views[i]) : views[i];
+    const em::Image<em::cdouble> cview = em::to_complex(view);
+    const em::Mat3 r = em::rotation_matrix(orientations[i]);
+    const em::Vec3 eu = r * em::Vec3{1, 0, 0};
+    const em::Vec3 ev = r * em::Vec3{0, 1, 0};
+    for (std::size_t z = 0; z < l; ++z) {
+      const double pz = static_cast<double>(z) - c;
+      for (std::size_t y = 0; y < l; ++y) {
+        const double py = static_cast<double>(y) - c;
+        for (std::size_t x = 0; x < l; ++x) {
+          const double px = static_cast<double>(x) - c;
+          const em::Vec3 p{px, py, pz};
+          // View-plane coordinates of this voxel.
+          const double u = eu.dot(p) + c;
+          const double v = ev.dot(p) + c;
+          volume(z, y, x) += em::interp_bilinear(cview, v, u).real();
+        }
+      }
+    }
+  }
+  const double scale = 1.0 / static_cast<double>(views.size());
+  for (double& value : volume.storage()) value *= scale;
+  return volume;
+}
+
+}  // namespace por::recon

@@ -1,0 +1,28 @@
+// por/recon/backprojection.hpp
+//
+// Real-space weighted backprojection — the classical CAT-style
+// reconstruction (paper refs [13], [16]) kept as a baseline to compare
+// against the Fourier-inversion method on quality and cost.  Each view
+// is smeared back through the volume along its projection axis; the
+// optional ramp filter compensates the 1/|k| oversampling of low
+// frequencies that plain backprojection suffers from.
+#pragma once
+
+#include <vector>
+
+#include "por/em/grid.hpp"
+#include "por/em/orientation.hpp"
+
+namespace por::recon {
+
+struct BackprojectOptions {
+  bool ramp_filter = true;  ///< pre-filter views with |k| (filtered BP)
+};
+
+/// Reconstruct an l^3 volume from l x l views (l = view edge).
+[[nodiscard]] em::Volume<double> backproject(
+    const std::vector<em::Image<double>>& views,
+    const std::vector<em::Orientation>& orientations,
+    const BackprojectOptions& options = {});
+
+}  // namespace por::recon

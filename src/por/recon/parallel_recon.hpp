@@ -1,0 +1,28 @@
+// por/recon/parallel_recon.hpp
+//
+// Distributed-memory driver for the Fourier reconstruction: each rank
+// splats the views it owns into a private accumulation grid, the grids
+// are summed with an allreduce, and every rank finishes the identical
+// map (replication mirrors the paper's decision to keep a full copy of
+// the density and its DFT on every node).
+#pragma once
+
+#include <vector>
+
+#include "por/recon/fourier_recon.hpp"
+#include "por/vmpi/comm.hpp"
+
+namespace por::recon {
+
+/// SPMD collective: every rank passes ITS OWN views/orientations/
+/// centers (block partition); the returned map is complete and
+/// identical on every rank.  `l` is the view edge (needed because a
+/// rank may own zero views).
+[[nodiscard]] em::Volume<double> parallel_fourier_reconstruct(
+    vmpi::Comm& comm, std::size_t l,
+    const std::vector<em::Image<double>>& my_views,
+    const std::vector<em::Orientation>& my_orientations,
+    const std::vector<std::pair<double, double>>& my_centers = {},
+    const ReconOptions& options = {});
+
+}  // namespace por::recon

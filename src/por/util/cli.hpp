@@ -1,0 +1,49 @@
+// por/util/cli.hpp
+//
+// Tiny command-line option parser shared by the examples and benchmark
+// harnesses.  Supports --key=value and --key value forms plus boolean
+// flags; unknown options are an error so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace por::util {
+
+class CliParser {
+ public:
+  /// Parse argv; throws std::invalid_argument on malformed input.
+  CliParser(int argc, const char* const* argv);
+
+  /// Was --name given?
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Value of --name, or `fallback` when absent.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] long long get_int(const std::string& name,
+                                  long long fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non --option) arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Names the caller actually queried; used by assert_all_consumed().
+  /// Throws std::invalid_argument if the command line contained an
+  /// option no call site ever asked about (i.e. a typo).
+  void assert_all_consumed() const;
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+  mutable std::set<std::string> queried_;
+};
+
+}  // namespace por::util

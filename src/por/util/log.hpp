@@ -1,0 +1,64 @@
+// por/util/log.hpp
+//
+// Minimal leveled logger.  Single global sink, thread-safe line output.
+// The refinement driver logs one line per (view-group, resolution level)
+// so long runs remain observable without drowning benchmark output.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace por::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global verbosity threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emit one formatted line (thread-safe) if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& os, const T& value, const Rest&... rest) {
+  os << value;
+  append_all(os, rest...);
+}
+}  // namespace detail
+
+/// Variadic convenience: log_info("processed ", n, " views").
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() > LogLevel::kDebug) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(LogLevel::kDebug, os.str());
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() > LogLevel::kInfo) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(LogLevel::kInfo, os.str());
+}
+
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() > LogLevel::kWarn) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(LogLevel::kWarn, os.str());
+}
+
+template <typename... Args>
+void log_error(const Args&... args) {
+  if (log_level() > LogLevel::kError) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(LogLevel::kError, os.str());
+}
+
+}  // namespace por::util

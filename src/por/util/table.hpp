@@ -1,0 +1,46 @@
+// por/util/table.hpp
+//
+// Fixed-width text table rendering for the benchmark harnesses, which
+// print the same row layout as the paper's Tables 1 and 2 and the
+// figure data series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace por::util {
+
+/// A simple column-aligned text table.
+///
+/// Usage:
+///   Table t({"Angular resolution (deg)", "1", "0.1", "0.01", "0.002"});
+///   t.add_row({"Search range", "3", "9", "9", "10"});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Append one row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Render the table with a rule under the header.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` digits after the point.
+[[nodiscard]] std::string fmt(double value, int digits = 3);
+
+/// Format a double in engineering style, e.g. 5.8e+09.
+[[nodiscard]] std::string fmt_sci(double value, int digits = 2);
+
+/// Group digits: 4053 -> "4,053" (matches the paper's table style).
+[[nodiscard]] std::string fmt_grouped(long long value);
+
+}  // namespace por::util

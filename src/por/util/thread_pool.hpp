@@ -1,0 +1,57 @@
+// por/util/thread_pool.hpp
+//
+// A small fixed-size thread pool with a parallel_for helper.
+//
+// The distributed-memory algorithm itself runs on por::vmpi ranks; the
+// pool exists for shared-memory data parallelism *inside* one rank
+// (e.g. transforming the views a rank owns), mirroring the paper's
+// SP2 nodes where "the four processors in each node share the node's
+// main memory".
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace por::util {
+
+class ThreadPool {
+ public:
+  /// Create a pool with `workers` threads (0 → hardware_concurrency).
+  explicit ThreadPool(std::size_t workers = 0);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const { return threads_.size(); }
+
+  /// Enqueue a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Apply `body(i)` for i in [begin, end), split into contiguous chunks
+  /// across the workers, and wait for completion.  Runs inline when the
+  /// range is small or the pool has a single worker.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace por::util

@@ -1,0 +1,25 @@
+#include "por/util/timer.hpp"
+
+namespace por::util {
+
+void StepTimes::add(const std::string& step, double seconds) {
+  entries_[step] += seconds;
+}
+
+double StepTimes::get(const std::string& step) const {
+  auto it = entries_.find(step);
+  return it == entries_.end() ? 0.0 : it->second;
+}
+
+double StepTimes::total() const {
+  double sum = 0.0;
+  for (const auto& [name, secs] : entries_) sum += secs;
+  return sum;
+}
+
+double StepTimes::fraction(const std::string& step) const {
+  const double t = total();
+  return t > 0.0 ? get(step) / t : 0.0;
+}
+
+}  // namespace por::util

@@ -1,0 +1,86 @@
+// por/util/timer.hpp
+//
+// Wall-clock timing utilities used throughout the library and by the
+// benchmark harnesses that reproduce the per-step timing tables of the
+// paper (Tables 1 and 2).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace por::util {
+
+/// Monotonic wall-clock stopwatch.
+///
+/// The paper reports per-step wall times (1D DFT, read image, FFT
+/// analysis, orientation refinement); WallTimer is the primitive all of
+/// those measurements are built from.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named durations, e.g. one entry per algorithm step.
+///
+/// Used to build the step-by-step breakdown of a refinement cycle
+/// ("3D DFT", "Read image", "FFT analysis", "Orientation refinement")
+/// exactly as the paper tabulates it.
+class StepTimes {
+ public:
+  /// Add `seconds` to the bucket named `step`.
+  void add(const std::string& step, double seconds);
+
+  /// Total seconds recorded for `step` (0 if never recorded).
+  [[nodiscard]] double get(const std::string& step) const;
+
+  /// Sum over all steps.
+  [[nodiscard]] double total() const;
+
+  /// Fraction of total() spent in `step`; 0 when nothing was recorded.
+  [[nodiscard]] double fraction(const std::string& step) const;
+
+  /// All buckets in insertion-independent (sorted) order.
+  [[nodiscard]] const std::map<std::string, double>& entries() const {
+    return entries_;
+  }
+
+  /// Drop all recorded buckets.
+  void clear() { entries_.clear(); }
+
+ private:
+  std::map<std::string, double> entries_;
+};
+
+/// RAII helper: measures the lifetime of a scope into a StepTimes bucket.
+class ScopedStepTimer {
+ public:
+  ScopedStepTimer(StepTimes& sink, std::string step)
+      : sink_(sink), step_(std::move(step)) {}
+  ScopedStepTimer(const ScopedStepTimer&) = delete;
+  ScopedStepTimer& operator=(const ScopedStepTimer&) = delete;
+  ~ScopedStepTimer() { sink_.add(step_, timer_.seconds()); }
+
+ private:
+  StepTimes& sink_;
+  std::string step_;
+  WallTimer timer_;
+};
+
+}  // namespace por::util

@@ -1,0 +1,69 @@
+#include "por/vmpi/comm.hpp"
+
+#include <cassert>
+
+namespace por::vmpi {
+
+void Comm::send_bytes(int dst, Tag tag, const void* data, std::size_t bytes) {
+  assert(dst >= 0 && dst < size());
+  std::vector<std::byte> payload(bytes);
+  if (bytes > 0) std::memcpy(payload.data(), data, bytes);
+  {
+    std::lock_guard<std::mutex> lock(context_.mutex);
+    context_.mailboxes[{rank_, dst, tag}].push_back(std::move(payload));
+  }
+  context_.traffic.record_send(bytes);
+  context_.message_arrived.notify_all();
+}
+
+std::vector<std::byte> Comm::recv_bytes(int src, Tag tag) {
+  assert(src >= 0 && src < size());
+  std::unique_lock<std::mutex> lock(context_.mutex);
+  const detail::Context::Key key{src, rank_, tag};
+  context_.message_arrived.wait(lock, [&] {
+    auto it = context_.mailboxes.find(key);
+    return it != context_.mailboxes.end() && !it->second.empty();
+  });
+  auto& queue = context_.mailboxes[key];
+  std::vector<std::byte> payload = std::move(queue.front());
+  queue.pop_front();
+  return payload;
+}
+
+std::vector<std::byte> Comm::recv_any_bytes(Tag tag, int& src) {
+  std::unique_lock<std::mutex> lock(context_.mutex);
+  auto find_ready = [&]() -> std::deque<std::vector<std::byte>>* {
+    for (int candidate = 0; candidate < context_.size; ++candidate) {
+      auto it = context_.mailboxes.find({candidate, rank_, tag});
+      if (it != context_.mailboxes.end() && !it->second.empty()) {
+        src = candidate;
+        return &it->second;
+      }
+    }
+    return nullptr;
+  };
+  std::deque<std::vector<std::byte>>* queue = nullptr;
+  context_.message_arrived.wait(lock, [&] {
+    queue = find_ready();
+    return queue != nullptr;
+  });
+  std::vector<std::byte> payload = std::move(queue->front());
+  queue->pop_front();
+  return payload;
+}
+
+void Comm::barrier() {
+  std::unique_lock<std::mutex> lock(context_.mutex);
+  const std::uint64_t generation = context_.barrier_generation;
+  if (++context_.barrier_count == context_.size) {
+    context_.barrier_count = 0;
+    ++context_.barrier_generation;
+    context_.traffic.record_barrier();
+    context_.barrier_cv.notify_all();
+    return;
+  }
+  context_.barrier_cv.wait(
+      lock, [&] { return context_.barrier_generation != generation; });
+}
+
+}  // namespace por::vmpi

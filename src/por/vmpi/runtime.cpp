@@ -1,0 +1,46 @@
+#include "por/vmpi/runtime.hpp"
+
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace por::vmpi {
+
+RunReport run(int nranks, const std::function<void(Comm&)>& rank_main) {
+  if (nranks < 1) throw std::invalid_argument("vmpi::run: nranks must be >= 1");
+
+  detail::Context context(nranks);
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto rank_body = [&](int rank) {
+    Comm comm(context, rank);
+    try {
+      rank_main(comm);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  if (nranks == 1) {
+    rank_body(0);
+  } else {
+    std::vector<std::thread> ranks;
+    ranks.reserve(nranks);
+    for (int r = 0; r < nranks; ++r) {
+      ranks.emplace_back(rank_body, r);
+    }
+    for (auto& thread : ranks) thread.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  return RunReport{context.traffic.messages(), context.traffic.bytes(),
+                   context.traffic.barriers()};
+}
+
+}  // namespace por::vmpi

@@ -1,0 +1,31 @@
+// por/vmpi/runtime.hpp
+//
+// Launch a fixed-size group of vmpi ranks and run an SPMD function on
+// each, blocking until all ranks return — the in-process equivalent of
+// `mpirun -np P ./program`.
+#pragma once
+
+#include <functional>
+
+#include "por/vmpi/comm.hpp"
+
+namespace por::vmpi {
+
+/// Aggregate result of one SPMD run.
+struct RunReport {
+  std::uint64_t messages = 0;  ///< point-to-point messages sent
+  std::uint64_t bytes = 0;     ///< payload bytes transferred
+  std::uint64_t barriers = 0;  ///< completed barrier episodes
+};
+
+/// Spawn `nranks` threads, hand each a Comm bound to its rank, run
+/// `rank_main` on every rank, and join.  Exceptions thrown by any rank
+/// are captured and the first one is rethrown on the caller's thread
+/// after all ranks finish (a rank that throws mid-collective would
+/// deadlock its peers in real MPI too; tests exercise only the
+/// rethrow-after-completion contract).
+///
+/// Returns the communication totals for the run.
+RunReport run(int nranks, const std::function<void(Comm&)>& rank_main);
+
+}  // namespace por::vmpi

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "por/em/phantom.hpp"
+#include "por/em/rotate.hpp"
+#include "por/metrics/align.hpp"
+#include "por/metrics/fsc.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace por;
+using namespace por::em;
+using por::test::small_phantom;
+
+TEST(AlignVolumes, IdentityWhenAlreadyAligned) {
+  const Volume<double> map = small_phantom(20, 12).rasterize(20);
+  const auto result = metrics::align_volume_rotation(map, map, 4.0);
+  EXPECT_NEAR(result.correlation, 1.0, 1e-9);
+  EXPECT_NEAR(geodesic_deg(result.rotation, Mat3::identity()), 0.0, 1e-9);
+}
+
+TEST(AlignVolumes, RecoversSmallKnownRotation) {
+  const Volume<double> reference = small_phantom(24, 14).rasterize(24);
+  const Mat3 drift = Mat3::rot_z(deg2rad(2.5));
+  const Volume<double> drifted = rotate_volume(reference, drift);
+  // Aligning the drifted map back: the found rotation must undo drift.
+  const auto result = metrics::align_volume_rotation(drifted, reference, 5.0);
+  // Smooth blob maps decorrelate slowly under rotation, so the gain is
+  // modest; the rotation itself is the sharp check.
+  EXPECT_GT(result.correlation,
+            metrics::volume_correlation(drifted, reference));
+  // rotate(drifted, R) ~ reference  =>  R ~ drift^-1.
+  EXPECT_LT(geodesic_deg(result.rotation, drift.transposed()), 1.0);
+}
+
+TEST(AlignVolumes, ImprovesCorrelationMonotonically) {
+  const Volume<double> reference = small_phantom(20, 10).rasterize(20);
+  for (double angle : {1.0, 2.0, 3.5}) {
+    const Volume<double> drifted =
+        rotate_volume(reference, Mat3::rot_y(deg2rad(angle)));
+    const double before = metrics::volume_correlation(drifted, reference);
+    const double after =
+        metrics::aligned_volume_correlation(drifted, reference, 5.0);
+    EXPECT_GE(after, before) << "angle " << angle;
+    EXPECT_GT(after, 0.97) << "angle " << angle;
+  }
+}
+
+TEST(AlignVolumes, DoesNotExceedSearchRange) {
+  // A 10-degree drift cannot be recovered with a 2-degree budget, but
+  // alignment must still never make things worse.
+  const Volume<double> reference = small_phantom(20, 10).rasterize(20);
+  const Volume<double> drifted =
+      rotate_volume(reference, Mat3::rot_x(deg2rad(10.0)));
+  const double before = metrics::volume_correlation(drifted, reference);
+  const auto result = metrics::align_volume_rotation(drifted, reference, 2.0);
+  EXPECT_GE(result.correlation, before);
+}
+
+TEST(AlignVolumes, RejectsBadMaxAngle) {
+  const Volume<double> map(8);
+  EXPECT_THROW((void)metrics::align_volume_rotation(map, map, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace

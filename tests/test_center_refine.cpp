@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "por/core/center_refine.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace por;
+using namespace por::em;
+using namespace por::core;
+using por::test::small_phantom;
+
+struct Fixture {
+  std::size_t l = 20;
+  BlobModel model = small_phantom(20, 12);
+  FourierMatcher matcher;
+  Orientation truth{60, 30, 100};
+
+  Fixture()
+      : matcher(model.rasterize(20), [] {
+          MatchOptions o;
+          o.r_map = 8.0;
+          return o;
+        }()) {}
+};
+
+TEST(CenterRefine, RecoversKnownShift) {
+  Fixture fx;
+  const double true_dx = 0.7, true_dy = -1.2;
+  const Image<double> view =
+      fx.model.project_analytic(fx.l, fx.truth, true_dx, true_dy);
+  const auto spectrum = fx.matcher.prepare_view(view);
+  const auto cut = fx.matcher.cut(fx.truth);
+  // Two-level center search mirroring the schedule: 1 px then 0.1 px.
+  CenterResult coarse =
+      refine_center(fx.matcher, spectrum, cut, 0.0, 0.0, 1.0, 3);
+  CenterResult fine = refine_center(fx.matcher, spectrum, cut, coarse.dx,
+                                    coarse.dy, 0.1, 3);
+  EXPECT_NEAR(fine.dx, true_dx, 0.15);
+  EXPECT_NEAR(fine.dy, true_dy, 0.15);
+}
+
+TEST(CenterRefine, ZeroShiftStaysPut) {
+  Fixture fx;
+  const Image<double> view = fx.model.project_analytic(fx.l, fx.truth);
+  const auto spectrum = fx.matcher.prepare_view(view);
+  const auto cut = fx.matcher.cut(fx.truth);
+  const CenterResult result =
+      refine_center(fx.matcher, spectrum, cut, 0.0, 0.0, 0.5, 3);
+  EXPECT_NEAR(result.dx, 0.0, 0.51);
+  EXPECT_NEAR(result.dy, 0.0, 0.51);
+  EXPECT_EQ(result.slides, 0);
+}
+
+TEST(CenterRefine, SlidesWhenShiftExceedsBox) {
+  Fixture fx;
+  // A 2.5 px shift cannot be reached by a single 3x3 box of 1 px.
+  const Image<double> view =
+      fx.model.project_analytic(fx.l, fx.truth, 2.5, 0.0);
+  const auto spectrum = fx.matcher.prepare_view(view);
+  const auto cut = fx.matcher.cut(fx.truth);
+  const CenterResult result =
+      refine_center(fx.matcher, spectrum, cut, 0.0, 0.0, 1.0, 3);
+  EXPECT_GE(result.slides, 1);
+  EXPECT_NEAR(result.dx, 2.5, 0.6);
+}
+
+TEST(CenterRefine, EvaluationCountMatchesBoxGeometry) {
+  Fixture fx;
+  const Image<double> view = fx.model.project_analytic(fx.l, fx.truth);
+  const auto spectrum = fx.matcher.prepare_view(view);
+  const auto cut = fx.matcher.cut(fx.truth);
+  const CenterResult result =
+      refine_center(fx.matcher, spectrum, cut, 0.0, 0.0, 0.5, 3);
+  // n_center = 9 per round (the paper's 3x3 example).
+  EXPECT_EQ(result.evaluations, 9u * static_cast<std::uint64_t>(result.slides + 1));
+}
+
+TEST(CenterRefine, BetterCenterMeansSmallerDistance) {
+  Fixture fx;
+  const Image<double> view =
+      fx.model.project_analytic(fx.l, fx.truth, 1.0, 1.0);
+  const auto spectrum = fx.matcher.prepare_view(view);
+  const auto cut = fx.matcher.cut(fx.truth);
+  const CenterResult refined =
+      refine_center(fx.matcher, spectrum, cut, 0.0, 0.0, 0.5, 3);
+  // Distance at the refined center must beat the uncorrected one.
+  metrics::DistanceOptions manual;
+  manual.r_max = fx.matcher.padded_r_map();
+  const double uncorrected = metrics::fourier_distance(spectrum, cut, manual);
+  EXPECT_LT(refined.best_distance, uncorrected);
+}
+
+TEST(CenterRefine, RejectsBadBox) {
+  Fixture fx;
+  const Image<double> view = fx.model.project_analytic(fx.l, fx.truth);
+  const auto spectrum = fx.matcher.prepare_view(view);
+  const auto cut = fx.matcher.cut(fx.truth);
+  EXPECT_THROW((void)refine_center(fx.matcher, spectrum, cut, 0, 0, 0.0, 3),
+               std::invalid_argument);
+  EXPECT_THROW((void)refine_center(fx.matcher, spectrum, cut, 0, 0, 1.0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace

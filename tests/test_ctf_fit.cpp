@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "por/em/ctf_fit.hpp"
+#include "por/em/noise.hpp"
+#include "por/em/phantom.hpp"
+#include "por/em/projection.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace por::em;
+namespace util = por::util;
+using por::test::small_phantom;
+
+std::vector<Image<double>> ctf_views(const BlobModel& model, std::size_t l,
+                                     const CtfParams& ctf, int count,
+                                     double snr, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Image<double>> views;
+  for (int i = 0; i < count; ++i) {
+    double theta, phi;
+    rng.sphere_point(theta, phi);
+    Image<cdouble> spectrum = centered_fft2(model.project_analytic(
+        l, {rad2deg(theta), rad2deg(phi), rng.uniform(0.0, 360.0)}));
+    apply_ctf(spectrum, ctf);
+    Image<double> view = centered_ifft2(spectrum);
+    if (snr > 0.0) add_gaussian_noise(view, snr, rng);
+    views.push_back(std::move(view));
+  }
+  return views;
+}
+
+TEST(RadialPower, ConstantImageConcentratesAtDc) {
+  const Image<double> flat(16, 16, 2.0);
+  const auto power = radial_power_spectrum(flat);
+  EXPECT_GT(power[0], 1.0);
+  for (std::size_t r = 1; r < power.size(); ++r) {
+    EXPECT_NEAR(power[r], 0.0, 1e-12) << "shell " << r;
+  }
+}
+
+TEST(RadialPower, ParsevalConsistency) {
+  // Total spectrum power equals the sum over shells weighted by counts;
+  // spot-check that a structured image has most power at low radius.
+  const BlobModel model = small_phantom(32, 12);
+  const auto power =
+      radial_power_spectrum(model.project_analytic(32, {30, 60, 90}));
+  EXPECT_GT(power[1], power[10]);
+  EXPECT_GT(power[2], power[14]);
+}
+
+TEST(RadialPower, RejectsNonSquare) {
+  EXPECT_THROW((void)radial_power_spectrum(Image<double>(8, 9)),
+               std::invalid_argument);
+}
+
+TEST(MeanRadialPower, AveragesAndValidates) {
+  const BlobModel model = small_phantom(16, 8);
+  const Image<double> a = model.project_analytic(16, {10, 20, 30});
+  const Image<double> b = model.project_analytic(16, {50, 60, 70});
+  const auto mean = mean_radial_power_spectrum({a, b});
+  const auto pa = radial_power_spectrum(a);
+  const auto pb = radial_power_spectrum(b);
+  for (std::size_t r = 0; r < mean.size(); ++r) {
+    EXPECT_NEAR(mean[r], 0.5 * (pa[r] + pb[r]), 1e-9 * (1.0 + mean[r]));
+  }
+  EXPECT_THROW((void)mean_radial_power_spectrum({}), std::invalid_argument);
+  EXPECT_THROW(
+      (void)mean_radial_power_spectrum({a, Image<double>(8, 8)}),
+      std::invalid_argument);
+}
+
+class DefocusRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(DefocusRecovery, FindsTrueDefocusFromViews) {
+  const double true_defocus = GetParam();
+  const std::size_t l = 64;  // enough shells to see several Thon rings
+  const BlobModel model = small_phantom(l, 40, 3);
+  CtfParams ctf;
+  ctf.pixel_size_a = 2.8;
+  ctf.defocus_a = true_defocus;
+  const auto views = ctf_views(model, l, ctf, 12, 8.0, 21);
+  const auto power = mean_radial_power_spectrum(views);
+
+  CtfParams guess = ctf;
+  guess.defocus_a = 0.0;  // must be irrelevant to the fit
+  const DefocusFit fit = fit_defocus(power, l, guess);
+  // Within one coarse step of the truth.
+  EXPECT_NEAR(fit.defocus_a, true_defocus, 1500.0)
+      << "score " << fit.score;
+  EXPECT_GT(fit.score, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Defoci, DefocusRecovery,
+                         ::testing::Values(12000.0, 18000.0, 25000.0));
+
+TEST(DefocusFit, RejectsBadOptions) {
+  DefocusFitOptions bad;
+  bad.min_defocus_a = 10.0;
+  bad.max_defocus_a = 5.0;
+  EXPECT_THROW((void)fit_defocus(std::vector<double>(33, 1.0), 64,
+                                 CtfParams{}, bad),
+               std::invalid_argument);
+}
+
+TEST(DefocusFit, PrefersTruthOverWrongDefocus) {
+  const std::size_t l = 64;
+  const BlobModel model = small_phantom(l, 40, 9);
+  CtfParams ctf;
+  ctf.pixel_size_a = 2.8;
+  ctf.defocus_a = 20000.0;
+  const auto views = ctf_views(model, l, ctf, 10, 10.0, 33);
+  const auto power = mean_radial_power_spectrum(views);
+  const DefocusFit fit = fit_defocus(power, l, ctf);
+  // The score at the fitted defocus must clearly beat a far-off value.
+  DefocusFitOptions narrow;
+  narrow.min_defocus_a = 8000.0;
+  narrow.max_defocus_a = 9000.0;
+  const DefocusFit wrong = fit_defocus(power, l, ctf, narrow);
+  EXPECT_GT(fit.score, wrong.score);
+}
+
+}  // namespace

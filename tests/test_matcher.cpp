@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "por/core/matcher.hpp"
+#include "por/em/projection.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace por;
+using namespace por::em;
+using por::core::FourierMatcher;
+using por::core::MatchOptions;
+using por::test::small_phantom;
+
+MatchOptions options_for(std::size_t l) {
+  MatchOptions options;
+  options.r_map = static_cast<double>(l) / 2.0 - 2.0;
+  return options;
+}
+
+TEST(Matcher, TrueOrientationBeatsPerturbations) {
+  const std::size_t l = 20;
+  const BlobModel model = small_phantom(l, 12);
+  const Volume<double> map = model.rasterize(l);
+  const FourierMatcher matcher(map, options_for(l));
+
+  const Orientation truth{48.0, 160.0, 72.0};
+  const auto spectrum =
+      matcher.prepare_view(model.project_analytic(l, truth));
+  const double at_truth = matcher.distance(spectrum, truth);
+  for (double delta : {2.0, 5.0, 15.0}) {
+    for (int axis = 0; axis < 3; ++axis) {
+      Orientation perturbed = truth;
+      if (axis == 0) perturbed.theta += delta;
+      if (axis == 1) perturbed.phi += delta;
+      if (axis == 2) perturbed.omega += delta;
+      EXPECT_GT(matcher.distance(spectrum, perturbed), at_truth)
+          << "axis " << axis << " delta " << delta;
+    }
+  }
+}
+
+TEST(Matcher, DistanceDecreasesMonotonicallyTowardTruth) {
+  const std::size_t l = 20;
+  const BlobModel model = small_phantom(l, 12);
+  const FourierMatcher matcher(model.rasterize(l), options_for(l));
+  const Orientation truth{70.0, 40.0, 150.0};
+  const auto spectrum =
+      matcher.prepare_view(model.project_analytic(l, truth));
+  double previous = matcher.distance(
+      spectrum, Orientation{truth.theta + 12.0, truth.phi, truth.omega});
+  for (double delta : {8.0, 4.0, 2.0, 0.5}) {
+    const double d = matcher.distance(
+        spectrum, Orientation{truth.theta + delta, truth.phi, truth.omega});
+    EXPECT_LT(d, previous) << "delta " << delta;
+    previous = d;
+  }
+}
+
+TEST(Matcher, CountsMatchingOperations) {
+  const std::size_t l = 16;
+  const BlobModel model = small_phantom(l, 8);
+  const FourierMatcher matcher(model.rasterize(l), options_for(l));
+  const auto spectrum =
+      matcher.prepare_view(model.project_analytic(l, {10, 20, 30}));
+  EXPECT_EQ(matcher.matchings(), 0u);
+  (void)matcher.distance(spectrum, {10, 20, 30});
+  (void)matcher.distance(spectrum, {11, 20, 30});
+  EXPECT_EQ(matcher.matchings(), 2u);
+  matcher.reset_matchings();
+  EXPECT_EQ(matcher.matchings(), 0u);
+}
+
+TEST(Matcher, SmallerRmapMeansSmallerDistanceValues) {
+  // With fewer coefficients the normalized sum shrinks — and the
+  // reduction in work is the paper's r_map trick.
+  const std::size_t l = 20;
+  const BlobModel model = small_phantom(l, 10);
+  const Volume<double> map = model.rasterize(l);
+  MatchOptions wide = options_for(l);
+  MatchOptions narrow = wide;
+  narrow.r_map = 3.0;
+  const FourierMatcher matcher_wide(map, wide);
+  const FourierMatcher matcher_narrow(map, narrow);
+  const Orientation truth{30, 30, 30};
+  const auto spectrum =
+      matcher_wide.prepare_view(model.project_analytic(l, truth));
+  const Orientation off{45, 30, 30};
+  EXPECT_LT(matcher_narrow.distance(spectrum, off),
+            matcher_wide.distance(spectrum, off));
+}
+
+TEST(Matcher, CutMatchesExtractCentralSlice) {
+  const std::size_t l = 16;
+  const BlobModel model = small_phantom(l, 8);
+  const Volume<double> map = model.rasterize(l);
+  const MatchOptions options = options_for(l);
+  const FourierMatcher matcher(map, options);
+  const Orientation o{25, 75, 125};
+  const auto direct =
+      extract_central_slice(centered_fft3(pad_volume(map, options.pad)), o);
+  const auto via_matcher = matcher.cut(o);
+  EXPECT_LT(por::test::max_abs_diff(via_matcher, direct), 1e-12);
+}
+
+TEST(Matcher, DistanceMatchesManualSliceComparison) {
+  // distance() (fused loop) must agree with extracting the cut and
+  // calling the metrics function.
+  const std::size_t l = 16;
+  const BlobModel model = small_phantom(l, 8);
+  const MatchOptions options = options_for(l);
+  const FourierMatcher matcher(model.rasterize(l), options);
+  const Orientation view_o{40, 100, 20}, cut_o{42, 100, 20};
+  const auto spectrum = matcher.prepare_view(model.project_analytic(l, view_o));
+  const auto cut = matcher.cut(cut_o);
+  metrics::DistanceOptions manual;
+  manual.r_max = matcher.padded_r_map();
+  EXPECT_NEAR(matcher.distance(spectrum, cut_o),
+              metrics::fourier_distance(spectrum, cut, manual), 1e-12);
+}
+
+TEST(Matcher, CtfAwareMatcherBeatsNaiveOnCtfData) {
+  const std::size_t l = 24;
+  const BlobModel model = small_phantom(l, 12);
+  const Volume<double> map = model.rasterize(l);
+  const Orientation truth{55, 210, 80};
+
+  // Simulate the microscope: project then apply the CTF.
+  CtfParams ctf;
+  ctf.defocus_a = 18000.0;
+  Image<cdouble> damaged_spec =
+      centered_fft2(model.project_analytic(l, truth));
+  apply_ctf(damaged_spec, ctf);
+  const Image<double> damaged = centered_ifft2(damaged_spec);
+
+  MatchOptions aware = options_for(l);
+  aware.ctf = ctf;
+  aware.ctf_correction = CtfCorrection::kWiener;
+  aware.wiener_snr = 100.0;
+  const FourierMatcher matcher_aware(map, aware);
+  const FourierMatcher matcher_naive(map, options_for(l));
+
+  const auto prepared_aware = matcher_aware.prepare_view(damaged);
+  const auto prepared_naive = matcher_naive.prepare_view(damaged);
+  EXPECT_LT(matcher_aware.distance(prepared_aware, truth),
+            matcher_naive.distance(prepared_naive, truth));
+}
+
+TEST(Matcher, CutTransferIsIdentityWithoutCtf) {
+  const BlobModel model = small_phantom(8, 4);
+  const FourierMatcher matcher(model.rasterize(8), MatchOptions{});
+  EXPECT_DOUBLE_EQ(matcher.cut_transfer(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(matcher.cut_transfer(5.0), 1.0);
+}
+
+TEST(Matcher, CutTransferTracksCtfEnvelope) {
+  const std::size_t l = 24;
+  const BlobModel model = small_phantom(l, 8);
+  MatchOptions options = options_for(l);
+  CtfParams ctf;
+  options.ctf = ctf;
+  options.ctf_correction = CtfCorrection::kPhaseFlip;
+  const FourierMatcher matcher(model.rasterize(l), options);
+  // At the origin the CTF is -amplitude_contrast: |transfer| small.
+  EXPECT_NEAR(matcher.cut_transfer(0.0), ctf.amplitude_contrast, 1e-9);
+  // Transfer is bounded by 1 everywhere.
+  for (double r = 0.0; r < 20.0; r += 0.5) {
+    EXPECT_LE(matcher.cut_transfer(r), 1.0 + 1e-12);
+    EXPECT_GE(matcher.cut_transfer(r), 0.0);
+  }
+}
+
+TEST(Matcher, RejectsBadConfiguration) {
+  const BlobModel model = small_phantom(8, 4);
+  const Volume<double> map = model.rasterize(8);
+  MatchOptions bad;
+  bad.pad = 0;
+  EXPECT_THROW((void)FourierMatcher(map, bad), std::invalid_argument);
+  MatchOptions negative;
+  negative.r_map = -1.0;
+  EXPECT_THROW((void)FourierMatcher(map, negative), std::invalid_argument);
+}
+
+TEST(Matcher, RejectsWrongViewSize) {
+  const BlobModel model = small_phantom(8, 4);
+  const FourierMatcher matcher(model.rasterize(8), MatchOptions{});
+  EXPECT_THROW((void)matcher.prepare_view(Image<double>(10, 10)),
+               std::invalid_argument);
+}
+
+}  // namespace

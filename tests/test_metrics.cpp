@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "por/em/phantom.hpp"
+#include "por/em/projection.hpp"
+#include "por/metrics/distance.hpp"
+#include "por/metrics/fsc.hpp"
+#include "por/metrics/orientation_error.hpp"
+#include "por/util/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace por;
+using namespace por::em;
+using namespace por::metrics;
+
+Image<cdouble> random_spectrum(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Image<cdouble> img(n, n);
+  for (auto& v : img.storage()) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return img;
+}
+
+// ---- Fourier distance ---------------------------------------------------------
+
+TEST(FourierDistance, ZeroForIdenticalSpectra) {
+  const Image<cdouble> f = random_spectrum(16, 1);
+  DistanceOptions options;
+  EXPECT_DOUBLE_EQ(fourier_distance(f, f, options), 0.0);
+}
+
+TEST(FourierDistance, SymmetricInArguments) {
+  const Image<cdouble> a = random_spectrum(16, 2);
+  const Image<cdouble> b = random_spectrum(16, 3);
+  DistanceOptions options;
+  options.r_max = 6.0;
+  EXPECT_DOUBLE_EQ(fourier_distance(a, b, options),
+                   fourier_distance(b, a, options));
+}
+
+TEST(FourierDistance, MatchesPaperFormulaOnFullDisk) {
+  // d(F, C) = (1/l^2) sum |F - C|^2 without a radius cut.
+  const std::size_t n = 8;
+  const Image<cdouble> a = random_spectrum(n, 4);
+  const Image<cdouble> b = random_spectrum(n, 5);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expected += std::norm(a.storage()[i] - b.storage()[i]);
+  }
+  expected /= static_cast<double>(n * n);
+  DistanceOptions options;  // r_max = 0 -> everything included
+  EXPECT_NEAR(fourier_distance(a, b, options), expected, 1e-12);
+}
+
+TEST(FourierDistance, RadiusCutExcludesHighFrequencies) {
+  const std::size_t n = 16;
+  Image<cdouble> a(n, n, {0, 0}), b(n, n, {0, 0});
+  // Difference only at a high-frequency pixel (radius ~7 from center).
+  b(8, 15) = {10.0, 0.0};
+  DistanceOptions tight;
+  tight.r_max = 3.0;
+  EXPECT_DOUBLE_EQ(fourier_distance(a, b, tight), 0.0);
+  DistanceOptions wide;
+  wide.r_max = 8.0;
+  EXPECT_GT(fourier_distance(a, b, wide), 0.0);
+}
+
+TEST(FourierDistance, RMinExcludesDcTerm) {
+  const std::size_t n = 8;
+  Image<cdouble> a(n, n, {0, 0}), b(n, n, {0, 0});
+  b(4, 4) = {5.0, 0.0};  // DC only
+  DistanceOptions options;
+  options.r_min = 0.5;
+  EXPECT_DOUBLE_EQ(fourier_distance(a, b, options), 0.0);
+}
+
+TEST(FourierDistance, RadialWeightEmphasizesHighFrequencies) {
+  const std::size_t n = 16;
+  Image<cdouble> base(n, n, {0, 0});
+  Image<cdouble> low = base, high = base;
+  low(8, 10) = {1.0, 0.0};    // radius 2
+  high(8, 15) = {1.0, 0.0};   // radius 7
+  DistanceOptions radial;
+  radial.weighting = Weighting::kRadial;
+  radial.r_max = 7.5;
+  EXPECT_GT(fourier_distance(base, high, radial),
+            fourier_distance(base, low, radial));
+  // With uniform weighting they are equal.
+  DistanceOptions uniform;
+  uniform.r_max = 7.5;
+  EXPECT_NEAR(fourier_distance(base, high, uniform),
+              fourier_distance(base, low, uniform), 1e-15);
+}
+
+TEST(FourierDistance, RejectsSizeMismatch) {
+  DistanceOptions options;
+  EXPECT_THROW(
+      (void)fourier_distance(random_spectrum(8, 1), random_spectrum(9, 2),
+                             options),
+      std::invalid_argument);
+}
+
+TEST(FourierCorrelation, PerfectAndAnti) {
+  const Image<cdouble> f = random_spectrum(12, 7);
+  Image<cdouble> neg(12, 12);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    neg.storage()[i] = -f.storage()[i];
+  }
+  DistanceOptions options;
+  EXPECT_NEAR(fourier_correlation(f, f, options), 1.0, 1e-12);
+  EXPECT_NEAR(fourier_correlation(f, neg, options), -1.0, 1e-12);
+}
+
+TEST(FourierCorrelation, ZeroSpectrumGivesZero) {
+  const Image<cdouble> f = random_spectrum(8, 9);
+  const Image<cdouble> zero(8, 8, {0, 0});
+  DistanceOptions options;
+  EXPECT_DOUBLE_EQ(fourier_correlation(f, zero, options), 0.0);
+}
+
+// ---- real-space -----------------------------------------------------------------
+
+TEST(RealspaceDistance, BasicProperties) {
+  Image<double> a(4, 4, 1.0), b(4, 4, 3.0);
+  EXPECT_DOUBLE_EQ(realspace_distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(realspace_distance(a, b), 4.0);  // (2^2 * 16)/16
+}
+
+TEST(RealspaceCorrelation, InvariantToAffineRescaling) {
+  const BlobModel model = por::test::small_phantom(16, 8);
+  const Image<double> img = model.project_analytic(16, {30, 60, 90});
+  Image<double> scaled(16, 16);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    scaled.storage()[i] = 2.5 * img.storage()[i] + 7.0;
+  }
+  EXPECT_NEAR(realspace_correlation(img, scaled), 1.0, 1e-12);
+}
+
+// ---- FSC -------------------------------------------------------------------------
+
+TEST(Fsc, IdenticalVolumesGiveUnitCurve) {
+  const BlobModel model = por::test::small_phantom(16, 10);
+  const Volume<double> vol = model.rasterize(16);
+  const FscCurve curve = fourier_shell_correlation(vol, vol);
+  ASSERT_FALSE(curve.correlation.empty());
+  for (double c : curve.correlation) EXPECT_NEAR(c, 1.0, 1e-9);
+}
+
+TEST(Fsc, IndependentNoiseDecorrelates) {
+  util::Rng rng(5);
+  Volume<double> a(16), b(16);
+  for (double& v : a.storage()) v = rng.gaussian();
+  for (double& v : b.storage()) v = rng.gaussian();
+  const FscCurve curve = fourier_shell_correlation(a, b);
+  // High shells contain many samples; correlation must be near zero.
+  for (std::size_t s = 3; s < curve.correlation.size(); ++s) {
+    EXPECT_LT(std::abs(curve.correlation[s]), 0.35) << "shell " << s;
+  }
+}
+
+TEST(Fsc, LowPassedCopyLosesHighShellsOnly) {
+  const BlobModel model = por::test::small_phantom(16, 10);
+  const Volume<double> vol = model.rasterize(16);
+  // Damage the high frequencies of a copy with independent noise.
+  util::Rng rng(6);
+  Volume<cdouble> spec = centered_fft3(vol);
+  const double c = 8.0;
+  for (std::size_t z = 0; z < 16; ++z) {
+    for (std::size_t y = 0; y < 16; ++y) {
+      for (std::size_t x = 0; x < 16; ++x) {
+        const double r = std::sqrt((z - c) * (z - c) + (y - c) * (y - c) +
+                                   (x - c) * (x - c));
+        if (r > 5.0) {
+          spec(z, y, x) = {rng.gaussian(), rng.gaussian()};
+        }
+      }
+    }
+  }
+  const Volume<double> damaged = centered_ifft3(spec);
+  const FscCurve curve = fourier_shell_correlation(vol, damaged);
+  // Low shells stay correlated, high shells do not.
+  EXPECT_GT(curve.correlation[1], 0.9);
+  EXPECT_GT(curve.correlation[3], 0.9);
+  EXPECT_LT(curve.correlation[7], 0.5);
+}
+
+TEST(Fsc, RejectsMismatchedVolumes) {
+  EXPECT_THROW(
+      (void)fourier_shell_correlation(Volume<double>(8), Volume<double>(9)),
+      std::invalid_argument);
+}
+
+TEST(CrossingRadius, InterpolatesBetweenShells) {
+  FscCurve curve;
+  curve.shell_radius = {1.0, 2.0, 3.0, 4.0};
+  curve.correlation = {1.0, 0.9, 0.1, 0.0};
+  // 0.5 crossing between shells 2 and 3: t = (0.9-0.5)/(0.9-0.1) = 0.5.
+  EXPECT_NEAR(crossing_radius(curve, 0.5), 2.5, 1e-12);
+}
+
+TEST(CrossingRadius, NeverBelowThresholdReturnsLastShell) {
+  FscCurve curve;
+  curve.shell_radius = {1.0, 2.0};
+  curve.correlation = {0.99, 0.95};
+  EXPECT_DOUBLE_EQ(crossing_radius(curve, 0.5), 2.0);
+}
+
+TEST(CrossingRadius, EmptyCurveThrows) {
+  EXPECT_THROW((void)crossing_radius(FscCurve{}, 0.5), std::invalid_argument);
+}
+
+TEST(Resolution, RadiusToAngstrom) {
+  // Box of 100 voxels at 2.8 A/px: shell radius 10 -> 28 A.
+  EXPECT_NEAR(radius_to_resolution_a(10.0, 100, 2.8), 28.0, 1e-12);
+  EXPECT_THROW((void)radius_to_resolution_a(0.0, 100, 2.8),
+               std::invalid_argument);
+}
+
+TEST(VolumeCorrelation, SelfIsOne) {
+  const Volume<double> vol = por::test::small_phantom(12, 8).rasterize(12);
+  EXPECT_NEAR(volume_correlation(vol, vol), 1.0, 1e-12);
+}
+
+// ---- orientation errors ------------------------------------------------------------
+
+TEST(OrientationErrors, ZeroForExactRecovery) {
+  const std::vector<Orientation> truth{{10, 20, 30}, {40, 50, 60}};
+  const auto errors =
+      orientation_errors_deg(truth, truth, SymmetryGroup::identity());
+  for (double e : errors) EXPECT_NEAR(e, 0.0, 1e-9);
+}
+
+TEST(OrientationErrors, SymmetryMateCountsAsCorrect) {
+  const auto c4 = SymmetryGroup::cyclic(4);
+  const std::vector<Orientation> truth{{30, 40, 10}};
+  // The estimate is a left symmetry mate of the truth: same projection.
+  const std::vector<Orientation> estimated{euler_from_matrix(
+      Mat3::rot_z(std::numbers::pi / 2) * rotation_matrix(truth[0]))};
+  const auto errors = orientation_errors_deg(estimated, truth, c4);
+  EXPECT_NEAR(errors[0], 0.0, 1e-4);
+}
+
+TEST(OrientationErrors, SizeMismatchThrows) {
+  EXPECT_THROW((void)orientation_errors_deg({{0, 0, 0}}, {},
+                                            SymmetryGroup::identity()),
+               std::invalid_argument);
+}
+
+TEST(Summarize, StatisticsAreCorrect) {
+  const ErrorStats stats = summarize({1.0, 2.0, 3.0, 10.0});
+  EXPECT_DOUBLE_EQ(stats.mean, 4.0);
+  EXPECT_DOUBLE_EQ(stats.median, 2.5);
+  EXPECT_DOUBLE_EQ(stats.max, 10.0);
+  EXPECT_NEAR(stats.rms, std::sqrt((1.0 + 4.0 + 9.0 + 100.0) / 4.0), 1e-12);
+  EXPECT_EQ(stats.count, 4u);
+}
+
+TEST(Summarize, OddCountMedian) {
+  EXPECT_DOUBLE_EQ(summarize({3.0, 1.0, 2.0}).median, 2.0);
+}
+
+TEST(DriftCorrection, RemovesPureGlobalRotation) {
+  // Every estimate = drift * truth: raw errors are the drift angle,
+  // corrected errors vanish.
+  const Mat3 drift = rotation_matrix({3.0, 2.0, 355.0});
+  util::Rng rng(41);
+  std::vector<Orientation> truth, estimated;
+  for (int i = 0; i < 12; ++i) {
+    const Orientation t{rng.uniform(0, 180), rng.uniform(0, 360),
+                        rng.uniform(0, 360)};
+    truth.push_back(t);
+    estimated.push_back(euler_from_matrix(drift * rotation_matrix(t)));
+  }
+  const auto identity = SymmetryGroup::identity();
+  const auto raw = orientation_error_stats(estimated, truth, identity);
+  EXPECT_GT(raw.mean, 1.0);
+  const auto corrected =
+      summarize(drift_corrected_errors_deg(estimated, truth, identity));
+  EXPECT_LT(corrected.mean, 0.01);
+  EXPECT_NEAR(estimated_drift_deg(estimated, truth, identity), raw.mean, 0.1);
+}
+
+TEST(DriftCorrection, PreservesGenuineScatter) {
+  // Independent per-view noise has no common drift; correction must
+  // not hide it.
+  util::Rng rng(43);
+  std::vector<Orientation> truth, estimated;
+  for (int i = 0; i < 20; ++i) {
+    const Orientation t{rng.uniform(20, 160), rng.uniform(0, 360),
+                        rng.uniform(0, 360)};
+    truth.push_back(t);
+    estimated.push_back({t.theta + rng.uniform(-2, 2),
+                         t.phi + rng.uniform(-2, 2),
+                         t.omega + rng.uniform(-2, 2)});
+  }
+  const auto identity = SymmetryGroup::identity();
+  const auto raw = orientation_error_stats(estimated, truth, identity);
+  const auto corrected =
+      summarize(drift_corrected_errors_deg(estimated, truth, identity));
+  // Correction may trim a little (the accidental mean) but the scatter
+  // must remain the same order.
+  EXPECT_GT(corrected.mean, 0.5 * raw.mean);
+}
+
+TEST(DriftCorrection, WorksThroughSymmetryMates) {
+  const auto c4 = SymmetryGroup::cyclic(4);
+  const Mat3 drift = rotation_matrix({2.0, 1.0, 0.5});
+  util::Rng rng(47);
+  std::vector<Orientation> truth, estimated;
+  for (int i = 0; i < 10; ++i) {
+    const Orientation t{rng.uniform(20, 160), rng.uniform(0, 360),
+                        rng.uniform(0, 360)};
+    truth.push_back(t);
+    // Estimate = drift * (random symmetry mate of truth).
+    const auto& g = c4.operations()[rng.uniform_index(4)];
+    estimated.push_back(euler_from_matrix(drift * (g * rotation_matrix(t))));
+  }
+  const auto corrected =
+      summarize(drift_corrected_errors_deg(estimated, truth, c4));
+  EXPECT_LT(corrected.mean, 0.01);
+}
+
+TEST(DriftCorrection, RejectsEmptyInput) {
+  EXPECT_THROW((void)drift_corrected_errors_deg({}, {},
+                                                SymmetryGroup::identity()),
+               std::invalid_argument);
+}
+
+TEST(Summarize, EmptyIsAllZero) {
+  const ErrorStats stats = summarize({});
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+}
+
+}  // namespace

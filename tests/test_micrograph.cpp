@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "por/em/micrograph.hpp"
+#include "por/metrics/distance.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace por::em;
+
+MicrographSpec quiet_spec() {
+  MicrographSpec spec;
+  spec.height = 192;
+  spec.width = 192;
+  spec.particle_count = 4;
+  spec.box = 48;
+  spec.snr = 0.0;        // no noise: geometry tests first
+  spec.apply_ctf = false;
+  spec.seed = 5;
+  return spec;
+}
+
+TEST(Micrograph, PlacesRequestedParticleCount) {
+  const BlobModel model = por::test::small_phantom(48, 15);
+  const Micrograph mic = synthesize_micrograph(model, quiet_spec());
+  EXPECT_EQ(mic.truth.size(), 4u);
+  EXPECT_EQ(mic.pixels.ny(), 192u);
+  EXPECT_EQ(mic.pixels.nx(), 192u);
+}
+
+TEST(Micrograph, ParticlesRespectMinimumSpacing) {
+  const BlobModel model = por::test::small_phantom(48, 15);
+  const Micrograph mic = synthesize_micrograph(model, quiet_spec());
+  for (std::size_t i = 0; i < mic.truth.size(); ++i) {
+    for (std::size_t j = i + 1; j < mic.truth.size(); ++j) {
+      const double dx = mic.truth[i].center_x - mic.truth[j].center_x;
+      const double dy = mic.truth[i].center_y - mic.truth[j].center_y;
+      EXPECT_GE(std::hypot(dx, dy), 48.0);
+    }
+  }
+}
+
+TEST(Micrograph, BoxedParticleMatchesDirectProjection) {
+  const BlobModel model = por::test::small_phantom(48, 15);
+  const Micrograph mic = synthesize_micrograph(model, quiet_spec());
+  const PlacedParticle& p = mic.truth.front();
+  const Image<double> boxed =
+      box_particle(mic.pixels, p.center_x, p.center_y, 48);
+  const Image<double> expected = model.project_analytic(
+      48, p.orientation, p.center_x - std::floor(p.center_x),
+      p.center_y - std::floor(p.center_y));
+  EXPECT_GT(por::metrics::realspace_correlation(boxed, expected), 0.99);
+}
+
+TEST(Micrograph, RefusesImpossiblePacking) {
+  MicrographSpec spec = quiet_spec();
+  spec.particle_count = 500;  // cannot fit 500 boxes of 48 px in 192^2
+  const BlobModel model = por::test::small_phantom(48, 5);
+  EXPECT_THROW((void)synthesize_micrograph(model, spec), std::runtime_error);
+}
+
+TEST(Micrograph, RejectsBadBox) {
+  MicrographSpec spec = quiet_spec();
+  spec.box = 0;
+  const BlobModel model = por::test::small_phantom(48, 5);
+  EXPECT_THROW((void)synthesize_micrograph(model, spec),
+               std::invalid_argument);
+}
+
+TEST(BoxParticle, HandlesEdgeClipping) {
+  Image<double> field(32, 32, 1.0);
+  const Image<double> clipped = box_particle(field, 2.0, 2.0, 16);
+  // The window extends past the top-left corner; outside pixels are 0.
+  EXPECT_EQ(clipped.ny(), 16u);
+  double total = 0.0;
+  for (double v : clipped.storage()) total += v;
+  EXPECT_LT(total, 16.0 * 16.0);
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(DetectParticles, FindsPlantedParticles) {
+  const BlobModel model = por::test::small_phantom(48, 15);
+  MicrographSpec spec = quiet_spec();
+  spec.snr = 2.0;  // mild noise
+  const Micrograph mic = synthesize_micrograph(model, spec);
+  const auto found = detect_particles(mic.pixels, 14.0, mic.truth.size());
+  ASSERT_EQ(found.size(), mic.truth.size());
+  // Every true center must have a detection within half a box.
+  for (const auto& truth : mic.truth) {
+    double best = 1e9;
+    for (const auto& [fx, fy] : found) {
+      best = std::min(best, std::hypot(fx - truth.center_x,
+                                       fy - truth.center_y));
+    }
+    EXPECT_LT(best, 10.0) << "particle at (" << truth.center_x << ","
+                          << truth.center_y << ")";
+  }
+}
+
+TEST(DetectParticles, SuppresssDuplicateDetections) {
+  const BlobModel model = por::test::small_phantom(48, 15);
+  const Micrograph mic = synthesize_micrograph(model, quiet_spec());
+  const auto found = detect_particles(mic.pixels, 14.0, 4);
+  for (std::size_t i = 0; i < found.size(); ++i) {
+    for (std::size_t j = i + 1; j < found.size(); ++j) {
+      EXPECT_GT(std::hypot(found[i].first - found[j].first,
+                           found[i].second - found[j].second),
+                20.0);
+    }
+  }
+}
+
+TEST(RefineCenters, TemplateRefinementTightensPicks) {
+  const BlobModel model = por::test::small_phantom(48, 15);
+  MicrographSpec spec = quiet_spec();
+  spec.snr = 2.0;
+  const Micrograph mic = synthesize_micrograph(model, spec);
+  auto picks = detect_particles(mic.pixels, 14.0, mic.truth.size());
+  // Rotationally-averaged reference: mean of a projection bundle.
+  Image<double> reference(48, 48, 0.0);
+  por::util::Rng rng(3);
+  for (int t = 0; t < 16; ++t) {
+    double theta, phi;
+    rng.sphere_point(theta, phi);
+    const Image<double> proj = model.project_analytic(
+        48, {rad2deg(theta), rad2deg(phi), rng.uniform(0.0, 360.0)});
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      reference.storage()[i] += proj.storage()[i] / 16.0;
+    }
+  }
+  const auto refined =
+      refine_centers_by_template(mic.pixels, picks, reference, 5);
+  ASSERT_EQ(refined.size(), picks.size());
+  auto mean_error = [&](const std::vector<std::pair<double, double>>& centers) {
+    double sum = 0.0;
+    for (const auto& [cx, cy] : centers) {
+      double best = 1e30;
+      for (const auto& truth : mic.truth) {
+        best = std::min(best, std::hypot(cx - truth.center_x,
+                                         cy - truth.center_y));
+      }
+      sum += best;
+    }
+    return sum / static_cast<double>(centers.size());
+  };
+  EXPECT_LE(mean_error(refined), mean_error(picks) + 0.25);
+}
+
+TEST(RefineCenters, RejectsNonSquareReference) {
+  Image<double> field(32, 32, 0.0);
+  EXPECT_THROW((void)refine_centers_by_template(field, {{16, 16}},
+                                                Image<double>(8, 9), 2),
+               std::invalid_argument);
+}
+
+TEST(Micrograph, DeterministicForSeed) {
+  const BlobModel model = por::test::small_phantom(48, 10);
+  const Micrograph a = synthesize_micrograph(model, quiet_spec());
+  const Micrograph b = synthesize_micrograph(model, quiet_spec());
+  EXPECT_EQ(a.pixels, b.pixels);
+  ASSERT_EQ(a.truth.size(), b.truth.size());
+  EXPECT_DOUBLE_EQ(a.truth[0].center_x, b.truth[0].center_x);
+}
+
+}  // namespace

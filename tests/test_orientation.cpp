@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "por/em/orientation.hpp"
+#include "por/util/rng.hpp"
+
+namespace {
+
+using namespace por::em;
+namespace util = por::util;
+
+bool is_rotation(const Mat3& r, double tol = 1e-12) {
+  const Mat3 should_be_identity = r * r.transposed();
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      const double expected = i == j ? 1.0 : 0.0;
+      if (std::abs(should_be_identity(i, j) - expected) > tol) return false;
+    }
+  }
+  // Proper rotation: det = +1 (check via triple product of rows).
+  const Vec3 r0{r(0, 0), r(0, 1), r(0, 2)};
+  const Vec3 r1{r(1, 0), r(1, 1), r(1, 2)};
+  const Vec3 r2{r(2, 0), r(2, 1), r(2, 2)};
+  return std::abs(r0.cross(r1).dot(r2) - 1.0) < 1e-10;
+}
+
+TEST(Vec3, BasicAlgebra) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+  const Vec3 c = a.cross(b);
+  EXPECT_DOUBLE_EQ(c.x, -3.0);
+  EXPECT_DOUBLE_EQ(c.y, 6.0);
+  EXPECT_DOUBLE_EQ(c.z, -3.0);
+  EXPECT_DOUBLE_EQ(a.cross(a).norm(), 0.0);
+  EXPECT_NEAR((Vec3{3, 4, 0}).norm(), 5.0, 1e-15);
+  EXPECT_NEAR((Vec3{3, 4, 0}).normalized().norm(), 1.0, 1e-15);
+}
+
+TEST(Mat3, ElementaryRotationsAreRotations) {
+  for (double angle : {0.0, 0.3, 1.7, 3.14, -2.4}) {
+    EXPECT_TRUE(is_rotation(Mat3::rot_x(angle)));
+    EXPECT_TRUE(is_rotation(Mat3::rot_y(angle)));
+    EXPECT_TRUE(is_rotation(Mat3::rot_z(angle)));
+  }
+}
+
+TEST(Mat3, RotZRotatesXTowardY) {
+  const Vec3 v = Mat3::rot_z(M_PI / 2) * Vec3{1, 0, 0};
+  EXPECT_NEAR(v.x, 0.0, 1e-15);
+  EXPECT_NEAR(v.y, 1.0, 1e-15);
+  EXPECT_NEAR(v.z, 0.0, 1e-15);
+}
+
+TEST(Mat3, AxisAngleMatchesElementary) {
+  for (double angle : {0.2, 1.0, 2.9}) {
+    const Mat3 a = Mat3::axis_angle({0, 0, 1}, angle);
+    const Mat3 b = Mat3::rot_z(angle);
+    for (int i = 0; i < 9; ++i) EXPECT_NEAR(a.m[i], b.m[i], 1e-14);
+  }
+}
+
+TEST(Mat3, AxisAngleFixesAxis) {
+  const Vec3 axis = Vec3{1, 2, -1}.normalized();
+  const Mat3 r = Mat3::axis_angle(axis, 1.234);
+  const Vec3 mapped = r * axis;
+  EXPECT_NEAR((mapped - axis).norm(), 0.0, 1e-14);
+  EXPECT_TRUE(is_rotation(r));
+}
+
+TEST(Orientation, RotationMatrixIsZyz) {
+  // R(theta, phi, omega) = Rz(phi) Ry(theta) Rz(omega), checked
+  // element-wise on a generic triple.
+  const Orientation o{40.0, 70.0, 25.0};
+  const Mat3 expected = Mat3::rot_z(deg2rad(70.0)) *
+                        Mat3::rot_y(deg2rad(40.0)) *
+                        Mat3::rot_z(deg2rad(25.0));
+  const Mat3 got = rotation_matrix(o);
+  for (int i = 0; i < 9; ++i) EXPECT_NEAR(got.m[i], expected.m[i], 1e-15);
+}
+
+TEST(Orientation, ViewAxisMatchesSphericalAngles) {
+  const Orientation o{30.0, 60.0, 123.0};  // omega must not matter
+  const Vec3 axis = view_axis(o);
+  EXPECT_NEAR(axis.x, std::sin(deg2rad(30.0)) * std::cos(deg2rad(60.0)), 1e-15);
+  EXPECT_NEAR(axis.y, std::sin(deg2rad(30.0)) * std::sin(deg2rad(60.0)), 1e-15);
+  EXPECT_NEAR(axis.z, std::cos(deg2rad(30.0)), 1e-15);
+  // view_axis == R * z_hat.
+  const Vec3 via_matrix = rotation_matrix(o) * Vec3{0, 0, 1};
+  EXPECT_NEAR((axis - via_matrix).norm(), 0.0, 1e-14);
+}
+
+class EulerRoundTrip : public ::testing::TestWithParam<Orientation> {};
+
+TEST_P(EulerRoundTrip, MatrixToEulerToMatrix) {
+  const Orientation o = GetParam();
+  const Mat3 r = rotation_matrix(o);
+  const Orientation back = euler_from_matrix(r);
+  // The recovered angles may differ (gimbal) but must represent the
+  // same rotation.
+  EXPECT_LT(geodesic_deg(rotation_matrix(back), r), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Angles, EulerRoundTrip,
+    ::testing::Values(Orientation{0, 0, 0}, Orientation{0, 0, 45},
+                      Orientation{180, 0, 30}, Orientation{90, 90, 90},
+                      Orientation{12.5, 311.0, 250.5},
+                      Orientation{179.99, 10, 20}, Orientation{0.01, 359, 1},
+                      Orientation{45, 0, 0}, Orientation{90, 180, 270}));
+
+TEST(Geodesic, IdentityIsZero) {
+  const Orientation o{33, 44, 55};
+  EXPECT_NEAR(geodesic_deg(o, o), 0.0, 1e-9);
+}
+
+TEST(Geodesic, SymmetricInArguments) {
+  const Orientation a{10, 20, 30}, b{15, 25, 35};
+  EXPECT_NEAR(geodesic_deg(a, b), geodesic_deg(b, a), 1e-12);
+}
+
+TEST(Geodesic, KnownRelativeAngle) {
+  // Pure in-plane rotation: omega differs by 40 degrees.
+  const Orientation a{0, 0, 10}, b{0, 0, 50};
+  EXPECT_NEAR(geodesic_deg(a, b), 40.0, 1e-9);
+}
+
+TEST(Geodesic, TriangleInequalitySpotCheck) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Orientation a{rng.uniform(0, 180), rng.uniform(0, 360),
+                        rng.uniform(0, 360)};
+    const Orientation b{rng.uniform(0, 180), rng.uniform(0, 360),
+                        rng.uniform(0, 360)};
+    const Orientation c{rng.uniform(0, 180), rng.uniform(0, 360),
+                        rng.uniform(0, 360)};
+    EXPECT_LE(geodesic_deg(a, c),
+              geodesic_deg(a, b) + geodesic_deg(b, c) + 1e-9);
+  }
+}
+
+TEST(Geodesic, BoundedBy180) {
+  const Orientation a{0, 0, 0}, b{180, 0, 0};
+  EXPECT_LE(geodesic_deg(a, b), 180.0 + 1e-12);
+  EXPECT_GT(geodesic_deg(a, b), 179.0);
+}
+
+TEST(DegreesRadians, RoundTrip) {
+  EXPECT_NEAR(rad2deg(deg2rad(123.456)), 123.456, 1e-12);
+  EXPECT_NEAR(deg2rad(180.0), M_PI, 1e-15);
+}
+
+TEST(Orientation, RandomMatricesAreRotations) {
+  util::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const Orientation o{rng.uniform(0, 180), rng.uniform(0, 360),
+                        rng.uniform(0, 360)};
+    EXPECT_TRUE(is_rotation(rotation_matrix(o)));
+  }
+}
+
+}  // namespace

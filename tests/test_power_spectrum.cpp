@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "por/metrics/fsc.hpp"
+#include "por/metrics/power_spectrum.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace por;
+using namespace por::em;
+using namespace por::metrics;
+using por::test::small_phantom;
+
+TEST(PowerSpectrum3D, ConstantVolumeIsPureDc) {
+  const Volume<double> flat(12, 3.0);
+  const auto power = radial_power_spectrum_3d(flat);
+  EXPECT_GT(power[0], 1.0);
+  for (std::size_t s = 1; s < power.size(); ++s) {
+    EXPECT_NEAR(power[s], 0.0, 1e-10) << "shell " << s;
+  }
+}
+
+TEST(PowerSpectrum3D, StructuredMapDecaysWithRadius) {
+  const Volume<double> map = small_phantom(24, 15).rasterize(24);
+  const auto power = radial_power_spectrum_3d(map);
+  EXPECT_GT(power[1], power[8]);
+  EXPECT_GT(power[2], power[11]);
+}
+
+TEST(PowerSpectrum3D, RejectsNonCube) {
+  EXPECT_THROW((void)radial_power_spectrum_3d(Volume<double>(4, 5, 6)),
+               std::invalid_argument);
+}
+
+TEST(BFactor, BlurredMapHasLargerB) {
+  const Volume<double> sharp = small_phantom(24, 15).rasterize(24);
+  // Blur: apply a negative sharpening (positive damping) of 150 A^2.
+  const Volume<double> blurred = apply_b_factor(sharp, -150.0, 2.8);
+  const double b_sharp = estimate_b_factor(sharp, 2.8);
+  const double b_blurred = estimate_b_factor(blurred, 2.8);
+  EXPECT_GT(b_blurred, b_sharp + 50.0);
+}
+
+TEST(BFactor, EstimateInvertsAppliedFactor) {
+  const Volume<double> map = small_phantom(24, 15).rasterize(24);
+  const double b0 = estimate_b_factor(map, 2.8);
+  for (double delta : {-120.0, 100.0}) {
+    const Volume<double> modified = apply_b_factor(map, delta, 2.8);
+    const double b1 = estimate_b_factor(modified, 2.8);
+    // Applying exp(+delta s^2/4) multiplies amplitudes, which SUBTRACTS
+    // delta from the fitted decay coefficient.
+    EXPECT_NEAR(b1 - b0, -delta, 0.25 * std::abs(delta)) << "delta " << delta;
+  }
+}
+
+TEST(BFactor, ApplyZeroIsIdentity) {
+  const Volume<double> map = small_phantom(16, 8).rasterize(16);
+  const Volume<double> same = apply_b_factor(map, 0.0, 2.8);
+  EXPECT_LT(por::test::max_abs_diff(same, map), 1e-10);
+}
+
+TEST(BFactor, SharpenUndoesBlurApproximately) {
+  const Volume<double> map = small_phantom(20, 12).rasterize(20);
+  const Volume<double> round_trip =
+      apply_b_factor(apply_b_factor(map, -100.0, 2.8), 100.0, 2.8);
+  EXPECT_LT(por::test::rel_l2(round_trip, map), 1e-9);
+}
+
+TEST(BFactor, RejectsBadArguments) {
+  const Volume<double> map(8);
+  EXPECT_THROW((void)estimate_b_factor(map, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)apply_b_factor(map, 10.0, 0.0), std::invalid_argument);
+}
+
+TEST(MatchAmplitudes, MatchesReferenceShellPower) {
+  const Volume<double> reference = small_phantom(20, 12, 5).rasterize(20);
+  // Damage a copy's spectrum falloff, then restore it from the profile.
+  const Volume<double> damaged = apply_b_factor(reference, -200.0, 2.8);
+  const Volume<double> restored = match_amplitudes(damaged, reference);
+  const auto p_ref = radial_power_spectrum_3d(reference);
+  const auto p_restored = radial_power_spectrum_3d(restored);
+  for (std::size_t s = 1; s + 1 < p_ref.size(); ++s) {
+    if (p_ref[s] <= 0.0) continue;
+    EXPECT_NEAR(p_restored[s] / p_ref[s], 1.0, 0.05) << "shell " << s;
+  }
+  // Real-space correlation against the reference must improve once the
+  // amplitude falloff is undone.  (FSC would not change: it is
+  // per-shell normalized and amplitude scaling is phase-preserving.)
+  EXPECT_GT(volume_correlation(restored, reference),
+            volume_correlation(damaged, reference));
+}
+
+TEST(MatchAmplitudes, IdenticalMapsUnchanged) {
+  const Volume<double> map = small_phantom(16, 8).rasterize(16);
+  const Volume<double> same = match_amplitudes(map, map);
+  EXPECT_LT(por::test::rel_l2(same, map), 1e-9);
+}
+
+TEST(MatchAmplitudes, RejectsSizeMismatch) {
+  EXPECT_THROW((void)match_amplitudes(Volume<double>(8), Volume<double>(9)),
+               std::invalid_argument);
+}
+
+}  // namespace

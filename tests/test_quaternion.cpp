@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "por/em/quaternion.hpp"
+#include "por/util/rng.hpp"
+
+namespace {
+
+using namespace por::em;
+namespace util = por::util;
+
+TEST(Quaternion, IdentityRoundTrip) {
+  const Quaternion q = quaternion_from_matrix(Mat3::identity());
+  EXPECT_NEAR(std::abs(q.w), 1.0, 1e-12);
+  EXPECT_NEAR(geodesic_deg(matrix_from_quaternion(q), Mat3::identity()), 0.0,
+              1e-9);
+}
+
+TEST(Quaternion, MatrixRoundTripForRandomRotations) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Orientation o{rng.uniform(0, 180), rng.uniform(0, 360),
+                        rng.uniform(0, 360)};
+    const Mat3 r = rotation_matrix(o);
+    const Mat3 back = matrix_from_quaternion(quaternion_from_matrix(r));
+    EXPECT_LT(geodesic_deg(r, back), 1e-5);
+  }
+}
+
+TEST(Quaternion, RoundTripNear180Degrees) {
+  // Shepperd pivots: exercise all branches with rotations near pi
+  // about each axis.
+  for (const Vec3 axis : {Vec3{1, 0, 0}, Vec3{0, 1, 0}, Vec3{0, 0, 1},
+                          Vec3{1, 1, 1}}) {
+    const Mat3 r = Mat3::axis_angle(axis, 3.13);
+    const Mat3 back = matrix_from_quaternion(quaternion_from_matrix(r));
+    EXPECT_LT(geodesic_deg(r, back), 1e-6);
+  }
+}
+
+TEST(Quaternion, UnitNorm) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Orientation o{rng.uniform(0, 180), rng.uniform(0, 360),
+                        rng.uniform(0, 360)};
+    EXPECT_NEAR(quaternion_from_matrix(rotation_matrix(o)).norm(), 1.0, 1e-12);
+  }
+}
+
+TEST(MeanRotation, SingleElementIsItself) {
+  const Mat3 r = rotation_matrix({40, 70, 110});
+  EXPECT_LT(geodesic_deg(mean_rotation({r}), r), 1e-9);
+}
+
+TEST(MeanRotation, AveragesSymmetricPerturbations) {
+  // Rotations at +a and -a about the same axis average to identity.
+  const Vec3 axis = Vec3{1, 2, 3}.normalized();
+  const Mat3 plus = Mat3::axis_angle(axis, deg2rad(6.0));
+  const Mat3 minus = Mat3::axis_angle(axis, deg2rad(-6.0));
+  EXPECT_LT(geodesic_deg(mean_rotation({plus, minus}), Mat3::identity()),
+            1e-9);
+}
+
+TEST(MeanRotation, RecoversCommonDriftUnderScatter) {
+  const Mat3 drift = rotation_matrix({2.0, 1.0, 357.0});
+  util::Rng rng(11);
+  std::vector<Mat3> rotations;
+  for (int i = 0; i < 40; ++i) {
+    const Vec3 axis = Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                           rng.uniform(-1, 1)}
+                          .normalized();
+    rotations.push_back(drift *
+                        Mat3::axis_angle(axis, deg2rad(rng.uniform(-3, 3))));
+  }
+  EXPECT_LT(geodesic_deg(mean_rotation(rotations), drift), 0.6);
+}
+
+TEST(MeanRotation, SignAlignmentHandlesDoubleCover) {
+  // Two identical rotations whose quaternions happen to have opposite
+  // signs must not cancel.
+  const Mat3 r = Mat3::axis_angle({0, 0, 1}, 3.1);  // near-pi: sign-sensitive
+  EXPECT_LT(geodesic_deg(mean_rotation({r, r, r}), r), 1e-9);
+}
+
+TEST(MeanRotation, EmptyInputThrows) {
+  EXPECT_THROW((void)mean_rotation({}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "por/core/refiner.hpp"
+#include "por/em/noise.hpp"
+#include "por/em/projection.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace por;
+using namespace por::em;
+using namespace por::core;
+using por::test::small_phantom;
+
+RefinerConfig fast_config() {
+  RefinerConfig config;
+  config.schedule = {SearchLevel{1.0, 3, 1.0, 3},
+                     SearchLevel{0.5, 5, 0.5, 3},
+                     SearchLevel{0.1, 5, 0.1, 3}};
+  config.match.r_map = 8.0;
+  return config;
+}
+
+TEST(Refiner, RecoversPerturbedOrientations) {
+  const std::size_t l = 24;
+  const BlobModel model = small_phantom(l, 15);
+  const OrientationRefiner refiner(model.rasterize(l), fast_config());
+  util::Rng rng(3);
+  double init_sum = 0.0, refined_sum = 0.0;
+  const int trials = 5;
+  for (int i = 0; i < trials; ++i) {
+    const Orientation truth = por::test::random_orientation(rng);
+    const Image<double> view = model.project_analytic(l, truth);
+    const Orientation initial{truth.theta + rng.uniform(-2, 2),
+                              truth.phi + rng.uniform(-2, 2),
+                              truth.omega + rng.uniform(-2, 2)};
+    const ViewResult result = refiner.refine_view(view, initial);
+    init_sum += geodesic_deg(initial, truth);
+    refined_sum += geodesic_deg(result.orientation, truth);
+  }
+  EXPECT_LT(refined_sum / trials, 0.4 * (init_sum / trials));
+  EXPECT_LT(refined_sum / trials, 1.0);
+}
+
+TEST(Refiner, RecoversCentersJointly) {
+  const std::size_t l = 24;
+  const BlobModel model = small_phantom(l, 15);
+  const OrientationRefiner refiner(model.rasterize(l), fast_config());
+  util::Rng rng(5);
+  for (int i = 0; i < 3; ++i) {
+    const Orientation truth = por::test::random_orientation(rng);
+    const double cx = rng.uniform(-1.5, 1.5), cy = rng.uniform(-1.5, 1.5);
+    const Image<double> view = model.project_analytic(l, truth, cx, cy);
+    const Orientation initial{truth.theta + 1.0, truth.phi - 1.0,
+                              truth.omega + 1.0};
+    const ViewResult result = refiner.refine_view(view, initial);
+    EXPECT_NEAR(result.center_x, cx, 0.3) << "trial " << i;
+    EXPECT_NEAR(result.center_y, cy, 0.3) << "trial " << i;
+  }
+}
+
+TEST(Refiner, SurvivesModerateNoise) {
+  const std::size_t l = 24;
+  const BlobModel model = small_phantom(l, 15);
+  const OrientationRefiner refiner(model.rasterize(l), fast_config());
+  util::Rng rng(7);
+  const Orientation truth = por::test::random_orientation(rng);
+  Image<double> view = model.project_analytic(l, truth);
+  add_gaussian_noise(view, 1.0, rng);  // SNR 1: heavy noise
+  const Orientation initial{truth.theta + 1.5, truth.phi - 1.0,
+                            truth.omega + 1.0};
+  const ViewResult result = refiner.refine_view(view, initial);
+  EXPECT_LT(geodesic_deg(result.orientation, truth),
+            geodesic_deg(initial, truth));
+}
+
+TEST(Refiner, EachLevelTightensTheResult) {
+  const std::size_t l = 24;
+  const BlobModel model = small_phantom(l, 15);
+  util::Rng rng(11);
+  const Orientation truth = por::test::random_orientation(rng);
+  const Image<double> view = model.project_analytic(l, truth);
+  const Orientation initial{truth.theta + 1.8, truth.phi - 1.3,
+                            truth.omega + 0.9};
+
+  RefinerConfig one_level = fast_config();
+  one_level.schedule = {SearchLevel{1.0, 3, 1.0, 3}};
+  RefinerConfig three_levels = fast_config();
+
+  const OrientationRefiner coarse(model.rasterize(l), one_level);
+  const OrientationRefiner fine(model.rasterize(l), three_levels);
+  const double err_coarse =
+      geodesic_deg(coarse.refine_view(view, initial).orientation, truth);
+  const double err_fine =
+      geodesic_deg(fine.refine_view(view, initial).orientation, truth);
+  EXPECT_LT(err_fine, err_coarse + 1e-9);
+}
+
+TEST(Refiner, CtfViewsRefineWithCorrection) {
+  const std::size_t l = 24;
+  const BlobModel model = small_phantom(l, 15);
+  CtfParams ctf;
+  ctf.defocus_a = 18000.0;
+
+  RefinerConfig config = fast_config();
+  config.ctf = ctf;
+  config.ctf_correction = CtfCorrection::kWiener;
+  config.wiener_snr = 50.0;
+  config.refine_centers = false;
+  const OrientationRefiner refiner(model.rasterize(l), config);
+
+  util::Rng rng(13);
+  const Orientation truth = por::test::random_orientation(rng);
+  Image<cdouble> spec = centered_fft2(model.project_analytic(l, truth));
+  apply_ctf(spec, ctf);
+  const Image<double> damaged = centered_ifft2(spec);
+
+  const Orientation initial{truth.theta + 1.5, truth.phi + 1.5,
+                            truth.omega - 1.5};
+  const ViewResult result = refiner.refine_view(damaged, initial);
+  EXPECT_LT(geodesic_deg(result.orientation, truth),
+            geodesic_deg(initial, truth));
+}
+
+TEST(Refiner, BatchMatchesPerViewCalls) {
+  const std::size_t l = 20;
+  const BlobModel model = small_phantom(l, 10);
+  RefinerConfig config = fast_config();
+  config.schedule = {SearchLevel{1.0, 3, 1.0, 3}};
+  const OrientationRefiner refiner(model.rasterize(l), config);
+  util::Rng rng(17);
+  std::vector<Image<double>> views;
+  std::vector<Orientation> initials;
+  for (int i = 0; i < 3; ++i) {
+    const Orientation truth = por::test::random_orientation(rng);
+    views.push_back(model.project_analytic(l, truth));
+    initials.push_back(
+        {truth.theta + 0.5, truth.phi - 0.5, truth.omega + 0.5});
+  }
+  const auto batch = refiner.refine(views, initials);
+  ASSERT_EQ(batch.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    const ViewResult solo = refiner.refine_view(views[i], initials[i]);
+    EXPECT_NEAR(geodesic_deg(batch[i].orientation, solo.orientation), 0.0,
+                1e-4);
+  }
+}
+
+TEST(Refiner, RecordsStepTimes) {
+  const std::size_t l = 20;
+  const BlobModel model = small_phantom(l, 10);
+  const OrientationRefiner refiner(model.rasterize(l), fast_config());
+  util::Rng rng(19);
+  const Orientation truth = por::test::random_orientation(rng);
+  (void)refiner.refine_view(model.project_analytic(l, truth), truth);
+  EXPECT_GT(refiner.times().get("Orientation refinement"), 0.0);
+  EXPECT_GT(refiner.times().get("FFT analysis"), 0.0);
+  EXPECT_GT(refiner.times().get("Center refinement"), 0.0);
+}
+
+TEST(Refiner, MatchingCountReflectsScheduleAndSlides) {
+  const std::size_t l = 20;
+  const BlobModel model = small_phantom(l, 10);
+  RefinerConfig config = fast_config();
+  config.schedule = {SearchLevel{1.0, 3, 1.0, 3}};
+  config.refine_centers = false;
+  const OrientationRefiner refiner(model.rasterize(l), config);
+  util::Rng rng(23);
+  const Orientation truth = por::test::random_orientation(rng);
+  const ViewResult result =
+      refiner.refine_view(model.project_analytic(l, truth), truth);
+  // Starting at the truth: one 27-point window, no slides.
+  EXPECT_EQ(result.matchings, 27u);
+  EXPECT_EQ(result.window_slides, 0);
+}
+
+TEST(Refiner, EmptyScheduleRejected) {
+  const BlobModel model = small_phantom(8, 4);
+  RefinerConfig config;
+  config.schedule.clear();
+  EXPECT_THROW((void)OrientationRefiner(model.rasterize(8), config),
+               std::invalid_argument);
+}
+
+TEST(Refiner, InputSizeMismatchRejected) {
+  const BlobModel model = small_phantom(8, 4);
+  RefinerConfig config = fast_config();
+  config.schedule = {SearchLevel{1.0, 3, 1.0, 3}};
+  const OrientationRefiner refiner(model.rasterize(8), config);
+  EXPECT_THROW((void)refiner.refine({Image<double>(8, 8)}, {}),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "por/em/symmetry.hpp"
+#include "por/util/rng.hpp"
+
+namespace {
+
+using namespace por::em;
+namespace util = por::util;
+
+bool group_contains(const std::vector<Mat3>& ops, const Mat3& candidate,
+                    double tol = 1e-8) {
+  for (const auto& op : ops) {
+    double worst = 0.0;
+    for (int i = 0; i < 9; ++i) {
+      worst = std::max(worst, std::abs(op.m[i] - candidate.m[i]));
+    }
+    if (worst < tol) return true;
+  }
+  return false;
+}
+
+// ---- group orders -----------------------------------------------------------
+
+TEST(SymmetryGroup, Orders) {
+  EXPECT_EQ(SymmetryGroup::identity().order(), 1u);
+  EXPECT_EQ(SymmetryGroup::cyclic(1).order(), 1u);
+  EXPECT_EQ(SymmetryGroup::cyclic(7).order(), 7u);
+  EXPECT_EQ(SymmetryGroup::dihedral(1).order(), 2u);
+  EXPECT_EQ(SymmetryGroup::dihedral(5).order(), 10u);
+  EXPECT_EQ(SymmetryGroup::tetrahedral().order(), 12u);
+  EXPECT_EQ(SymmetryGroup::octahedral().order(), 24u);
+  EXPECT_EQ(SymmetryGroup::icosahedral().order(), 60u);
+}
+
+TEST(SymmetryGroup, Names) {
+  EXPECT_EQ(SymmetryGroup::cyclic(5).name(), "C5");
+  EXPECT_EQ(SymmetryGroup::dihedral(3).name(), "D3");
+  EXPECT_EQ(SymmetryGroup::icosahedral().name(), "I");
+}
+
+TEST(SymmetryGroup, FromNameParsesAll) {
+  EXPECT_EQ(SymmetryGroup::from_name("C1").order(), 1u);
+  EXPECT_EQ(SymmetryGroup::from_name("c6").order(), 6u);
+  EXPECT_EQ(SymmetryGroup::from_name("D7").order(), 14u);
+  EXPECT_EQ(SymmetryGroup::from_name("T").order(), 12u);
+  EXPECT_EQ(SymmetryGroup::from_name("O").order(), 24u);
+  EXPECT_EQ(SymmetryGroup::from_name("I").order(), 60u);
+  EXPECT_THROW((void)SymmetryGroup::from_name(""), std::invalid_argument);
+  EXPECT_THROW((void)SymmetryGroup::from_name("X2"), std::invalid_argument);
+}
+
+TEST(SymmetryGroup, RejectsBadN) {
+  EXPECT_THROW((void)SymmetryGroup::cyclic(0), std::invalid_argument);
+  EXPECT_THROW((void)SymmetryGroup::dihedral(-1), std::invalid_argument);
+}
+
+// ---- group axioms (parameterized over all stock groups) ---------------------
+
+class GroupAxioms : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GroupAxioms, ClosedUnderMultiplication) {
+  const auto group = SymmetryGroup::from_name(GetParam());
+  const auto& ops = group.operations();
+  for (const auto& a : ops) {
+    for (const auto& b : ops) {
+      EXPECT_TRUE(group_contains(ops, a * b));
+    }
+  }
+}
+
+TEST_P(GroupAxioms, ContainsIdentity) {
+  const auto group = SymmetryGroup::from_name(GetParam());
+  EXPECT_TRUE(group_contains(group.operations(), Mat3::identity()));
+}
+
+TEST_P(GroupAxioms, ClosedUnderInverse) {
+  const auto group = SymmetryGroup::from_name(GetParam());
+  for (const auto& op : group.operations()) {
+    EXPECT_TRUE(group_contains(group.operations(), op.transposed()));
+  }
+}
+
+TEST_P(GroupAxioms, ElementsAreProperRotations) {
+  const auto group = SymmetryGroup::from_name(GetParam());
+  for (const auto& op : group.operations()) {
+    const Mat3 should_be_identity = op * op.transposed();
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        EXPECT_NEAR(should_be_identity(i, j), i == j ? 1.0 : 0.0, 1e-9);
+      }
+    }
+    const Vec3 r0{op(0, 0), op(0, 1), op(0, 2)};
+    const Vec3 r1{op(1, 0), op(1, 1), op(1, 2)};
+    const Vec3 r2{op(2, 0), op(2, 1), op(2, 2)};
+    EXPECT_NEAR(r0.cross(r1).dot(r2), 1.0, 1e-9);  // no reflections
+  }
+}
+
+TEST_P(GroupAxioms, ElementsAreDistinct) {
+  const auto group = SymmetryGroup::from_name(GetParam());
+  const auto& ops = group.operations();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    for (std::size_t j = i + 1; j < ops.size(); ++j) {
+      double worst = 0.0;
+      for (int k = 0; k < 9; ++k) {
+        worst = std::max(worst, std::abs(ops[i].m[k] - ops[j].m[k]));
+      }
+      EXPECT_GT(worst, 1e-6) << "ops " << i << " and " << j << " coincide";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, GroupAxioms,
+                         ::testing::Values("C1", "C2", "C5", "C7", "D2", "D5",
+                                           "T", "O", "I"));
+
+// ---- specific geometry -------------------------------------------------------
+
+TEST(SymmetryGroup, MinRotationAngles) {
+  EXPECT_NEAR(SymmetryGroup::cyclic(5).min_rotation_deg(), 72.0, 1e-9);
+  EXPECT_NEAR(SymmetryGroup::octahedral().min_rotation_deg(), 90.0, 1e-9);
+  EXPECT_NEAR(SymmetryGroup::icosahedral().min_rotation_deg(), 72.0, 1e-6);
+  EXPECT_DOUBLE_EQ(SymmetryGroup::identity().min_rotation_deg(), 360.0);
+}
+
+TEST(SymmetryGroup, IcosahedralHasCoordinateTwofolds) {
+  const auto icos = SymmetryGroup::icosahedral();
+  EXPECT_TRUE(group_contains(icos.operations(), Mat3::rot_z(M_PI)));
+  EXPECT_TRUE(group_contains(icos.operations(), Mat3::rot_x(M_PI)));
+  EXPECT_TRUE(group_contains(icos.operations(), Mat3::rot_y(M_PI)));
+}
+
+TEST(CloseGroup, ThrowsOnNonClosingGenerators) {
+  // An irrational rotation never closes.
+  EXPECT_THROW((void)close_group({Mat3::rot_z(1.0)}, 64), std::runtime_error);
+}
+
+// ---- symmetry-aware distance --------------------------------------------------
+
+TEST(SymmetryAwareGeodesic, SymmetryMatesAreEquivalent) {
+  const auto c4 = SymmetryGroup::cyclic(4);
+  // A C4-symmetric particle projects identically under R and g * R
+  // (left multiplication: rho(g x) = rho(x) folds into the view).
+  const Orientation a{30, 40, 10};
+  const Orientation b =
+      euler_from_matrix(Mat3::rot_z(M_PI / 2) * rotation_matrix(a));
+  EXPECT_GT(geodesic_deg(a, b), 50.0);
+  EXPECT_NEAR(symmetry_aware_geodesic_deg(a, b, c4), 0.0, 1e-4);
+}
+
+TEST(SymmetryAwareGeodesic, NeverExceedsPlainGeodesic) {
+  util::Rng rng(4);
+  const auto icos = SymmetryGroup::icosahedral();
+  for (int i = 0; i < 10; ++i) {
+    const Orientation a{rng.uniform(0, 180), rng.uniform(0, 360),
+                        rng.uniform(0, 360)};
+    const Orientation b{rng.uniform(0, 180), rng.uniform(0, 360),
+                        rng.uniform(0, 360)};
+    EXPECT_LE(symmetry_aware_geodesic_deg(a, b, icos),
+              geodesic_deg(a, b) + 1e-9);
+  }
+}
+
+TEST(SymmetryAwareGeodesic, TrivialGroupMatchesPlain) {
+  const Orientation a{10, 20, 30}, b{40, 50, 60};
+  EXPECT_NEAR(symmetry_aware_geodesic_deg(a, b, SymmetryGroup::identity()),
+              geodesic_deg(a, b), 1e-12);
+}
+
+// ---- asymmetric unit -----------------------------------------------------------
+
+TEST(AsymmetricUnit, CornersAreInside) {
+  const IcosahedralAsymmetricUnit au;
+  EXPECT_TRUE(au.contains(au.fivefold_a()));
+  EXPECT_TRUE(au.contains(au.fivefold_b()));
+  EXPECT_TRUE(au.contains(au.threefold()));
+  EXPECT_TRUE(au.contains(au.twofold()));  // on the edge
+}
+
+TEST(AsymmetricUnit, CentroidIsInsideAndPolesAreNot) {
+  const IcosahedralAsymmetricUnit au;
+  const Vec3 centroid =
+      (au.fivefold_a() + au.fivefold_b() + au.threefold()).normalized();
+  EXPECT_TRUE(au.contains(centroid));
+  EXPECT_FALSE(au.contains({0, 0, 1}));
+  EXPECT_FALSE(au.contains({0, 1, 0}));
+  EXPECT_FALSE(au.contains({-1, 0, 0}));
+}
+
+TEST(AsymmetricUnit, CornersMatchFig1bAngles) {
+  const IcosahedralAsymmetricUnit au;
+  // 5-folds at (theta=90, phi=+-31.72), 3-fold at (69.09, 0).
+  const Vec3 v5 = au.fivefold_a();
+  EXPECT_NEAR(rad2deg(std::acos(v5.z)), 90.0, 0.01);
+  EXPECT_NEAR(rad2deg(std::atan2(std::abs(v5.y), v5.x)), 31.72, 0.01);
+  const Vec3 v3 = au.threefold();
+  EXPECT_NEAR(rad2deg(std::acos(v3.z)), 69.09, 0.01);
+  EXPECT_NEAR(v3.y, 0.0, 1e-12);
+}
+
+TEST(AsymmetricUnit, OrbitOfInteriorPointTilesSphereOnce) {
+  // For a point strictly inside the asymmetric unit, exactly one of its
+  // 60 symmetry images lies in the unit.
+  const IcosahedralAsymmetricUnit au;
+  const auto icos = SymmetryGroup::icosahedral();
+  const Vec3 p =
+      (0.5 * (au.fivefold_a() + au.fivefold_b()) + 0.3 * au.threefold())
+          .normalized();
+  ASSERT_TRUE(au.contains(p));
+  int inside = 0;
+  for (const auto& op : icos.operations()) {
+    if (au.contains(op * p)) ++inside;
+  }
+  EXPECT_EQ(inside, 1);
+}
+
+TEST(AsymmetricUnit, GridCountsScaleInversely) {
+  const IcosahedralAsymmetricUnit au;
+  const auto coarse = au.grid(3.0);
+  const auto fine = au.grid(1.0);
+  // The unit covers 1/60 of the sphere; at 3 degrees the paper quotes
+  // ~115 views (grid-scheme dependent) — ours must be the same order.
+  EXPECT_GT(coarse.size(), 40u);
+  EXPECT_LT(coarse.size(), 250u);
+  // Halving the step should multiply counts by ~(3/1)^2 = 9.
+  const double ratio =
+      static_cast<double>(fine.size()) / static_cast<double>(coarse.size());
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 14.0);
+  // Every grid point lies inside.
+  for (const auto& o : coarse) {
+    EXPECT_TRUE(au.contains(view_axis(o)));
+  }
+}
+
+TEST(AsymmetricUnit, GridRejectsBadStep) {
+  const IcosahedralAsymmetricUnit au;
+  EXPECT_THROW((void)au.grid(0.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "por/core/symmetry_detect.hpp"
+#include "por/em/phantom.hpp"
+#include "por/em/rotate.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace por;
+using namespace por::em;
+using namespace por::core;
+
+DetectorConfig fast_detector() {
+  DetectorConfig config;
+  config.coarse_step_deg = 10.0;
+  config.threshold = 0.80;
+  config.max_fold = 6;
+  config.refine_rounds = 2;
+  return config;
+}
+
+Volume<double> symmetric_map(const SymmetryGroup& group, std::size_t l,
+                             std::uint64_t seed = 5) {
+  PhantomSpec spec;
+  spec.l = l;
+  spec.seed = seed;
+  return make_with_symmetry(spec, group, 3).rasterize(l);
+}
+
+TEST(SelfCorrelation, SymmetricAxisScoresHigh) {
+  const Volume<double> map = symmetric_map(SymmetryGroup::cyclic(4), 20);
+  EXPECT_GT(SymmetryDetector::self_correlation(map, {0, 0, 1}, 4), 0.95);
+  EXPECT_LT(SymmetryDetector::self_correlation(map, {1, 0, 0}, 4), 0.8);
+}
+
+TEST(SelfCorrelation, AsymmetricMapScoresLowEverywhere) {
+  PhantomSpec spec;
+  spec.l = 20;
+  const Volume<double> map = make_asymmetric(spec, 20).rasterize(20);
+  for (const Vec3 axis : {Vec3{0, 0, 1}, Vec3{1, 0, 0}, Vec3{1, 1, 1}}) {
+    for (int fold : {2, 3, 5}) {
+      EXPECT_LT(SymmetryDetector::self_correlation(map, axis, fold), 0.8);
+    }
+  }
+}
+
+TEST(Detector, ClassifiesAsymmetricAsC1) {
+  PhantomSpec spec;
+  spec.l = 20;
+  const Volume<double> map = make_asymmetric(spec, 20).rasterize(20);
+  const SymmetryDetector detector(fast_detector());
+  EXPECT_EQ(detector.detect(map).group, "C1");
+}
+
+TEST(Detector, FindsCyclicGroupOnAxis) {
+  const Volume<double> map = symmetric_map(SymmetryGroup::cyclic(4), 20);
+  const SymmetryDetector detector(fast_detector());
+  const DetectionResult result = detector.detect(map);
+  EXPECT_EQ(result.group, "C4");
+  // The strongest axis must be (approximately) z.
+  ASSERT_FALSE(result.axes.empty());
+  bool found_z = false;
+  for (const auto& axis : result.axes) {
+    if (axis.fold == 4 && std::abs(axis.axis.z) > 0.99) found_z = true;
+  }
+  EXPECT_TRUE(found_z);
+}
+
+TEST(Detector, FindsDihedralGroup) {
+  const Volume<double> map = symmetric_map(SymmetryGroup::dihedral(3), 20, 9);
+  const SymmetryDetector detector(fast_detector());
+  EXPECT_EQ(detector.detect(map).group, "D3");
+}
+
+TEST(Detector, FindsIcosahedralGroupOnSindbisPhantom) {
+  PhantomSpec spec;
+  spec.l = 24;
+  const Volume<double> map = make_sindbis_like(spec).rasterize(24);
+  const SymmetryDetector detector(fast_detector());
+  const DetectionResult result = detector.detect(map);
+  EXPECT_EQ(result.group, "I");
+  // Among the detected axes there must be 5-folds.
+  int fivefolds = 0;
+  for (const auto& axis : result.axes) {
+    if (axis.fold == 5) ++fivefolds;
+  }
+  EXPECT_GE(fivefolds, 2);
+}
+
+TEST(Detector, WorksInArbitraryFrame) {
+  // The paper's claim is symmetry detection WITHOUT knowing the axes:
+  // rotate a C5 particle into a random frame and detect it there.
+  const Volume<double> canonical = symmetric_map(SymmetryGroup::cyclic(5), 20, 13);
+  const Mat3 pose = rotation_matrix(Orientation{38.0, 114.0, 77.0});
+  const Volume<double> rotated = rotate_volume(canonical, pose);
+  DetectorConfig config = fast_detector();
+  config.threshold = 0.75;  // resampling costs some correlation
+  const SymmetryDetector detector(config);
+  const DetectionResult result = detector.detect(rotated);
+  EXPECT_EQ(result.group, "C5");
+  // The recovered 5-fold axis must align with pose * z.
+  const Vec3 expected = pose * Vec3{0, 0, 1};
+  bool aligned = false;
+  for (const auto& axis : result.axes) {
+    if (axis.fold != 5) continue;
+    if (std::abs(axis.axis.dot(expected)) > 0.98) aligned = true;
+  }
+  EXPECT_TRUE(aligned);
+}
+
+TEST(Detector, RejectsBadConfig) {
+  DetectorConfig bad = fast_detector();
+  bad.threshold = 1.5;
+  EXPECT_THROW((void)SymmetryDetector(bad), std::invalid_argument);
+  bad = fast_detector();
+  bad.coarse_step_deg = 0.0;
+  EXPECT_THROW((void)SymmetryDetector(bad), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "por/vmpi/runtime.hpp"
+
+namespace {
+
+using namespace por::vmpi;
+
+TEST(Runtime, SingleRankRuns) {
+  int ran = 0;
+  run(1, [&](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    EXPECT_TRUE(comm.is_root());
+    ++ran;
+  });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Runtime, RejectsZeroRanks) {
+  EXPECT_THROW(run(0, [](Comm&) {}), std::invalid_argument);
+}
+
+TEST(Runtime, PropagatesRankException) {
+  EXPECT_THROW(run(2,
+                   [](Comm& comm) {
+                     // Throw before any communication so peers cannot
+                     // block on a missing message.
+                     if (comm.rank() == 1) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+}
+
+TEST(PointToPoint, DeliversInOrder) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 7, 111);
+      comm.send_value(1, 7, 222);
+    } else {
+      EXPECT_EQ(comm.recv_value<int>(0, 7), 111);
+      EXPECT_EQ(comm.recv_value<int>(0, 7), 222);
+    }
+  });
+}
+
+TEST(PointToPoint, TagsAreIndependentChannels) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 1, 10);
+      comm.send_value(1, 2, 20);
+    } else {
+      // Receive in the opposite tag order.
+      EXPECT_EQ(comm.recv_value<int>(0, 2), 20);
+      EXPECT_EQ(comm.recv_value<int>(0, 1), 10);
+    }
+  });
+}
+
+TEST(PointToPoint, SelfSendWorks) {
+  run(1, [](Comm& comm) {
+    comm.send_value(0, 3, 42.5);
+    EXPECT_DOUBLE_EQ(comm.recv_value<double>(0, 3), 42.5);
+  });
+}
+
+TEST(PointToPoint, EmptyMessage) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 0, std::vector<int>{});
+    } else {
+      EXPECT_TRUE(comm.recv<int>(0, 0).empty());
+    }
+  });
+}
+
+TEST(Collectives, BcastReplicatesRootData) {
+  for (int p : {1, 2, 4}) {
+    run(p, [](Comm& comm) {
+      std::vector<int> data;
+      if (comm.is_root()) data = {1, 2, 3, 4};
+      comm.bcast(0, data);
+      EXPECT_EQ(data, (std::vector<int>{1, 2, 3, 4}));
+    });
+  }
+}
+
+TEST(Collectives, ScatterDealsEqualChunks) {
+  run(4, [](Comm& comm) {
+    std::vector<int> all;
+    if (comm.is_root()) {
+      all.resize(20);
+      std::iota(all.begin(), all.end(), 0);
+    }
+    const std::vector<int> mine = comm.scatter(0, all);
+    ASSERT_EQ(mine.size(), 5u);
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(mine[i], comm.rank() * 5 + i);
+  });
+}
+
+TEST(Collectives, ScattervHandlesUnevenChunks) {
+  run(3, [](Comm& comm) {
+    std::vector<std::vector<int>> chunks;
+    if (comm.is_root()) chunks = {{1}, {2, 3}, {4, 5, 6}};
+    const std::vector<int> mine = comm.scatterv(0, chunks);
+    EXPECT_EQ(mine.size(), static_cast<std::size_t>(comm.rank() + 1));
+  });
+}
+
+TEST(Collectives, GatherConcatenatesInRankOrder) {
+  run(3, [](Comm& comm) {
+    const std::vector<int> mine{comm.rank() * 10, comm.rank() * 10 + 1};
+    const std::vector<int> all = comm.gather(0, mine);
+    if (comm.is_root()) {
+      EXPECT_EQ(all, (std::vector<int>{0, 1, 10, 11, 20, 21}));
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(Collectives, AllgatherGivesEveryoneEverything) {
+  for (int p : {1, 2, 3, 5}) {
+    run(p, [p](Comm& comm) {
+      const std::vector<int> mine{comm.rank(), comm.rank() + 100};
+      const std::vector<int> all = comm.allgather(mine);
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(2 * p));
+      for (int r = 0; r < p; ++r) {
+        EXPECT_EQ(all[2 * r], r);
+        EXPECT_EQ(all[2 * r + 1], r + 100);
+      }
+    });
+  }
+}
+
+TEST(Collectives, AlltoallTransposesBlocks) {
+  run(3, [](Comm& comm) {
+    std::vector<std::vector<int>> outgoing(3);
+    for (int r = 0; r < 3; ++r) outgoing[r] = {comm.rank() * 10 + r};
+    const auto incoming = comm.alltoall(outgoing);
+    ASSERT_EQ(incoming.size(), 3u);
+    for (int r = 0; r < 3; ++r) {
+      ASSERT_EQ(incoming[r].size(), 1u);
+      EXPECT_EQ(incoming[r][0], r * 10 + comm.rank());
+    }
+  });
+}
+
+TEST(Collectives, ReduceAndAllreduce) {
+  run(4, [](Comm& comm) {
+    const std::vector<long> mine{static_cast<long>(comm.rank() + 1), 10};
+    const auto sum = comm.allreduce(mine, ReduceOp::kSum);
+    EXPECT_EQ(sum[0], 1 + 2 + 3 + 4);
+    EXPECT_EQ(sum[1], 40);
+    const auto mx = comm.allreduce(mine, ReduceOp::kMax);
+    EXPECT_EQ(mx[0], 4);
+    const auto mn = comm.allreduce(mine, ReduceOp::kMin);
+    EXPECT_EQ(mn[0], 1);
+  });
+}
+
+TEST(Collectives, AllreduceScalarHelper) {
+  run(3, [](Comm& comm) {
+    EXPECT_DOUBLE_EQ(comm.allreduce_value(1.5, ReduceOp::kSum), 4.5);
+  });
+}
+
+TEST(Collectives, BarrierSynchronizesPhases) {
+  // Every rank bumps a shared atomic before the barrier; after the
+  // barrier all bumps must be visible.
+  std::atomic<int> before{0};
+  run(4, [&](Comm& comm) {
+    before.fetch_add(1);
+    comm.barrier();
+    EXPECT_EQ(before.load(), 4);
+    comm.barrier();  // barriers are reusable
+  });
+}
+
+TEST(Traffic, CountsMessagesAndBytes) {
+  const RunReport report = run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 0, std::vector<double>(10, 1.0));
+    } else {
+      (void)comm.recv<double>(0, 0);
+    }
+  });
+  EXPECT_EQ(report.messages, 1u);
+  EXPECT_EQ(report.bytes, 10 * sizeof(double));
+}
+
+TEST(Traffic, AllgatherUsesRingVolume) {
+  // Ring all-gather sends (P-1) blocks per rank.
+  const int p = 4;
+  const std::size_t block = 8;
+  const RunReport report = run(p, [&](Comm& comm) {
+    (void)comm.allgather(std::vector<double>(block, 1.0));
+  });
+  EXPECT_EQ(report.messages, static_cast<std::uint64_t>(p * (p - 1)));
+  EXPECT_EQ(report.bytes,
+            static_cast<std::uint64_t>(p * (p - 1) * block * sizeof(double)));
+}
+
+}  // namespace
