@@ -16,6 +16,11 @@
 //      curves and true-map correlations.
 //
 //   ./sindbis_pipeline [--l 48] [--views 60] [--snr 2] [--ranks 4]
+//                      [--metrics-out report.json]
+//
+// With --metrics-out the distributed refinement's obs::RunReport —
+// per-rank counters (matchings, slides, interp fetches, vmpi traffic)
+// and per-step spans, plus their cross-rank merge — is written as JSON.
 
 #include <cstdio>
 
@@ -25,6 +30,7 @@
 #include "por/em/phantom.hpp"
 #include "por/em/projection.hpp"
 #include "por/metrics/orientation_error.hpp"
+#include "por/obs/export.hpp"
 #include "por/util/cli.hpp"
 #include "por/util/rng.hpp"
 #include "por/util/table.hpp"
@@ -39,6 +45,7 @@ int main(int argc, char** argv) {
   const double snr = cli.get_double("snr", 2.0);
   const int ranks = static_cast<int>(cli.get_int("ranks", 4));
   const double cli_r_map = cli.get_double("r_map", 0.0);
+  const std::string metrics_out = cli.metrics_out();
   cli.assert_all_consumed();
 
   std::printf("sindbis-like pipeline: l=%zu views=%d snr=%.1f ranks=%d\n\n", l,
@@ -114,6 +121,8 @@ int main(int argc, char** argv) {
   std::vector<em::Orientation> refined = old_orientations;
   std::vector<std::pair<double, double>> centers(views.size(), {0.0, 0.0});
   std::printf("refining on %d vmpi ranks...\n", ranks);
+  obs::RunReport obs_report;
+  std::uint64_t total_matchings = 0, total_slides = 0;
   const auto report = [&] {
     std::vector<core::ViewResult> results;
     auto rep = vmpi::RunReport{};
@@ -121,7 +130,12 @@ int main(int argc, char** argv) {
       auto r = core::parallel_refine(comm, truth_map, l, views,
                                      old_orientations, centers,
                                      refiner_config);
-      if (comm.is_root()) results = std::move(r.results);
+      if (comm.is_root()) {
+        results = std::move(r.results);
+        obs_report = std::move(r.obs);
+        total_matchings = r.total_matchings;
+        total_slides = r.total_slides;
+      }
     });
     for (std::size_t i = 0; i < results.size(); ++i) {
       refined[i] = results[i].orientation;
@@ -129,9 +143,16 @@ int main(int argc, char** argv) {
     }
     return rep;
   }();
-  std::printf("communication: %llu messages, %.1f MB\n\n",
+  std::printf("communication: %llu messages, %.1f MB\n",
               static_cast<unsigned long long>(report.messages),
               static_cast<double>(report.bytes) / 1e6);
+  std::printf("matchings: %llu, window slides: %llu\n\n",
+              static_cast<unsigned long long>(total_matchings),
+              static_cast<unsigned long long>(total_slides));
+  if (!metrics_out.empty()) {
+    obs::write_text_file(metrics_out, obs_report.to_json());
+    std::printf("metrics run report written to %s\n\n", metrics_out.c_str());
+  }
 
   const auto new_error = metrics::orientation_error_stats(refined, truth, icos);
   std::printf("refined orientations: error mean=%.3f deg median=%.3f deg\n\n",

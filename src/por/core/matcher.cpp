@@ -6,6 +6,8 @@
 
 #include "por/em/interp.hpp"
 #include "por/em/projection.hpp"
+#include "por/obs/registry.hpp"
+#include "por/obs/span.hpp"
 
 namespace por::core {
 
@@ -34,7 +36,12 @@ FourierMatcher::FourierMatcher(em::Volume<em::cdouble> centered_padded_spectrum,
                                std::size_t l, const MatchOptions& options)
     : l_(l),
       options_(options),
-      spectrum_(std::move(centered_padded_spectrum)) {
+      spectrum_(std::move(centered_padded_spectrum)),
+      obs_matchings_(&obs::current_registry().counter("matcher.matchings")),
+      obs_interp_fetches_(
+          &obs::current_registry().counter("matcher.interp_fetches")),
+      obs_prepare_view_(
+          &obs::current_registry().span_series("matcher.prepare_view")) {
   if (options_.pad < 1) {
     throw std::invalid_argument("FourierMatcher: pad must be >= 1");
   }
@@ -87,6 +94,7 @@ em::Image<em::cdouble> FourierMatcher::prepare_view(
   if (view.nx() != l_ || view.ny() != l_) {
     throw std::invalid_argument("prepare_view: view edge mismatch");
   }
+  const obs::SpanTimer timer(*obs_prepare_view_);
   em::Image<em::cdouble> spectrum =
       em::centered_fft2(em::pad_image(view, options_.pad));
   if (options_.ctf) {
@@ -103,6 +111,7 @@ double FourierMatcher::distance(const em::Image<em::cdouble>& view_spectrum,
     throw std::invalid_argument("distance: view spectrum size mismatch");
   }
   ++matchings_;
+  obs_matchings_->add();
 
   const em::Mat3 r = em::rotation_matrix(o);
   const em::Vec3 eu = r * em::Vec3{1, 0, 0};
@@ -120,12 +129,14 @@ double FourierMatcher::distance(const em::Image<em::cdouble>& view_spectrum,
                      static_cast<long>(std::ceil(c + r_max)));
 
   double sum = 0.0;
+  std::uint64_t fetches = 0;
   for (long y = lo; y <= hi; ++y) {
     const double kv = static_cast<double>(y) - c;
     for (long x = lo; x <= hi; ++x) {
       const double ku = static_cast<double>(x) - c;
       const double radius = std::sqrt(ku * ku + kv * kv);
       if (radius > r_max || radius < r_min) continue;
+      ++fetches;
       const em::Vec3 q = ku * eu + kv * ev;
       const em::cdouble cut_sample =
           cut_transfer(radius) *
@@ -140,6 +151,7 @@ double FourierMatcher::distance(const em::Image<em::cdouble>& view_spectrum,
       sum += weight * std::norm(diff);
     }
   }
+  obs_interp_fetches_->add(fetches);
   return sum / static_cast<double>(big * big);
 }
 

@@ -19,6 +19,11 @@
 #include "por/em/pad.hpp"
 #include "por/metrics/distance.hpp"
 
+namespace por::obs {
+class Counter;
+class SpanSeries;
+}  // namespace por::obs
+
 namespace por::core {
 
 /// Matching configuration shared by refiner, baselines and benches.
@@ -97,6 +102,16 @@ class FourierMatcher {
   em::Volume<em::cdouble> spectrum_;
   std::vector<double> transfer_table_;  ///< envelope by padded radius px
   mutable std::uint64_t matchings_ = 0;
+
+  // Observability handles, resolved once against the registry current
+  // on the constructing thread (the owning rank under vmpi):
+  //   matcher.matchings       — one increment per distance() call
+  //   matcher.interp_fetches  — trilinear spectrum fetches inside the
+  //                             r_map disk (one bulk add per matching)
+  //   matcher.prepare_view    — span series timing step (d)+(e)
+  obs::Counter* obs_matchings_;
+  obs::Counter* obs_interp_fetches_;
+  obs::SpanSeries* obs_prepare_view_;
 };
 
 }  // namespace por::core

@@ -1,6 +1,7 @@
 #include "por/core/parallel_refiner.hpp"
 
 #include <stdexcept>
+#include <string_view>
 
 #include "por/em/pad.hpp"
 #include "por/em/projection.hpp"
@@ -9,6 +10,7 @@
 #include "por/io/stack_io.hpp"
 #include "por/io/orientation_io.hpp"
 #include "por/io/master_io.hpp"
+#include "por/obs/registry.hpp"
 
 namespace por::core {
 
@@ -37,6 +39,20 @@ util::StepTimes reduce_times_max(vmpi::Comm& comm,
   return out;
 }
 
+/// Rebuild the paper's StepTimes rows from the "step.<name>" span
+/// series a rank recorded into its registry — the registry replaces
+/// the bespoke per-step WallTimer plumbing this file used to carry.
+util::StepTimes step_times_from(const obs::Snapshot& snapshot) {
+  constexpr std::string_view kPrefix = "step.";
+  util::StepTimes out;
+  for (const auto& [name, data] : snapshot.spans) {
+    if (std::string_view(name).substr(0, kPrefix.size()) != kPrefix) continue;
+    out.add(name.substr(kPrefix.size()),
+            static_cast<double>(data.total_ns) * 1e-9);
+  }
+  return out;
+}
+
 /// The shared steps (a)-(o) once the root holds map/views/orientations
 /// in memory.
 ParallelRefineReport refine_distributed(
@@ -45,7 +61,22 @@ ParallelRefineReport refine_distributed(
     const std::vector<em::Orientation>& initial_on_root,
     const std::vector<std::pair<double, double>>& centers_on_root,
     const RefinerConfig& config) {
-  util::StepTimes times;
+  // Per-rank metrics: ranks are threads, so a rank-local registry
+  // installed for the duration of this call keeps each rank's counters
+  // and spans separate.  Everything constructed below (matcher,
+  // refiner, FFT plans) resolves its handles against this registry.
+  obs::MetricsRegistry rank_registry;
+  obs::RegistryScope registry_scope(rank_registry);
+  obs::SpanSeries& dft_span = rank_registry.span_series("step.3D DFT");
+  obs::SpanSeries& read_span = rank_registry.span_series("step.Read image");
+
+  // TrafficStats accumulates over the runtime's whole life (several
+  // pipeline cycles may share one vmpi::Runtime); remember the baseline
+  // so the report covers this call only.
+  const int rank = comm.rank();
+  const std::uint64_t messages_before = comm.traffic().rank_messages(rank);
+  const std::uint64_t bytes_before = comm.traffic().rank_bytes(rank);
+
   const std::size_t padded_edge = l * config.match.pad;
   if (padded_edge % static_cast<std::size_t>(comm.size()) != 0) {
     throw std::invalid_argument(
@@ -67,7 +98,7 @@ ParallelRefineReport refine_distributed(
   raw_volume.storage() = std::move(raw);
   em::Volume<em::cdouble> spectrum =
       em::centered_from_raw_fft3(std::move(raw_volume));
-  times.add("3D DFT", dft_timer.seconds());
+  dft_span.record(static_cast<std::uint64_t>(dft_timer.seconds() * 1e9));
 
   // ---- steps (b)+(c): master distributes views and orientations ----
   util::WallTimer read_timer;
@@ -130,7 +161,7 @@ ParallelRefineReport refine_distributed(
       my_views.push_back(std::move(img));
     }
   }
-  times.add("Read image", read_timer.seconds());
+  read_span.record(static_cast<std::uint64_t>(read_timer.seconds() * 1e9));
 
   // ---- steps (d)-(l): refine my block ----
   OrientationRefiner refiner(
@@ -143,10 +174,8 @@ ParallelRefineReport refine_distributed(
                                              my_init[i].orientation,
                                              my_init[i].cx, my_init[i].cy));
   }
-  // Fold the refiner's internal accounting into this rank's report.
-  for (const auto& [step, secs] : refiner.times().entries()) {
-    times.add(step, secs);
-  }
+  // The refiner's per-step spans ("step.FFT analysis", ...) landed in
+  // rank_registry already; no bespoke StepTimes folding is needed.
 
   // ---- step (m): wait for all nodes ----
   comm.barrier();
@@ -162,7 +191,19 @@ ParallelRefineReport refine_distributed(
   report.total_matchings =
       comm.allreduce_value(my_matchings, vmpi::ReduceOp::kSum);
   report.total_slides = comm.allreduce_value(my_slides, vmpi::ReduceOp::kSum);
-  report.times = reduce_times_max(comm, times);
+
+  // Fold this rank's share of the runtime traffic accounting into the
+  // registry, then snapshot once: the snapshot both rebuilds the
+  // paper's StepTimes table and feeds the cross-rank run report.
+  rank_registry.gauge("vmpi.rank").set(static_cast<double>(rank));
+  rank_registry.counter("vmpi.sent_messages")
+      .add(comm.traffic().rank_messages(rank) - messages_before);
+  rank_registry.counter("vmpi.sent_bytes")
+      .add(comm.traffic().rank_bytes(rank) - bytes_before);
+
+  const obs::Snapshot snapshot = rank_registry.snapshot();
+  report.times = reduce_times_max(comm, step_times_from(snapshot));
+  report.obs = obs::RunReport::gather(comm, snapshot);
   return report;
 }
 

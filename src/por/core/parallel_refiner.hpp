@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "por/core/refiner.hpp"
+#include "por/obs/run_report.hpp"
 #include "por/vmpi/comm.hpp"
 
 namespace por::core {
@@ -29,12 +30,19 @@ struct ParallelRefineReport {
   /// Refined records for every view, in global view order.  Complete
   /// on the root rank; empty on the others.
   std::vector<ViewResult> results;
-  /// Max-over-ranks wall time per step (valid on every rank).
+  /// Max-over-ranks wall time per step (valid on every rank).  Derived
+  /// from the per-rank "step.<name>" span series in `obs`.
   util::StepTimes times;
   /// Matching operations summed over ranks (valid on every rank).
   std::uint64_t total_matchings = 0;
   /// Window slides summed over ranks (valid on every rank).
   std::uint64_t total_slides = 0;
+  /// Cross-rank metrics aggregation: every rank runs its refinement
+  /// under a rank-local obs::MetricsRegistry; the per-rank snapshots
+  /// (matcher counters, step spans, FFT counts, vmpi traffic) are
+  /// gathered and merged here.  Complete on the root rank; non-root
+  /// ranks hold only their own snapshot.
+  obs::RunReport obs;
 };
 
 /// In-memory SPMD driver: the root rank supplies the map, all views

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "por/obs/registry.hpp"
+#include "por/obs/span.hpp"
 #include "por/util/log.hpp"
 
 namespace por::core {
@@ -62,10 +64,20 @@ PipelineResult RefinementPipeline::run(
   double r_map = config_.initial_r_map > 0.0 ? config_.initial_r_map
                                              : std::max(3.0, nyquist / 3.0);
 
+  obs::MetricsRegistry& registry = obs::current_registry();
+  obs::SpanSeries& cycle_span = registry.span_series("pipeline.cycle");
+  obs::Counter& cycle_counter = registry.counter("pipeline.cycles");
+  obs::Gauge& fsc_gauge = registry.gauge("pipeline.fsc_radius");
+  obs::Gauge& resolution_gauge = registry.gauge("pipeline.resolution_a");
+  obs::Gauge& r_map_gauge = registry.gauge("pipeline.r_map");
+
   for (int cycle = 1; cycle <= config_.cycles; ++cycle) {
+    const obs::SpanTimer cycle_timer(cycle_span);
+    cycle_counter.add();
     CycleReport report;
     report.cycle = cycle;
     report.r_map = std::min(r_map, nyquist);
+    r_map_gauge.set(report.r_map);
 
     // ---- Step B: refine orientations against the current map ----
     RefinerConfig rc = config_.refiner;
@@ -92,6 +104,10 @@ PipelineResult RefinementPipeline::run(
     report.fsc_radius = metrics::crossing_radius(curve, 0.5);
     report.resolution_a = metrics::radius_to_resolution_a(
         report.fsc_radius, l, config_.pixel_size_a);
+    // Export the per-cycle quality figures; set() keeps the latest
+    // cycle's values, which is what a run report should show.
+    fsc_gauge.set(report.fsc_radius);
+    resolution_gauge.set(report.resolution_a);
 
     if (truth.has_value()) {
       report.orientation_error = metrics::orientation_error_stats(

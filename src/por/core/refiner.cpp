@@ -1,6 +1,8 @@
 #include "por/core/refiner.hpp"
 
 #include "por/em/projection.hpp"
+#include "por/obs/registry.hpp"
+#include "por/obs/span.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -8,12 +10,24 @@
 
 namespace por::core {
 
+void OrientationRefiner::bind_observability() {
+  obs::MetricsRegistry& registry = obs::current_registry();
+  obs_view_span_ = &registry.span_series("refiner.view");
+  // The "step.<name>" series mirror the paper's step vocabulary so the
+  // parallel driver can rebuild StepTimes rows from a registry
+  // snapshot (see parallel_refiner.cpp).
+  obs_fft_span_ = &registry.span_series("step.FFT analysis");
+  obs_orient_span_ = &registry.span_series("step.Orientation refinement");
+  obs_center_span_ = &registry.span_series("step.Center refinement");
+}
+
 OrientationRefiner::OrientationRefiner(const em::Volume<double>& density_map,
                                        const RefinerConfig& config)
     : matcher_(density_map, config.matcher_options()), config_(config) {
   if (config_.schedule.empty()) {
     throw std::invalid_argument("OrientationRefiner: empty schedule");
   }
+  bind_observability();
 }
 
 OrientationRefiner::OrientationRefiner(FourierMatcher matcher,
@@ -22,16 +36,23 @@ OrientationRefiner::OrientationRefiner(FourierMatcher matcher,
   if (config_.schedule.empty()) {
     throw std::invalid_argument("OrientationRefiner: empty schedule");
   }
+  bind_observability();
 }
 
 ViewResult OrientationRefiner::refine_view(const em::Image<double>& view,
                                            const em::Orientation& initial,
                                            double center_x,
                                            double center_y) const {
+  const obs::SpanTimer view_timer(*obs_view_span_);
+
   // Step (d)+(e): 2D DFT of the view and CTF correction.
   util::WallTimer fft_timer;
   em::Image<em::cdouble> spectrum = matcher_.prepare_view(view);
-  times_.add("FFT analysis", fft_timer.seconds());
+  {
+    const double seconds = fft_timer.seconds();
+    times_.add("FFT analysis", seconds);
+    obs_fft_span_->record(static_cast<std::uint64_t>(seconds * 1e9));
+  }
 
   ViewResult result;
   result.orientation = initial;
@@ -64,7 +85,11 @@ ViewResult OrientationRefiner::refine_view(const em::Image<double>& view,
       result.final_distance = window.best_distance;
       result.matchings += window.matchings;
       result.window_slides += window.slides;
-      times_.add("Orientation refinement", refine_timer.seconds());
+      {
+        const double seconds = refine_timer.seconds();
+        times_.add("Orientation refinement", seconds);
+        obs_orient_span_->record(static_cast<std::uint64_t>(seconds * 1e9));
+      }
 
       if (!config_.refine_centers) break;
 
@@ -85,7 +110,11 @@ ViewResult OrientationRefiner::refine_view(const em::Image<double>& view,
         em::apply_translation_phase(centered, -result.center_x,
                                     -result.center_y);
       }
-      times_.add("Center refinement", center_timer.seconds());
+      {
+        const double seconds = center_timer.seconds();
+        times_.add("Center refinement", seconds);
+        obs_center_span_->record(static_cast<std::uint64_t>(seconds * 1e9));
+      }
 
       // The angular search and the center search are coupled; stop
       // alternating once a pass changes neither appreciably.

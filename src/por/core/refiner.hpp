@@ -92,9 +92,21 @@ class OrientationRefiner {
   [[nodiscard]] util::StepTimes& times() const { return times_; }
 
  private:
+  /// Resolve observability handles against the registry current on the
+  /// constructing thread (shared by both constructors).
+  void bind_observability();
+
   FourierMatcher matcher_;
   RefinerConfig config_;
   mutable util::StepTimes times_;
+
+  // Span series mirroring the StepTimes vocabulary ("step.<name>")
+  // plus a whole-view series; the parallel driver rebuilds its
+  // StepTimes report from these through the metrics registry.
+  obs::SpanSeries* obs_view_span_ = nullptr;
+  obs::SpanSeries* obs_fft_span_ = nullptr;
+  obs::SpanSeries* obs_orient_span_ = nullptr;
+  obs::SpanSeries* obs_center_span_ = nullptr;
 };
 
 }  // namespace por::core

@@ -2,12 +2,21 @@
 
 #include <limits>
 
+#include "por/obs/registry.hpp"
+
 namespace por::core {
 
 WindowResult sliding_window_search(const FourierMatcher& matcher,
                                    const em::Image<em::cdouble>& view_spectrum,
                                    const SearchDomain& initial_domain,
                                    int max_slides) {
+  // Registry lookups here are once-per-search (not per matching), so
+  // the find-or-create mutex cost is negligible against the w^3 inner
+  // matchings below.
+  obs::MetricsRegistry& registry = obs::current_registry();
+  registry.counter("window.searches").add();
+  obs::Counter& slides_counter = registry.counter("window.slides");
+
   WindowResult result;
   SearchDomain domain = initial_domain;
   const std::uint64_t matchings_before = matcher.matchings();
@@ -43,6 +52,7 @@ WindowResult sliding_window_search(const FourierMatcher& matcher,
     }
     domain = domain.recentered(best);
     ++result.slides;
+    slides_counter.add();
   }
 
   result.matchings = matcher.matchings() - matchings_before;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "por/obs/registry.hpp"
+
 namespace por::fft {
 
 namespace {
@@ -35,7 +37,11 @@ std::vector<cdouble> make_roots(std::size_t n) {
 
 }  // namespace
 
-Fft1D::Fft1D(std::size_t n) : n_(n), pow2_(is_pow2(n)) {
+Fft1D::Fft1D(std::size_t n)
+    : n_(n),
+      pow2_(is_pow2(n)),
+      obs_transforms_(&obs::current_registry().counter("fft.1d.transforms")),
+      obs_points_(&obs::current_registry().counter("fft.1d.points")) {
   if (n == 0) throw std::invalid_argument("Fft1D: length must be >= 1");
   if (pow2_) {
     bitrev_ = make_bitrev(n_);
@@ -66,6 +72,8 @@ Fft1D::Fft1D(std::size_t n) : n_(n), pow2_(is_pow2(n)) {
 
 void Fft1D::transform(cdouble* data, bool inverse) const {
   if (n_ == 1) return;
+  obs_transforms_->add();
+  obs_points_->add(n_);
   if (!inverse) {
     if (pow2_) {
       pow2_forward(data);

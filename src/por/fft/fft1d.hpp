@@ -17,6 +17,10 @@
 #include <memory>
 #include <vector>
 
+namespace por::obs {
+class Counter;
+}
+
 namespace por::fft {
 
 using cdouble = std::complex<double>;
@@ -67,6 +71,12 @@ class Fft1D {
 
   std::size_t n_;
   bool pow2_;
+
+  // Observability: number of executed 1D transforms (including the
+  // Bluestein inner transforms) and transformed points, resolved once
+  // against the registry current on the constructing thread.
+  obs::Counter* obs_transforms_;
+  obs::Counter* obs_points_;
 
   // Radix-2 tables (also used by the Bluestein inner transform).
   std::vector<std::size_t> bitrev_;    // bit-reversal permutation

@@ -3,9 +3,20 @@
 #include <algorithm>
 #include <vector>
 
+#include "por/obs/registry.hpp"
+
 namespace por::fft {
 
 namespace {
+
+/// One relaxed atomic increment per multi-dimensional transform; the
+/// name lookup resolves against the calling thread's registry so the
+/// per-rank accounting stays separate under vmpi.
+void count_transform(const char* name, std::size_t points) {
+  obs::MetricsRegistry& registry = obs::current_registry();
+  registry.counter(name).add();
+  registry.counter("fft.nd.points").add(points);
+}
 
 /// Roll a 1D sequence left by `shift` positions (circular).
 template <typename Iter>
@@ -36,6 +47,7 @@ void roll_cols(cdouble* data, std::size_t ny, std::size_t nx,
 }  // namespace
 
 void fft2d_forward(cdouble* data, std::size_t ny, std::size_t nx) {
+  count_transform("fft.2d.transforms", ny * nx);
   const Fft1D row_plan(nx);
   const Fft1D col_plan(ny);
   for (std::size_t y = 0; y < ny; ++y) row_plan.forward(data + y * nx);
@@ -43,6 +55,7 @@ void fft2d_forward(cdouble* data, std::size_t ny, std::size_t nx) {
 }
 
 void fft2d_inverse(cdouble* data, std::size_t ny, std::size_t nx) {
+  count_transform("fft.2d.transforms", ny * nx);
   const Fft1D row_plan(nx);
   const Fft1D col_plan(ny);
   for (std::size_t y = 0; y < ny; ++y) row_plan.inverse(data + y * nx);
@@ -51,6 +64,7 @@ void fft2d_inverse(cdouble* data, std::size_t ny, std::size_t nx) {
 
 void fft3d_forward(cdouble* data, std::size_t nz, std::size_t ny,
                    std::size_t nx) {
+  count_transform("fft.3d.transforms", nz * ny * nx);
   // xy planes first (matches the paper's step a.3), then lines along z.
   for (std::size_t z = 0; z < nz; ++z) {
     fft2d_forward(data + z * ny * nx, ny, nx);
@@ -65,6 +79,7 @@ void fft3d_forward(cdouble* data, std::size_t nz, std::size_t ny,
 
 void fft3d_inverse(cdouble* data, std::size_t nz, std::size_t ny,
                    std::size_t nx) {
+  count_transform("fft.3d.transforms", nz * ny * nx);
   for (std::size_t z = 0; z < nz; ++z) {
     fft2d_inverse(data + z * ny * nx, ny, nx);
   }

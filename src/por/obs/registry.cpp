@@ -1,0 +1,174 @@
+#include "por/obs/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "por/obs/trace_detail.hpp"
+
+namespace por::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_registry_id{1};
+std::atomic<bool> g_enabled{true};
+thread_local MetricsRegistry* t_current_registry = nullptr;
+
+}  // namespace
+
+// ---- Histogram -------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() +
+                                                              1)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bounds must be sorted ascending");
+  }
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+MetricsRegistry::MetricsRegistry()
+    : id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  counter_storage_.emplace_back();
+  Counter* cell = &counter_storage_.back();
+  counters_.emplace(name, cell);
+  return *cell;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  gauge_storage_.emplace_back();
+  Gauge* cell = &gauge_storage_.back();
+  gauges_.emplace(name, cell);
+  return *cell;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  histogram_storage_.emplace_back(std::move(upper_bounds));
+  Histogram* cell = &histogram_storage_.back();
+  histograms_.emplace(name, cell);
+  return *cell;
+}
+
+SpanSeries& MetricsRegistry::span_series(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = spans_.find(name);
+  if (it != spans_.end()) return *it->second;
+  span_storage_.emplace_back(name);
+  SpanSeries* cell = &span_storage_.back();
+  spans_.emplace(name, cell);
+  return *cell;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, cell] : counters_) {
+    snap.counters.emplace(name, cell->value());
+  }
+  for (const auto& [name, cell] : gauges_) {
+    snap.gauges.emplace(name, cell->value());
+  }
+  for (const auto& [name, cell] : histograms_) {
+    Snapshot::HistogramData data;
+    data.bounds = cell->bounds();
+    data.buckets.reserve(data.bounds.size() + 1);
+    for (std::size_t i = 0; i <= data.bounds.size(); ++i) {
+      data.buckets.push_back(cell->bucket(i));
+    }
+    data.count = cell->count();
+    data.sum = cell->sum();
+    snap.histograms.emplace(name, std::move(data));
+  }
+  for (const auto& [name, cell] : spans_) {
+    snap.spans.emplace(name, Snapshot::SpanData{cell->count(), cell->total_ns(),
+                                                cell->max_ns()});
+  }
+  return snap;
+}
+
+std::shared_ptr<detail::ThreadTrace> MetricsRegistry::attach_thread_trace() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto trace = std::make_shared<detail::ThreadTrace>();
+  trace->ordinal = static_cast<std::uint32_t>(thread_traces_.size());
+  thread_traces_.push_back(trace);
+  return trace;
+}
+
+std::vector<SpanRecord> MetricsRegistry::drain_trace() {
+  std::vector<std::shared_ptr<detail::ThreadTrace>> traces;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    traces = thread_traces_;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& trace : traces) {
+    std::lock_guard<std::mutex> lock(trace->mutex);
+    // Buffers with spans still open keep their records (parent indices
+    // must stay stable until the whole batch is complete).
+    if (!trace->stack.empty()) continue;
+    const std::int32_t offset = static_cast<std::int32_t>(out.size());
+    for (SpanRecord record : trace->records) {
+      if (record.parent >= 0) record.parent += offset;
+      out.push_back(record);
+    }
+    trace->records.clear();
+  }
+  return out;
+}
+
+std::size_t MetricsRegistry::trace_size() const {
+  std::vector<std::shared_ptr<detail::ThreadTrace>> traces;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    traces = thread_traces_;
+  }
+  std::size_t total = 0;
+  for (const auto& trace : traces) {
+    std::lock_guard<std::mutex> lock(trace->mutex);
+    total += trace->records.size();
+  }
+  return total;
+}
+
+// ---- globals ---------------------------------------------------------------
+
+MetricsRegistry& global_registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry& current_registry() {
+  return t_current_registry != nullptr ? *t_current_registry
+                                       : global_registry();
+}
+
+RegistryScope::RegistryScope(MetricsRegistry& registry)
+    : previous_(t_current_registry) {
+  t_current_registry = &registry;
+}
+
+RegistryScope::~RegistryScope() { t_current_registry = previous_; }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+}  // namespace por::obs

@@ -1,0 +1,84 @@
+#include "por/obs/run_report.hpp"
+
+#include <algorithm>
+
+#include "por/obs/export.hpp"
+
+namespace por::obs {
+
+namespace {
+constexpr vmpi::Tag kSnapshotTag = 990;
+}
+
+void RunReport::merge_in(const Snapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    merged.counters[name] += value;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    auto [it, inserted] = merged.gauges.emplace(name, value);
+    if (!inserted) it->second = std::max(it->second, value);
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    auto [it, inserted] = merged.histograms.emplace(name, data);
+    if (inserted) continue;
+    Snapshot::HistogramData& acc = it->second;
+    if (acc.bounds != data.bounds || acc.buckets.size() != data.buckets.size()) {
+      continue;  // incompatible layouts: keep the first seen
+    }
+    for (std::size_t i = 0; i < acc.buckets.size(); ++i) {
+      acc.buckets[i] += data.buckets[i];
+    }
+    acc.count += data.count;
+    acc.sum += data.sum;
+  }
+  for (const auto& [name, data] : snapshot.spans) {
+    auto [it, inserted] = merged.spans.emplace(name, data);
+    if (inserted) continue;
+    it->second.count += data.count;
+    it->second.total_ns += data.total_ns;
+    it->second.max_ns = std::max(it->second.max_ns, data.max_ns);
+  }
+}
+
+std::string RunReport::to_json() const {
+  std::string out = "{\"merged\":";
+  out += obs::to_json(merged);
+  out += ",\"ranks\":[";
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    if (r > 0) out += ",";
+    out += obs::to_json(per_rank[r]);
+  }
+  out += "]}";
+  return out;
+}
+
+RunReport RunReport::gather(vmpi::Comm& comm, const Snapshot& mine) {
+  RunReport report;
+  if (comm.is_root()) {
+    report.per_rank.resize(static_cast<std::size_t>(comm.size()));
+    report.per_rank[0] = mine;
+    for (int r = 1; r < comm.size(); ++r) {
+      const std::vector<char> wire = comm.recv<char>(r, kSnapshotTag);
+      report.per_rank[static_cast<std::size_t>(r)] =
+          snapshot_from_json(std::string(wire.begin(), wire.end()));
+    }
+    for (const Snapshot& snapshot : report.per_rank) {
+      report.merge_in(snapshot);
+    }
+  } else {
+    const std::string wire = obs::to_json(mine);
+    comm.send(0, kSnapshotTag, std::vector<char>(wire.begin(), wire.end()));
+    report.per_rank.push_back(mine);
+    report.merge_in(mine);
+  }
+  return report;
+}
+
+RunReport merge_snapshots(const std::vector<Snapshot>& snapshots) {
+  RunReport report;
+  report.per_rank = snapshots;
+  for (const Snapshot& snapshot : snapshots) report.merge_in(snapshot);
+  return report;
+}
+
+}  // namespace por::obs

@@ -1,0 +1,45 @@
+// por/obs/run_report.hpp
+//
+// Cross-rank aggregation of metrics snapshots, mirroring how the paper
+// reports its step times: wall times take the max over ranks (the
+// slowest rank sets the cycle's wall clock), event counts take the
+// sum.  The gather runs over vmpi — each rank serializes its snapshot
+// with the JSON exporter and the root merges, so the wire format is
+// the exporter format and stays debuggable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "por/obs/registry.hpp"
+#include "por/vmpi/comm.hpp"
+
+namespace por::obs {
+
+/// Merged view of one run plus the per-rank snapshots it came from.
+struct RunReport {
+  Snapshot merged;                 ///< see merge rules on merge_into()
+  std::vector<Snapshot> per_rank;  ///< rank-ordered originals
+
+  /// Fold `snapshot` into `merged`:
+  ///  counters    -> sum
+  ///  gauges      -> max (paper-style slowest/largest rank)
+  ///  histograms  -> element-wise bucket sum when the bucket layouts
+  ///                 match; mismatched layouts keep the first seen
+  ///  spans       -> count/total sum, max of max
+  void merge_in(const Snapshot& snapshot);
+
+  /// JSON document {"merged": <snapshot>, "ranks": [<snapshot>...]}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Collective: every rank contributes `mine`; the root returns the
+  /// fully merged report (non-root ranks return a report holding only
+  /// their own snapshot).  Must be called by every rank of `comm`.
+  static RunReport gather(vmpi::Comm& comm, const Snapshot& mine);
+};
+
+/// Standalone merge of already-collected snapshots (e.g. parsed from
+/// per-rank JSON files of separate processes).
+[[nodiscard]] RunReport merge_snapshots(const std::vector<Snapshot>& snapshots);
+
+}  // namespace por::obs

@@ -1,0 +1,82 @@
+#include "por/obs/span.hpp"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "por/obs/trace_detail.hpp"
+
+namespace por::obs {
+
+std::uint64_t now_ns() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+namespace detail {
+
+namespace {
+
+/// Thread-local cache: (registry id -> its trace buffer).  Entries
+/// whose registry died (we are the only owner left) are pruned on the
+/// next miss.
+thread_local std::vector<std::pair<std::uint64_t, std::shared_ptr<ThreadTrace>>>
+    tls_traces;
+
+}  // namespace
+
+ThreadTrace* thread_trace_for(MetricsRegistry& registry) {
+  const std::uint64_t id = registry.id();
+  for (const auto& [cached_id, trace] : tls_traces) {
+    if (cached_id == id) return trace.get();
+  }
+  // Miss: prune buffers of dead registries, then attach a fresh one.
+  std::erase_if(tls_traces,
+                [](const auto& entry) { return entry.second.use_count() == 1; });
+  std::shared_ptr<ThreadTrace> trace = registry.attach_thread_trace();
+  ThreadTrace* raw = trace.get();
+  tls_traces.emplace_back(id, std::move(trace));
+  return raw;
+}
+
+void span_begin(ThreadTrace* trace, const std::string* name,
+                std::uint64_t start_ns, std::int32_t& index_out) {
+  std::lock_guard<std::mutex> lock(trace->mutex);
+  const std::int32_t parent = trace->stack.empty() ? -1 : trace->stack.back();
+  if (trace->records.size() < ThreadTrace::kMaxRecords) {
+    index_out = static_cast<std::int32_t>(trace->records.size());
+    trace->records.push_back(
+        SpanRecord{name, start_ns, 0, parent, trace->ordinal});
+  } else {
+    index_out = -1;  // buffer full: aggregate still counts, record dropped
+    ++trace->dropped;
+  }
+  trace->stack.push_back(index_out);
+}
+
+void span_end(ThreadTrace* trace, std::int32_t index,
+              std::uint64_t duration_ns) {
+  std::lock_guard<std::mutex> lock(trace->mutex);
+  if (!trace->stack.empty()) trace->stack.pop_back();
+  if (index >= 0) {
+    trace->records[static_cast<std::size_t>(index)].duration_ns = duration_ns;
+  }
+}
+
+}  // namespace detail
+
+#ifndef POR_OBS_DISABLE
+void ScopedSpan::begin(SpanSeries& series) {
+  series_ = &series;
+  trace_ = detail::thread_trace_for(current_registry());
+  start_ns_ = now_ns();
+  detail::span_begin(trace_, &series.name(), start_ns_, index_);
+}
+#endif
+
+}  // namespace por::obs

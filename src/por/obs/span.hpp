@@ -1,0 +1,112 @@
+// por/obs/span.hpp
+//
+// Lightweight scoped trace spans.
+//
+// Two RAII instruments share the same aggregate sink (SpanSeries):
+//
+//  * ScopedSpan — records the aggregate AND appends a raw SpanRecord
+//    (start, duration, parent) to a per-thread buffer, so nested spans
+//    reconstruct the call tree.  Use for per-step / per-view scopes.
+//  * SpanTimer — aggregate only, no raw record.  Use inside hot loops
+//    (one matching operation) where a raw record per occurrence would
+//    flood the buffers.
+//
+// Both are gated on obs::enabled(): when disabled the constructor does
+// one relaxed atomic load and nothing else.  Defining POR_OBS_DISABLE
+// at compile time turns both types into empty shells that the
+// optimizer removes entirely.
+//
+// Per-thread buffers are registered with the owning registry and
+// drained via MetricsRegistry::drain_trace(); parent indices in the
+// drained vector are self-contained (they index into the returned
+// vector, -1 for roots).
+#pragma once
+
+#include <cstdint>
+
+#include "por/obs/registry.hpp"
+
+namespace por::obs {
+
+/// Nanoseconds since the process-wide steady-clock epoch (first use).
+[[nodiscard]] std::uint64_t now_ns();
+
+namespace detail {
+struct ThreadTrace;
+/// The calling thread's trace buffer for `registry` (created and
+/// attached on first use).
+ThreadTrace* thread_trace_for(MetricsRegistry& registry);
+void span_begin(ThreadTrace* trace, const std::string* name,
+                std::uint64_t start_ns, std::int32_t& index_out);
+void span_end(ThreadTrace* trace, std::int32_t index,
+              std::uint64_t duration_ns);
+}  // namespace detail
+
+#ifdef POR_OBS_DISABLE
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(SpanSeries&) {}
+  explicit ScopedSpan(const char*) {}
+};
+
+class SpanTimer {
+ public:
+  explicit SpanTimer(SpanSeries&) {}
+};
+
+#else  // POR_OBS_DISABLE
+
+/// Aggregate + raw-trace span (see file comment).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(SpanSeries& series) {
+    if (!obs::enabled()) return;
+    begin(series);
+  }
+  /// Convenience: resolves `name` against current_registry() (a mutex
+  /// + map lookup; prefer the SpanSeries& overload on hot paths).
+  explicit ScopedSpan(const char* name) {
+    if (!obs::enabled()) return;
+    begin(current_registry().span_series(name));
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (series_ == nullptr) return;
+    const std::uint64_t duration = now_ns() - start_ns_;
+    series_->record(duration);
+    detail::span_end(trace_, index_, duration);
+  }
+
+ private:
+  void begin(SpanSeries& series);
+
+  SpanSeries* series_ = nullptr;
+  detail::ThreadTrace* trace_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::int32_t index_ = -1;
+};
+
+/// Aggregate-only span for hot loops.
+class SpanTimer {
+ public:
+  explicit SpanTimer(SpanSeries& series) {
+    if (!obs::enabled()) return;
+    series_ = &series;
+    start_ns_ = now_ns();
+  }
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+  ~SpanTimer() {
+    if (series_ != nullptr) series_->record(now_ns() - start_ns_);
+  }
+
+ private:
+  SpanSeries* series_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+#endif  // POR_OBS_DISABLE
+
+}  // namespace por::obs

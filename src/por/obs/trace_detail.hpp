@@ -1,0 +1,26 @@
+// por/obs/trace_detail.hpp
+//
+// Internal: the per-thread raw trace buffer shared between span.cpp
+// (which appends) and registry.cpp (which drains).  Not installed as
+// public API — include por/obs/span.hpp instead.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "por/obs/registry.hpp"
+
+namespace por::obs::detail {
+
+struct ThreadTrace {
+  static constexpr std::size_t kMaxRecords = 1 << 16;
+
+  std::mutex mutex;  ///< owner thread appends; drain reads cross-thread
+  std::vector<SpanRecord> records;
+  std::vector<std::int32_t> stack;  ///< open span indices (owner only)
+  std::uint64_t dropped = 0;
+  std::uint32_t ordinal = 0;
+};
+
+}  // namespace por::obs::detail

@@ -35,6 +35,13 @@ class CliParser {
     return positional_;
   }
 
+  /// The conventional observability flag shared by the examples and the
+  /// bench harness: `--metrics-out <path>` asks the program to write
+  /// its obs JSON run report to <path>.  Empty when the flag is absent.
+  [[nodiscard]] std::string metrics_out() const {
+    return get("metrics-out", "");
+  }
+
   /// Names the caller actually queried; used by assert_all_consumed().
   /// Throws std::invalid_argument if the command line contained an
   /// option no call site ever asked about (i.e. a typo).

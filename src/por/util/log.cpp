@@ -1,7 +1,9 @@
 #include "por/util/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <mutex>
 
 namespace por::util {
@@ -19,16 +21,37 @@ const char* level_tag(LogLevel level) {
     default: return "?    ";
   }
 }
+
+/// UTC ISO-8601 with millisecond precision: 2026-08-06T12:34:56.789Z.
+std::string iso8601_now() {
+  using namespace std::chrono;
+  const system_clock::time_point now = system_clock::now();
+  const std::time_t secs = system_clock::to_time_t(now);
+  const auto ms =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm utc{};
+  gmtime_r(&secs, &utc);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(ms));
+  return buf;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+std::string format_log_line(LogLevel level, const std::string& message) {
+  return "[por " + iso8601_now() + " " + level_tag(level) + "] " + message;
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
+  const std::string line = format_log_line(level, message);
   std::lock_guard<std::mutex> lock(g_sink_mutex);
-  std::fprintf(stderr, "[por %s] %s\n", level_tag(level), message.c_str());
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 }  // namespace por::util

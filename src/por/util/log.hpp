@@ -3,6 +3,10 @@
 // Minimal leveled logger.  Single global sink, thread-safe line output.
 // The refinement driver logs one line per (view-group, resolution level)
 // so long runs remain observable without drowning benchmark output.
+// Every emitted line is prefixed with a UTC ISO-8601 timestamp and the
+// level tag, e.g.:
+//
+//   [por 2026-08-06T12:34:56.789Z INFO ] pipeline cycle 1: ...
 #pragma once
 
 #include <sstream>
@@ -16,15 +20,20 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
+/// The full line log_line() would emit (timestamp + level tag +
+/// message), exposed so tests can check the format without capturing
+/// stderr.
+[[nodiscard]] std::string format_log_line(LogLevel level,
+                                          const std::string& message);
+
 /// Emit one formatted line (thread-safe) if `level` passes the threshold.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {
-inline void append_all(std::ostringstream&) {}
-template <typename T, typename... Rest>
-void append_all(std::ostringstream& os, const T& value, const Rest&... rest) {
-  os << value;
-  append_all(os, rest...);
+/// Stream every argument into `os` (C++17 fold expression).
+template <typename... Args>
+void append_all(std::ostringstream& os, const Args&... args) {
+  (os << ... << args);
 }
 }  // namespace detail
 

@@ -1,10 +1,22 @@
 #include "por/util/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
+
+#include "por/obs/registry.hpp"
+#include "por/obs/span.hpp"
 
 namespace por::util {
 
 ThreadPool::ThreadPool(std::size_t workers) {
+  obs::MetricsRegistry& registry = obs::current_registry();
+  tasks_counter_ = &registry.counter("pool.tasks");
+  queue_depth_ = &registry.gauge("pool.queue_depth");
+  queue_depth_peak_ = &registry.gauge("pool.queue_depth_peak");
+  task_wait_ = &registry.histogram(
+      "pool.task_wait_seconds",
+      {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0});
+
   if (workers == 0) {
     workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -21,20 +33,30 @@ ThreadPool::~ThreadPool() {
   }
   work_available_.notify_all();
   for (auto& thread : threads_) thread.join();
+  // A pending exception nobody waited for dies with the pool.
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(Task{std::move(task), obs::now_ns()});
     ++in_flight_;
+    const auto depth = static_cast<double>(queue_.size());
+    queue_depth_->set(depth);
+    queue_depth_peak_->record_max(depth);
   }
+  tasks_counter_->add();
   work_available_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
@@ -59,21 +81,32 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   wait_idle();
 }
 
+void ThreadPool::finish_one() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (--in_flight_ == 0) idle_.notify_all();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_->set(static_cast<double>(queue_.size()));
     }
-    task();
-    {
+    task_wait_->observe(static_cast<double>(obs::now_ns() - task.enqueued_ns) *
+                        1e-9);
+    try {
+      task.fn();
+    } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (--in_flight_ == 0) idle_.notify_all();
+      if (!first_error_) first_error_ = std::current_exception();
     }
+    finish_one();
   }
 }
 

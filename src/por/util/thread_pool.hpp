@@ -7,15 +7,33 @@
 // (e.g. transforming the views a rank owns), mirroring the paper's
 // SP2 nodes where "the four processors in each node share the node's
 // main memory".
+//
+// Error model: a task that throws does NOT kill the worker or deadlock
+// the pool.  The first exception is captured and rethrown from the
+// next wait_idle() (and therefore from parallel_for) on the caller's
+// thread; later exceptions from the same batch are dropped.
+//
+// Observability: the pool publishes `pool.tasks` (counter),
+// `pool.queue_depth` / `pool.queue_depth_peak` (gauges) and
+// `pool.task_wait_seconds` (histogram of submit->start latency) to the
+// por::obs registry that is current on the constructing thread.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+namespace por::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace por::obs
 
 namespace por::util {
 
@@ -33,25 +51,43 @@ class ThreadPool {
   /// Enqueue a task; returns immediately.
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished.  If any task threw
+  /// since the last wait_idle(), rethrows the first such exception
+  /// (after the queue has drained, so the pool stays usable).
   void wait_idle();
 
   /// Apply `body(i)` for i in [begin, end), split into contiguous chunks
   /// across the workers, and wait for completion.  Runs inline when the
-  /// range is small or the pool has a single worker.
+  /// range is small or the pool has a single worker.  An exception
+  /// thrown by `body` propagates to the caller; remaining chunks still
+  /// run to completion first (no cancellation).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueued_ns = 0;
+  };
+
   void worker_loop();
+  void finish_one();
 
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::exception_ptr first_error_;
+
+  // obs handles, resolved once against the constructing thread's
+  // registry; never null.
+  obs::Counter* tasks_counter_;
+  obs::Gauge* queue_depth_;
+  obs::Gauge* queue_depth_peak_;
+  obs::Histogram* task_wait_;
 };
 
 }  // namespace por::util

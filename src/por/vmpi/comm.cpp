@@ -1,6 +1,8 @@
 #include "por/vmpi/comm.hpp"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace por::vmpi {
 
@@ -12,8 +14,17 @@ void Comm::send_bytes(int dst, Tag tag, const void* data, std::size_t bytes) {
     std::lock_guard<std::mutex> lock(context_.mutex);
     context_.mailboxes[{rank_, dst, tag}].push_back(std::move(payload));
   }
-  context_.traffic.record_send(bytes);
+  context_.traffic.record_send(rank_, bytes);
   context_.message_arrived.notify_all();
+}
+
+void Comm::throw_payload_mismatch(int src, Tag tag, std::size_t payload_bytes,
+                                  std::size_t element_bytes) const {
+  throw std::runtime_error(
+      "vmpi: typed recv on rank " + std::to_string(rank_) + " from rank " +
+      std::to_string(src) + " tag " + std::to_string(tag) + ": payload of " +
+      std::to_string(payload_bytes) +
+      " bytes does not fit element size " + std::to_string(element_bytes));
 }
 
 std::vector<std::byte> Comm::recv_bytes(int src, Tag tag) {

@@ -37,7 +37,7 @@ namespace detail {
 /// Shared state for the ranks of one Runtime: mailboxes and a barrier.
 /// Not part of the public API.
 struct Context {
-  explicit Context(int nranks) : size(nranks) {}
+  explicit Context(int nranks) : size(nranks), traffic(nranks) {}
 
   struct Key {
     int src;
@@ -114,8 +114,13 @@ class Comm {
   [[nodiscard]] std::vector<T> recv(int src, Tag tag) {
     static_assert(std::is_trivially_copyable_v<T>);
     auto raw = recv_bytes(src, tag);
+    if (raw.size() % sizeof(T) != 0) {
+      throw_payload_mismatch(src, tag, raw.size(), sizeof(T));
+    }
     std::vector<T> out(raw.size() / sizeof(T));
-    std::memcpy(out.data(), raw.data(), raw.size());
+    // Guard the empty-message case: memcpy with null src/dst is UB
+    // even at zero length.
+    if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
     return out;
   }
 
@@ -123,6 +128,9 @@ class Comm {
   [[nodiscard]] T recv_value(int src, Tag tag) {
     static_assert(std::is_trivially_copyable_v<T>);
     auto raw = recv_bytes(src, tag);
+    if (raw.size() != sizeof(T)) {
+      throw_payload_mismatch(src, tag, raw.size(), sizeof(T));
+    }
     T value{};
     std::memcpy(&value, raw.data(), sizeof(T));
     return value;
@@ -187,6 +195,13 @@ class Comm {
   }
 
  private:
+  /// A typed receive saw a payload whose byte count does not fit the
+  /// element type — a malformed message that recv<T> used to truncate
+  /// silently.  Throws std::runtime_error with src/tag context.
+  [[noreturn]] void throw_payload_mismatch(int src, Tag tag,
+                                           std::size_t payload_bytes,
+                                           std::size_t element_bytes) const;
+
   template <typename T>
   static void apply_op(std::vector<T>& acc, const std::vector<T>& in,
                        ReduceOp op);

@@ -8,20 +8,35 @@
 // reproduction discuss that trade-off quantitatively on a single-core
 // host, every point-to-point transfer is counted here; collectives are
 // built from point-to-point sends so their cost decomposes naturally.
+//
+// Counters exist at two granularities: run totals (messages/bytes/
+// barriers) and per-sending-rank totals, which the por::obs run report
+// folds into per-rank registries so rank imbalance is visible.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace por::vmpi {
 
 /// Byte/message counters, shared by all ranks of one Runtime instance.
 class TrafficStats {
  public:
-  void record_send(std::size_t bytes) {
+  /// `nranks` sizes the per-rank send accounting (0 disables it).
+  explicit TrafficStats(int nranks = 0)
+      : rank_messages_(static_cast<std::size_t>(nranks)),
+        rank_bytes_(static_cast<std::size_t>(nranks)) {}
+
+  void record_send(int src_rank, std::size_t bytes) {
     messages_.fetch_add(1, std::memory_order_relaxed);
     bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    const auto r = static_cast<std::size_t>(src_rank);
+    if (r < rank_messages_.size()) {
+      rank_messages_[r].fetch_add(1, std::memory_order_relaxed);
+      rank_bytes_[r].fetch_add(bytes, std::memory_order_relaxed);
+    }
   }
 
   void record_barrier() { barriers_.fetch_add(1, std::memory_order_relaxed); }
@@ -30,16 +45,31 @@ class TrafficStats {
   [[nodiscard]] std::uint64_t bytes() const { return bytes_.load(); }
   [[nodiscard]] std::uint64_t barriers() const { return barriers_.load(); }
 
+  /// Messages/bytes SENT by `rank` (0 when per-rank accounting is off
+  /// or the rank is out of range).
+  [[nodiscard]] std::uint64_t rank_messages(int rank) const {
+    const auto r = static_cast<std::size_t>(rank);
+    return r < rank_messages_.size() ? rank_messages_[r].load() : 0;
+  }
+  [[nodiscard]] std::uint64_t rank_bytes(int rank) const {
+    const auto r = static_cast<std::size_t>(rank);
+    return r < rank_bytes_.size() ? rank_bytes_[r].load() : 0;
+  }
+
   void reset() {
     messages_.store(0);
     bytes_.store(0);
     barriers_.store(0);
+    for (auto& m : rank_messages_) m.store(0);
+    for (auto& b : rank_bytes_) b.store(0);
   }
 
  private:
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> barriers_{0};
+  std::vector<std::atomic<std::uint64_t>> rank_messages_;
+  std::vector<std::atomic<std::uint64_t>> rank_bytes_;
 };
 
 }  // namespace por::vmpi

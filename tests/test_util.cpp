@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <regex>
 #include <set>
 #include <thread>
 
 #include "por/util/cli.hpp"
+#include "por/util/log.hpp"
 #include "por/util/rng.hpp"
 #include "por/util/table.hpp"
 #include "por/util/thread_pool.hpp"
@@ -214,6 +216,39 @@ TEST(Cli, BooleanSpellings) {
   EXPECT_TRUE(cli.get_bool("c", false));
 }
 
+// ---- Logging ----------------------------------------------------------------
+
+TEST(Log, LinePrefixHasIso8601TimestampAndLevelTag) {
+  // [por 2026-08-06T12:34:56.789Z INFO ] message
+  const std::regex pattern(
+      R"(^\[por \d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z INFO \] hello$)");
+  const std::string line = format_log_line(LogLevel::kInfo, "hello");
+  EXPECT_TRUE(std::regex_match(line, pattern)) << line;
+}
+
+TEST(Log, LevelTagsAreFixedWidth) {
+  const std::regex tag(R"(\] x$)");
+  const std::vector<std::pair<LogLevel, std::string>> levels = {
+      {LogLevel::kDebug, "DEBUG"},
+      {LogLevel::kInfo, "INFO "},
+      {LogLevel::kWarn, "WARN "},
+      {LogLevel::kError, "ERROR"}};
+  for (const auto& [level, name] : levels) {
+    const std::string line = format_log_line(level, "x");
+    EXPECT_NE(line.find(" " + name + "] "), std::string::npos) << line;
+    EXPECT_TRUE(std::regex_search(line, tag)) << line;
+  }
+}
+
+TEST(Log, AppendAllFoldsHeterogeneousArguments) {
+  std::ostringstream os;
+  por::util::detail::append_all(os, "views=", 42, " snr=", 1.5, ' ', true);
+  EXPECT_EQ(os.str(), "views=42 snr=1.5 1");
+  std::ostringstream empty;
+  por::util::detail::append_all(empty);  // zero arguments is fine
+  EXPECT_EQ(empty.str(), "");
+}
+
 // ---- ThreadPool -------------------------------------------------------------
 
 TEST(ThreadPool, RunsAllSubmittedTasks) {
@@ -240,6 +275,38 @@ TEST(ThreadPool, EmptyRangeIsNoop) {
   bool touched = false;
   pool.parallel_for(5, 5, [&](std::size_t) { touched = true; });
   EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, TaskExceptionRethrownFromWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForBodyExceptionDoesNotDeadlock) {
+  ThreadPool pool(4);
+  // Every chunk throws; wait_idle() must still see in_flight drain to
+  // zero and rethrow the first error instead of blocking forever.
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::size_t i) {
+                                   if (i % 2 == 0) {
+                                     throw std::runtime_error("body failed");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, PoolRemainsUsableAfterException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(0, 10,
+                        [](std::size_t) { throw std::logic_error("once"); }),
+      std::logic_error);
+  // The error was consumed by the previous wait; new work runs cleanly.
+  std::atomic<int> counter{0};
+  pool.parallel_for(0, 25, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 25);
+  pool.wait_idle();  // no stale exception left behind
 }
 
 }  // namespace
