@@ -1,0 +1,204 @@
+// bench_matcher — the matcher hot-path trajectory benchmark.
+//
+// Times one matching operation (the paper's cost unit: every view
+// costs w^3 of these per level per slide) through both matcher paths:
+//   scalar   — distance_reference(): per-pixel sqrt + ring test +
+//              transfer lerp + bounds-checked trilinear fetch,
+//   fast     — distance(): precomputed annulus table + split-complex
+//              SoA spectrum + branch-free interior trilinear kernel,
+// verifies their equivalence on the spot, measures the sliding-window
+// score-cache hit rate on a forced multi-slide search, and writes
+// everything to BENCH_matcher.json (override with --out <path>) so CI
+// can chart ns/matching over time.
+//
+// Timing protocol: each path's matching loop runs --reps times,
+// alternating fast/scalar so slow machine phases hit both, and the
+// reported ns/matching is the minimum over reps — the standard
+// noise-robust estimator on shared hardware.
+//
+// Flags: --l <edge> (default 64)  --pad <factor> (default 2)
+//        --matchings <count per path> (default 200)
+//        --reps <repetitions per path> (default 5)
+//        --out <path> (default BENCH_matcher.json)
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "por/core/matcher.hpp"
+#include "por/core/score_cache.hpp"
+#include "por/core/sliding_window.hpp"
+#include "por/em/phantom.hpp"
+#include "por/obs/export.hpp"
+#include "por/obs/registry.hpp"
+#include "por/util/cli.hpp"
+#include "por/util/rng.hpp"
+#include "por/util/timer.hpp"
+
+namespace {
+
+using namespace por;
+
+std::string json_number(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli(argc, argv);
+  const std::size_t l = static_cast<std::size_t>(cli.get_int("l", 64));
+  const std::size_t pad = static_cast<std::size_t>(cli.get_int("pad", 2));
+  const std::size_t matchings =
+      static_cast<std::size_t>(cli.get_int("matchings", 200));
+  const std::size_t reps = static_cast<std::size_t>(cli.get_int("reps", 5));
+  const std::string out = cli.get("out", "BENCH_matcher.json");
+  const std::string metrics_out = cli.metrics_out();
+  cli.assert_all_consumed();
+
+  std::printf("bench_matcher: l=%zu pad=%zu matchings=%zu reps=%zu\n", l, pad,
+              matchings, reps);
+
+  // Workload: a sindbis-like phantom and one noiseless view.
+  em::PhantomSpec phantom;
+  phantom.l = l;
+  const em::BlobModel model = em::make_sindbis_like(phantom);
+  core::MatchOptions options;
+  options.pad = pad;
+
+  util::WallTimer build_timer;
+  const core::FourierMatcher matcher(model.rasterize(l), options);
+  const double build_seconds = build_timer.seconds();
+
+  const em::Orientation truth{48.0, 160.0, 72.0};
+  const em::Image<em::cdouble> spectrum =
+      matcher.prepare_view(model.project_analytic(l, truth));
+
+  // Candidate orientations: near-truth plus fully random, the mix the
+  // refiner actually scores.
+  util::Rng rng(4242);
+  std::vector<em::Orientation> candidates;
+  candidates.reserve(matchings);
+  for (std::size_t i = 0; i < matchings; ++i) {
+    if (i % 2 == 0) {
+      candidates.push_back(em::Orientation{truth.theta + rng.uniform(-3, 3),
+                                           truth.phi + rng.uniform(-3, 3),
+                                           truth.omega + rng.uniform(-3, 3)});
+    } else {
+      double theta, phi;
+      rng.sphere_point(theta, phi);
+      candidates.push_back(em::Orientation{em::rad2deg(theta),
+                                           em::rad2deg(phi),
+                                           rng.uniform(0.0, 360.0)});
+    }
+  }
+
+  // Warm both paths (page in the tables / spectrum), then time.  Each
+  // path runs `reps` full passes, alternating fast/scalar so machine
+  // noise lands on both; min-of-reps is the reported estimate.
+  (void)matcher.distance(spectrum, truth);
+  (void)matcher.distance_reference(spectrum, truth);
+
+  std::vector<double> fast_scores(matchings), scalar_scores(matchings);
+  std::vector<double> fast_rep_seconds(reps), scalar_rep_seconds(reps);
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    util::WallTimer fast_timer;
+    for (std::size_t i = 0; i < matchings; ++i) {
+      fast_scores[i] = matcher.distance(spectrum, candidates[i]);
+    }
+    fast_rep_seconds[rep] = fast_timer.seconds();
+    util::WallTimer scalar_timer;
+    for (std::size_t i = 0; i < matchings; ++i) {
+      scalar_scores[i] = matcher.distance_reference(spectrum, candidates[i]);
+    }
+    scalar_rep_seconds[rep] = scalar_timer.seconds();
+  }
+  const double fast_seconds =
+      *std::min_element(fast_rep_seconds.begin(), fast_rep_seconds.end());
+  const double scalar_seconds =
+      *std::min_element(scalar_rep_seconds.begin(), scalar_rep_seconds.end());
+
+  double max_rel_diff = 0.0;
+  for (std::size_t i = 0; i < matchings; ++i) {
+    const double scale = std::max(1.0, std::abs(scalar_scores[i]));
+    max_rel_diff = std::max(
+        max_rel_diff, std::abs(fast_scores[i] - scalar_scores[i]) / scale);
+  }
+
+  const double ns_fast =
+      fast_seconds * 1e9 / static_cast<double>(matchings);
+  const double ns_scalar =
+      scalar_seconds * 1e9 / static_cast<double>(matchings);
+  const double speedup = ns_fast > 0.0 ? ns_scalar / ns_fast : 0.0;
+  const double fetches_per_matching =
+      static_cast<double>(matcher.annulus().size());
+
+  // Score-cache hit rate on a forced multi-slide search: start the
+  // window off-truth so it slides through overlapping domains.
+  core::ScoreCache cache(1.0 / 4.0);
+  const core::SearchDomain domain{
+      em::Orientation{truth.theta + 3.0, truth.phi, truth.omega}, 1.0, 3};
+  const core::WindowResult window =
+      core::sliding_window_search(matcher, spectrum, domain, 8, &cache);
+  const double cache_total =
+      static_cast<double>(cache.hits() + cache.misses());
+  const double hit_rate =
+      cache_total > 0.0 ? static_cast<double>(cache.hits()) / cache_total
+                        : 0.0;
+
+  std::printf("  annulus pixels (fetches/matching): %zu\n",
+              matcher.annulus().size());
+  std::printf("  table build: %.3f ms\n", build_seconds * 1e3);
+  std::printf("  ns/matching  fast: %.0f   scalar: %.0f   speedup: %.2fx\n",
+              ns_fast, ns_scalar, speedup);
+  std::printf("  max rel diff fast-vs-scalar: %.3g\n", max_rel_diff);
+  std::printf("  window: slides=%d cache hits=%llu misses=%llu (%.1f%%)\n",
+              window.slides,
+              static_cast<unsigned long long>(cache.hits()),
+              static_cast<unsigned long long>(cache.misses()),
+              hit_rate * 100.0);
+
+  std::string json = "{\n";
+  json += "  \"l\": " + std::to_string(l) + ",\n";
+  json += "  \"pad\": " + std::to_string(pad) + ",\n";
+  json += "  \"matchings\": " + std::to_string(matchings) + ",\n";
+  json += "  \"reps\": " + std::to_string(reps) + ",\n";
+  json += "  \"table_build_seconds\": " + json_number(build_seconds) + ",\n";
+  json += "  \"fetches_per_matching\": " + json_number(fetches_per_matching) +
+          ",\n";
+  json += "  \"ns_per_matching_fast\": " + json_number(ns_fast) + ",\n";
+  json += "  \"ns_per_matching_scalar\": " + json_number(ns_scalar) + ",\n";
+  auto rep_list = [&](const std::vector<double>& seconds) {
+    std::string list = "[";
+    for (std::size_t i = 0; i < seconds.size(); ++i) {
+      if (i) list += ", ";
+      list += json_number(seconds[i] * 1e9 / static_cast<double>(matchings));
+    }
+    return list + "]";
+  };
+  json += "  \"ns_per_matching_fast_reps\": " + rep_list(fast_rep_seconds) +
+          ",\n";
+  json += "  \"ns_per_matching_scalar_reps\": " +
+          rep_list(scalar_rep_seconds) + ",\n";
+  json += "  \"speedup_vs_scalar\": " + json_number(speedup) + ",\n";
+  json += "  \"max_rel_diff_vs_scalar\": " + json_number(max_rel_diff) +
+          ",\n";
+  json += "  \"window_slides\": " + std::to_string(window.slides) + ",\n";
+  json += "  \"cache_hits\": " + std::to_string(cache.hits()) + ",\n";
+  json += "  \"cache_misses\": " + std::to_string(cache.misses()) + ",\n";
+  json += "  \"cache_hit_rate\": " + json_number(hit_rate) + "\n";
+  json += "}\n";
+  obs::write_text_file(out, json);
+  std::printf("  wrote %s\n", out.c_str());
+
+  if (!metrics_out.empty()) {
+    obs::write_text_file(metrics_out,
+                         obs::to_json(obs::current_registry().snapshot()));
+    std::printf("  wrote %s\n", metrics_out.c_str());
+  }
+  return 0;
+}

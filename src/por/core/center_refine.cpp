@@ -11,37 +11,28 @@ namespace {
 
 /// d(translate(F, -dx, -dy), C) over the matching annulus, with the
 /// translation folded into the loop as a per-sample phase ramp (no
-/// spectrum copies).
+/// spectrum copies).  Walks the matcher's precomputed AnnulusTable —
+/// frequencies, ring membership and weights are table lookups, so the
+/// per-evaluation work is one sincos + one complex multiply per ring
+/// pixel (no sqrt, no branch tests).
 double translated_distance(const em::Image<em::cdouble>& f,
-                           const em::Image<em::cdouble>& c, double dx,
-                           double dy, double r_max, double r_min,
-                           metrics::Weighting weighting) {
+                           const em::Image<em::cdouble>& c,
+                           const AnnulusTable& ring, double dx, double dy) {
   const std::size_t n = f.nx();
-  const double center = std::floor(static_cast<double>(n) / 2.0);
-  const long lo =
-      std::max<long>(0, static_cast<long>(std::floor(center - r_max)));
-  const long hi = std::min<long>(static_cast<long>(n) - 1,
-                                 static_cast<long>(std::ceil(center + r_max)));
+  const std::size_t count = ring.size();
+  const em::cdouble* fp = f.data();
+  const em::cdouble* cp = c.data();
   double sum = 0.0;
-  for (long y = lo; y <= hi; ++y) {
-    const double ky = static_cast<double>(y) - center;
-    for (long x = lo; x <= hi; ++x) {
-      const double kx = static_cast<double>(x) - center;
-      const double radius = std::sqrt(kx * kx + ky * ky);
-      if (radius > r_max || radius < r_min) continue;
-      // Translating the image by (-dx, -dy) multiplies F by
-      // exp(+2*pi*i*(kx*dx + ky*dy)/n).
-      const double angle = 2.0 * std::numbers::pi *
-                           (kx * dx + ky * dy) / static_cast<double>(n);
-      const em::cdouble shifted =
-          f(static_cast<std::size_t>(y), static_cast<std::size_t>(x)) *
-          em::cdouble(std::cos(angle), std::sin(angle));
-      const em::cdouble diff =
-          shifted - c(static_cast<std::size_t>(y), static_cast<std::size_t>(x));
-      const double weight =
-          weighting == metrics::Weighting::kRadial ? radius / r_max : 1.0;
-      sum += weight * std::norm(diff);
-    }
+  for (std::size_t i = 0; i < count; ++i) {
+    // Translating the image by (-dx, -dy) multiplies F by
+    // exp(+2*pi*i*(kx*dx + ky*dy)/n).
+    const double angle = 2.0 * std::numbers::pi *
+                         (ring.ku[i] * dx + ring.kv[i] * dy) /
+                         static_cast<double>(n);
+    const em::cdouble shifted =
+        fp[ring.index[i]] * em::cdouble(std::cos(angle), std::sin(angle));
+    const em::cdouble diff = shifted - cp[ring.index[i]];
+    sum += ring.weight[i] * std::norm(diff);
   }
   return sum / static_cast<double>(n * n);
 }
@@ -56,9 +47,12 @@ CenterResult refine_center(const FourierMatcher& matcher,
   if (box_width < 2 || step_px <= 0.0) {
     throw std::invalid_argument("refine_center: bad box");
   }
-  const double r_max = matcher.padded_r_map();
-  const double r_min =
-      matcher.options().r_min * static_cast<double>(matcher.options().pad);
+  const AnnulusTable& ring = matcher.annulus();
+  const std::size_t big = matcher.edge() * matcher.options().pad;
+  if (view_spectrum.nx() != big || view_spectrum.ny() != big ||
+      best_cut.nx() != big || best_cut.ny() != big) {
+    throw std::invalid_argument("refine_center: spectrum size mismatch");
+  }
 
   CenterResult result;
   result.dx = start_dx;
@@ -79,8 +73,7 @@ CenterResult refine_center(const FourierMatcher& matcher,
                   static_cast<double>(box_width - 1) / 2.0) *
                      step_px;
         const double d =
-            translated_distance(view_spectrum, best_cut, dx, dy, r_max, r_min,
-                                matcher.options().weighting);
+            translated_distance(view_spectrum, best_cut, ring, dx, dy);
         ++result.evaluations;
         if (d < best) {
           best = d;

@@ -8,12 +8,14 @@
 #include "por/em/projection.hpp"
 #include "por/obs/registry.hpp"
 #include "por/obs/span.hpp"
+#include "por/util/thread_pool.hpp"
+#include "por/util/timer.hpp"
 
 namespace por::core {
 
 namespace {
 
-double resolve_padded_radius(double unpadded, std::size_t l, std::size_t pad,
+double resolve_padded_radius(double unpadded, std::size_t pad,
                              double fallback) {
   if (unpadded < 0.0) throw std::invalid_argument("matcher: negative radius");
   if (unpadded == 0.0) return fallback;
@@ -51,8 +53,8 @@ FourierMatcher::FourierMatcher(em::Volume<em::cdouble> centered_padded_spectrum,
   }
   // Default r_map: the unpadded Nyquist radius.  Stored in padded px.
   const double nyquist_padded = static_cast<double>(big) / 2.0 - 1.0;
-  padded_r_map_ = resolve_padded_radius(options_.r_map, l_, options_.pad,
-                                        nyquist_padded);
+  padded_r_map_ =
+      resolve_padded_radius(options_.r_map, options_.pad, nyquist_padded);
   padded_r_map_ = std::min(padded_r_map_, nyquist_padded);
   padded_r_min_ = options_.r_min * static_cast<double>(options_.pad);
 
@@ -77,6 +79,85 @@ FourierMatcher::FourierMatcher(em::Volume<em::cdouble> centered_padded_spectrum,
       }
     }
   }
+
+  build_tables();
+
+  if (options_.search_threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(options_.search_threads);
+  }
+}
+
+FourierMatcher::FourierMatcher(FourierMatcher&&) noexcept = default;
+FourierMatcher& FourierMatcher::operator=(FourierMatcher&&) noexcept = default;
+FourierMatcher::~FourierMatcher() = default;
+
+void FourierMatcher::build_tables() {
+  util::WallTimer build_timer;
+  const std::size_t big = l_ * options_.pad;
+  const double c = std::floor(static_cast<double>(big) / 2.0);
+  const double r_max = padded_r_map_;
+  const double r_min = padded_r_min_;
+
+  // Per-pixel cut transfer for the big x big padded view grid, shared
+  // by the annulus table below and by cut(): one lerp per pixel at
+  // construction instead of one per pixel per matching / per cut.
+  if (!transfer_table_.empty()) {
+    transfer_image_ = em::Image<double>(big, big);
+    for (std::size_t y = 0; y < big; ++y) {
+      const double kv = static_cast<double>(y) - c;
+      for (std::size_t x = 0; x < big; ++x) {
+        const double ku = static_cast<double>(x) - c;
+        transfer_image_(y, x) = cut_transfer(std::sqrt(ku * ku + kv * kv));
+      }
+    }
+  }
+
+  // Flatten the [r_min, r_max] ring.  Iteration order (y-major,
+  // x-minor over the disk bounding box) matches distance_reference, so
+  // the fast loop accumulates pixel terms in the identical order.
+  const long lo = std::max<long>(0, static_cast<long>(std::floor(c - r_max)));
+  const long hi =
+      std::min<long>(static_cast<long>(big) - 1,
+                     static_cast<long>(std::ceil(c + r_max)));
+  const bool radial = options_.weighting == metrics::Weighting::kRadial;
+  for (long y = lo; y <= hi; ++y) {
+    const double kv = static_cast<double>(y) - c;
+    for (long x = lo; x <= hi; ++x) {
+      const double ku = static_cast<double>(x) - c;
+      const double radius = std::sqrt(ku * ku + kv * kv);
+      if (radius > r_max || radius < r_min) continue;
+      annulus_.ku.push_back(ku);
+      annulus_.kv.push_back(kv);
+      annulus_.transfer.push_back(
+          transfer_image_.empty()
+              ? 1.0
+              : transfer_image_(static_cast<std::size_t>(y),
+                                static_cast<std::size_t>(x)));
+      annulus_.weight.push_back(radial ? radius / r_max : 1.0);
+      annulus_.index.push_back(
+          static_cast<std::uint32_t>(y) * static_cast<std::uint32_t>(big) +
+          static_cast<std::uint32_t>(x));
+    }
+  }
+
+  // Split-complex SoA spectrum for the branch-free trilinear kernel.
+  soa_ = em::SplitComplexLattice(spectrum_);
+
+  // Radius-vs-lattice guard, hoisted out of the per-sample loop: every
+  // cut sample coordinate is q_component + c with |q_component| <=
+  // radius <= r_max, so when r_max <= c - 0.5 every 2x2x2 base cell
+  // lies in [0, big-1]^3 (with >= 0.5 px margin against rounding) and
+  // interp_trilinear_interior needs no bounds checks.  The constructor
+  // clamps r_map to Nyquist = big/2 - 1 <= c - 0.5, so this holds for
+  // every reachable configuration; the check stays as a defensive
+  // fallback to the scalar path.
+  fast_path_ = r_max <= c - 0.5 && !annulus_.empty();
+
+  obs::MetricsRegistry& registry = obs::current_registry();
+  registry.gauge("matcher.annulus_pixels")
+      .set(static_cast<double>(annulus_.size()));
+  registry.span_series("matcher.table_build")
+      .record(static_cast<std::uint64_t>(build_timer.seconds() * 1e9));
 }
 
 double FourierMatcher::cut_transfer(double padded_radius) const {
@@ -106,11 +187,148 @@ em::Image<em::cdouble> FourierMatcher::prepare_view(
 
 double FourierMatcher::distance(const em::Image<em::cdouble>& view_spectrum,
                                 const em::Orientation& o) const {
+  if (!fast_path_) return distance_reference(view_spectrum, o);
+
   const std::size_t big = l_ * options_.pad;
   if (view_spectrum.nx() != big || view_spectrum.ny() != big) {
     throw std::invalid_argument("distance: view spectrum size mismatch");
   }
-  ++matchings_;
+  matchings_.v.fetch_add(1, std::memory_order_relaxed);
+  obs_matchings_->add();
+
+  const em::Mat3 r = em::rotation_matrix(o);
+  const em::Vec3 eu = r * em::Vec3{1, 0, 0};
+  const em::Vec3 ev = r * em::Vec3{0, 1, 0};
+  const double c = std::floor(static_cast<double>(big) / 2.0);
+
+  const std::size_t n = annulus_.size();
+  const double* ku = annulus_.ku.data();
+  const double* kv = annulus_.kv.data();
+  const double* transfer = annulus_.transfer.data();
+  const double* weight = annulus_.weight.data();
+  const std::uint32_t* index = annulus_.index.data();
+  const em::cdouble* view = view_spectrum.data();
+  const double* soa_re = soa_.re.data();
+  const double* soa_im = soa_.im.data();
+  const std::size_t stride_y = soa_.stride_y;
+  const std::size_t stride_z = soa_.stride_z;
+
+  // The 2x2x2 fetches land on a rotated plane through a lattice far
+  // larger than cache (two 129^3 double planes at L=64 pad=2), so the
+  // loop is DRAM-bound.  Software-pipeline it in blocks: stage A
+  // resolves the NEXT block's cells (q = ku*eu + kv*ev, truncation
+  // floor, flat base index — exactly the arithmetic the scalar path's
+  // Vec3 + interp_trilinear perform) and issues the corner-line
+  // prefetches, so by the time stage B fetches a block its lines have
+  // had a full block (~hundreds of ns) of flight time; stage B then
+  // consumes the staged cells without recomputing any addressing.
+  // Pixels are processed strictly in annulus order, so the
+  // accumulation is bit-identical to a straight loop.
+  struct Cell {
+    std::size_t base;
+    double tz, ty, tx;
+  };
+  constexpr std::size_t kBlock = 256;
+  Cell cells[2][kBlock];
+  std::size_t last_line = ~std::size_t{0};
+  auto stage = [&](std::size_t start, std::size_t count, Cell* slot) {
+    for (std::size_t k = 0; k < count; ++k) {
+      const std::size_t j = start + k;
+      // q + c >= c - r_max >= 0.5 under the fast-path guard, so the
+      // size_t truncation is a floor.
+      const double z = ku[j] * eu.z + kv[j] * ev.z + c;
+      const double y = ku[j] * eu.y + kv[j] * ev.y + c;
+      const double x = ku[j] * eu.x + kv[j] * ev.x + c;
+      const std::size_t iz = static_cast<std::size_t>(z);
+      const std::size_t iy = static_cast<std::size_t>(y);
+      const std::size_t ix = static_cast<std::size_t>(x);
+      const std::size_t base = iz * stride_z + iy * stride_y + ix;
+      slot[k].base = base;
+      slot[k].tz = z - static_cast<double>(iz);
+      slot[k].ty = y - static_cast<double>(iy);
+      slot[k].tx = x - static_cast<double>(ix);
+#if defined(__GNUC__) || defined(__clang__)
+      // Neighboring annulus pixels usually land in the same 64-byte
+      // line; when the base line repeats, all eight corner lines
+      // repeat with it, so skip the whole batch instead of burning
+      // load-port slots on duplicate prefetches.
+      const std::size_t line = base >> 3;
+      if (line != last_line) {
+        last_line = line;
+        __builtin_prefetch(soa_re + base, 0, 3);
+        __builtin_prefetch(soa_re + base + stride_y, 0, 3);
+        __builtin_prefetch(soa_re + base + stride_z, 0, 3);
+        __builtin_prefetch(soa_re + base + stride_z + stride_y, 0, 3);
+        __builtin_prefetch(soa_im + base, 0, 3);
+        __builtin_prefetch(soa_im + base + stride_y, 0, 3);
+        __builtin_prefetch(soa_im + base + stride_z, 0, 3);
+        __builtin_prefetch(soa_im + base + stride_z + stride_y, 0, 3);
+      }
+#endif
+    }
+  };
+
+  // Specialize the consume loop on the two per-pixel multipliers.
+  // Without a CTF every transfer is exactly 1.0, and with uniform
+  // weighting every weight is exactly 1.0; multiplying by 1.0 is a
+  // bit-exact no-op, so skipping the load+multiply is free speedup on
+  // the common configuration with identical results.
+  auto run = [&](auto use_transfer, auto use_weight) -> double {
+    double sum = 0.0;
+    std::size_t cur = 0;
+    std::size_t cur_count = std::min(kBlock, n);
+    stage(0, cur_count, cells[0]);
+    for (std::size_t start = 0; start < n; ) {
+      const std::size_t next_start = start + cur_count;
+      const std::size_t next_count =
+          next_start < n ? std::min(kBlock, n - next_start) : 0;
+      if (next_count > 0) stage(next_start, next_count, cells[cur ^ 1]);
+      const Cell* slot = cells[cur];
+      for (std::size_t k = 0; k < cur_count; ++k) {
+        const std::size_t i = start + k;
+        const em::SplitSample s = em::interp_trilinear_cell(
+            soa_, slot[k].base, slot[k].tz, slot[k].ty, slot[k].tx);
+        double sre = s.re, sim = s.im;
+        if constexpr (decltype(use_transfer)::value) {
+          const double t = transfer[i];
+          sre *= t;
+          sim *= t;
+        }
+        const em::cdouble v = view[index[i]];
+        const double dre = v.real() - sre;
+        const double dim = v.imag() - sim;
+        double term = dre * dre + dim * dim;
+        if constexpr (decltype(use_weight)::value) term *= weight[i];
+        sum += term;
+      }
+      start = next_start;
+      cur_count = next_count;
+      cur ^= 1;
+    }
+    return sum;
+  };
+  const bool use_transfer = !transfer_table_.empty();
+  const bool use_weight = options_.weighting == metrics::Weighting::kRadial;
+  double sum;
+  if (use_transfer) {
+    sum = use_weight ? run(std::true_type{}, std::true_type{})
+                     : run(std::true_type{}, std::false_type{});
+  } else {
+    sum = use_weight ? run(std::false_type{}, std::true_type{})
+                     : run(std::false_type{}, std::false_type{});
+  }
+  obs_interp_fetches_->add(n);
+  return sum / static_cast<double>(big * big);
+}
+
+double FourierMatcher::distance_reference(
+    const em::Image<em::cdouble>& view_spectrum, const em::Orientation& o)
+    const {
+  const std::size_t big = l_ * options_.pad;
+  if (view_spectrum.nx() != big || view_spectrum.ny() != big) {
+    throw std::invalid_argument("distance: view spectrum size mismatch");
+  }
+  matchings_.v.fetch_add(1, std::memory_order_relaxed);
   obs_matchings_->add();
 
   const em::Mat3 r = em::rotation_matrix(o);
@@ -157,16 +375,13 @@ double FourierMatcher::distance(const em::Image<em::cdouble>& view_spectrum,
 
 em::Image<em::cdouble> FourierMatcher::cut(const em::Orientation& o) const {
   em::Image<em::cdouble> slice = em::extract_central_slice(spectrum_, o);
-  if (!transfer_table_.empty()) {
-    const std::size_t big = slice.nx();
-    const double center = std::floor(static_cast<double>(big) / 2.0);
-    for (std::size_t y = 0; y < big; ++y) {
-      for (std::size_t x = 0; x < big; ++x) {
-        const double radius = std::hypot(static_cast<double>(y) - center,
-                                         static_cast<double>(x) - center);
-        slice(y, x) *= cut_transfer(radius);
-      }
-    }
+  if (!transfer_image_.empty()) {
+    // One precomputed multiplier per pixel (shared with the annulus
+    // table) instead of a hypot + lerp per pixel per cut.
+    const std::size_t count = slice.size();
+    em::cdouble* out = slice.data();
+    const double* t = transfer_image_.data();
+    for (std::size_t i = 0; i < count; ++i) out[i] *= t[i];
   }
   return slice;
 }

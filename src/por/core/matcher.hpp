@@ -7,9 +7,20 @@
 // samples the cut point-by-point inside the r_map disk and accumulates
 // the weighted distance without materializing the cut image, which is
 // what makes the O(l^2) per matching of §3 achievable.
+//
+// Hot-path layout (see DESIGN.md §"Matcher data layout"): the inner
+// loop runs over an immutable precomputed AnnulusTable (one entry per
+// Fourier pixel inside the [r_min, r_map] ring, with radius, transfer
+// and weight folded in at construction) against a split-complex SoA
+// copy of the 3D spectrum, through the branch-free interior trilinear
+// kernel of por/em/interp.hpp.  The original scalar loop is retained
+// as distance_reference() — the equivalence oracle for tests and the
+// baseline for bench/bench_matcher.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -23,6 +34,10 @@ namespace por::obs {
 class Counter;
 class SpanSeries;
 }  // namespace por::obs
+
+namespace por::util {
+class ThreadPool;
+}  // namespace por::util
 
 namespace por::core {
 
@@ -43,7 +58,47 @@ struct MatchOptions {
   std::optional<em::CtfParams> ctf;
   em::CtfCorrection ctf_correction = em::CtfCorrection::kPhaseFlip;
   double wiener_snr = 10.0;
+
+  /// Fan the w^3 candidate loop of sliding_window_search across this
+  /// many pool workers (1 = serial, the default).  Intra-view
+  /// parallelism for the single-rank case; the vmpi drivers already
+  /// parallelize across views, so they leave this at 1.
+  std::size_t search_threads = 1;
 };
+
+/// Flattened precomputed annulus: one entry per Fourier pixel of the
+/// big x big padded view grid that lies inside the [r_min, r_map]
+/// matching ring.  Built once per FourierMatcher; per matching the
+/// inner loop walks these arrays instead of re-deriving sqrt radii,
+/// ring-membership branches and transfer lerps per pixel.  Stored SoA
+/// so the distance loop vectorizes.
+struct AnnulusTable {
+  std::vector<double> ku;             ///< centered frequency, x component
+  std::vector<double> kv;             ///< centered frequency, y component
+  std::vector<double> transfer;       ///< cut_transfer(radius) per pixel
+  std::vector<double> weight;         ///< distance weight per pixel
+  std::vector<std::uint32_t> index;   ///< flat index into big x big spectra
+
+  [[nodiscard]] std::size_t size() const { return ku.size(); }
+  [[nodiscard]] bool empty() const { return ku.empty(); }
+};
+
+namespace detail {
+/// std::atomic is not movable; FourierMatcher is (the refiner adopts
+/// matchers by value).  Wrap the matchings counter so the class keeps
+/// its defaulted moves while distance() stays safe to call from the
+/// intra-view search pool.
+struct MovableAtomicU64 {
+  std::atomic<std::uint64_t> v{0};
+  MovableAtomicU64() = default;
+  MovableAtomicU64(MovableAtomicU64&& o) noexcept
+      : v(o.v.load(std::memory_order_relaxed)) {}
+  MovableAtomicU64& operator=(MovableAtomicU64&& o) noexcept {
+    v.store(o.v.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+  }
+};
+}  // namespace detail
 
 /// Matches view spectra against central sections of one density map.
 ///
@@ -61,6 +116,12 @@ class FourierMatcher {
   FourierMatcher(em::Volume<em::cdouble> centered_padded_spectrum,
                  std::size_t l, const MatchOptions& options);
 
+  FourierMatcher(FourierMatcher&&) noexcept;
+  FourierMatcher& operator=(FourierMatcher&&) noexcept;
+  FourierMatcher(const FourierMatcher&) = delete;
+  FourierMatcher& operator=(const FourierMatcher&) = delete;
+  ~FourierMatcher();
+
   [[nodiscard]] std::size_t edge() const { return l_; }
   [[nodiscard]] const MatchOptions& options() const { return options_; }
   [[nodiscard]] const em::Volume<em::cdouble>& spectrum() const {
@@ -73,9 +134,19 @@ class FourierMatcher {
       const em::Image<double>& view) const;
 
   /// One matching operation: d(F, C_o) over the r_map disk.
-  /// Increments the matching counter.
+  /// Increments the matching counter.  Runs the precomputed-annulus /
+  /// SoA fast path (equivalent to distance_reference within fp
+  /// summation-order noise, ~1e-15 relative); thread-safe.
   [[nodiscard]] double distance(const em::Image<em::cdouble>& view_spectrum,
                                 const em::Orientation& o) const;
+
+  /// The original scalar matching loop: per-pixel sqrt + ring test +
+  /// transfer lerp + bounds-checked complex trilinear fetch.  Retained
+  /// as the equivalence oracle and the bench baseline.  Same counters
+  /// and same result (to fp tolerance) as distance().
+  [[nodiscard]] double distance_reference(
+      const em::Image<em::cdouble>& view_spectrum,
+      const em::Orientation& o) const;
 
   /// Materialized cut with the view-transfer envelope applied — the
   /// exact object `distance` compares a prepared view against (used by
@@ -88,20 +159,44 @@ class FourierMatcher {
 
   /// Matching-operation counter (total calls to distance()); the
   /// quantity the paper's Tables 1/2 track through the sliding window.
-  [[nodiscard]] std::uint64_t matchings() const { return matchings_; }
-  void reset_matchings() const { matchings_ = 0; }
+  [[nodiscard]] std::uint64_t matchings() const {
+    return matchings_.v.load(std::memory_order_relaxed);
+  }
+  void reset_matchings() const {
+    matchings_.v.store(0, std::memory_order_relaxed);
+  }
 
   /// Matching radius in PADDED Fourier pixels.
   [[nodiscard]] double padded_r_map() const { return padded_r_map_; }
 
+  /// The precomputed matching ring (center refinement reuses it for
+  /// its translated-distance loop).
+  [[nodiscard]] const AnnulusTable& annulus() const { return annulus_; }
+
+  /// Worker pool for fanning the w^3 candidate loop across threads, or
+  /// nullptr when options().search_threads <= 1.
+  [[nodiscard]] util::ThreadPool* search_pool() const { return pool_.get(); }
+
  private:
+  /// Build transfer_image_ (when CTF is configured), annulus_ and the
+  /// split-complex SoA spectrum; record build time + table size.
+  void build_tables();
+
   std::size_t l_;
   MatchOptions options_;
   double padded_r_map_;
   double padded_r_min_;
   em::Volume<em::cdouble> spectrum_;
   std::vector<double> transfer_table_;  ///< envelope by padded radius px
-  mutable std::uint64_t matchings_ = 0;
+
+  // --- precomputed hot-path state (immutable after construction) ----
+  em::SplitComplexLattice soa_;      ///< split-complex spectrum, zero-padded
+  AnnulusTable annulus_;             ///< flattened [r_min, r_map] ring
+  em::Image<double> transfer_image_; ///< per-pixel cut transfer (CTF only)
+  bool fast_path_ = false;           ///< radius-vs-lattice guard verdict
+  std::unique_ptr<util::ThreadPool> pool_;  ///< intra-view search pool
+
+  mutable detail::MovableAtomicU64 matchings_;
 
   // Observability handles, resolved once against the registry current
   // on the constructing thread (the owning rank under vmpi):
@@ -109,6 +204,8 @@ class FourierMatcher {
   //   matcher.interp_fetches  — trilinear spectrum fetches inside the
   //                             r_map disk (one bulk add per matching)
   //   matcher.prepare_view    — span series timing step (d)+(e)
+  //   matcher.table_build     — span series timing build_tables()
+  //   matcher.annulus_pixels  — gauge: entries in the annulus table
   obs::Counter* obs_matchings_;
   obs::Counter* obs_interp_fetches_;
   obs::SpanSeries* obs_prepare_view_;

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 namespace por::core {
@@ -62,28 +63,50 @@ ViewResult OrientationRefiner::refine_view(const em::Image<double>& view,
   // The spectrum used for matching carries the current center
   // correction: translate by (-cx, -cy) so the particle sits exactly
   // on the box center, as the cuts assume.  Offsets are in pixels,
-  // which are the same physical units on the padded grid.
-  em::Image<em::cdouble> centered = spectrum;
-  if (center_x != 0.0 || center_y != 0.0) {
-    em::apply_translation_phase(centered, -center_x, -center_y);
-  }
+  // which are the same physical units on the padded grid.  With a zero
+  // offset the prepared spectrum is used directly (no copy); otherwise
+  // the phase ramp is written into one reused buffer.
+  em::Image<em::cdouble> translated;
+  const em::Image<em::cdouble>* centered = &spectrum;
+  const auto apply_center = [&](double cx, double cy) {
+    if (cx == 0.0 && cy == 0.0) {
+      centered = &spectrum;
+    } else {
+      em::translate_phase_into(translated, spectrum, -cx, -cy);
+      centered = &translated;
+    }
+  };
+  apply_center(center_x, center_y);
 
   // Step (n): iterate the levels of the multi-resolution schedule.
   const int passes =
       config_.refine_centers ? std::max(1, config_.max_passes_per_level) : 1;
   for (const SearchLevel& level : config_.schedule) {
+    // Score cache for this level's angular grid: the
+    // orientation<->center passes below re-visit the same grid points
+    // against the same matching spectrum, and the sliding window
+    // overlaps itself.  quantum = step/4 keeps distinct grid points
+    // on distinct keys (see score_cache.hpp).  Invalidated whenever
+    // the center correction changes the matching spectrum.
+    std::optional<ScoreCache> cache;
+    if (level.angular_step_deg > 0.0) {
+      cache.emplace(level.angular_step_deg / 4.0);
+    }
     for (int pass = 0; pass < passes; ++pass) {
       // Steps (f)-(j): sliding-window angular search at this resolution.
       util::WallTimer refine_timer;
       const SearchDomain domain{result.orientation, level.angular_step_deg,
                                 level.angular_width};
-      const WindowResult window = sliding_window_search(
-          matcher_, centered, domain, config_.max_slides);
+      const WindowResult window =
+          sliding_window_search(matcher_, *centered, domain,
+                                config_.max_slides,
+                                cache ? &*cache : nullptr);
       const double moved_deg =
           em::geodesic_deg(result.orientation, window.best);
       result.orientation = window.best;
       result.final_distance = window.best_distance;
       result.matchings += window.matchings;
+      result.cache_hits += window.cache_hits;
       result.window_slides += window.slides;
       {
         const double seconds = refine_timer.seconds();
@@ -101,14 +124,16 @@ ViewResult OrientationRefiner::refine_view(const em::Image<double>& view,
           level.center_step_px, level.center_width, config_.max_slides);
       const double center_moved = std::hypot(center.dx - result.center_x,
                                              center.dy - result.center_y);
+      const bool center_changed =
+          center.dx != result.center_x || center.dy != result.center_y;
       result.center_x = center.dx;
       result.center_y = center.dy;
       result.center_evals += center.evaluations;
-      // Re-apply the improved center to the matching spectrum.
-      centered = spectrum;
-      if (result.center_x != 0.0 || result.center_y != 0.0) {
-        em::apply_translation_phase(centered, -result.center_x,
-                                    -result.center_y);
+      if (center_changed) {
+        // Re-apply the improved center to the matching spectrum; the
+        // cached scores were measured against the old spectrum.
+        apply_center(result.center_x, result.center_y);
+        if (cache) cache->clear();
       }
       {
         const double seconds = center_timer.seconds();

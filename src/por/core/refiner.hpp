@@ -58,6 +58,7 @@ struct ViewResult {
   double center_y = 0.0;
   double final_distance = 0.0;
   std::uint64_t matchings = 0;       ///< angular matchings spent
+  std::uint64_t cache_hits = 0;      ///< matchings avoided by the score cache
   std::uint64_t center_evals = 0;    ///< center positions tried
   int window_slides = 0;             ///< total slides over all levels
 };

@@ -1,0 +1,96 @@
+#include "por/core/score_cache.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace por::core {
+
+namespace {
+
+/// Round `capacity` up to a power of two (min 16).
+std::size_t round_up_pow2(std::size_t capacity) {
+  std::size_t p = 16;
+  while (p < capacity) p <<= 1;
+  return p;
+}
+
+/// splitmix64 finalizer — cheap, well-mixed avalanche for table keys.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ScoreCache::ScoreCache(double quantum_deg, std::size_t initial_capacity)
+    : quantum_deg_(quantum_deg),
+      entries_(round_up_pow2(initial_capacity)) {
+  if (!(quantum_deg > 0.0)) {
+    throw std::invalid_argument("ScoreCache: quantum must be positive");
+  }
+}
+
+ScoreCache::Key ScoreCache::quantize(const em::Orientation& o) const {
+  const double inv = 1.0 / quantum_deg_;
+  return Key{std::llround(o.theta * inv), std::llround(o.phi * inv),
+             std::llround(o.omega * inv)};
+}
+
+std::size_t ScoreCache::hash(const Key& k) {
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(k.qt));
+  h = mix64(h ^ static_cast<std::uint64_t>(k.qp));
+  h = mix64(h ^ static_cast<std::uint64_t>(k.qo));
+  return static_cast<std::size_t>(h);
+}
+
+std::size_t ScoreCache::probe(const Key& key) const {
+  const std::size_t mask = entries_.size() - 1;
+  std::size_t slot = hash(key) & mask;
+  while (entries_[slot].used && !(entries_[slot].key == key)) {
+    slot = (slot + 1) & mask;
+  }
+  return slot;
+}
+
+std::optional<double> ScoreCache::lookup(const em::Orientation& o) const {
+  const std::size_t slot = probe(quantize(o));
+  if (entries_[slot].used) {
+    ++hits_;
+    return entries_[slot].value;
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void ScoreCache::insert(const em::Orientation& o, double distance) {
+  const Key key = quantize(o);
+  const std::size_t slot = probe(key);
+  if (!entries_[slot].used) {
+    entries_[slot].used = true;
+    entries_[slot].key = key;
+    ++size_;
+    // Keep the load factor under ~0.7 so probe chains stay short.
+    if (size_ * 10 >= entries_.size() * 7) grow();
+  }
+  // Re-probe after a potential grow (slot indices change).
+  entries_[probe(key)].value = distance;
+}
+
+void ScoreCache::clear() {
+  for (Entry& e : entries_) e.used = false;
+  size_ = 0;
+}
+
+void ScoreCache::grow() {
+  std::vector<Entry> old = std::move(entries_);
+  entries_.assign(old.size() * 2, Entry{});
+  for (const Entry& e : old) {
+    if (!e.used) continue;
+    const std::size_t slot = probe(e.key);
+    entries_[slot] = e;
+  }
+}
+
+}  // namespace por::core

@@ -1,56 +1,117 @@
 #include "por/core/sliding_window.hpp"
 
 #include <limits>
+#include <vector>
 
 #include "por/obs/registry.hpp"
+#include "por/util/thread_pool.hpp"
 
 namespace por::core {
 
 WindowResult sliding_window_search(const FourierMatcher& matcher,
                                    const em::Image<em::cdouble>& view_spectrum,
                                    const SearchDomain& initial_domain,
-                                   int max_slides) {
+                                   int max_slides, ScoreCache* cache) {
   // Registry lookups here are once-per-search (not per matching), so
   // the find-or-create mutex cost is negligible against the w^3 inner
   // matchings below.
   obs::MetricsRegistry& registry = obs::current_registry();
   registry.counter("window.searches").add();
   obs::Counter& slides_counter = registry.counter("window.slides");
+  obs::Counter& hits_counter = registry.counter("window.cache_hits");
+  obs::Counter& misses_counter = registry.counter("window.cache_misses");
 
   WindowResult result;
   SearchDomain domain = initial_domain;
   const std::uint64_t matchings_before = matcher.matchings();
+  util::ThreadPool* pool = matcher.search_pool();
+
+  const int w = domain.width;
+  const std::size_t count =
+      static_cast<std::size_t>(w) * static_cast<std::size_t>(w) *
+      static_cast<std::size_t>(w);
+  std::vector<em::Orientation> candidates;
+  std::vector<double> scores;
+  std::vector<std::size_t> missing;  // candidate indices not in the cache
+  candidates.reserve(count);
+  scores.resize(count);
+  missing.reserve(count);
 
   for (int round = 0;; ++round) {
-    // Step (g)+(h): distances to every cut in the domain, keep the min.
-    double best_distance = std::numeric_limits<double>::infinity();
-    int best_it = 0, best_ip = 0, best_io = 0;
-    em::Orientation best = domain.center;
-    for (int it = 0; it < domain.width; ++it) {
-      for (int ip = 0; ip < domain.width; ++ip) {
-        for (int io = 0; io < domain.width; ++io) {
-          const em::Orientation o{domain.center.theta + domain.offset(it),
-                                  domain.center.phi + domain.offset(ip),
-                                  domain.center.omega + domain.offset(io)};
-          const double d = matcher.distance(view_spectrum, o);
-          if (d < best_distance) {
-            best_distance = d;
-            best = o;
-            best_it = it;
-            best_ip = ip;
-            best_io = io;
-          }
+    // Step (g): enumerate the w^3 candidate grid (theta-major, same
+    // order as SearchDomain::enumerate, which fixes tie-breaking).
+    candidates.clear();
+    for (int it = 0; it < w; ++it) {
+      for (int ip = 0; ip < w; ++ip) {
+        for (int io = 0; io < w; ++io) {
+          candidates.push_back(
+              em::Orientation{domain.center.theta + domain.offset(it),
+                              domain.center.phi + domain.offset(ip),
+                              domain.center.omega + domain.offset(io)});
         }
       }
     }
-    result.best = best;
+
+    // Resolve candidates against the score cache; overlapping slide
+    // windows and repeated passes re-use old scores here instead of
+    // re-running the matching kernel.
+    missing.clear();
+    if (cache != nullptr) {
+      for (std::size_t i = 0; i < count; ++i) {
+        if (const std::optional<double> hit = cache->lookup(candidates[i])) {
+          scores[i] = *hit;
+        } else {
+          missing.push_back(i);
+        }
+      }
+      const std::uint64_t hits =
+          static_cast<std::uint64_t>(count - missing.size());
+      result.cache_hits += hits;
+      hits_counter.add(hits);
+      misses_counter.add(static_cast<std::uint64_t>(missing.size()));
+    } else {
+      for (std::size_t i = 0; i < count; ++i) missing.push_back(i);
+    }
+
+    // Step (h): score the remaining candidates, optionally fanned
+    // across the matcher's intra-view pool (distance() is
+    // thread-safe; each task writes a distinct scores slot).
+    const auto score_one = [&](std::size_t mi) {
+      const std::size_t i = missing[mi];
+      scores[i] = matcher.distance(view_spectrum, candidates[i]);
+    };
+    if (pool != nullptr && missing.size() > 1) {
+      pool->parallel_for(0, missing.size(), score_one);
+    } else {
+      for (std::size_t mi = 0; mi < missing.size(); ++mi) score_one(mi);
+    }
+    if (cache != nullptr) {
+      for (const std::size_t i : missing) {
+        cache->insert(candidates[i], scores[i]);
+      }
+    }
+
+    // Reduce in candidate order — bitwise the same selection (strict
+    // <, first wins) as the original serial triple loop.
+    double best_distance = std::numeric_limits<double>::infinity();
+    std::size_t best_index = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (scores[i] < best_distance) {
+        best_distance = scores[i];
+        best_index = i;
+      }
+    }
+    const int best_it = static_cast<int>(best_index) / (w * w);
+    const int best_ip = (static_cast<int>(best_index) / w) % w;
+    const int best_io = static_cast<int>(best_index) % w;
+    result.best = candidates[best_index];
     result.best_distance = best_distance;
 
     // Step (i): slide if the best fit touches the edge.
     if (!domain.on_edge(best_it, best_ip, best_io) || round >= max_slides) {
       break;
     }
-    domain = domain.recentered(best);
+    domain = domain.recentered(result.best);
     ++result.slides;
     slides_counter.add();
   }

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "por/core/matcher.hpp"
+#include "por/core/score_cache.hpp"
 #include "por/core/search_domain.hpp"
 
 namespace por::core {
@@ -19,13 +20,23 @@ struct WindowResult {
   double best_distance = 0.0;   ///< d_mu
   int slides = 0;               ///< n_window: times the window moved
   std::uint64_t matchings = 0;  ///< matching operations spent
+  std::uint64_t cache_hits = 0; ///< candidates served from the score cache
 };
 
 /// Run the grid search with the sliding-window rule.  `max_slides`
 /// bounds runaway sliding on pathological (e.g. featureless) data;
 /// the paper's tables observe 0-2 slides in practice.
+///
+/// `cache`, when non-null, memoizes scores across rounds (and across
+/// calls, for as long as the caller keeps the cache alive and the view
+/// spectrum unchanged): orientations shared between overlapping slide
+/// windows are never re-scored.  The result is identical with and
+/// without a cache — hits return the very score the matcher produced.
+/// When the matcher was built with options().search_threads > 1, the
+/// uncached candidates of each round are fanned across its pool.
 [[nodiscard]] WindowResult sliding_window_search(
     const FourierMatcher& matcher, const em::Image<em::cdouble>& view_spectrum,
-    const SearchDomain& initial_domain, int max_slides = 8);
+    const SearchDomain& initial_domain, int max_slides = 8,
+    ScoreCache* cache = nullptr);
 
 }  // namespace por::core

@@ -141,7 +141,15 @@ Image<cdouble> extract_central_slice(const Volume<cdouble>& centered_spectrum,
 
 void apply_translation_phase(Image<cdouble>& centered_spectrum, double dx,
                              double dy) {
-  const std::size_t ny = centered_spectrum.ny(), nx = centered_spectrum.nx();
+  translate_phase_into(centered_spectrum, centered_spectrum, dx, dy);
+}
+
+void translate_phase_into(Image<cdouble>& out, const Image<cdouble>& in,
+                          double dx, double dy) {
+  const std::size_t ny = in.ny(), nx = in.nx();
+  if (&out != &in && (out.ny() != ny || out.nx() != nx)) {
+    out = Image<cdouble>(ny, nx);
+  }
   const double cy = std::floor(static_cast<double>(ny) / 2.0);
   const double cx = std::floor(static_cast<double>(nx) / 2.0);
   for (std::size_t y = 0; y < ny; ++y) {
@@ -153,7 +161,7 @@ void apply_translation_phase(Image<cdouble>& centered_spectrum, double dx,
       const double angle = -2.0 * std::numbers::pi *
                            (kx * dx / static_cast<double>(nx) +
                             ky * dy / static_cast<double>(ny));
-      centered_spectrum(y, x) *= cdouble(std::cos(angle), std::sin(angle));
+      out(y, x) = in(y, x) * cdouble(std::cos(angle), std::sin(angle));
     }
   }
 }

@@ -66,4 +66,12 @@ namespace por::em {
 void apply_translation_phase(Image<cdouble>& centered_spectrum, double dx,
                              double dy);
 
+/// One-pass out-of-place variant: write `in` multiplied by the
+/// (dx, dy) translation phase ramp into `out` (resized to match `in`
+/// as needed; `out` may alias `in`).  The refiner uses this to
+/// re-center its matching spectrum into a reused buffer instead of
+/// copying the whole image and then mutating it.
+void translate_phase_into(Image<cdouble>& out, const Image<cdouble>& in,
+                          double dx, double dy);
+
 }  // namespace por::em

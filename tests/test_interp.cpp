@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "por/em/grid.hpp"
+#include "por/em/interp.hpp"
+#include "por/util/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace por;
+using namespace por::em;
+
+Volume<cdouble> random_volume(std::size_t l, std::uint64_t seed) {
+  Volume<cdouble> vol(l);
+  util::Rng rng(seed);
+  for (auto& v : vol.storage()) {
+    v = cdouble(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+  }
+  return vol;
+}
+
+double sample_diff(const Volume<cdouble>& vol, const SplitComplexLattice& lat,
+                   double z, double y, double x) {
+  const cdouble ref = interp_trilinear(vol, z, y, x);
+  const SplitSample fast = interp_trilinear_interior(lat, z, y, x);
+  return std::abs(ref - cdouble(fast.re, fast.im));
+}
+
+TEST(Interp, SplitLatticeMirrorsVolume) {
+  const std::size_t l = 9;
+  const Volume<cdouble> vol = random_volume(l, 11);
+  const SplitComplexLattice lat(vol);
+  EXPECT_EQ(lat.edge, l);
+  EXPECT_EQ(lat.stride_y, l + 1);
+  EXPECT_EQ(lat.stride_z, (l + 1) * (l + 1));
+  for (std::size_t z = 0; z < l; ++z) {
+    for (std::size_t y = 0; y < l; ++y) {
+      for (std::size_t x = 0; x < l; ++x) {
+        const std::size_t i = z * lat.stride_z + y * lat.stride_y + x;
+        EXPECT_EQ(lat.re[i], vol(z, y, x).real());
+        EXPECT_EQ(lat.im[i], vol(z, y, x).imag());
+      }
+    }
+  }
+  // The +1 pad plane/row/column is zero.
+  for (std::size_t z = 0; z <= l; ++z) {
+    for (std::size_t y = 0; y <= l; ++y) {
+      EXPECT_EQ(lat.re[z * lat.stride_z + y * lat.stride_y + l], 0.0);
+      EXPECT_EQ(lat.im[z * lat.stride_z + l * lat.stride_y + y], 0.0);
+      EXPECT_EQ(lat.re[l * lat.stride_z + z * lat.stride_y + y], 0.0);
+    }
+  }
+}
+
+TEST(Interp, SplitLatticeRejectsNonCube) {
+  const Volume<cdouble> brick(2, 3, 4);
+  EXPECT_THROW((void)SplitComplexLattice(brick), std::invalid_argument);
+}
+
+TEST(Interp, InteriorKernelMatchesReferenceAtRandomPoints) {
+  const std::size_t l = 12;
+  const Volume<cdouble> vol = random_volume(l, 29);
+  const SplitComplexLattice lat(vol);
+  util::Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    // Base cell anywhere in the kernel's contract domain [0, l-1].
+    const double z = rng.uniform(0.0, static_cast<double>(l) - 1e-9);
+    const double y = rng.uniform(0.0, static_cast<double>(l) - 1e-9);
+    const double x = rng.uniform(0.0, static_cast<double>(l) - 1e-9);
+    EXPECT_LT(sample_diff(vol, lat, z, y, x), 1e-14)
+        << "at (" << z << ", " << y << ", " << x << ")";
+  }
+}
+
+TEST(Interp, InteriorKernelExactOnLatticePoints) {
+  const std::size_t l = 7;
+  const Volume<cdouble> vol = random_volume(l, 5);
+  const SplitComplexLattice lat(vol);
+  for (std::size_t z = 0; z < l; ++z) {
+    for (std::size_t y = 0; y < l; ++y) {
+      for (std::size_t x = 0; x < l; ++x) {
+        const SplitSample s = interp_trilinear_interior(
+            lat, static_cast<double>(z), static_cast<double>(y),
+            static_cast<double>(x));
+        EXPECT_EQ(s.re, vol(z, y, x).real());
+        EXPECT_EQ(s.im, vol(z, y, x).imag());
+      }
+    }
+  }
+}
+
+TEST(Interp, InteriorKernelMatchesZeroOutsideConventionAtUpperBorder) {
+  // Base cells on the last lattice plane (floor == l-1, fractional
+  // offset > 0) straddle the boundary: the reference treats the +1
+  // neighbors as zero, the branch-free kernel reads the lattice's
+  // explicit zero pad.  Both must agree exactly.
+  const std::size_t l = 8;
+  const Volume<cdouble> vol = random_volume(l, 17);
+  const SplitComplexLattice lat(vol);
+  util::Rng rng(19);
+  const double edge = static_cast<double>(l - 1);
+  for (int i = 0; i < 200; ++i) {
+    const double frac = rng.uniform(0.0, 0.999);
+    const double other1 = rng.uniform(0.0, edge);
+    const double other2 = rng.uniform(0.0, edge);
+    EXPECT_LT(sample_diff(vol, lat, edge + frac, other1, other2), 1e-14);
+    EXPECT_LT(sample_diff(vol, lat, other1, edge + frac, other2), 1e-14);
+    EXPECT_LT(sample_diff(vol, lat, other1, other2, edge + frac), 1e-14);
+    // Corner: all three axes straddle at once.
+    EXPECT_LT(
+        sample_diff(vol, lat, edge + frac, edge + frac, edge + frac), 1e-14);
+  }
+}
+
+TEST(Interp, InteriorKernelMatchesReferenceAtLowerBorder) {
+  const std::size_t l = 8;
+  const Volume<cdouble> vol = random_volume(l, 23);
+  const SplitComplexLattice lat(vol);
+  util::Rng rng(37);
+  for (int i = 0; i < 200; ++i) {
+    const double frac = rng.uniform(0.0, 0.999);
+    const double other = rng.uniform(0.0, static_cast<double>(l - 1));
+    EXPECT_LT(sample_diff(vol, lat, frac, other, other), 1e-14);
+    EXPECT_LT(sample_diff(vol, lat, other, frac, other), 1e-14);
+    EXPECT_LT(sample_diff(vol, lat, other, other, frac), 1e-14);
+  }
+}
+
+}  // namespace

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "por/core/matcher.hpp"
 #include "por/em/projection.hpp"
+#include "por/util/rng.hpp"
+#include "por/util/thread_pool.hpp"
 #include "test_helpers.hpp"
 
 namespace {
@@ -168,6 +172,163 @@ TEST(Matcher, CutTransferTracksCtfEnvelope) {
     EXPECT_LE(matcher.cut_transfer(r), 1.0 + 1e-12);
     EXPECT_GE(matcher.cut_transfer(r), 0.0);
   }
+}
+
+// ---- fast path vs retained scalar reference --------------------------------
+
+void expect_fast_matches_reference(const FourierMatcher& matcher,
+                                   const Image<cdouble>& spectrum,
+                                   const Orientation& o) {
+  const double fast = matcher.distance(spectrum, o);
+  const double reference = matcher.distance_reference(spectrum, o);
+  const double tol = 1e-12 * std::max(1.0, std::abs(reference));
+  EXPECT_NEAR(fast, reference, tol)
+      << "orientation (" << o.theta << ", " << o.phi << ", " << o.omega << ")";
+}
+
+TEST(Matcher, FastPathMatchesReferenceOverRandomOrientations) {
+  const std::size_t l = 20;
+  const BlobModel model = small_phantom(l, 12);
+  const FourierMatcher matcher(model.rasterize(l), options_for(l));
+  const auto spectrum =
+      matcher.prepare_view(model.project_analytic(l, {48, 160, 72}));
+  util::Rng rng(101);
+  for (int i = 0; i < 40; ++i) {
+    expect_fast_matches_reference(matcher, spectrum,
+                                  por::test::random_orientation(rng));
+  }
+}
+
+TEST(Matcher, FastPathMatchesReferenceOnLatticeBoundaryOrientations) {
+  // Axis-aligned orientations put cut samples exactly ON lattice
+  // planes (fractional parts of 0), the edge case where the reference
+  // kernel's zero-weight skip branches and the branch-free kernel's
+  // zero-pad reads must agree.
+  const std::size_t l = 16;
+  const BlobModel model = small_phantom(l, 8);
+  const FourierMatcher matcher(model.rasterize(l), options_for(l));
+  const auto spectrum =
+      matcher.prepare_view(model.project_analytic(l, {0, 0, 0}));
+  for (const Orientation o :
+       {Orientation{0, 0, 0}, Orientation{90, 0, 0}, Orientation{180, 0, 0},
+        Orientation{90, 90, 0}, Orientation{90, 0, 90},
+        Orientation{90, 90, 90}, Orientation{0, 0, 45},
+        Orientation{45, 0, 0}}) {
+    expect_fast_matches_reference(matcher, spectrum, o);
+  }
+}
+
+TEST(Matcher, FastPathMatchesReferenceAtAnnulusEdges) {
+  // Default r_map (Nyquist: samples graze the lattice boundary) plus a
+  // ring with r_min > 0 — the annulus-membership edge cases.
+  const std::size_t l = 18;
+  const BlobModel model = small_phantom(l, 9);
+  const Volume<double> map = model.rasterize(l);
+  util::Rng rng(211);
+
+  MatchOptions nyquist;  // r_map = 0 -> Nyquist
+  const FourierMatcher matcher_nyquist(map, nyquist);
+  MatchOptions ring = options_for(l);
+  ring.r_min = 2.5;
+  const FourierMatcher matcher_ring(map, ring);
+
+  const Orientation view_o{33, 290, 140};
+  const auto spec_n =
+      matcher_nyquist.prepare_view(model.project_analytic(l, view_o));
+  const auto spec_r =
+      matcher_ring.prepare_view(model.project_analytic(l, view_o));
+  for (int i = 0; i < 15; ++i) {
+    const Orientation o = por::test::random_orientation(rng);
+    expect_fast_matches_reference(matcher_nyquist, spec_n, o);
+    expect_fast_matches_reference(matcher_ring, spec_r, o);
+  }
+}
+
+TEST(Matcher, FastPathMatchesReferenceWithCtfAndRadialWeighting) {
+  const std::size_t l = 24;
+  const BlobModel model = small_phantom(l, 12);
+  MatchOptions options = options_for(l);
+  CtfParams ctf;
+  ctf.defocus_a = 18000.0;
+  options.ctf = ctf;
+  options.ctf_correction = CtfCorrection::kWiener;
+  options.wiener_snr = 50.0;
+  options.weighting = metrics::Weighting::kRadial;
+  const FourierMatcher matcher(model.rasterize(l), options);
+  const auto spectrum =
+      matcher.prepare_view(model.project_analytic(l, {55, 210, 80}));
+  util::Rng rng(307);
+  for (int i = 0; i < 15; ++i) {
+    expect_fast_matches_reference(matcher, spectrum,
+                                  por::test::random_orientation(rng));
+  }
+}
+
+TEST(Matcher, AnnulusTableMatchesRingMembership) {
+  const std::size_t l = 16;
+  const BlobModel model = small_phantom(l, 8);
+  MatchOptions options = options_for(l);
+  options.r_min = 1.5;
+  const FourierMatcher matcher(model.rasterize(l), options);
+
+  const std::size_t big = l * options.pad;
+  const double c = std::floor(static_cast<double>(big) / 2.0);
+  const double r_max = matcher.padded_r_map();
+  const double r_min = options.r_min * static_cast<double>(options.pad);
+  std::size_t expected = 0;
+  for (std::size_t y = 0; y < big; ++y) {
+    for (std::size_t x = 0; x < big; ++x) {
+      const double radius = std::hypot(static_cast<double>(y) - c,
+                                       static_cast<double>(x) - c);
+      if (radius <= r_max && radius >= r_min) ++expected;
+    }
+  }
+  EXPECT_EQ(matcher.annulus().size(), expected);
+  // Entries carry valid flat indices and in-ring frequencies.
+  for (std::size_t i = 0; i < matcher.annulus().size(); ++i) {
+    EXPECT_LT(matcher.annulus().index[i], big * big);
+    const double radius =
+        std::hypot(matcher.annulus().ku[i], matcher.annulus().kv[i]);
+    EXPECT_LE(radius, r_max + 1e-12);
+    EXPECT_GE(radius, r_min - 1e-12);
+  }
+}
+
+TEST(Matcher, CutWithCtfMatchesSliceTimesTransfer) {
+  // cut() now applies a precomputed per-pixel transfer image; it must
+  // equal the slice multiplied by cut_transfer(radius) pixel by pixel.
+  const std::size_t l = 16;
+  const BlobModel model = small_phantom(l, 8);
+  const Volume<double> map = model.rasterize(l);
+  MatchOptions options = options_for(l);
+  CtfParams ctf;
+  options.ctf = ctf;
+  const FourierMatcher matcher(map, options);
+  const Orientation o{25, 75, 125};
+  Image<cdouble> expected =
+      extract_central_slice(centered_fft3(pad_volume(map, options.pad)), o);
+  const std::size_t big = expected.nx();
+  const double center = std::floor(static_cast<double>(big) / 2.0);
+  for (std::size_t y = 0; y < big; ++y) {
+    for (std::size_t x = 0; x < big; ++x) {
+      const double radius = std::hypot(static_cast<double>(y) - center,
+                                       static_cast<double>(x) - center);
+      expected(y, x) *= matcher.cut_transfer(radius);
+    }
+  }
+  EXPECT_LT(por::test::max_abs_diff(matcher.cut(o), expected), 1e-12);
+}
+
+TEST(Matcher, SearchThreadsKnobCreatesPool) {
+  const BlobModel model = small_phantom(8, 4);
+  MatchOptions serial;
+  const FourierMatcher matcher_serial(model.rasterize(8), serial);
+  EXPECT_EQ(matcher_serial.search_pool(), nullptr);
+  MatchOptions threaded;
+  threaded.search_threads = 2;
+  const FourierMatcher matcher_threaded(model.rasterize(8), threaded);
+  ASSERT_NE(matcher_threaded.search_pool(), nullptr);
+  EXPECT_EQ(matcher_threaded.search_pool()->size(), 2u);
 }
 
 TEST(Matcher, RejectsBadConfiguration) {

@@ -96,6 +96,130 @@ TEST(SlidingWindow, FinerGridFindsLowerMinimum) {
   EXPECT_LT(fine_best, coarse_best);
 }
 
+// ---- score cache -----------------------------------------------------------
+
+TEST(ScoreCache, StoresAndRecallsExactGridPoints) {
+  ScoreCache cache(0.25);  // quantum for a 1-degree grid
+  const Orientation a{50.0, 120.0, 40.0};
+  const Orientation b{51.0, 120.0, 40.0};
+  EXPECT_FALSE(cache.lookup(a).has_value());
+  cache.insert(a, 1.5);
+  cache.insert(b, 2.5);
+  ASSERT_TRUE(cache.lookup(a).has_value());
+  EXPECT_EQ(*cache.lookup(a), 1.5);
+  EXPECT_EQ(*cache.lookup(b), 2.5);
+  EXPECT_EQ(cache.size(), 2u);
+  // fp drift far below half a quantum still hits the same key.
+  EXPECT_TRUE(cache.lookup(Orientation{50.0 + 1e-9, 120.0, 40.0}).has_value());
+  // A different grid point never collides.
+  EXPECT_FALSE(cache.lookup(Orientation{50.0, 121.0, 40.0}).has_value());
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup(a).has_value());
+}
+
+TEST(ScoreCache, CountsHitsAndMisses) {
+  ScoreCache cache(0.1);
+  const Orientation o{10, 20, 30};
+  (void)cache.lookup(o);
+  cache.insert(o, 3.0);
+  (void)cache.lookup(o);
+  (void)cache.lookup(o);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(ScoreCache, GrowsPastInitialCapacity) {
+  ScoreCache cache(0.25, /*initial_capacity=*/16);
+  for (int t = 0; t < 12; ++t) {
+    for (int p = 0; p < 12; ++p) {
+      cache.insert(Orientation{static_cast<double>(t),
+                               static_cast<double>(p), 0.0},
+                   static_cast<double>(t * 12 + p));
+    }
+  }
+  EXPECT_EQ(cache.size(), 144u);
+  EXPECT_GE(cache.capacity(), 144u);
+  for (int t = 0; t < 12; ++t) {
+    for (int p = 0; p < 12; ++p) {
+      const auto hit = cache.lookup(
+          Orientation{static_cast<double>(t), static_cast<double>(p), 0.0});
+      ASSERT_TRUE(hit.has_value());
+      EXPECT_EQ(*hit, static_cast<double>(t * 12 + p));
+    }
+  }
+  EXPECT_THROW((void)ScoreCache(0.0), std::invalid_argument);
+}
+
+TEST(SlidingWindow, CachedSearchIsIdenticalToUncached) {
+  Fixture fx;
+  const Orientation truth{50, 120, 40};
+  const auto spectrum =
+      fx.matcher.prepare_view(fx.model.project_analytic(fx.l, truth));
+  // Start off-center so the window slides: overlapping rounds are
+  // where the cache earns hits.
+  const SearchDomain domain{Orientation{53, 120, 40}, 1.0, 3};
+  const WindowResult plain =
+      sliding_window_search(fx.matcher, spectrum, domain);
+  ScoreCache cache(domain.step_deg / 4.0);
+  const WindowResult cached =
+      sliding_window_search(fx.matcher, spectrum, domain, 8, &cache);
+  EXPECT_EQ(cached.best, plain.best);
+  EXPECT_EQ(cached.best_distance, plain.best_distance);
+  EXPECT_EQ(cached.slides, plain.slides);
+  EXPECT_EQ(plain.cache_hits, 0u);
+  // Each slide re-visits a width^2 * (width-1) overlap minus edge
+  // effects; with >= 1 slide there must be hits, and every hit is a
+  // matching saved.
+  ASSERT_GE(cached.slides, 1);
+  EXPECT_GT(cached.cache_hits, 0u);
+  EXPECT_EQ(cached.matchings + cached.cache_hits, plain.matchings);
+  EXPECT_EQ(cache.hits(), cached.cache_hits);
+}
+
+TEST(SlidingWindow, WarmCacheServesRepeatSearchEntirely) {
+  Fixture fx;
+  const Orientation truth{50, 120, 40};
+  const auto spectrum =
+      fx.matcher.prepare_view(fx.model.project_analytic(fx.l, truth));
+  const SearchDomain domain{truth, 1.0, 3};
+  ScoreCache cache(domain.step_deg / 4.0);
+  const WindowResult first =
+      sliding_window_search(fx.matcher, spectrum, domain, 8, &cache);
+  EXPECT_EQ(first.cache_hits, 0u);
+  EXPECT_EQ(first.matchings, 27u);
+  // Same domain, same spectrum, warm cache: zero matcher calls.
+  const WindowResult second =
+      sliding_window_search(fx.matcher, spectrum, domain, 8, &cache);
+  EXPECT_EQ(second.matchings, 0u);
+  EXPECT_EQ(second.cache_hits, 27u);
+  EXPECT_EQ(second.best, first.best);
+  EXPECT_EQ(second.best_distance, first.best_distance);
+}
+
+TEST(SlidingWindow, ParallelCandidateFanoutMatchesSerial) {
+  const std::size_t l = 20;
+  const BlobModel model = small_phantom(l, 12);
+  MatchOptions serial_options;
+  serial_options.r_map = 8.0;
+  MatchOptions parallel_options = serial_options;
+  parallel_options.search_threads = 4;
+  const Volume<double> map = model.rasterize(l);
+  const FourierMatcher serial(map, serial_options);
+  const FourierMatcher parallel(map, parallel_options);
+
+  const Orientation truth{50, 120, 40};
+  const auto spectrum =
+      serial.prepare_view(model.project_analytic(l, truth));
+  const SearchDomain domain{Orientation{52, 121, 40}, 1.0, 3};
+  const WindowResult a = sliding_window_search(serial, spectrum, domain);
+  const WindowResult b = sliding_window_search(parallel, spectrum, domain);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.best_distance, b.best_distance);
+  EXPECT_EQ(a.slides, b.slides);
+  EXPECT_EQ(a.matchings, b.matchings);
+}
+
 TEST(SlidingWindow, MatchingCounterAttributionIsExact) {
   Fixture fx;
   const Orientation truth{50, 120, 40};
