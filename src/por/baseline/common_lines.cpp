@@ -39,6 +39,8 @@ double line_correlation(const std::vector<em::cdouble>& a,
     rev += a[i] * std::conj(b[n - 1 - i]);
   }
   const double denom = std::sqrt(na * nb);
+  // por-lint: allow(float-eq) exact-zero guard before division; any
+  // nonzero norm, however tiny, is a usable denominator.
   if (denom == 0.0) return 0.0;
   return std::max(std::abs(fwd), std::abs(rev)) / denom;
 }

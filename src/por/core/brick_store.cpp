@@ -173,13 +173,15 @@ em::cdouble BrickStore::sample(double z, double y, double x) {
   em::cdouble acc{0.0, 0.0};
   for (int dz = 0; dz < 2; ++dz) {
     const double wz = dz ? tz : 1.0 - tz;
+    // por-lint: allow(float-eq) exact-zero weight skip, bit-exact
+    // no-op (same convention as por/em/interp.hpp); also both below.
     if (wz == 0.0) continue;
     for (int dy = 0; dy < 2; ++dy) {
       const double wy = dy ? ty : 1.0 - ty;
-      if (wy == 0.0) continue;
+      if (wy == 0.0) continue;  // por-lint: allow(float-eq) exact-zero skip
       for (int dx = 0; dx < 2; ++dx) {
         const double wx = dx ? tx : 1.0 - tx;
-        if (wx == 0.0) continue;
+        if (wx == 0.0) continue;  // por-lint: allow(float-eq) exact-zero skip
         acc += wz * wy * wx * voxel(iz + dz, iy + dy, ix + dx);
       }
     }

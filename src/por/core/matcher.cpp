@@ -6,6 +6,7 @@
 
 #include "por/em/interp.hpp"
 #include "por/em/projection.hpp"
+#include "por/util/contracts.hpp"
 #include "por/obs/registry.hpp"
 #include "por/obs/span.hpp"
 #include "por/util/thread_pool.hpp"
@@ -18,6 +19,8 @@ namespace {
 double resolve_padded_radius(double unpadded, std::size_t pad,
                              double fallback) {
   if (unpadded < 0.0) throw std::invalid_argument("matcher: negative radius");
+  // por-lint: allow(float-eq) 0.0 is the documented "use default"
+  // sentinel for MatchOptions radii, compared exactly by design.
   if (unpadded == 0.0) return fallback;
   return unpadded * static_cast<double>(pad);
 }
@@ -134,11 +137,23 @@ void FourierMatcher::build_tables() {
               : transfer_image_(static_cast<std::size_t>(y),
                                 static_cast<std::size_t>(x)));
       annulus_.weight.push_back(radial ? radius / r_max : 1.0);
+      // CONTRACT: every flattened view index must address a pixel of
+      // the big x big padded view grid — checked here, once per
+      // construction, so distance() can fetch without per-pixel
+      // guards.
+      POR_BOUNDS(static_cast<std::size_t>(y) * big +
+                     static_cast<std::size_t>(x),
+                 big * big);
       annulus_.index.push_back(
           static_cast<std::uint32_t>(y) * static_cast<std::uint32_t>(big) +
           static_cast<std::uint32_t>(x));
     }
   }
+  POR_ENSURE(annulus_.kv.size() == annulus_.ku.size() &&
+                 annulus_.transfer.size() == annulus_.ku.size() &&
+                 annulus_.weight.size() == annulus_.ku.size() &&
+                 annulus_.index.size() == annulus_.ku.size(),
+             "annulus table columns out of sync");
 
   // Split-complex SoA spectrum for the branch-free trilinear kernel.
   soa_ = em::SplitComplexLattice(spectrum_);
@@ -152,6 +167,14 @@ void FourierMatcher::build_tables() {
   // every reachable configuration; the check stays as a defensive
   // fallback to the scalar path.
   fast_path_ = r_max <= c - 0.5 && !annulus_.empty();
+  // Hoisted radius-vs-lattice guard: on the fast path every base cell
+  // the annulus can reach must satisfy the interp contract.  q + c
+  // with |q| <= r_max <= c - 0.5 gives coordinates in
+  // [0.5, 2c - 0.5] subset [0, big - 1], whose truncation lies in
+  // [0, big - 1] = [0, soa_.edge - 1].
+  POR_ENSURE(!fast_path_ || (padded_r_map_ <= c - 0.5 && soa_.edge == big),
+             "fast-path guard violated: r_max =", padded_r_map_, "c =", c,
+             "edge =", soa_.edge);
 
   obs::MetricsRegistry& registry = obs::current_registry();
   registry.gauge("matcher.annulus_pixels")
@@ -202,12 +225,16 @@ double FourierMatcher::distance(const em::Image<em::cdouble>& view_spectrum,
   const double c = std::floor(static_cast<double>(big) / 2.0);
 
   const std::size_t n = annulus_.size();
-  const double* ku = annulus_.ku.data();
-  const double* kv = annulus_.kv.data();
-  const double* transfer = annulus_.transfer.data();
-  const double* weight = annulus_.weight.data();
-  const std::uint32_t* index = annulus_.index.data();
-  const em::cdouble* view = view_spectrum.data();
+  // checked_span: plain indexed loads in release, POR_BOUNDS-checked
+  // in instrumented builds (the por_lint naked-subscript rule keeps
+  // raw operator[] on these flattened tables out of this file).
+  const contracts::checked_span<const double> ku(annulus_.ku);
+  const contracts::checked_span<const double> kv(annulus_.kv);
+  const contracts::checked_span<const double> transfer(annulus_.transfer);
+  const contracts::checked_span<const double> weight(annulus_.weight);
+  const contracts::checked_span<const std::uint32_t> index(annulus_.index);
+  const contracts::checked_span<const em::cdouble> view(
+      view_spectrum.data(), view_spectrum.size());
   const double* soa_re = soa_.re.data();
   const double* soa_im = soa_.im.data();
   const std::size_t stride_y = soa_.stride_y;

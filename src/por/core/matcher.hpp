@@ -106,6 +106,11 @@ struct MovableAtomicU64 {
 /// paper replicates exactly this object on every node); an externally
 /// computed spectrum can be supplied instead (the parallel driver
 /// builds it with the slab-parallel 3D DFT).
+// CONTRACT: the annulus table's flattened view indices address the
+// big x big padded grid, its five columns stay the same length, and on
+// the fast path r_max <= c - 0.5 so every trilinear base cell lies
+// inside the SoA lattice — all enforced by POR_BOUNDS / POR_ENSURE in
+// matcher.cpp at construction time (once, not per matching).
 class FourierMatcher {
  public:
   /// Build the 3D spectrum from a density map (edge l).

@@ -69,6 +69,8 @@ ViewResult OrientationRefiner::refine_view(const em::Image<double>& view,
   em::Image<em::cdouble> translated;
   const em::Image<em::cdouble>* centered = &spectrum;
   const auto apply_center = [&](double cx, double cy) {
+    // por-lint: allow(float-eq) exact-zero center means "no phase
+    // ramp": reuse the untranslated spectrum bit-identically.
     if (cx == 0.0 && cy == 0.0) {
       centered = &spectrum;
     } else {

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "por/util/contracts.hpp"
+
 namespace por::core {
 
 namespace {
@@ -46,9 +48,16 @@ std::size_t ScoreCache::hash(const Key& k) {
 }
 
 std::size_t ScoreCache::probe(const Key& key) const {
+  // CONTRACT: the probe loop terminates only if the table has at least
+  // one free slot; insert() grows at 0.7 load so this always holds,
+  // but a future resize bug would otherwise spin forever.
+  POR_EXPECT(size_ < entries_.size(),
+             "open-addressing probe requires a free slot: size =", size_,
+             "capacity =", entries_.size());
   const std::size_t mask = entries_.size() - 1;
+  const contracts::checked_span<const Entry> entries(entries_);
   std::size_t slot = hash(key) & mask;
-  while (entries_[slot].used && !(entries_[slot].key == key)) {
+  while (entries[slot].used && !(entries[slot].key == key)) {
     slot = (slot + 1) & mask;
   }
   return slot;
@@ -74,6 +83,12 @@ void ScoreCache::insert(const em::Orientation& o, double distance) {
     // Keep the load factor under ~0.7 so probe chains stay short.
     if (size_ * 10 >= entries_.size() * 7) grow();
   }
+  // Post-insert load-factor invariant: the grow above restores
+  // size/capacity < 0.7, which is what keeps probe chains short AND
+  // guarantees probe() termination (a free slot always exists).
+  POR_ENSURE(size_ * 10 < entries_.size() * 7,
+             "load factor invariant violated: size =", size_,
+             "capacity =", entries_.size());
   // Re-probe after a potential grow (slot indices change).
   entries_[probe(key)].value = distance;
 }
@@ -86,6 +101,10 @@ void ScoreCache::clear() {
 void ScoreCache::grow() {
   std::vector<Entry> old = std::move(entries_);
   entries_.assign(old.size() * 2, Entry{});
+  // Power-of-two capacity is what makes `hash & (capacity - 1)` a
+  // valid slot map; doubling preserves it.
+  POR_ENSURE((entries_.size() & (entries_.size() - 1)) == 0,
+             "capacity must stay a power of two:", entries_.size());
   for (const Entry& e : old) {
     if (!e.used) continue;
     const std::size_t slot = probe(e.key);

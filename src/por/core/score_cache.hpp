@@ -38,6 +38,11 @@ namespace por::core {
 
 /// Open-addressing (linear-probe, power-of-two capacity) map from a
 /// quantized (theta, phi, omega) key to a matching distance.
+///
+/// CONTRACT: the table always keeps at least one free slot (load
+/// factor < 0.7 after every insert) and its capacity stays a power of
+/// two — both enforced by POR_EXPECT / POR_ENSURE in score_cache.cpp;
+/// probe termination and the `hash & mask` slot map depend on them.
 class ScoreCache {
  public:
   /// `quantum_deg` must be positive and at most 1/4 of the angular

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "por/obs/registry.hpp"
+#include "por/util/contracts.hpp"
 #include "por/util/thread_pool.hpp"
 
 namespace por::core {
@@ -21,6 +22,10 @@ WindowResult sliding_window_search(const FourierMatcher& matcher,
   obs::Counter& hits_counter = registry.counter("window.cache_hits");
   obs::Counter& misses_counter = registry.counter("window.cache_misses");
 
+  // CONTRACT: a positive window width is what makes `count` non-zero,
+  // so the argmin below always selects a real candidate.
+  POR_EXPECT(initial_domain.width > 0,
+             "sliding window needs a positive width:", initial_domain.width);
   WindowResult result;
   SearchDomain domain = initial_domain;
   const std::uint64_t matchings_before = matcher.matchings();
@@ -95,12 +100,18 @@ WindowResult sliding_window_search(const FourierMatcher& matcher,
     // <, first wins) as the original serial triple loop.
     double best_distance = std::numeric_limits<double>::infinity();
     std::size_t best_index = 0;
+    const contracts::checked_span<const double> scores_view(scores);
     for (std::size_t i = 0; i < count; ++i) {
-      if (scores[i] < best_distance) {
-        best_distance = scores[i];
+      // A NaN score would poison the strict-< argmin silently (NaN
+      // never compares less, so the candidate vanishes); matching
+      // distances are finite by construction.
+      POR_FINITE(scores_view[i]);
+      if (scores_view[i] < best_distance) {
+        best_distance = scores_view[i];
         best_index = i;
       }
     }
+    POR_BOUNDS(best_index, count);
     const int best_it = static_cast<int>(best_index) / (w * w);
     const int best_ip = (static_cast<int>(best_index) / w) % w;
     const int best_io = static_cast<int>(best_index) % w;

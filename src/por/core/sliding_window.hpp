@@ -34,6 +34,10 @@ struct WindowResult {
 /// without a cache — hits return the very score the matcher produced.
 /// When the matcher was built with options().search_threads > 1, the
 /// uncached candidates of each round are fanned across its pool.
+/// CONTRACT: initial_domain.width > 0 (the w^3 grid must be
+/// non-empty) and every candidate score must be finite — both checked
+/// by POR_EXPECT / POR_FINITE in sliding_window.cpp so a NaN distance
+/// cannot silently drop a candidate from the strict-< argmin.
 [[nodiscard]] WindowResult sliding_window_search(
     const FourierMatcher& matcher, const em::Image<em::cdouble>& view_spectrum,
     const SearchDomain& initial_domain, int max_slides = 8,

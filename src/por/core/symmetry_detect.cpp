@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
+#include <utility>
 
 #include "por/em/rotate.hpp"
 #include "por/metrics/fsc.hpp"
@@ -127,51 +128,50 @@ DetectionResult SymmetryDetector::detect(const em::Volume<double>& map) const {
                            return a.fold == fold;
                          });
   };
-  DetectionResult result;
-  result.axes = found;
-  const auto n5 = count_fold(5);
-  const auto n4 = count_fold(4);
-  const auto n3 = count_fold(3);
-  const auto n2 = count_fold(2);
+  // Classify into a point-group label.  Built in a helper lambda with a
+  // single assignment into the returned struct: multiple conditional
+  // assignments to the NRVO'd `result.group` made GCC 12 emit a
+  // -Wrestrict false positive from the inlined std::string internals
+  // (char_traits.h memcpy overlap analysis), which would break the
+  // warnings-as-errors build.
+  const auto classify = [&]() -> std::string {
+    const auto n5 = count_fold(5);
+    const auto n4 = count_fold(4);
+    const auto n3 = count_fold(3);
+    const auto n2 = count_fold(2);
 
-  if (n5 >= 2) {
-    result.group = "I";  // icosahedral: six 5-fold axes (two suffice)
-    return result;
-  }
-  if (n4 >= 2) {
-    result.group = "O";  // octahedral: three 4-fold axes
-    return result;
-  }
-  if (n3 >= 3 && n4 == 0 && n5 == 0 && n2 >= 2) {
-    result.group = "T";  // tetrahedral: four 3-folds, three 2-folds
-    return result;
-  }
-  // Highest-fold principal axis.
-  int principal_fold = 0;
-  const DetectedAxis* principal = nullptr;
-  for (const auto& a : found) {
-    if (a.fold > principal_fold) {
-      principal_fold = a.fold;
-      principal = &a;
+    if (n5 >= 2) return "I";  // icosahedral: six 5-fold axes (two suffice)
+    if (n4 >= 2) return "O";  // octahedral: three 4-fold axes
+    if (n3 >= 3 && n4 == 0 && n5 == 0 && n2 >= 2) {
+      return "T";  // tetrahedral: four 3-folds, three 2-folds
     }
-  }
-  if (principal == nullptr) {
-    result.group = "C1";
-    return result;
-  }
-  // Dn: n 2-fold axes perpendicular to the principal axis.
-  long perpendicular_twofolds = 0;
-  for (const auto& a : found) {
-    if (a.fold != 2 || &a == principal) continue;
-    const double angle =
-        std::abs(90.0 - axis_angle_deg(a.axis, principal->axis));
-    if (angle < 6.0) ++perpendicular_twofolds;
-  }
-  if (perpendicular_twofolds >= std::max<long>(2, principal_fold / 2)) {
-    result.group = "D" + std::to_string(principal_fold);
-  } else {
-    result.group = "C" + std::to_string(principal_fold);
-  }
+    // Highest-fold principal axis.
+    int principal_fold = 0;
+    const DetectedAxis* principal = nullptr;
+    for (const auto& a : found) {
+      if (a.fold > principal_fold) {
+        principal_fold = a.fold;
+        principal = &a;
+      }
+    }
+    if (principal == nullptr) return "C1";
+    // Dn: n 2-fold axes perpendicular to the principal axis.
+    long perpendicular_twofolds = 0;
+    for (const auto& a : found) {
+      if (a.fold != 2 || &a == principal) continue;
+      const double angle =
+          std::abs(90.0 - axis_angle_deg(a.axis, principal->axis));
+      if (angle < 6.0) ++perpendicular_twofolds;
+    }
+    const char prefix =
+        perpendicular_twofolds >= std::max<long>(2, principal_fold / 2) ? 'D'
+                                                                        : 'C';
+    return prefix + std::to_string(principal_fold);
+  };
+
+  DetectionResult result;
+  result.group = classify();       // reads `found`; must run before the move
+  result.axes = std::move(found);
   return result;
 }
 

@@ -2,15 +2,20 @@
 //
 // Dense 2D and 3D lattices: the experimental views (Image) and the
 // electron density map / its DFT (Volume).  Row-major storage matching
-// the FFT module's layout; bounds are checked in debug builds via at().
+// the FFT module's layout.
+//
+// CONTRACT: every operator() subscript must lie inside the raster
+// (y < ny, x < nx, z < nz) — enforced by POR_BOUNDS in instrumented
+// builds, free in release.  at() additionally throws in every build.
 #pragma once
 
-#include <cassert>
 #include <complex>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <vector>
+
+#include "por/util/contracts.hpp"
 
 #if defined(__linux__)
 #include <sys/mman.h>
@@ -34,11 +39,13 @@ class Image {
   [[nodiscard]] bool empty() const { return data_.empty(); }
 
   [[nodiscard]] T& operator()(std::size_t y, std::size_t x) {
-    assert(y < ny_ && x < nx_);
+    POR_BOUNDS(y, ny_);
+    POR_BOUNDS(x, nx_);
     return data_[y * nx_ + x];
   }
   [[nodiscard]] const T& operator()(std::size_t y, std::size_t x) const {
-    assert(y < ny_ && x < nx_);
+    POR_BOUNDS(y, ny_);
+    POR_BOUNDS(x, nx_);
     return data_[y * nx_ + x];
   }
 
@@ -86,12 +93,16 @@ class Volume {
   [[nodiscard]] bool is_cube() const { return nz_ == ny_ && ny_ == nx_; }
 
   [[nodiscard]] T& operator()(std::size_t z, std::size_t y, std::size_t x) {
-    assert(z < nz_ && y < ny_ && x < nx_);
+    POR_BOUNDS(z, nz_);
+    POR_BOUNDS(y, ny_);
+    POR_BOUNDS(x, nx_);
     return data_[(z * ny_ + y) * nx_ + x];
   }
   [[nodiscard]] const T& operator()(std::size_t z, std::size_t y,
                                     std::size_t x) const {
-    assert(z < nz_ && y < ny_ && x < nx_);
+    POR_BOUNDS(z, nz_);
+    POR_BOUNDS(y, ny_);
+    POR_BOUNDS(x, nx_);
     return data_[(z * ny_ + y) * nx_ + x];
   }
 
@@ -135,6 +146,11 @@ class Volume {
 ///
 /// Layout: (z, y, x) -> (z * (edge+1) + y) * (edge+1) + x over
 /// (edge+1)^3 doubles per component.
+///
+/// CONTRACT: re and im each hold exactly (edge+1)^3 doubles and every
+/// element beyond the logical [0, edge)^3 cube is 0.0 (POR_ENSURE in
+/// the constructor); the branch-free fetch's memory-safety proof in
+/// por/em/interp.hpp starts from this pad.
 struct SplitComplexLattice {
   std::size_t edge = 0;      ///< logical cube edge (n)
   std::size_t stride_y = 0;  ///< edge + 1
@@ -165,6 +181,9 @@ struct SplitComplexLattice {
         }
       }
     }
+    POR_ENSURE(re.size() == stride_z * stride_y &&
+                   im.size() == stride_z * stride_y,
+               "padded plane size mismatch: edge =", edge);
     advise_huge_pages();
   }
 

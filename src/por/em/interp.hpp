@@ -15,6 +15,7 @@
 #endif
 
 #include "por/em/grid.hpp"
+#include "por/util/contracts.hpp"
 
 namespace por::em {
 
@@ -58,13 +59,16 @@ namespace por::em {
   cdouble acc{0.0, 0.0};
   for (int dz = 0; dz < 2; ++dz) {
     const double wz = dz ? tz : 1.0 - tz;
-    if (wz == 0.0) continue;
+    // por-lint: allow(float-eq) exact-zero weight skip: t and 1-t are
+    // exactly 0.0 on lattice points, and skipping a zero term is a
+    // bit-exact no-op.  Same for the two loops below.
+    if (wz == 0.0) continue;  // por-lint: allow(float-eq) see above
     for (int dy = 0; dy < 2; ++dy) {
       const double wy = dy ? ty : 1.0 - ty;
-      if (wy == 0.0) continue;
+      if (wy == 0.0) continue;  // por-lint: allow(float-eq) exact-zero skip
       for (int dx = 0; dx < 2; ++dx) {
         const double wx = dx ? tx : 1.0 - tx;
-        if (wx == 0.0) continue;
+        if (wx == 0.0) continue;  // por-lint: allow(float-eq) exact-zero skip
         acc += wz * wy * wx * sample(iz + dz, iy + dy, ix + dx);
       }
     }
@@ -75,8 +79,9 @@ namespace por::em {
 /// Branch-free trilinear sample of a split-complex lattice at
 /// fractional position (z, y, x).
 ///
-/// Contract: floor(z), floor(y), floor(x) must each lie in
-/// [0, lat.edge - 1].  The caller establishes this with a
+/// CONTRACT: z, y, x must be non-negative and floor(z), floor(y),
+/// floor(x) must each lie in [0, lat.edge - 1] (checked by POR_EXPECT
+/// in interp_trilinear_interior).  The caller establishes this with a
 /// radius-vs-lattice guard hoisted OUT of the pixel loop (e.g. the
 /// matcher proves every annulus sample satisfies it from
 /// r_max <= floor(edge/2) - 1 once per construction).  Under that
@@ -101,6 +106,9 @@ struct SplitSample {
 [[nodiscard]] inline SplitSample interp_trilinear_cell(
     const SplitComplexLattice& lat, std::size_t base, double tz, double ty,
     double tx) {
+  // The +1,+1,+1 corner is the largest index the fetch touches; if it
+  // is inside the padded plane, all eight corners are.
+  POR_BOUNDS(base + lat.stride_z + lat.stride_y + 1, lat.re.size());
   const std::size_t i000 = base;
   const std::size_t i001 = base + 1;
   const std::size_t i010 = base + lat.stride_y;
@@ -176,13 +184,22 @@ struct SplitSample {
 
 [[nodiscard]] inline SplitSample interp_trilinear_interior(
     const SplitComplexLattice& lat, double z, double y, double x) {
-  // The contract guarantees z, y, x >= 0, so integer truncation IS
-  // floor — bit-identical to std::floor on the contract domain, but it
-  // compiles to a single cvttsd2si instead of a libm call on baseline
-  // x86-64 (no roundsd), which matters at ~3 floors per annulus pixel.
+  // Truncation-floor domain: the contract guarantees z, y, x >= 0, so
+  // integer truncation IS floor — bit-identical to std::floor on the
+  // contract domain, but it compiles to a single cvttsd2si instead of
+  // a libm call on baseline x86-64 (no roundsd), which matters at ~3
+  // floors per annulus pixel.  A negative coordinate would truncate
+  // TOWARD zero (not down) and silently sample the wrong cell.
+  POR_EXPECT(z >= 0.0 && y >= 0.0 && x >= 0.0,
+             "truncation-floor domain violated: z =", z, "y =", y, "x =", x);
   const std::size_t iz = static_cast<std::size_t>(z),
                     iy = static_cast<std::size_t>(y),
                     ix = static_cast<std::size_t>(x);
+  // Lattice-edge guard: the base cell must sit inside the logical
+  // cube; the +1 neighbours then land at most in the zero pad.
+  POR_EXPECT(iz < lat.edge && iy < lat.edge && ix < lat.edge,
+             "base cell outside lattice: iz =", iz, "iy =", iy, "ix =", ix,
+             "edge =", lat.edge);
   const double fz = static_cast<double>(iz), fy = static_cast<double>(iy),
                fx = static_cast<double>(ix);
   const std::size_t base = iz * lat.stride_z + iy * lat.stride_y + ix;
@@ -215,6 +232,7 @@ struct SplitSample {
       for (int dx = 0; dx < 2; ++dx) {
         const double wx = dx ? tx : 1.0 - tx;
         const double w = wz * wy * wx;
+        // por-lint: allow(float-eq) exact-zero weight skip (bit-exact)
         if (w != 0.0) acc += w * sample(iz + dz, iy + dy, ix + dx);
       }
     }

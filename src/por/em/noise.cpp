@@ -19,6 +19,8 @@ void add_gaussian_noise(Image<double>& img, double snr, util::Rng& rng) {
   if (snr <= 0.0 || !std::isfinite(snr)) return;
   const double signal_var = image_variance(img);
   const double sigma = std::sqrt(signal_var / snr);
+  // por-lint: allow(float-eq) sigma is exactly 0.0 only for an
+  // all-constant image; adding zero-width noise is a no-op.
   if (sigma == 0.0) return;
   for (double& v : img.storage()) v += rng.gaussian(0.0, sigma);
 }

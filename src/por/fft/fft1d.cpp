@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "por/obs/registry.hpp"
+#include "por/util/contracts.hpp"
 
 namespace por::fft {
 
@@ -71,6 +72,7 @@ Fft1D::Fft1D(std::size_t n)
 }
 
 void Fft1D::transform(cdouble* data, bool inverse) const {
+  POR_EXPECT(data != nullptr, "transform on null buffer, n =", n_);
   if (n_ == 1) return;
   obs_transforms_->add();
   obs_points_->add(n_);
@@ -95,6 +97,12 @@ void Fft1D::transform(cdouble* data, bool inverse) const {
 
 void Fft1D::pow2_forward(cdouble* data) const {
   const std::size_t n = n_;
+  // CONTRACT: the bit-reversal permutation and the root table are
+  // built for exactly this n at construction; a mismatch would read
+  // out of the tables inside the butterfly loop.
+  POR_ENSURE(bitrev_.size() == n && roots_.size() == n / 2,
+             "precomputed tables out of sync: n =", n,
+             "bitrev =", bitrev_.size(), "roots =", roots_.size());
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t j = bitrev_[i];
     if (i < j) std::swap(data[i], data[j]);
@@ -115,6 +123,8 @@ void Fft1D::pow2_forward(cdouble* data) const {
 }
 
 void Fft1D::bluestein_forward(cdouble* data) const {
+  POR_ENSURE(chirp_.size() == n_ && chirp_fft_.size() == m_ && m_ >= 2 * n_ - 1,
+             "Bluestein tables out of sync: n =", n_, "m =", m_);
   // a[k] = x[k] * conj(chirp[k]), zero-padded to m.
   std::vector<cdouble> a(m_, cdouble{0.0, 0.0});
   for (std::size_t k = 0; k < n_; ++k) a[k] = data[k] * std::conj(chirp_[k]);

@@ -43,6 +43,9 @@ using cdouble = std::complex<double>;
 /// the Bluestein chirp and its transform).  A plan is immutable after
 /// construction and safe to share between threads; execute methods
 /// allocate their scratch locally.
+// CONTRACT: the precomputed tables (bit-reversal, roots, Bluestein
+// chirps) are sized for exactly this n — re-checked by POR_ENSURE in
+// fft1d.cpp before each butterfly / convolution pass.
 class Fft1D {
  public:
   /// Build a plan for length n (n >= 1).

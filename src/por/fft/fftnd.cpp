@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "por/obs/registry.hpp"
+#include "por/util/contracts.hpp"
 
 namespace por::fft {
 
@@ -19,8 +20,11 @@ void count_transform(const char* name, std::size_t points) {
 }
 
 /// Roll a 1D sequence left by `shift` positions (circular).
+/// CONTRACT: shift <= n — std::rotate's middle iterator must lie
+/// inside [first, first + n].
 template <typename Iter>
 void roll_axis(Iter first, std::size_t n, std::size_t shift) {
+  POR_EXPECT(shift <= n, "roll shift exceeds axis length:", shift, ">", n);
   std::rotate(first, first + shift, first + n);
 }
 
@@ -47,6 +51,7 @@ void roll_cols(cdouble* data, std::size_t ny, std::size_t nx,
 }  // namespace
 
 void fft2d_forward(cdouble* data, std::size_t ny, std::size_t nx) {
+  POR_EXPECT(data != nullptr || ny * nx == 0, "fft2d on null buffer");
   count_transform("fft.2d.transforms", ny * nx);
   const Fft1D row_plan(nx);
   const Fft1D col_plan(ny);
@@ -64,6 +69,7 @@ void fft2d_inverse(cdouble* data, std::size_t ny, std::size_t nx) {
 
 void fft3d_forward(cdouble* data, std::size_t nz, std::size_t ny,
                    std::size_t nx) {
+  POR_EXPECT(data != nullptr || nz * ny * nx == 0, "fft3d on null buffer");
   count_transform("fft.3d.transforms", nz * ny * nx);
   // xy planes first (matches the paper's step a.3), then lines along z.
   for (std::size_t z = 0; z < nz; ++z) {

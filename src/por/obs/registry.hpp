@@ -26,6 +26,27 @@
 
 namespace por::obs {
 
+// Memory-order policy (TSan audit, PR 3): every instrument cell below
+// uses relaxed atomics ON PURPOSE, and this is race-free by
+// construction, not by suppression:
+//
+//  * Counters/gauges/histogram buckets are independent monotone
+//    aggregates.  No thread ever derives an ordering or a pointer from
+//    their values, so there is no acquire/release edge to establish —
+//    the atomicity alone removes the data race.
+//  * Readers are snapshot paths (RunReport, exporters, tests) that run
+//    either after the worker threads joined (thread::join provides the
+//    happens-before that makes the final values visible) or
+//    mid-flight for *approximate* live dashboards, where a stale value
+//    is explicitly acceptable.
+//  * The CAS loops (atomic_add / atomic_max) only need the RMW to be
+//    atomic; relaxed failure order is fine because the loop re-reads.
+//
+// Anything that IS publication — registration maps, per-thread trace
+// buffers (trace_detail.hpp), the ThreadPool queue — stays behind a
+// mutex.  If you add an instrument whose readers act on the value
+// (e.g. a back-pressure threshold), do NOT copy this pattern; give it
+// acquire/release semantics instead.
 namespace detail {
 /// fetch_add for atomic<double> via CAS (portable pre-C++20-TS
 /// toolchains; the loop is contention-free in practice).

@@ -6,8 +6,35 @@
 #include <vector>
 
 #include "por/obs/trace_detail.hpp"
+#include "por/util/contracts.hpp"
 
 namespace por::obs {
+
+std::string active_span_path() {
+  detail::ThreadTrace* trace = detail::thread_trace_for(current_registry());
+  std::lock_guard<std::mutex> lock(trace->mutex);
+  std::string path;
+  for (const std::int32_t index : trace->stack) {
+    if (index < 0) continue;  // record was dropped (buffer full)
+    const SpanRecord& record = trace->records[static_cast<std::size_t>(index)];
+    if (record.name == nullptr) continue;
+    if (!path.empty()) path += " > ";
+    path += *record.name;
+  }
+  return path;
+}
+
+namespace {
+
+/// Register the span stack as ambient context for contract-violation
+/// reports.  Namespace-scope initializer: runs once when por_obs is
+/// linked into the process, before any contract can fire.
+[[maybe_unused]] const bool g_contracts_context_registered = [] {
+  por::contracts::set_context_provider(&active_span_path);
+  return true;
+}();
+
+}  // namespace
 
 std::uint64_t now_ns() {
   using Clock = std::chrono::steady_clock;

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "por/obs/registry.hpp"
 
@@ -30,6 +31,14 @@ namespace por::obs {
 
 /// Nanoseconds since the process-wide steady-clock epoch (first use).
 [[nodiscard]] std::uint64_t now_ns();
+
+/// "outer > inner" rendering of the calling thread's open ScopedSpan
+/// stack in the current registry; empty when no span is open.  This is
+/// what por::contracts failure reports print as ambient context (the
+/// module registers itself as the contracts context provider), so a
+/// contract tripped deep in the matcher names the refinement step that
+/// reached it.
+[[nodiscard]] std::string active_span_path();
 
 namespace detail {
 struct ThreadTrace;

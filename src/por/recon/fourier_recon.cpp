@@ -29,6 +29,8 @@ void FourierAccumulator::insert(const em::Image<double>& view,
   }
   em::Image<em::cdouble> spectrum =
       em::centered_fft2(em::pad_image(view, options.pad));
+  // por-lint: allow(float-eq) exact-zero center skips the phase ramp
+  // entirely (bit-identical fast path for centered particles).
   if (center_x != 0.0 || center_y != 0.0) {
     // The particle sits at +(cx, cy) off the box center; translating
     // the image by (-cx, -cy) re-centers it.
@@ -76,6 +78,7 @@ void FourierAccumulator::insert_spectrum(const em::Image<em::cdouble>& spectrum,
             const long xx = ix + dx;
             if (xx < 0 || xx >= nbig) continue;
             const double w = wz * wy * (dx ? tx : 1.0 - tx);
+            // por-lint: allow(float-eq) exact-zero weight skip
             if (w == 0.0) continue;
             values(static_cast<std::size_t>(zz), static_cast<std::size_t>(yy),
                    static_cast<std::size_t>(xx)) += w * sample;

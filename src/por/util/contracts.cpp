@@ -1,0 +1,48 @@
+#include "por/util/contracts.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace por::contracts {
+
+namespace {
+
+// The provider is installed once at startup (por::obs registers its
+// span-stack formatter from a namespace-scope initializer) and read on
+// the failure path, possibly from another thread — hence atomic.
+std::atomic<ContextProvider> g_context_provider{nullptr};
+
+}  // namespace
+
+void set_context_provider(ContextProvider provider) noexcept {
+  g_context_provider.store(provider, std::memory_order_release);
+}
+
+void fail(const char* kind, const char* expression, const char* file,
+          long line, const char* function, const std::string& detail) noexcept {
+  // stderr via stdio, not iostream: the failure may fire during static
+  // init/teardown or under a sanitizer, where cerr is not guaranteed
+  // to be alive.  Single fprintf per line keeps interleaving from
+  // concurrent failures readable.
+  std::fprintf(stderr, "por: CONTRACT VIOLATION (%s)\n", kind);
+  std::fprintf(stderr, "  expression: %s\n", expression);
+  std::fprintf(stderr, "  location:   %s:%ld (%s)\n", file, line, function);
+  if (!detail.empty()) {
+    std::fprintf(stderr, "  detail:     %s\n", detail.c_str());
+  }
+  if (ContextProvider provider =
+          g_context_provider.load(std::memory_order_acquire)) {
+    // The provider allocates; if *it* trips a contract we would
+    // recurse forever, so disarm it for the duration of this report.
+    g_context_provider.store(nullptr, std::memory_order_release);
+    const std::string context = provider();
+    if (!context.empty()) {
+      std::fprintf(stderr, "  spans:      %s\n", context.c_str());
+    }
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace por::contracts

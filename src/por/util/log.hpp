@@ -33,7 +33,9 @@ namespace detail {
 /// Stream every argument into `os` (C++17 fold expression).
 template <typename... Args>
 void append_all(std::ostringstream& os, const Args&... args) {
-  (os << ... << args);
+  // void-cast: with an empty pack the fold collapses to plain `os`,
+  // which -Wunused-value flags as a statement with no effect.
+  static_cast<void>((os << ... << args));
 }
 }  // namespace detail
 

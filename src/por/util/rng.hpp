@@ -89,6 +89,8 @@ class Rng {
       u = uniform(-1.0, 1.0);
       v = uniform(-1.0, 1.0);
       s = u * u + v * v;
+      // por-lint: allow(float-eq) Marsaglia polar rejection: s == 0.0
+      // exactly would make log(s)/s blow up; any nonzero s is fine.
     } while (s >= 1.0 || s == 0.0);
     const double factor = std::sqrt(-2.0 * std::log(s) / s);
     cached_gauss_ = v * factor;

@@ -5,6 +5,7 @@
 
 #include "por/obs/registry.hpp"
 #include "por/obs/span.hpp"
+#include "por/util/contracts.hpp"
 
 namespace por::util {
 
@@ -24,6 +25,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
   for (std::size_t i = 0; i < workers; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
   }
+  POR_ENSURE(!threads_.empty(), "pool constructed with zero workers");
 }
 
 ThreadPool::~ThreadPool() {
@@ -70,6 +72,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   }
   const std::size_t chunks = std::min(workers, n);
   const std::size_t chunk = (n + chunks - 1) / chunks;
+  POR_ENSURE(chunk * chunks >= n, "chunking must cover the range: n =", n,
+             "chunk =", chunk, "chunks =", chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = begin + c * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
@@ -83,6 +87,10 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 
 void ThreadPool::finish_one() {
   std::lock_guard<std::mutex> lock(mutex_);
+  // CONTRACT: every finish_one() pairs with exactly one submit(); a
+  // double-finish would wrap in_flight_ to SIZE_MAX and wedge
+  // wait_idle() forever.
+  POR_EXPECT(in_flight_ > 0, "finish_one without matching submit");
   if (--in_flight_ == 0) idle_.notify_all();
 }
 

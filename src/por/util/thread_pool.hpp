@@ -37,6 +37,10 @@ class Histogram;
 
 namespace por::util {
 
+// CONTRACT: in_flight_ counts exactly the submitted-but-unfinished
+// tasks (each submit() pairs with one finish_one()); wait_idle()'s
+// wake condition depends on it never wrapping below zero.  Enforced by
+// POR_EXPECT in thread_pool.cpp.
 class ThreadPool {
  public:
   /// Create a pool with `workers` threads (0 → hardware_concurrency).

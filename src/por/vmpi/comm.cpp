@@ -1,13 +1,20 @@
 #include "por/vmpi/comm.hpp"
 
-#include <cassert>
 #include <stdexcept>
 #include <string>
+
+#include "por/util/contracts.hpp"
 
 namespace por::vmpi {
 
 void Comm::send_bytes(int dst, Tag tag, const void* data, std::size_t bytes) {
-  assert(dst >= 0 && dst < size());
+  POR_EXPECT(dst >= 0 && dst < size(), "destination rank out of range:", dst,
+             "of", size());
+  // Typed-message tag contract: user tags are non-negative; the only
+  // negative tags are the reserved collective tags in [kReduceTag, -1].
+  POR_EXPECT(tag >= kReduceTag, "tag below the reserved range:", tag);
+  POR_EXPECT(bytes == 0 || data != nullptr,
+             "non-empty send with null payload: bytes =", bytes);
   std::vector<std::byte> payload(bytes);
   if (bytes > 0) std::memcpy(payload.data(), data, bytes);
   {
@@ -28,7 +35,9 @@ void Comm::throw_payload_mismatch(int src, Tag tag, std::size_t payload_bytes,
 }
 
 std::vector<std::byte> Comm::recv_bytes(int src, Tag tag) {
-  assert(src >= 0 && src < size());
+  POR_EXPECT(src >= 0 && src < size(), "source rank out of range:", src, "of",
+             size());
+  POR_EXPECT(tag >= kReduceTag, "tag below the reserved range:", tag);
   std::unique_lock<std::mutex> lock(context_.mutex);
   const detail::Context::Key key{src, rank_, tag};
   context_.message_arrived.wait(lock, [&] {
@@ -42,6 +51,7 @@ std::vector<std::byte> Comm::recv_bytes(int src, Tag tag) {
 }
 
 std::vector<std::byte> Comm::recv_any_bytes(Tag tag, int& src) {
+  POR_EXPECT(tag >= kReduceTag, "tag below the reserved range:", tag);
   std::unique_lock<std::mutex> lock(context_.mutex);
   auto find_ready = [&]() -> std::deque<std::vector<std::byte>>* {
     for (int candidate = 0; candidate < context_.size; ++candidate) {

@@ -71,6 +71,12 @@ inline constexpr Tag kReduceTag = -6;
 
 /// A rank's handle to the communicator.  One Comm per rank; methods are
 /// called only from that rank's thread (like an MPI communicator).
+///
+/// CONTRACT: ranks passed to send/recv lie in [0, size()) and tags are
+/// either user tags (>= 0) or one of the reserved collective tags in
+/// [kReduceTag, -1] — checked by POR_EXPECT in comm.cpp; typed
+/// payload/element-size agreement is additionally enforced in every
+/// build via throw_payload_mismatch.
 class Comm {
  public:
   Comm(detail::Context& context, int rank) : context_(context), rank_(rank) {}

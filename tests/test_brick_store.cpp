@@ -109,7 +109,9 @@ TEST(BrickStore, CacheAvoidsRepeatFetches) {
     const std::uint64_t after_first = store.remote_fetches();
     (void)store.sample(9.5, 9.5, 9.5);
     EXPECT_EQ(store.remote_fetches(), after_first);
-    if (after_first > 0) EXPECT_GT(store.cache_hits(), 0u);
+    if (after_first > 0) {
+      EXPECT_GT(store.cache_hits(), 0u);
+    }
     store.stop_server();
   });
 }

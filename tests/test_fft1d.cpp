@@ -151,7 +151,9 @@ TEST(Fft1D, SingleToneLandsInOneBin) {
   Fft1D(n).forward(x.data());
   EXPECT_NEAR(x[bin].real(), static_cast<double>(n), 1e-9);
   for (std::size_t k = 0; k < n; ++k) {
-    if (k != bin) EXPECT_LT(std::abs(x[k]), 1e-9) << "bin " << k;
+    if (k != bin) {
+      EXPECT_LT(std::abs(x[k]), 1e-9) << "bin " << k;
+    }
   }
 }
 

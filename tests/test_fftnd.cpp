@@ -116,7 +116,9 @@ TEST(Fft3d, SeparableToneLandsInOneBin) {
   const std::size_t hot = (bz * l + by) * l + bx;
   EXPECT_NEAR(x[hot].real(), static_cast<double>(l * l * l), 1e-8);
   for (std::size_t i = 0; i < x.size(); ++i) {
-    if (i != hot) ASSERT_LT(std::abs(x[i]), 1e-8) << "bin " << i;
+    if (i != hot) {
+      ASSERT_LT(std::abs(x[i]), 1e-8) << "bin " << i;
+    }
   }
 }
 

@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""por_lint — project-specific static analysis for the por codebase.
+
+Tier B of the correctness tooling (see DESIGN.md §8).  Enforces the
+rules generic tools cannot express:
+
+  naked-subscript   No naked operator[] into spectrum/lattice buffers
+                    (``.re[``, ``.im[``, ``data()[``) outside the
+                    accessor headers (em/grid.hpp, em/interp.hpp) and
+                    the contracts header itself.  Computed subscripts
+                    belong behind Image/Volume::operator(),
+                    SplitComplexLattice fetch helpers, or
+                    por::contracts::checked_span, where POR_BOUNDS can
+                    see them.
+
+  float-eq          No floating-point == / != against float literals
+                    outside tests.  Exact comparisons that are
+                    *intentional* (sentinel values, exact-zero weight
+                    skips) carry a ``por-lint: allow(float-eq)`` waiver
+                    with a rationale.
+
+  reinterpret-cast  No reinterpret_cast outside em/interp.hpp,
+                    em/grid.hpp and fft/ (lattice layout internals).
+                    Casts to char* / unsigned char* / std::byte* /
+                    uintptr_t (stream-I/O and madvise idioms, no
+                    type-punned reads) are exempt everywhere.
+
+  contract-comment  Every header that declares a ``// CONTRACT:`` must
+                    be backed by at least one POR_EXPECT / POR_ENSURE /
+                    POR_BOUNDS / POR_FINITE in the header itself or its
+                    sibling .cpp — a contract that is only prose is not
+                    machine-checked.
+
+Waivers: append ``// por-lint: allow(<rule>) <reason>`` to the
+offending line, or place it on one of the two lines above.  A waiver
+without a reason is itself an error.
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SOURCE_DIRS = ("src", "bench", "examples")
+TEST_DIRS = ("tests",)
+CPP_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
+
+# Files allowed to do raw subscripts into split-complex / lattice
+# storage: the accessor definitions themselves.
+NAKED_SUBSCRIPT_ALLOWED = {
+    "src/por/em/grid.hpp",
+    "src/por/em/interp.hpp",
+    "src/por/util/contracts.hpp",
+}
+
+# Files allowed to use reinterpret_cast for lattice/FFT layout tricks.
+REINTERPRET_ALLOWED_FILES = {
+    "src/por/em/grid.hpp",
+    "src/por/em/interp.hpp",
+}
+REINTERPRET_ALLOWED_DIRS = ("src/por/fft/",)
+
+WAIVER_RE = re.compile(r"por-lint:\s*allow\(([a-z-]+)\)\s*(.*)")
+
+NAKED_SUBSCRIPT_RE = re.compile(r"(\.\s*(?:re|im)\s*\[|data\(\)\s*\[)")
+FLOAT_LITERAL = r"[0-9]+\.[0-9]*(?:[eE][+-]?[0-9]+)?[fF]?"
+FLOAT_EQ_RE = re.compile(
+    r"(?:[=!]=\s*" + FLOAT_LITERAL + r")|(?:" + FLOAT_LITERAL + r"\s*[=!]=)"
+)
+REINTERPRET_RE = re.compile(r"\breinterpret_cast\s*<\s*([^>]+)>")
+REINTERPRET_EXEMPT_TARGET_RE = re.compile(
+    r"^\s*(?:const\s+)?(?:char|unsigned\s+char|std::byte|std::uintptr_t|"
+    r"uintptr_t)\s*(?:\*|\s*$)"
+)
+CONTRACT_COMMENT_RE = re.compile(r"//[/!]?\s*CONTRACT\b")
+CONTRACT_MACRO_RE = re.compile(
+    r"\b(POR_EXPECT|POR_ENSURE|POR_BOUNDS|POR_FINITE)\s*\("
+)
+
+
+def strip_line_comment(line: str) -> str:
+    """Code portion of a line (drops // comments; keeps string bodies —
+    good enough for these token-level rules)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+class Finding:
+    def __init__(self, path: Path, line_no: int, rule: str, message: str):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.message}"
+
+
+def waivers_for(lines: list[str], idx: int) -> dict[int, str]:
+    """Waivers covering line `idx`: on the line itself or on one of the
+    two preceding comment lines.  Maps rule name -> reason."""
+    found: dict[str, str] = {}
+    for j in range(max(0, idx - 2), idx + 1):
+        candidate = lines[j]
+        if j < idx and not candidate.lstrip().startswith("//"):
+            continue
+        for match in WAIVER_RE.finditer(candidate):
+            found[match.group(1)] = match.group(2).strip()
+    return found
+
+
+def is_test_path(rel: str) -> bool:
+    return any(rel.startswith(d + "/") for d in TEST_DIRS)
+
+
+def check_file(root: Path, path: Path) -> list[Finding]:
+    rel = path.relative_to(root).as_posix()
+    try:
+        text = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError:
+        return [Finding(path, 0, "encoding", "file is not valid UTF-8")]
+    lines = text.splitlines()
+    findings: list[Finding] = []
+
+    for i, raw in enumerate(lines):
+        code = strip_line_comment(raw)
+        waivers = waivers_for(lines, i)
+
+        def report(rule: str, message: str) -> None:
+            if rule in waivers:
+                if not waivers[rule]:
+                    findings.append(
+                        Finding(path, i + 1, rule,
+                                "waiver without a reason — justify it"))
+                return
+            findings.append(Finding(path, i + 1, rule, message))
+
+        # Rule: naked-subscript -------------------------------------------
+        if rel not in NAKED_SUBSCRIPT_ALLOWED and not is_test_path(rel):
+            if NAKED_SUBSCRIPT_RE.search(code):
+                report(
+                    "naked-subscript",
+                    "raw operator[] into a spectrum/lattice buffer; go "
+                    "through Image/Volume::operator(), the interp fetch "
+                    "helpers, or por::contracts::checked_span",
+                )
+
+        # Rule: float-eq ---------------------------------------------------
+        if not is_test_path(rel):
+            if FLOAT_EQ_RE.search(code):
+                report(
+                    "float-eq",
+                    "floating-point ==/!= against a float literal; use a "
+                    "tolerance, or waive with a rationale if the exact "
+                    "comparison is intentional",
+                )
+
+        # Rule: reinterpret-cast ------------------------------------------
+        allowed_rc = (rel in REINTERPRET_ALLOWED_FILES
+                      or any(rel.startswith(d) for d in REINTERPRET_ALLOWED_DIRS)
+                      or is_test_path(rel))
+        if not allowed_rc:
+            for match in REINTERPRET_RE.finditer(code):
+                target = match.group(1)
+                if REINTERPRET_EXEMPT_TARGET_RE.match(target):
+                    continue  # char/byte/uintptr casts: stream-I/O idiom
+                report(
+                    "reinterpret-cast",
+                    f"reinterpret_cast<{target.strip()}> outside the lattice/"
+                    "FFT internals; only char*/std::byte*/uintptr_t casts "
+                    "are allowed here",
+                )
+
+    return findings
+
+
+def check_contract_comments(root: Path, files: list[Path]) -> list[Finding]:
+    findings: list[Finding] = []
+    by_rel = {p.relative_to(root).as_posix(): p for p in files}
+    for rel, path in by_rel.items():
+        if not rel.endswith((".hpp", ".h")) or is_test_path(rel):
+            continue
+        text = path.read_text(encoding="utf-8", errors="replace")
+        contract_lines = [
+            i + 1 for i, line in enumerate(text.splitlines())
+            if CONTRACT_COMMENT_RE.search(line)
+        ]
+        if not contract_lines:
+            continue
+        # The backing implementation: the header itself or its sibling .cpp.
+        bodies = [text]
+        sibling = rel[: rel.rfind(".")] + ".cpp"
+        if sibling in by_rel:
+            bodies.append(by_rel[sibling].read_text(encoding="utf-8",
+                                                    errors="replace"))
+        if not any(CONTRACT_MACRO_RE.search(body) for body in bodies):
+            findings.append(
+                Finding(path, contract_lines[0], "contract-comment",
+                        "header declares a CONTRACT: but neither it nor its "
+                        "sibling .cpp contains a POR_EXPECT/POR_ENSURE/"
+                        "POR_BOUNDS/POR_FINITE backing it"))
+    return findings
+
+
+def collect_files(root: Path) -> list[Path]:
+    files: list[Path] = []
+    for d in SOURCE_DIRS + TEST_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        files.extend(
+            p for p in sorted(base.rglob("*"))
+            if p.suffix in CPP_SUFFIXES and p.is_file()
+        )
+    return files
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=Path("."),
+                        help="repository root (default: cwd)")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="restrict to these files (default: whole tree)")
+    args = parser.parse_args()
+
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"por_lint: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+
+    files = [p.resolve() for p in args.paths] if args.paths else \
+        collect_files(root)
+
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(check_file(root, path))
+    findings.extend(check_contract_comments(root, files))
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"por_lint: {len(findings)} finding(s) in {len(files)} files",
+              file=sys.stderr)
+        return 1
+    print(f"por_lint: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

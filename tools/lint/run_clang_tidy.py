@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""run_clang_tidy — drive clang-tidy over the exported compile database.
+
+Thin, dependency-free replacement for LLVM's run-clang-tidy.py: reads
+``compile_commands.json`` from the build directory, filters to the
+project's own translation units (src/, bench/, examples/, tests/ —
+nothing from the build tree or system paths), and runs clang-tidy on
+each with the repo-root ``.clang-tidy`` configuration.
+
+Checks and suppressions live in ``.clang-tidy``; this script only
+handles discovery, parallel dispatch and exit-status aggregation so the
+CMake ``lint`` target stays a one-liner.
+
+Exit status: 0 clean, 1 findings, 2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+PROJECT_DIRS = ("src", "bench", "examples", "tests")
+
+
+def project_sources(build_dir: Path, root: Path) -> list[Path]:
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.is_file():
+        print(f"run_clang_tidy: {db_path} not found — configure with "
+              "CMAKE_EXPORT_COMPILE_COMMANDS=ON first", file=sys.stderr)
+        raise SystemExit(2)
+    entries = json.loads(db_path.read_text(encoding="utf-8"))
+    allowed = tuple((root / d).as_posix() + "/" for d in PROJECT_DIRS)
+    files: list[Path] = []
+    seen: set[str] = set()
+    for entry in entries:
+        path = Path(entry["file"])
+        if not path.is_absolute():
+            path = Path(entry["directory"]) / path
+        posix = path.resolve().as_posix()
+        if posix.startswith(allowed) and posix not in seen:
+            seen.add(posix)
+            files.append(Path(posix))
+    return sorted(files)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy executable (default: from PATH)")
+    parser.add_argument("--build-dir", type=Path, required=True,
+                        help="build directory holding compile_commands.json")
+    parser.add_argument("--root", type=Path, default=Path("."),
+                        help="repository root (default: cwd)")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, (os.cpu_count() or 1) - 1),
+                        help="parallel clang-tidy processes")
+    args = parser.parse_args()
+
+    root = args.root.resolve()
+    build_dir = args.build_dir.resolve()
+    files = project_sources(build_dir, root)
+    if not files:
+        print("run_clang_tidy: no project translation units in the "
+              "compile database", file=sys.stderr)
+        return 2
+
+    def run_one(path: Path) -> tuple[Path, int, str]:
+        proc = subprocess.run(
+            [args.clang_tidy, "-p", str(build_dir), "--quiet", str(path)],
+            capture_output=True, text=True)
+        # clang-tidy prints suppressed-warning chatter on stderr; keep
+        # stdout (the findings) and surface stderr only on failure.
+        output = proc.stdout
+        if proc.returncode != 0 and not output.strip():
+            output = proc.stderr
+        return path, proc.returncode, output
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for path, status, output in pool.map(run_one, files):
+            if output.strip():
+                print(f"--- {path.relative_to(root)}")
+                print(output.rstrip())
+            if status != 0:
+                failures += 1
+
+    if failures:
+        print(f"run_clang_tidy: findings in {failures}/{len(files)} "
+              "translation units", file=sys.stderr)
+        return 1
+    print(f"run_clang_tidy: clean ({len(files)} translation units)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
