@@ -16,7 +16,7 @@
 //      curves and true-map correlations.
 //
 //   ./sindbis_pipeline [--l 48] [--views 60] [--snr 2] [--ranks 4]
-//                      [--metrics-out report.json]
+//                      [--fft_threads 1] [--metrics-out report.json]
 //
 // With --metrics-out the distributed refinement's obs::RunReport —
 // per-rank counters (matchings, slides, interp fetches, vmpi traffic)
@@ -44,6 +44,8 @@ int main(int argc, char** argv) {
   const int view_count = static_cast<int>(cli.get_int("views", 60));
   const double snr = cli.get_double("snr", 2.0);
   const int ranks = static_cast<int>(cli.get_int("ranks", 4));
+  const std::size_t fft_threads =
+      static_cast<std::size_t>(cli.get_int("fft_threads", 1));
   const double cli_r_map = cli.get_double("r_map", 0.0);
   const std::string metrics_out = cli.metrics_out();
   cli.assert_all_consumed();
@@ -117,6 +119,9 @@ int main(int argc, char** argv) {
   refiner_config.ctf = ctf;
   refiner_config.ctf_correction = em::CtfCorrection::kWiener;
   refiner_config.wiener_snr = wiener_snr;
+  // Per-rank FFT threading (0 = hardware concurrency).  Bit-identical
+  // to the serial default; useful when ranks < cores.
+  refiner_config.match.fft_threads = fft_threads;
 
   std::vector<em::Orientation> refined = old_orientations;
   std::vector<std::pair<double, double>> centers(views.size(), {0.0, 0.0});

@@ -30,7 +30,8 @@ double resolve_padded_radius(double unpadded, std::size_t pad,
 FourierMatcher::FourierMatcher(const em::Volume<double>& density_map,
                                const MatchOptions& options)
     : FourierMatcher(
-          em::centered_fft3(em::pad_volume(density_map, options.pad)),
+          em::centered_fft3(em::pad_volume(density_map, options.pad),
+                            fft::FftOptions{options.fft_threads}),
           density_map.nx(), options) {
   if (!density_map.is_cube()) {
     throw std::invalid_argument("FourierMatcher: map must be cubic");
@@ -200,7 +201,8 @@ em::Image<em::cdouble> FourierMatcher::prepare_view(
   }
   const obs::SpanTimer timer(*obs_prepare_view_);
   em::Image<em::cdouble> spectrum =
-      em::centered_fft2(em::pad_image(view, options_.pad));
+      em::centered_fft2(em::pad_image(view, options_.pad),
+                        fft::FftOptions{options_.fft_threads});
   if (options_.ctf) {
     em::correct_ctf(spectrum, *options_.ctf, options_.ctf_correction,
                     options_.wiener_snr);

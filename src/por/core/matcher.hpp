@@ -64,6 +64,13 @@ struct MatchOptions {
   /// parallelism for the single-rank case; the vmpi drivers already
   /// parallelize across views, so they leave this at 1.
   std::size_t search_threads = 1;
+
+  /// Worker count for the Fourier transforms behind spectrum
+  /// preparation (the padded 3D map transform at construction and the
+  /// padded 2D view transform in prepare_view): fft::FftOptions::
+  /// threads, so 1 = serial (default, bit-identical to any other
+  /// setting) and 0 = hardware concurrency.
+  std::size_t fft_threads = 1;
 };
 
 /// Flattened precomputed annulus: one entry per Fourier pixel of the

@@ -93,7 +93,8 @@ ParallelRefineReport refine_distributed(
     raw = em::to_complex(em::pad_volume(map_on_root, config.match.pad))
               .storage();
   }
-  raw = fft::parallel_fft3d_forward(comm, std::move(raw), padded_edge);
+  raw = fft::parallel_fft3d_forward(comm, std::move(raw), padded_edge,
+                                    fft::FftOptions{config.match.fft_threads});
   em::Volume<em::cdouble> raw_volume(padded_edge);
   raw_volume.storage() = std::move(raw);
   em::Volume<em::cdouble> spectrum =

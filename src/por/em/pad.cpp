@@ -1,6 +1,9 @@
 #include "por/em/pad.hpp"
 
+#include <cstring>
 #include <stdexcept>
+
+#include "por/util/contracts.hpp"
 
 namespace por::em {
 
@@ -22,9 +25,9 @@ Image<double> pad_image(const Image<double>& img, std::size_t factor) {
   Image<double> out(big, big, 0.0);
   const std::size_t off = center_offset(l, big);
   for (std::size_t y = 0; y < l; ++y) {
-    for (std::size_t x = 0; x < l; ++x) {
-      out(y + off, x + off) = img(y, x);
-    }
+    // Whole x-rows are contiguous in both lattices: one memcpy per row.
+    POR_BOUNDS((y + off) * big + off + l - 1, big * big);
+    std::memcpy(&out(y + off, off), &img(y, 0), l * sizeof(double));
   }
   return out;
 }
@@ -38,9 +41,10 @@ Volume<double> pad_volume(const Volume<double>& vol, std::size_t factor) {
   const std::size_t off = center_offset(l, big);
   for (std::size_t z = 0; z < l; ++z) {
     for (std::size_t y = 0; y < l; ++y) {
-      for (std::size_t x = 0; x < l; ++x) {
-        out(z + off, y + off, x + off) = vol(z, y, x);
-      }
+      POR_BOUNDS(((z + off) * big + (y + off)) * big + off + l - 1,
+                 big * big * big);
+      std::memcpy(&out(z + off, y + off, off), &vol(z, y, 0),
+                  l * sizeof(double));
     }
   }
   return out;
@@ -54,9 +58,7 @@ Image<double> crop_image(const Image<double>& padded, std::size_t l) {
   const std::size_t off = center_offset(l, big);
   Image<double> out(l, l);
   for (std::size_t y = 0; y < l; ++y) {
-    for (std::size_t x = 0; x < l; ++x) {
-      out(y, x) = padded(y + off, x + off);
-    }
+    std::memcpy(&out(y, 0), &padded(y + off, off), l * sizeof(double));
   }
   return out;
 }
@@ -70,9 +72,8 @@ Volume<double> crop_volume(const Volume<double>& padded, std::size_t l) {
   Volume<double> out(l);
   for (std::size_t z = 0; z < l; ++z) {
     for (std::size_t y = 0; y < l; ++y) {
-      for (std::size_t x = 0; x < l; ++x) {
-        out(z, y, x) = padded(z + off, y + off, x + off);
-      }
+      std::memcpy(&out(z, y, 0), &padded(z + off, y + off, off),
+                  l * sizeof(double));
     }
   }
   return out;

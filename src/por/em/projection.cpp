@@ -2,92 +2,166 @@
 
 #include <cmath>
 #include <numbers>
+#include <vector>
 
-#include "por/fft/fftnd.hpp"
 #include "por/em/interp.hpp"
+#include "por/util/contracts.hpp"
 
 namespace por::em {
 
 namespace {
 
-/// Multiply spectrum (already fftshifted, zero frequency at n/2) by
-/// exp(sign * 2*pi*i * k.c / n) per axis, turning phases measured about
-/// index 0 into phases measured about the center voxel (sign=+1) or
-/// back (sign=-1).
-void apply_center_phase2(Image<cdouble>& spec, double sign) {
-  const std::size_t ny = spec.ny(), nx = spec.nx();
-  const double cy = std::floor(static_cast<double>(ny) / 2.0);
-  const double cx = std::floor(static_cast<double>(nx) / 2.0);
-  for (std::size_t y = 0; y < ny; ++y) {
-    const double ky = static_cast<double>(y) - cy;
-    for (std::size_t x = 0; x < nx; ++x) {
-      const double kx = static_cast<double>(x) - cx;
-      const double angle = sign * 2.0 * std::numbers::pi *
-                           (ky * cy / static_cast<double>(ny) +
-                            kx * cx / static_cast<double>(nx));
-      spec(y, x) *= cdouble(std::cos(angle), std::sin(angle));
-    }
+/// Per-axis centering phase factors: phase[i] = exp(sign * 2*pi*i *
+/// (i - c) * c / n) with c = floor(n/2).  The full center phase of a
+/// voxel is the product of its axis factors, so an n^3 volume needs
+/// 3n sin/cos evaluations instead of n^3.
+std::vector<cdouble> axis_phase(std::size_t n, double sign) {
+  const double c = std::floor(static_cast<double>(n) / 2.0);
+  std::vector<cdouble> phase(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double k = static_cast<double>(i) - c;
+    const double angle =
+        sign * 2.0 * std::numbers::pi * k * c / static_cast<double>(n);
+    phase[i] = {std::cos(angle), std::sin(angle)};
+  }
+  return phase;
+}
+
+/// One row of the fused shift-and-phase gather:
+///   dst[x] = src[(x + shift) % nx] * (row_factor * phase_x[x])
+/// for the centerize direction, where the phase index rides with dst,
+/// or
+///   dst[x] = src[(x + shift) % nx] * (row_factor * phase_x[(x+shift)%nx])
+/// for the decenterize direction, where it rides with src.  The wrap
+/// splits into two contiguous segments — no per-element modulo.
+// CONTRACT: shift <= nx; both segment loops stay inside [0, nx).
+void fused_row(cdouble* dst, const cdouble* src, std::size_t nx,
+               std::size_t shift, cdouble row_factor,
+               const std::vector<cdouble>& phase_x, bool phase_on_src) {
+  POR_EXPECT(shift <= nx, "fused_row shift exceeds row length:", shift, ">",
+             nx);
+  const std::size_t split = nx - shift;  // first dst index that wraps
+  for (std::size_t x = 0; x < split; ++x) {
+    const std::size_t xs = x + shift;
+    POR_BOUNDS(xs, nx);
+    dst[x] = src[xs] * (row_factor * phase_x[phase_on_src ? xs : x]);
+  }
+  for (std::size_t x = split; x < nx; ++x) {
+    const std::size_t xs = x + shift - nx;
+    POR_BOUNDS(xs, nx);
+    dst[x] = src[xs] * (row_factor * phase_x[phase_on_src ? xs : x]);
   }
 }
 
-void apply_center_phase3(Volume<cdouble>& spec, double sign) {
+/// Raw spectrum (origin at index 0) -> centered spectrum: fftshift
+/// fused with the +1 center phase in one out-of-place pass.
+void centerize2(Image<cdouble>& spec) {
+  const std::size_t ny = spec.ny(), nx = spec.nx();
+  if (ny == 0 || nx == 0) return;
+  const std::size_t sy = (ny + 1) / 2, sx = (nx + 1) / 2;  // fftshift
+  const std::vector<cdouble> py = axis_phase(ny, +1.0);
+  const std::vector<cdouble> px = axis_phase(nx, +1.0);
+  Image<cdouble> out(ny, nx);
+  for (std::size_t y = 0; y < ny; ++y) {
+    const std::size_t ys = (y + sy) % ny;
+    fused_row(&out(y, 0), &spec(ys, 0), nx, sx, py[y], px,
+              /*phase_on_src=*/false);
+  }
+  spec = std::move(out);
+}
+
+/// Centered spectrum -> raw spectrum: the -1 center phase fused with
+/// ifftshift.  The phase belongs to the *source* (centered) index.
+void decenterize2(Image<cdouble>& spec) {
+  const std::size_t ny = spec.ny(), nx = spec.nx();
+  if (ny == 0 || nx == 0) return;
+  const std::size_t sy = ny / 2, sx = nx / 2;  // ifftshift
+  const std::vector<cdouble> py = axis_phase(ny, -1.0);
+  const std::vector<cdouble> px = axis_phase(nx, -1.0);
+  Image<cdouble> out(ny, nx);
+  for (std::size_t y = 0; y < ny; ++y) {
+    const std::size_t ys = (y + sy) % ny;
+    fused_row(&out(y, 0), &spec(ys, 0), nx, sx, py[ys], px,
+              /*phase_on_src=*/true);
+  }
+  spec = std::move(out);
+}
+
+void centerize3(Volume<cdouble>& spec) {
   const std::size_t nz = spec.nz(), ny = spec.ny(), nx = spec.nx();
-  const double cz = std::floor(static_cast<double>(nz) / 2.0);
-  const double cy = std::floor(static_cast<double>(ny) / 2.0);
-  const double cx = std::floor(static_cast<double>(nx) / 2.0);
+  if (nz == 0 || ny == 0 || nx == 0) return;
+  const std::size_t sz = (nz + 1) / 2, sy = (ny + 1) / 2, sx = (nx + 1) / 2;
+  const std::vector<cdouble> pz = axis_phase(nz, +1.0);
+  const std::vector<cdouble> py = axis_phase(ny, +1.0);
+  const std::vector<cdouble> px = axis_phase(nx, +1.0);
+  Volume<cdouble> out(nz, ny, nx);
   for (std::size_t z = 0; z < nz; ++z) {
-    const double kz = static_cast<double>(z) - cz;
+    const std::size_t zs = (z + sz) % nz;
     for (std::size_t y = 0; y < ny; ++y) {
-      const double ky = static_cast<double>(y) - cy;
-      for (std::size_t x = 0; x < nx; ++x) {
-        const double kx = static_cast<double>(x) - cx;
-        const double angle = sign * 2.0 * std::numbers::pi *
-                             (kz * cz / static_cast<double>(nz) +
-                              ky * cy / static_cast<double>(ny) +
-                              kx * cx / static_cast<double>(nx));
-        spec(z, y, x) *= cdouble(std::cos(angle), std::sin(angle));
-      }
+      const std::size_t ys = (y + sy) % ny;
+      fused_row(&out(z, y, 0), &spec(zs, ys, 0), nx, sx, pz[z] * py[y], px,
+                /*phase_on_src=*/false);
     }
   }
+  spec = std::move(out);
+}
+
+void decenterize3(Volume<cdouble>& spec) {
+  const std::size_t nz = spec.nz(), ny = spec.ny(), nx = spec.nx();
+  if (nz == 0 || ny == 0 || nx == 0) return;
+  const std::size_t sz = nz / 2, sy = ny / 2, sx = nx / 2;
+  const std::vector<cdouble> pz = axis_phase(nz, -1.0);
+  const std::vector<cdouble> py = axis_phase(ny, -1.0);
+  const std::vector<cdouble> px = axis_phase(nx, -1.0);
+  Volume<cdouble> out(nz, ny, nx);
+  for (std::size_t z = 0; z < nz; ++z) {
+    const std::size_t zs = (z + sz) % nz;
+    for (std::size_t y = 0; y < ny; ++y) {
+      const std::size_t ys = (y + sy) % ny;
+      fused_row(&out(z, y, 0), &spec(zs, ys, 0), nx, sx, pz[zs] * py[ys], px,
+                /*phase_on_src=*/true);
+    }
+  }
+  spec = std::move(out);
 }
 
 }  // namespace
 
-Image<cdouble> centered_fft2(const Image<double>& img) {
-  Image<cdouble> spec = to_complex(img);
-  fft::fft2d_forward(spec.data(), spec.ny(), spec.nx());
-  fft::fftshift2d(spec.data(), spec.ny(), spec.nx());
-  apply_center_phase2(spec, +1.0);
+Image<cdouble> centered_fft2(const Image<double>& img,
+                             const fft::FftOptions& options) {
+  Image<cdouble> spec(img.ny(), img.nx());
+  fft::rfft2d_forward(img.data(), spec.data(), spec.ny(), spec.nx(), options);
+  centerize2(spec);
   return spec;
 }
 
-Image<double> centered_ifft2(const Image<cdouble>& spec) {
+Image<double> centered_ifft2(const Image<cdouble>& spec,
+                             const fft::FftOptions& options) {
   Image<cdouble> work = spec;
-  apply_center_phase2(work, -1.0);
-  fft::ifftshift2d(work.data(), work.ny(), work.nx());
-  fft::fft2d_inverse(work.data(), work.ny(), work.nx());
+  decenterize2(work);
+  fft::fft2d_inverse(work.data(), work.ny(), work.nx(), options);
   return real_part(work);
 }
 
-Volume<cdouble> centered_fft3(const Volume<double>& vol) {
-  Volume<cdouble> spec = to_complex(vol);
-  fft::fft3d_forward(spec.data(), spec.nz(), spec.ny(), spec.nx());
-  fft::fftshift3d(spec.data(), spec.nz(), spec.ny(), spec.nx());
-  apply_center_phase3(spec, +1.0);
+Volume<cdouble> centered_fft3(const Volume<double>& vol,
+                              const fft::FftOptions& options) {
+  Volume<cdouble> spec(vol.nz(), vol.ny(), vol.nx());
+  fft::rfft3d_forward(vol.data(), spec.data(), spec.nz(), spec.ny(), spec.nx(),
+                      options);
+  centerize3(spec);
   return spec;
 }
 
 Volume<cdouble> centered_from_raw_fft3(Volume<cdouble> raw) {
-  fft::fftshift3d(raw.data(), raw.nz(), raw.ny(), raw.nx());
-  apply_center_phase3(raw, +1.0);
+  centerize3(raw);
   return raw;
 }
 
-Volume<double> centered_ifft3(const Volume<cdouble>& spec) {
+Volume<double> centered_ifft3(const Volume<cdouble>& spec,
+                              const fft::FftOptions& options) {
   Volume<cdouble> work = spec;
-  apply_center_phase3(work, -1.0);
-  fft::ifftshift3d(work.data(), work.nz(), work.ny(), work.nx());
-  fft::fft3d_inverse(work.data(), work.nz(), work.ny(), work.nx());
+  decenterize3(work);
+  fft::fft3d_inverse(work.data(), work.nz(), work.ny(), work.nx(), options);
   return real_part(work);
 }
 

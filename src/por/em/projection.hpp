@@ -11,10 +11,18 @@
 // of a centered object would interpolate a (-1)^k-modulated array and
 // destroy the slice.  All Fourier-domain matching in the library works
 // on centered spectra.
+// v2 notes: the forward transforms run through the real-to-complex
+// engine (fft::rfft2d_forward / rfft3d_forward — the inputs here are
+// always real images/volumes), and the centering itself is one fused
+// out-of-place pass: gather-with-shift multiplied by precomputed
+// per-axis phase factors, instead of fftshift followed by a per-pixel
+// sin/cos phase pass.  Every function takes fft::FftOptions so callers
+// can fan the transform across a thread pool.
 #pragma once
 
 #include "por/em/grid.hpp"
 #include "por/em/orientation.hpp"
+#include "por/fft/fftnd.hpp"
 
 namespace por::em {
 
@@ -22,22 +30,27 @@ namespace por::em {
 
 /// Forward 2D DFT with phases about the image center and the zero
 /// frequency at (ny/2, nx/2).
-[[nodiscard]] Image<cdouble> centered_fft2(const Image<double>& img);
+[[nodiscard]] Image<cdouble> centered_fft2(const Image<double>& img,
+                                           const fft::FftOptions& options = {});
 
 /// Inverse of centered_fft2 (returns the real part).
-[[nodiscard]] Image<double> centered_ifft2(const Image<cdouble>& spec);
+[[nodiscard]] Image<double> centered_ifft2(const Image<cdouble>& spec,
+                                           const fft::FftOptions& options = {});
 
 /// Forward 3D DFT with phases about the volume center and the zero
 /// frequency at (nz/2, ny/2, nx/2).
-[[nodiscard]] Volume<cdouble> centered_fft3(const Volume<double>& vol);
+[[nodiscard]] Volume<cdouble> centered_fft3(const Volume<double>& vol,
+                                            const fft::FftOptions& options = {});
 
 /// Inverse of centered_fft3 (returns the real part).
-[[nodiscard]] Volume<double> centered_ifft3(const Volume<cdouble>& spec);
+[[nodiscard]] Volume<double> centered_ifft3(const Volume<cdouble>& spec,
+                                            const fft::FftOptions& options = {});
 
 /// Turn a raw forward 3D DFT (origin at index 0, e.g. the output of
 /// the slab-parallel transform) into the centered convention:
 /// fftshift + center-phase.  centered_fft3(v) ==
-/// centered_from_raw_fft3(fft3d_forward(v)).
+/// centered_from_raw_fft3(fft3d_forward(to_complex(v))) up to the
+/// ~1e-15 rounding between the r2c and c2c paths.
 [[nodiscard]] Volume<cdouble> centered_from_raw_fft3(Volume<cdouble> raw);
 
 // ---- projection ------------------------------------------------------------

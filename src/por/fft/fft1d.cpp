@@ -5,7 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
-#include "por/obs/registry.hpp"
+#include "por/fft/obs_handles.hpp"
 #include "por/util/contracts.hpp"
 
 namespace por::fft {
@@ -38,11 +38,7 @@ std::vector<cdouble> make_roots(std::size_t n) {
 
 }  // namespace
 
-Fft1D::Fft1D(std::size_t n)
-    : n_(n),
-      pow2_(is_pow2(n)),
-      obs_transforms_(&obs::current_registry().counter("fft.1d.transforms")),
-      obs_points_(&obs::current_registry().counter("fft.1d.points")) {
+Fft1D::Fft1D(std::size_t n) : n_(n), pow2_(is_pow2(n)) {
   if (n == 0) throw std::invalid_argument("Fft1D: length must be >= 1");
   if (pow2_) {
     bitrev_ = make_bitrev(n_);
@@ -74,8 +70,9 @@ Fft1D::Fft1D(std::size_t n)
 void Fft1D::transform(cdouble* data, bool inverse) const {
   POR_EXPECT(data != nullptr, "transform on null buffer, n =", n_);
   if (n_ == 1) return;
-  obs_transforms_->add();
-  obs_points_->add(n_);
+  detail::ObsHandles& obs = detail::obs_handles();
+  obs.transforms_1d->add();
+  obs.points_1d->add(n_);
   if (!inverse) {
     if (pow2_) {
       pow2_forward(data);
@@ -107,16 +104,33 @@ void Fft1D::pow2_forward(cdouble* data) const {
     const std::size_t j = bitrev_[i];
     if (i < j) std::swap(data[i], data[j]);
   }
+  // Butterflies on raw doubles.  std::complex<double> operator* lowers
+  // to a __muldc3 libcall (NaN-recovery semantics) which dominates the
+  // whole transform; the manual form below is the identical finite-case
+  // arithmetic — (ac - bd, ad + bc) — at a fraction of the cost, and
+  // vectorizes.  std::complex<double> is layout-compatible with
+  // double[2] by [complex.numbers.general], so the casts are defined.
+  double* d = reinterpret_cast<double*>(data);
+  const double* rt = reinterpret_cast<const double*>(roots_.data());
   for (std::size_t len = 2; len <= n; len <<= 1) {
     const std::size_t half = len >> 1;
     const std::size_t step = n / len;  // stride into the root table
     for (std::size_t block = 0; block < n; block += len) {
+      double* lo = d + 2 * block;
+      double* hi = lo + 2 * half;
       for (std::size_t k = 0; k < half; ++k) {
-        const cdouble w = roots_[k * step];
-        const cdouble even = data[block + k];
-        const cdouble odd = data[block + k + half] * w;
-        data[block + k] = even + odd;
-        data[block + k + half] = even - odd;
+        const double wr = rt[2 * k * step];
+        const double wi = rt[2 * k * step + 1];
+        const double xr = hi[2 * k];
+        const double xi = hi[2 * k + 1];
+        const double odd_r = xr * wr - xi * wi;
+        const double odd_i = xr * wi + xi * wr;
+        const double er = lo[2 * k];
+        const double ei = lo[2 * k + 1];
+        lo[2 * k] = er + odd_r;
+        lo[2 * k + 1] = ei + odd_i;
+        hi[2 * k] = er - odd_r;
+        hi[2 * k + 1] = ei - odd_i;
       }
     }
   }
@@ -125,13 +139,27 @@ void Fft1D::pow2_forward(cdouble* data) const {
 void Fft1D::bluestein_forward(cdouble* data) const {
   POR_ENSURE(chirp_.size() == n_ && chirp_fft_.size() == m_ && m_ >= 2 * n_ - 1,
              "Bluestein tables out of sync: n =", n_, "m =", m_);
-  // a[k] = x[k] * conj(chirp[k]), zero-padded to m.
+  // a[k] = x[k] * conj(chirp[k]), zero-padded to m.  All pointwise
+  // complex products are spelled out manually for the same __muldc3
+  // reason as in pow2_forward.
   std::vector<cdouble> a(m_, cdouble{0.0, 0.0});
-  for (std::size_t k = 0; k < n_; ++k) a[k] = data[k] * std::conj(chirp_[k]);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double xr = data[k].real(), xi = data[k].imag();
+    const double cr = chirp_[k].real(), ci = chirp_[k].imag();
+    a[k] = {xr * cr + xi * ci, xi * cr - xr * ci};
+  }
   inner_->forward(a.data());
-  for (std::size_t k = 0; k < m_; ++k) a[k] *= chirp_fft_[k];
+  for (std::size_t k = 0; k < m_; ++k) {
+    const double ar = a[k].real(), ai = a[k].imag();
+    const double br = chirp_fft_[k].real(), bi = chirp_fft_[k].imag();
+    a[k] = {ar * br - ai * bi, ar * bi + ai * br};
+  }
   inner_->inverse(a.data());
-  for (std::size_t k = 0; k < n_; ++k) data[k] = a[k] * std::conj(chirp_[k]);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double ar = a[k].real(), ai = a[k].imag();
+    const double cr = chirp_[k].real(), ci = chirp_[k].imag();
+    data[k] = {ar * cr + ai * ci, ai * cr - ar * ci};
+  }
 }
 
 void Fft1D::forward_strided(cdouble* base, std::size_t stride) const {

@@ -17,10 +17,6 @@
 #include <memory>
 #include <vector>
 
-namespace por::obs {
-class Counter;
-}
-
 namespace por::fft {
 
 using cdouble = std::complex<double>;
@@ -75,11 +71,10 @@ class Fft1D {
   std::size_t n_;
   bool pow2_;
 
-  // Observability: number of executed 1D transforms (including the
-  // Bluestein inner transforms) and transformed points, resolved once
-  // against the registry current on the constructing thread.
-  obs::Counter* obs_transforms_;
-  obs::Counter* obs_points_;
+  // Observability ("fft.1d.transforms" / "fft.1d.points") is resolved
+  // per execute against the *calling* thread's current registry (see
+  // obs_handles.hpp): plans are shared through the process-wide
+  // PlanCache and must not pin a registry that can die before them.
 
   // Radix-2 tables (also used by the Bluestein inner transform).
   std::vector<std::size_t> bitrev_;    // bit-reversal permutation

@@ -1,101 +1,355 @@
 #include "por/fft/fftnd.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <thread>
 #include <vector>
 
+#include "por/fft/obs_handles.hpp"
+#include "por/fft/plan_cache.hpp"
 #include "por/obs/registry.hpp"
 #include "por/util/contracts.hpp"
+#include "por/util/thread_pool.hpp"
 
 namespace por::fft {
 
 namespace {
 
+// Number of adjacent lines gathered into one contiguous scratch tile by
+// fft1d_lines.  16 complex doubles = 256 bytes = 4 cache lines per
+// gathered chunk; a 16 x 128 tile is 32 KiB, i.e. one L1d.  The tile
+// partition is a pure function of (count, kLineTile) — never of the
+// worker count — which is what makes threaded execution bit-identical
+// to serial.
+constexpr std::size_t kLineTile = 16;
+
 /// One relaxed atomic increment per multi-dimensional transform; the
-/// name lookup resolves against the calling thread's registry so the
-/// per-rank accounting stays separate under vmpi.
+/// transform counter resolves by name against the calling thread's
+/// registry (rare — once per whole 2D/3D call), the hot nd.points
+/// counter goes through the thread-local handle cache.
 void count_transform(const char* name, std::size_t points) {
-  obs::MetricsRegistry& registry = obs::current_registry();
-  registry.counter(name).add();
-  registry.counter("fft.nd.points").add(points);
+  obs::current_registry().counter(name).add();
+  detail::obs_handles().nd_points->add(points);
 }
 
-/// Roll a 1D sequence left by `shift` positions (circular).
-/// CONTRACT: shift <= n — std::rotate's middle iterator must lie
-/// inside [first, first + n].
-template <typename Iter>
-void roll_axis(Iter first, std::size_t n, std::size_t shift) {
-  POR_EXPECT(shift <= n, "roll shift exceeds axis length:", shift, ">", n);
-  std::rotate(first, first + shift, first + n);
+/// How many workers `options` asks for (1 = serial on the caller).
+std::size_t resolve_workers(const FftOptions& options) {
+  if (options.threads == 1) return 1;
+  if (options.threads != 0) return options.threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
-/// Apply a circular shift of `shift` along axis y of an ny x nx array.
-void roll_rows(cdouble* data, std::size_t ny, std::size_t nx,
-               std::size_t shift) {
-  if (shift == 0) return;
-  std::vector<cdouble> column(ny);
-  for (std::size_t x = 0; x < nx; ++x) {
-    for (std::size_t y = 0; y < ny; ++y) column[y] = data[y * nx + x];
-    roll_axis(column.begin(), ny, shift);
-    for (std::size_t y = 0; y < ny; ++y) data[y * nx + x] = column[y];
+/// Per-calling-thread pool cache.  Each OS thread that runs threaded
+/// FFTs owns its own pools (keyed by worker count), so concurrent
+/// callers — e.g. vmpi rank threads — never share a pool and cannot
+/// cross-wait in parallel_for / wait_idle.  Pools join their workers
+/// when the owning thread exits.
+util::ThreadPool& pool_for(std::size_t workers) {
+  thread_local std::map<std::size_t, std::unique_ptr<util::ThreadPool>> pools;
+  std::unique_ptr<util::ThreadPool>& slot = pools[workers];
+  if (!slot) slot = std::make_unique<util::ThreadPool>(workers);
+  return *slot;
+}
+
+/// Run body(i) for i in [0, count), fanned across the requested
+/// workers.  The work items themselves are identical either way (same
+/// per-item math, disjoint data), so results are bit-identical to the
+/// serial loop regardless of the partition.
+void run_indexed(const FftOptions& options, std::size_t count,
+                 const std::function<void(std::size_t)>& body) {
+  const std::size_t workers = resolve_workers(options);
+  if (workers <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
   }
+  pool_for(workers).parallel_for(0, count, body);
 }
 
+/// Transform `rows` contiguous lines of length n starting at data
+/// (row r at data + r*n).  One shared plan from the cache; rows fan
+/// across the pool.
+void fft_rows(cdouble* data, std::size_t rows, std::size_t n, bool inverse,
+              const FftOptions& options) {
+  if (rows == 0 || n == 0) return;
+  const std::shared_ptr<const Fft1D> plan = cached_plan(n);
+  run_indexed(options, rows, [&](std::size_t r) {
+    cdouble* row = data + r * n;
+    if (inverse) {
+      plan->inverse(row);
+    } else {
+      plan->forward(row);
+    }
+  });
+}
+
+// ---- shifts ---------------------------------------------------------------
+
+/// dst[i] = src[(i + shift) % n] — a left-rotate, written as the two
+/// contiguous copies it decomposes into.
+void roll_line_into(cdouble* dst, const cdouble* src, std::size_t n,
+                    std::size_t shift) {
+  POR_EXPECT(shift <= n, "roll shift exceeds axis length:", shift, ">", n);
+  std::memcpy(dst, src + shift, (n - shift) * sizeof(cdouble));
+  std::memcpy(dst + (n - shift), src, shift * sizeof(cdouble));
+}
+
+/// In-place left-rotate of `nblocks` contiguous blocks of `block`
+/// elements each: new block b = old block (b + shift) % nblocks.  Two
+/// bulk copies through a scratch of the `shift` wrapped blocks instead
+/// of the seed's per-element strided gather loops.
+void roll_blocks(cdouble* data, std::size_t nblocks, std::size_t block,
+                 std::size_t shift) {
+  POR_EXPECT(shift <= nblocks, "roll shift exceeds block count:", shift, ">",
+             nblocks);
+  if (shift == 0 || nblocks == 0 || block == 0) return;
+  std::vector<cdouble> head(shift * block);
+  std::memcpy(head.data(), data, shift * block * sizeof(cdouble));
+  std::memmove(data, data + shift * block,
+               (nblocks - shift) * block * sizeof(cdouble));
+  std::memcpy(data + (nblocks - shift) * block, head.data(),
+              shift * block * sizeof(cdouble));
+}
+
+/// Circular shift along x of an ny x nx array (each row rotated left by
+/// `shift`), via one reused row buffer.
 void roll_cols(cdouble* data, std::size_t ny, std::size_t nx,
                std::size_t shift) {
-  if (shift == 0) return;
+  if (shift == 0 || nx == 0) return;
+  std::vector<cdouble> row(nx);
   for (std::size_t y = 0; y < ny; ++y) {
-    roll_axis(data + y * nx, nx, shift);
+    roll_line_into(row.data(), data + y * nx, nx, shift);
+    std::memcpy(data + y * nx, row.data(), nx * sizeof(cdouble));
   }
+}
+
+/// Circular shift along y of an ny x nx array: whole rows move, so this
+/// is a block rotate — no per-column gathers.
+void roll_rows(cdouble* data, std::size_t ny, std::size_t nx,
+               std::size_t shift) {
+  roll_blocks(data, ny, nx, shift);
+}
+
+// ---- r2c helpers ----------------------------------------------------------
+
+/// Row stage of a real-input 2D transform: every row of the real
+/// ny x nx array `src` is Fourier-transformed into the complex array
+/// `dst`, packing two real rows per complex FFT.  For rows x0, x1 the
+/// transform T of x0 + i*x1 splits by Hermitian symmetry as
+///   X0[k] = (T[k] + conj(T[(n-k)%n])) / 2
+///   X1[k] = (T[k] - conj(T[(n-k)%n])) / (2i)
+void r2c_rows(const double* src, cdouble* dst, std::size_t ny, std::size_t nx,
+              const FftOptions& options) {
+  if (ny == 0 || nx == 0) return;
+  const std::shared_ptr<const Fft1D> plan = cached_plan(nx);
+  const std::size_t pairs = ny / 2;
+  const std::size_t jobs = pairs + (ny % 2);  // a trailing lone row, if odd
+  run_indexed(options, jobs, [&](std::size_t r) {
+    std::vector<cdouble> packed(nx);
+    if (r < pairs) {
+      const double* row0 = src + (2 * r) * nx;
+      const double* row1 = src + (2 * r + 1) * nx;
+      for (std::size_t i = 0; i < nx; ++i) packed[i] = {row0[i], row1[i]};
+      plan->forward(packed.data());
+      cdouble* out0 = dst + (2 * r) * nx;
+      cdouble* out1 = dst + (2 * r + 1) * nx;
+      for (std::size_t k = 0; k < nx; ++k) {
+        const cdouble t = packed[k];
+        const cdouble tm = std::conj(packed[(nx - k) % nx]);
+        out0[k] = 0.5 * (t + tm);
+        const cdouble d = t - tm;  // X1 = d / (2i) = (-i/2) * d
+        out1[k] = {0.5 * d.imag(), -0.5 * d.real()};
+      }
+    } else {
+      // Odd ny: the last row rides alone as a zero-imaginary transform.
+      const double* row = src + (ny - 1) * nx;
+      for (std::size_t i = 0; i < nx; ++i) packed[i] = {row[i], 0.0};
+      plan->forward(packed.data());
+      std::memcpy(dst + (ny - 1) * nx, packed.data(), nx * sizeof(cdouble));
+    }
+  });
+}
+
+/// Fill columns x > nx/2 of a 2D spectrum of a real input from the
+/// Hermitian mirror F[y][x] = conj(F[(ny-y)%ny][(nx-x)%nx]).
+void mirror_half_2d(cdouble* data, std::size_t ny, std::size_t nx,
+                    const FftOptions& options) {
+  const std::size_t half = nx / 2;
+  run_indexed(options, ny, [&](std::size_t y) {
+    cdouble* row = data + y * nx;
+    const cdouble* mirror = data + ((ny - y) % ny) * nx;
+    for (std::size_t x = half + 1; x < nx; ++x) {
+      // x >= 1 here, so (nx - x) % nx == nx - x and stays <= nx/2:
+      // the mirrored source column was transformed, never mirrored.
+      POR_BOUNDS(nx - x, nx);
+      row[x] = std::conj(mirror[nx - x]);
+    }
+  });
+}
+
+/// Rows + the columns x <= nx/2 of a real-input 2D transform.  Columns
+/// x > nx/2 of `dst` are left unspecified — rfft2d_forward finishes
+/// them with the 2D mirror, rfft3d_forward never reads them (it mirrors
+/// in 3D after the z pass).
+void r2c_plane_half(const double* src, cdouble* dst, std::size_t ny,
+                    std::size_t nx, const FftOptions& options) {
+  r2c_rows(src, dst, ny, nx, options);
+  fft1d_lines(dst, nx / 2 + 1, ny, nx, /*inverse=*/false, options);
 }
 
 }  // namespace
 
-void fft2d_forward(cdouble* data, std::size_t ny, std::size_t nx) {
-  POR_EXPECT(data != nullptr || ny * nx == 0, "fft2d on null buffer");
-  count_transform("fft.2d.transforms", ny * nx);
-  const Fft1D row_plan(nx);
-  const Fft1D col_plan(ny);
-  for (std::size_t y = 0; y < ny; ++y) row_plan.forward(data + y * nx);
-  for (std::size_t x = 0; x < nx; ++x) col_plan.forward_strided(data + x, nx);
+// ---- 1D batch -------------------------------------------------------------
+
+void fft1d_lines(cdouble* base, std::size_t count, std::size_t n,
+                 std::size_t stride, bool inverse, const FftOptions& options) {
+  POR_EXPECT(base != nullptr || count * n == 0,
+             "fft1d_lines on null buffer: count =", count, "n =", n);
+  if (count == 0 || n <= 1) return;  // length-1 DFTs are the identity
+  // CONTRACT: line j occupies base + j + i*stride; adjacent lines must
+  // not interleave past the stride or the tile gather would alias.
+  POR_EXPECT(count <= stride, "line batch wider than its stride:", count, ">",
+             stride);
+  const std::shared_ptr<const Fft1D> plan = cached_plan(n);
+  const std::size_t tiles = (count + kLineTile - 1) / kLineTile;
+  run_indexed(options, tiles, [&](std::size_t tile) {
+    const std::size_t j0 = tile * kLineTile;
+    const std::size_t width = std::min(kLineTile, count - j0);
+    // Gather `width` strided lines into contiguous rows of scratch
+    // (scratch[t][i] = line (j0+t), element i): each inner iteration
+    // reads one contiguous chunk of `width` complex values.
+    std::vector<cdouble> scratch(width * n);
+    cdouble* tile_base = base + j0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const cdouble* chunk = tile_base + i * stride;
+      for (std::size_t t = 0; t < width; ++t) scratch[t * n + i] = chunk[t];
+    }
+    for (std::size_t t = 0; t < width; ++t) {
+      if (inverse) {
+        plan->inverse(scratch.data() + t * n);
+      } else {
+        plan->forward(scratch.data() + t * n);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      cdouble* chunk = tile_base + i * stride;
+      for (std::size_t t = 0; t < width; ++t) chunk[t] = scratch[t * n + i];
+    }
+  });
 }
 
-void fft2d_inverse(cdouble* data, std::size_t ny, std::size_t nx) {
+// ---- 2D -------------------------------------------------------------------
+
+namespace {
+
+void fft2d(cdouble* data, std::size_t ny, std::size_t nx, bool inverse,
+           const FftOptions& options) {
   count_transform("fft.2d.transforms", ny * nx);
-  const Fft1D row_plan(nx);
-  const Fft1D col_plan(ny);
-  for (std::size_t y = 0; y < ny; ++y) row_plan.inverse(data + y * nx);
-  for (std::size_t x = 0; x < nx; ++x) col_plan.inverse_strided(data + x, nx);
+  fft_rows(data, ny, nx, inverse, options);
+  fft1d_lines(data, nx, ny, nx, inverse, options);
 }
+
+}  // namespace
+
+void fft2d_forward(cdouble* data, std::size_t ny, std::size_t nx,
+                   const FftOptions& options) {
+  POR_EXPECT(data != nullptr || ny * nx == 0, "fft2d on null buffer");
+  fft2d(data, ny, nx, /*inverse=*/false, options);
+}
+
+void fft2d_inverse(cdouble* data, std::size_t ny, std::size_t nx,
+                   const FftOptions& options) {
+  POR_EXPECT(data != nullptr || ny * nx == 0, "fft2d on null buffer");
+  fft2d(data, ny, nx, /*inverse=*/true, options);
+}
+
+void rfft2d_forward(const double* src, cdouble* dst, std::size_t ny,
+                    std::size_t nx, const FftOptions& options) {
+  POR_EXPECT((src != nullptr && dst != nullptr) || ny * nx == 0,
+             "rfft2d on null buffer");
+  POR_EXPECT(static_cast<const void*>(src) != static_cast<const void*>(dst),
+             "rfft2d src and dst must not alias");
+  count_transform("fft.2d.transforms", ny * nx);
+  if (ny * nx == 0) return;
+  r2c_plane_half(src, dst, ny, nx, options);
+  mirror_half_2d(dst, ny, nx, options);
+}
+
+// ---- 3D -------------------------------------------------------------------
+
+namespace {
+
+void fft3d(cdouble* data, std::size_t nz, std::size_t ny, std::size_t nx,
+           bool inverse, const FftOptions& options) {
+  count_transform("fft.3d.transforms", nz * ny * nx);
+  // xy planes first (the paper's step a.3): every row of every plane in
+  // one batched pass, then the y-columns plane by plane...
+  fft_rows(data, nz * ny, nx, inverse, options);
+  for (std::size_t z = 0; z < nz; ++z) {
+    fft1d_lines(data + z * ny * nx, nx, ny, nx, inverse, options);
+  }
+  // ...then lines along z.  Line (y, x) starts at offset y*nx + x — the
+  // whole pass is one batch of ny*nx adjacent lines of stride ny*nx.
+  fft1d_lines(data, ny * nx, nz, ny * nx, inverse, options);
+}
+
+}  // namespace
 
 void fft3d_forward(cdouble* data, std::size_t nz, std::size_t ny,
-                   std::size_t nx) {
+                   std::size_t nx, const FftOptions& options) {
   POR_EXPECT(data != nullptr || nz * ny * nx == 0, "fft3d on null buffer");
-  count_transform("fft.3d.transforms", nz * ny * nx);
-  // xy planes first (matches the paper's step a.3), then lines along z.
-  for (std::size_t z = 0; z < nz; ++z) {
-    fft2d_forward(data + z * ny * nx, ny, nx);
-  }
-  const Fft1D z_plan(nz);
-  for (std::size_t y = 0; y < ny; ++y) {
-    for (std::size_t x = 0; x < nx; ++x) {
-      z_plan.forward_strided(data + y * nx + x, ny * nx);
-    }
-  }
+  fft3d(data, nz, ny, nx, /*inverse=*/false, options);
 }
 
 void fft3d_inverse(cdouble* data, std::size_t nz, std::size_t ny,
-                   std::size_t nx) {
-  count_transform("fft.3d.transforms", nz * ny * nx);
-  for (std::size_t z = 0; z < nz; ++z) {
-    fft2d_inverse(data + z * ny * nx, ny, nx);
-  }
-  const Fft1D z_plan(nz);
-  for (std::size_t y = 0; y < ny; ++y) {
-    for (std::size_t x = 0; x < nx; ++x) {
-      z_plan.inverse_strided(data + y * nx + x, ny * nx);
-    }
-  }
+                   std::size_t nx, const FftOptions& options) {
+  POR_EXPECT(data != nullptr || nz * ny * nx == 0, "fft3d on null buffer");
+  fft3d(data, nz, ny, nx, /*inverse=*/true, options);
 }
+
+void rfft3d_forward(const double* src, cdouble* dst, std::size_t nz,
+                    std::size_t ny, std::size_t nx,
+                    const FftOptions& options) {
+  POR_EXPECT((src != nullptr && dst != nullptr) || nz * ny * nx == 0,
+             "rfft3d on null buffer");
+  POR_EXPECT(static_cast<const void*>(src) != static_cast<const void*>(dst),
+             "rfft3d src and dst must not alias");
+  count_transform("fft.3d.transforms", nz * ny * nx);
+  if (nz * ny * nx == 0) return;
+  const std::size_t plane = ny * nx;
+  const std::size_t half = nx / 2;
+  // r2c plane transforms: columns x > nx/2 of each plane stay
+  // unspecified — the 3D mirror below derives them from the final
+  // spectrum, so the per-plane mirror would be wasted work.
+  for (std::size_t z = 0; z < nz; ++z) {
+    r2c_plane_half(src + z * plane, dst + z * plane, ny, nx, options);
+  }
+  // z lines, only for x <= nx/2: per y, the lines x = 0..nx/2 start at
+  // adjacent offsets y*nx + x with stride ny*nx.
+  for (std::size_t y = 0; y < ny; ++y) {
+    fft1d_lines(dst + y * nx, half + 1, nz, plane, /*inverse=*/false, options);
+  }
+  // 3D Hermitian mirror:
+  //   F[z][y][x] = conj(F[(nz-z)%nz][(ny-y)%ny][(nx-x)%nx]), x > nx/2.
+  run_indexed(options, nz, [&](std::size_t z) {
+    const std::size_t mz = (nz - z) % nz;
+    for (std::size_t y = 0; y < ny; ++y) {
+      cdouble* row = dst + z * plane + y * nx;
+      const cdouble* mirror = dst + mz * plane + ((ny - y) % ny) * nx;
+      for (std::size_t x = half + 1; x < nx; ++x) {
+        // x >= 1 here, so the mirrored column nx - x stays <= nx/2 —
+        // always a column the z pass actually transformed.
+        POR_BOUNDS(nx - x, nx);
+        row[x] = std::conj(mirror[nx - x]);
+      }
+    }
+  });
+}
+
+// ---- centering ------------------------------------------------------------
 
 void fftshift2d(cdouble* data, std::size_t ny, std::size_t nx) {
   roll_cols(data, ny, nx, (nx + 1) / 2);
@@ -110,34 +364,15 @@ void ifftshift2d(cdouble* data, std::size_t ny, std::size_t nx) {
 void fftshift3d(cdouble* data, std::size_t nz, std::size_t ny,
                 std::size_t nx) {
   for (std::size_t z = 0; z < nz; ++z) fftshift2d(data + z * ny * nx, ny, nx);
-  // shift along z
-  std::vector<cdouble> line(nz);
-  for (std::size_t y = 0; y < ny; ++y) {
-    for (std::size_t x = 0; x < nx; ++x) {
-      const std::size_t stride = ny * nx;
-      cdouble* base = data + y * nx + x;
-      for (std::size_t z = 0; z < nz; ++z) line[z] = base[z * stride];
-      roll_axis(line.begin(), nz, (nz + 1) / 2);
-      for (std::size_t z = 0; z < nz; ++z) base[z * stride] = line[z];
-    }
-  }
+  // The z shift moves whole planes: one block rotate instead of the
+  // seed's ny*nx strided line gathers.
+  roll_blocks(data, nz, ny * nx, (nz + 1) / 2);
 }
 
 void ifftshift3d(cdouble* data, std::size_t nz, std::size_t ny,
                  std::size_t nx) {
   for (std::size_t z = 0; z < nz; ++z) ifftshift2d(data + z * ny * nx, ny, nx);
-  std::vector<cdouble> line(nz);
-  const std::size_t shift = nz / 2;
-  if (shift == 0) return;
-  for (std::size_t y = 0; y < ny; ++y) {
-    for (std::size_t x = 0; x < nx; ++x) {
-      const std::size_t stride = ny * nx;
-      cdouble* base = data + y * nx + x;
-      for (std::size_t z = 0; z < nz; ++z) line[z] = base[z * stride];
-      roll_axis(line.begin(), nz, shift);
-      for (std::size_t z = 0; z < nz; ++z) base[z * stride] = line[z];
-    }
-  }
+  roll_blocks(data, nz, ny * nx, nz / 2);
 }
 
 }  // namespace por::fft

@@ -1,8 +1,21 @@
 // por/fft/fftnd.hpp
 //
-// 2D and 3D complex DFTs by row-column decomposition, plus the
-// centering (fftshift) helpers used when treating the transform as a
-// lattice centred on the zero frequency.
+// 2D and 3D DFTs by row-column decomposition, plus the centering
+// (fftshift) helpers used when treating the transform as a lattice
+// centred on the zero frequency.
+//
+// v2 engine (see DESIGN.md §9):
+//   * every 1D plan comes from the process-wide PlanCache — twiddles
+//     and Bluestein chirp transforms are built once per length, ever;
+//   * column / z-line passes run through a cache-blocked
+//     transpose-into-scratch -> contiguous row FFTs -> transpose-back
+//     batcher instead of per-line strided gathers;
+//   * real inputs go through rfft2d_forward / rfft3d_forward, which
+//     exploit Hermitian symmetry (two real rows per complex transform,
+//     half the column lines + conjugate mirror) for ~2x less work;
+//   * FftOptions::threads fans rows / tiles / planes across a
+//     util::ThreadPool with bit-identical results (the tile partition
+//     and per-line math do not depend on the worker count).
 //
 // Layouts are row-major:
 //   2D: data[y * nx + x]
@@ -13,25 +26,73 @@
 
 #include "por/fft/fft1d.hpp"
 
+namespace por::util {
+class ThreadPool;
+}
+
 namespace por::fft {
+
+/// Execution options shared by every multi-dimensional transform.
+///
+/// `threads == 1` (the default) runs serially on the calling thread.
+/// `threads == 0` uses the hardware concurrency.  Threaded execution
+/// is bit-identical to serial: work is split at line/tile granularity
+/// and every line is transformed by the same shared plan with the same
+/// operation order.  Pools are cached per calling thread (one OS
+/// thread's FFT calls never share a pool with another's), so
+/// concurrent callers — e.g. vmpi rank threads — cannot cross-wait.
+struct FftOptions {
+  std::size_t threads = 1;
+};
+
+// ---- 1D batch -------------------------------------------------------------
+
+/// Transform `count` lines of length n in one batch: line j starts at
+/// base + j and its elements are `stride` apart (the memory pattern of
+/// every column/z-line pass in this library).  Uses the blocked
+/// transpose batcher; plans come from the cache.  Exposed for the
+/// slab-parallel 3D driver and for tests.
+void fft1d_lines(cdouble* base, std::size_t count, std::size_t n,
+                 std::size_t stride, bool inverse,
+                 const FftOptions& options = {});
 
 // ---- 2D -------------------------------------------------------------------
 
 /// In-place forward 2D DFT of an ny x nx array.
-void fft2d_forward(cdouble* data, std::size_t ny, std::size_t nx);
+void fft2d_forward(cdouble* data, std::size_t ny, std::size_t nx,
+                   const FftOptions& options = {});
 
 /// In-place inverse 2D DFT (includes the 1/(ny*nx) factor).
-void fft2d_inverse(cdouble* data, std::size_t ny, std::size_t nx);
+void fft2d_inverse(cdouble* data, std::size_t ny, std::size_t nx,
+                   const FftOptions& options = {});
+
+/// Real-to-complex forward 2D DFT: reads the real ny x nx array `src`,
+/// writes its full complex spectrum (identical layout and values — up
+/// to rounding ~1e-15 — to fft2d_forward of the promoted input) to
+/// `dst`.  Exploits Hermitian symmetry twice: row transforms pack two
+/// real rows into one complex FFT, and only columns x <= nx/2 are
+/// transformed, the rest being filled by the conjugate mirror
+/// F[y][x] = conj(F[(ny-y)%ny][(nx-x)%nx]).  `src` and `dst` must not
+/// alias.
+void rfft2d_forward(const double* src, cdouble* dst, std::size_t ny,
+                    std::size_t nx, const FftOptions& options = {});
 
 // ---- 3D -------------------------------------------------------------------
 
 /// In-place forward 3D DFT of an nz x ny x nx array.
 void fft3d_forward(cdouble* data, std::size_t nz, std::size_t ny,
-                   std::size_t nx);
+                   std::size_t nx, const FftOptions& options = {});
 
 /// In-place inverse 3D DFT (includes the 1/(nz*ny*nx) factor).
 void fft3d_inverse(cdouble* data, std::size_t nz, std::size_t ny,
-                   std::size_t nx);
+                   std::size_t nx, const FftOptions& options = {});
+
+/// Real-to-complex forward 3D DFT (full complex output, same contract
+/// as rfft2d_forward): r2c plane transforms + z-lines only for
+/// x <= nx/2, then the 3D conjugate mirror.
+void rfft3d_forward(const double* src, cdouble* dst, std::size_t nz,
+                    std::size_t ny, std::size_t nx,
+                    const FftOptions& options = {});
 
 // ---- centering ------------------------------------------------------------
 

@@ -1,0 +1,49 @@
+// por/fft/obs_handles.hpp  (internal)
+//
+// Thread-local, registry-keyed resolution of the FFT engine's obs
+// counters.
+//
+// Why not resolve at plan-construction time (the PR-1 pattern)?  Plans
+// are now *cached process-wide* (por/fft/plan_cache.hpp) and outlive
+// any single vmpi rank registry: a plan built while rank 0's
+// stack-allocated registry was current would keep a dangling Counter*
+// after that registry dies, and would misattribute rank 1's transforms
+// to rank 0.  Instead the execute paths resolve through this
+// thread-local cache: one `current_registry().id()` compare per call in
+// the steady state, a mutexed name lookup only when the thread's
+// current registry changes.  Per-rank accounting therefore keeps
+// working even though the plans themselves are shared.
+#pragma once
+
+#include <cstdint>
+
+#include "por/obs/registry.hpp"
+
+namespace por::fft::detail {
+
+struct ObsHandles {
+  std::uint64_t registry_id = 0;
+  obs::Counter* transforms_1d = nullptr;  ///< "fft.1d.transforms"
+  obs::Counter* points_1d = nullptr;      ///< "fft.1d.points"
+  obs::Counter* nd_points = nullptr;      ///< "fft.nd.points"
+  obs::Counter* plan_hits = nullptr;      ///< "fft.plan_cache.hits"
+  obs::Counter* plan_misses = nullptr;    ///< "fft.plan_cache.misses"
+};
+
+/// The calling thread's handles into its *current* registry,
+/// re-resolved whenever a RegistryScope installs a different one.
+inline ObsHandles& obs_handles() {
+  thread_local ObsHandles handles;
+  obs::MetricsRegistry& registry = obs::current_registry();
+  if (handles.transforms_1d == nullptr || handles.registry_id != registry.id()) {
+    handles.registry_id = registry.id();
+    handles.transforms_1d = &registry.counter("fft.1d.transforms");
+    handles.points_1d = &registry.counter("fft.1d.points");
+    handles.nd_points = &registry.counter("fft.nd.points");
+    handles.plan_hits = &registry.counter("fft.plan_cache.hits");
+    handles.plan_misses = &registry.counter("fft.plan_cache.misses");
+  }
+  return handles;
+}
+
+}  // namespace por::fft::detail

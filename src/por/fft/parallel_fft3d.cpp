@@ -1,49 +1,78 @@
 #include "por/fft/parallel_fft3d.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
-#include "por/fft/fftnd.hpp"
+#include "por/util/contracts.hpp"
 
 namespace por::fft {
 
-std::vector<cdouble> parallel_fft3d_forward(vmpi::Comm& comm,
-                                            std::vector<cdouble> full_on_root,
-                                            std::size_t l) {
+namespace {
+
+/// The shared slab pipeline; `inverse` selects the transform direction
+/// (Fft1D's inverse carries the 1/n factor, so three inverse passes
+/// yield the full 1/l^3 normalization, exactly like fft3d_inverse).
+std::vector<cdouble> parallel_fft3d(vmpi::Comm& comm,
+                                    std::vector<cdouble> full_on_root,
+                                    std::size_t l, bool inverse,
+                                    const FftOptions& options) {
   const int p = comm.size();
   if (l % static_cast<std::size_t>(p) != 0) {
     throw std::invalid_argument(
-        "parallel_fft3d_forward: cube edge must be divisible by the number "
-        "of ranks");
+        "parallel_fft3d: cube edge must be divisible by the number of ranks");
   }
   if (comm.is_root() && full_on_root.size() != l * l * l) {
     throw std::invalid_argument(
-        "parallel_fft3d_forward: root volume must hold l^3 voxels");
+        "parallel_fft3d: root volume must hold l^3 voxels");
   }
+
+  // Single rank: the slab pipeline degenerates to the serial transform
+  // — skip the scatter/exchange/gather machinery entirely so a
+  // one-rank "parallel" call moves zero bytes.
+  if (p == 1) {
+    if (inverse) {
+      fft3d_inverse(full_on_root.data(), l, l, l, options);
+    } else {
+      fft3d_forward(full_on_root.data(), l, l, l, options);
+    }
+    return full_on_root;
+  }
+
   const std::size_t slab = l / static_cast<std::size_t>(p);  // planes per rank
+  const std::size_t row_bytes = l * sizeof(cdouble);
 
   // (a.2) master scatters z-slabs; z-slabs are contiguous in (z,y,x).
   std::vector<cdouble> zslab = comm.scatter(0, full_on_root);
   full_on_root.clear();
   full_on_root.shrink_to_fit();
+  POR_ENSURE(zslab.size() == slab * l * l, "scatter returned wrong slab size:",
+             zslab.size(), "!=", slab * l * l);
 
-  // (a.3) 2D DFT of every xy-plane in the z-slab.
+  // (a.3) 2D DFT of every xy-plane in the z-slab (plan-cached, and
+  // threaded across rows/column-tiles when options.threads > 1).
   for (std::size_t zl = 0; zl < slab; ++zl) {
-    fft2d_forward(zslab.data() + zl * l * l, l, l);
+    if (inverse) {
+      fft2d_inverse(zslab.data() + zl * l * l, l, l, options);
+    } else {
+      fft2d_forward(zslab.data() + zl * l * l, l, l, options);
+    }
   }
 
   // (a.4) global exchange: block for rank r holds my z-planes restricted
-  // to y in [r*slab, (r+1)*slab), layout (z_local, y_local, x).
-  std::vector<std::vector<cdouble>> outgoing(p);
+  // to y in [r*slab, (r+1)*slab), layout (z_local, y_local, x) — each
+  // (zl, yl) row of l voxels moves as one memcpy.
+  std::vector<std::vector<cdouble>> outgoing(static_cast<std::size_t>(p));
   for (int r = 0; r < p; ++r) {
-    auto& block = outgoing[r];
+    std::vector<cdouble>& block = outgoing[static_cast<std::size_t>(r)];
     block.resize(slab * slab * l);
     const std::size_t y0 = static_cast<std::size_t>(r) * slab;
     for (std::size_t zl = 0; zl < slab; ++zl) {
-      for (std::size_t yl = 0; yl < slab; ++yl) {
-        const cdouble* src = zslab.data() + (zl * l + (y0 + yl)) * l;
-        cdouble* dst = block.data() + (zl * slab + yl) * l;
-        std::copy(src, src + l, dst);
-      }
+      // CONTRACT: the whole (yl = 0..slab) band of plane zl is
+      // contiguous in both the slab and the block — one memcpy of
+      // slab*l voxels per plane instead of per-row copies.
+      POR_BOUNDS((zl * l + y0 + slab - 1) * l + l - 1, zslab.size());
+      std::memcpy(block.data() + zl * slab * l,
+                  zslab.data() + (zl * l + y0) * l, slab * row_bytes);
     }
   }
   zslab.clear();
@@ -51,44 +80,66 @@ std::vector<cdouble> parallel_fft3d_forward(vmpi::Comm& comm,
   std::vector<std::vector<cdouble>> incoming = comm.alltoall(outgoing);
   outgoing.clear();
 
-  // Assemble the y-slab with layout (y_local, z, x) so z-lines have a
-  // fixed stride of l.
+  // Assemble the y-slab with layout (y_local, z, x) so the z pass sees
+  // one batch of adjacent lines per y_local row block.
   std::vector<cdouble> yslab(slab * l * l);
   for (int src_rank = 0; src_rank < p; ++src_rank) {
-    const auto& block = incoming[src_rank];
+    const std::vector<cdouble>& block =
+        incoming[static_cast<std::size_t>(src_rank)];
+    POR_ENSURE(block.size() == slab * slab * l,
+               "alltoall block has wrong size:", block.size());
     const std::size_t z0 = static_cast<std::size_t>(src_rank) * slab;
     for (std::size_t zl = 0; zl < slab; ++zl) {
       for (std::size_t yl = 0; yl < slab; ++yl) {
-        const cdouble* src = block.data() + (zl * slab + yl) * l;
-        cdouble* dst = yslab.data() + (yl * l + (z0 + zl)) * l;
-        std::copy(src, src + l, dst);
+        POR_BOUNDS((yl * l + z0 + zl) * l + l - 1, yslab.size());
+        std::memcpy(yslab.data() + (yl * l + (z0 + zl)) * l,
+                    block.data() + (zl * slab + yl) * l, row_bytes);
       }
     }
   }
   incoming.clear();
 
-  // (a.5) 1D DFT along z for every (y_local, x) line.
-  const Fft1D z_plan(l);
+  // (a.5) 1D DFT along z: within one y_local block the lines (z, x)
+  // for x = 0..l start at adjacent offsets with stride l — a single
+  // batched, cache-blocked fft1d_lines call per block.
   for (std::size_t yl = 0; yl < slab; ++yl) {
-    for (std::size_t x = 0; x < l; ++x) {
-      z_plan.forward_strided(yslab.data() + yl * l * l + x, l);
-    }
+    fft1d_lines(yslab.data() + yl * l * l, l, l, l, inverse, options);
   }
 
   // (a.6) all-gather: concatenation in rank order yields layout (y,z,x);
-  // transpose back to the library's canonical (z,y,x).
+  // fuse the transpose back to canonical (z,y,x) into the unpack — one
+  // row-sized memcpy per (y,z) pair, straight from the gathered buffer.
   std::vector<cdouble> gathered = comm.allgather(yslab);
   yslab.clear();
   yslab.shrink_to_fit();
+  POR_ENSURE(gathered.size() == l * l * l,
+             "allgather returned wrong volume size:", gathered.size());
   std::vector<cdouble> out(l * l * l);
   for (std::size_t y = 0; y < l; ++y) {
     for (std::size_t z = 0; z < l; ++z) {
-      const cdouble* src = gathered.data() + (y * l + z) * l;
-      cdouble* dst = out.data() + (z * l + y) * l;
-      std::copy(src, src + l, dst);
+      std::memcpy(out.data() + (z * l + y) * l,
+                  gathered.data() + (y * l + z) * l, row_bytes);
     }
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<cdouble> parallel_fft3d_forward(vmpi::Comm& comm,
+                                            std::vector<cdouble> full_on_root,
+                                            std::size_t l,
+                                            const FftOptions& options) {
+  return parallel_fft3d(comm, std::move(full_on_root), l, /*inverse=*/false,
+                        options);
+}
+
+std::vector<cdouble> parallel_fft3d_inverse(vmpi::Comm& comm,
+                                            std::vector<cdouble> full_on_root,
+                                            std::size_t l,
+                                            const FftOptions& options) {
+  return parallel_fft3d(comm, std::move(full_on_root), l, /*inverse=*/true,
+                        options);
 }
 
 }  // namespace por::fft

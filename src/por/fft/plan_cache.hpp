@@ -1,0 +1,73 @@
+// por/fft/plan_cache.hpp
+//
+// Process-wide, thread-safe cache of 1D FFT plans.
+//
+// Building an Fft1D plan is cheap for power-of-two lengths (bit
+// reversal + roots) but *expensive* for the paper's odd view sizes
+// (331, 511): Bluestein setup runs a full inner power-of-two FFT of
+// the chirp.  The seed-era fftnd layer rebuilt both row and column
+// plans on every fft2d_* call — for a 331x331 view spectrum that is
+// two chirp FFTs of length 1024 per transform, repeated for every view
+// of every B<->C cycle.  The cache makes plan acquisition a mutexed
+// map lookup; the plans themselves are immutable after construction
+// and safe to execute from any number of threads concurrently.
+//
+// Keyed by (n, kind) so future plan flavours (e.g. a dedicated
+// real-input plan) can share the cache without colliding with the
+// complex plans of the same length.
+//
+// Observability: "fft.plan_cache.hits" / "fft.plan_cache.misses"
+// counters, attributed to the *calling* thread's current registry (see
+// obs_handles.hpp for why attribution is resolved per call and not per
+// plan).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "por/fft/fft1d.hpp"
+
+namespace por::fft {
+
+/// Plan flavour — part of the cache key.
+enum class PlanKind : std::uint8_t {
+  kComplex = 0,  ///< complex-to-complex Fft1D (the only flavour today)
+};
+
+/// CONTRACT: get() never returns null and the returned plan's size()
+/// equals the requested n (POR_ENSURE in plan_cache.cpp); entries are
+/// never evicted, so a shared_ptr handed out stays valid forever even
+/// if clear() races with it.
+class PlanCache {
+ public:
+  /// The process-wide cache instance.
+  static PlanCache& instance();
+
+  /// Find-or-build the plan for length n (n >= 1; throws
+  /// std::invalid_argument for n == 0, like Fft1D itself).
+  [[nodiscard]] std::shared_ptr<const Fft1D> get(
+      std::size_t n, PlanKind kind = PlanKind::kComplex);
+
+  /// Drop every cached plan (outstanding shared_ptrs stay valid).
+  /// Tests use this to make hit/miss accounting deterministic.
+  void clear();
+
+  /// Number of resident plans.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  PlanCache() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::pair<std::size_t, PlanKind>, std::shared_ptr<const Fft1D>>
+      plans_;
+};
+
+/// Convenience: PlanCache::instance().get(n).
+[[nodiscard]] std::shared_ptr<const Fft1D> cached_plan(
+    std::size_t n, PlanKind kind = PlanKind::kComplex);
+
+}  // namespace por::fft

@@ -1,0 +1,235 @@
+// Tests for the v2 FFT engine: plan cache accounting, the batched
+// strided-line transform, real-to-complex forward transforms (including
+// the paper's odd Bluestein view sizes 331 and 511), and the
+// bit-identity of threaded execution.
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstring>
+#include <vector>
+
+#include "por/fft/fft1d.hpp"
+#include "por/fft/fftnd.hpp"
+#include "por/fft/plan_cache.hpp"
+#include "por/obs/registry.hpp"
+#include "por/util/rng.hpp"
+
+namespace {
+
+using namespace por::fft;
+namespace obs = por::obs;
+
+std::vector<cdouble> random_field(std::size_t n, std::uint64_t seed) {
+  por::util::Rng rng(seed);
+  std::vector<cdouble> x(n);
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return x;
+}
+
+std::vector<double> random_real(std::size_t n, std::uint64_t seed) {
+  por::util::Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  return x;
+}
+
+double max_err(const std::vector<cdouble>& a, const std::vector<cdouble>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+double max_mag(const std::vector<cdouble>& a) {
+  double worst = 0.0;
+  for (const auto& v : a) worst = std::max(worst, std::abs(v));
+  return worst;
+}
+
+bool bitwise_equal(const std::vector<cdouble>& a,
+                   const std::vector<cdouble>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(cdouble)) == 0;
+}
+
+// ---- plan cache -------------------------------------------------------------
+
+TEST(PlanCache, FindOrBuildReturnsSharedPlans) {
+  PlanCache::instance().clear();
+  const auto a = cached_plan(24);
+  const auto b = cached_plan(24);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a->size(), 24u);
+  const auto c = cached_plan(25);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(PlanCache::instance().size(), 2u);
+}
+
+TEST(PlanCache, CountsHitsAndMisses) {
+  obs::MetricsRegistry registry;
+  obs::RegistryScope scope(registry);
+  PlanCache::instance().clear();
+  (void)cached_plan(40);  // miss
+  (void)cached_plan(40);  // hit
+  (void)cached_plan(40);  // hit
+  (void)cached_plan(41);  // miss
+  EXPECT_EQ(registry.counter("fft.plan_cache.misses").value(), 2u);
+  EXPECT_EQ(registry.counter("fft.plan_cache.hits").value(), 2u);
+}
+
+TEST(PlanCache, RepeatedTransformsHitTheCache) {
+  obs::MetricsRegistry registry;
+  obs::RegistryScope scope(registry);
+  PlanCache::instance().clear();
+  auto x = random_field(12 * 12, 3);
+  fft2d_forward(x.data(), 12, 12);  // builds the length-12 plan once
+  const std::uint64_t misses_after_first =
+      registry.counter("fft.plan_cache.misses").value();
+  fft2d_forward(x.data(), 12, 12);
+  fft2d_inverse(x.data(), 12, 12);
+  EXPECT_EQ(registry.counter("fft.plan_cache.misses").value(),
+            misses_after_first)
+      << "repeated transforms of the same size must not rebuild plans";
+  EXPECT_GE(registry.counter("fft.plan_cache.hits").value(), 4u);
+}
+
+TEST(PlanCache, ClearDropsPlansButOutstandingHandlesStayValid) {
+  PlanCache::instance().clear();
+  const auto plan = cached_plan(17);
+  PlanCache::instance().clear();
+  EXPECT_EQ(PlanCache::instance().size(), 0u);
+  auto x = random_field(17, 5);
+  plan->forward(x.data());  // must not crash or read freed tables
+  plan->inverse(x.data());
+  EXPECT_LT(max_err(x, random_field(17, 5)), 1e-12);
+}
+
+// ---- batched strided lines --------------------------------------------------
+
+TEST(Fft1dLines, MatchesPerLineStridedTransforms) {
+  // Column pattern of a 2D pass: count=nx lines of length ny, stride nx.
+  for (const auto [count, n] :
+       {std::pair<std::size_t, std::size_t>{8, 16},
+        std::pair<std::size_t, std::size_t>{31, 9},   // partial last tile
+        std::pair<std::size_t, std::size_t>{16, 21},  // Bluestein length
+        std::pair<std::size_t, std::size_t>{1, 13}}) {
+    const auto x = random_field(count * n, count + n);
+    auto batched = x;
+    fft1d_lines(batched.data(), count, n, count, /*inverse=*/false);
+    auto reference = x;
+    const Fft1D plan(n);
+    for (std::size_t j = 0; j < count; ++j) {
+      plan.forward_strided(reference.data() + j, count);
+    }
+    EXPECT_LT(max_err(batched, reference), 1e-13) << count << " x " << n;
+
+    auto inverse = batched;
+    fft1d_lines(inverse.data(), count, n, count, /*inverse=*/true);
+    EXPECT_LT(max_err(inverse, x), 1e-12) << count << " x " << n;
+  }
+}
+
+// ---- real-to-complex --------------------------------------------------------
+
+class Rfft2dShapes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(Rfft2dShapes, MatchesComplexTransform) {
+  const auto [ny, nx] = GetParam();
+  const auto real = random_real(ny * nx, ny * 31 + nx);
+  std::vector<cdouble> reference(ny * nx);
+  for (std::size_t i = 0; i < real.size(); ++i) reference[i] = {real[i], 0.0};
+  fft2d_forward(reference.data(), ny, nx);
+  std::vector<cdouble> r2c(ny * nx);
+  rfft2d_forward(real.data(), r2c.data(), ny, nx);
+  const double scale = 1.0 + max_mag(reference);
+  EXPECT_LT(max_err(r2c, reference), 1e-12 * scale) << ny << "x" << nx;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Rfft2dShapes,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{8, 8},
+                      std::pair<std::size_t, std::size_t>{9, 15},   // both odd
+                      std::pair<std::size_t, std::size_t>{10, 21},  // even rows
+                      std::pair<std::size_t, std::size_t>{16, 4},
+                      std::pair<std::size_t, std::size_t>{33, 31}));
+
+// The paper's actual view sizes: 331x331 Sindbis and 511x511 reovirus
+// micrograph boxes, both prime -> pure Bluestein territory.
+TEST(Rfft2d, PaperOddViewSizesMatchComplexTransform) {
+  for (const std::size_t n : {std::size_t{331}, std::size_t{511}}) {
+    const auto real = random_real(n * n, n);
+    std::vector<cdouble> reference(n * n);
+    for (std::size_t i = 0; i < real.size(); ++i) reference[i] = {real[i], 0.0};
+    fft2d_forward(reference.data(), n, n);
+    std::vector<cdouble> r2c(n * n);
+    rfft2d_forward(real.data(), r2c.data(), n, n);
+    const double scale = 1.0 + max_mag(reference);
+    EXPECT_LT(max_err(r2c, reference), 1e-12 * scale) << "n=" << n;
+  }
+}
+
+TEST(Rfft3d, MatchesComplexTransform) {
+  for (const auto [nz, ny, nx] :
+       {std::tuple<std::size_t, std::size_t, std::size_t>{8, 8, 8},
+        std::tuple<std::size_t, std::size_t, std::size_t>{6, 10, 5},
+        std::tuple<std::size_t, std::size_t, std::size_t>{9, 7, 5},
+        std::tuple<std::size_t, std::size_t, std::size_t>{12, 1, 8}}) {
+    const auto real = random_real(nz * ny * nx, nz + ny + nx);
+    std::vector<cdouble> reference(real.size());
+    for (std::size_t i = 0; i < real.size(); ++i) reference[i] = {real[i], 0.0};
+    fft3d_forward(reference.data(), nz, ny, nx);
+    std::vector<cdouble> r2c(real.size());
+    rfft3d_forward(real.data(), r2c.data(), nz, ny, nx);
+    const double scale = 1.0 + max_mag(reference);
+    EXPECT_LT(max_err(r2c, reference), 1e-12 * scale)
+        << nz << "x" << ny << "x" << nx;
+  }
+}
+
+// ---- threaded execution -----------------------------------------------------
+
+TEST(FftThreads, Fft2dThreadedIsBitIdenticalToSerial) {
+  const std::size_t ny = 48, nx = 36;
+  const auto x = random_field(ny * nx, 77);
+  auto serial = x;
+  fft2d_forward(serial.data(), ny, nx);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    auto threaded = x;
+    fft2d_forward(threaded.data(), ny, nx, FftOptions{threads});
+    EXPECT_TRUE(bitwise_equal(threaded, serial)) << threads << " threads";
+  }
+  auto round = serial;
+  fft2d_inverse(round.data(), ny, nx, FftOptions{4});
+  auto round_serial = serial;
+  fft2d_inverse(round_serial.data(), ny, nx);
+  EXPECT_TRUE(bitwise_equal(round, round_serial));
+}
+
+TEST(FftThreads, Fft3dThreadedIsBitIdenticalToSerial) {
+  const std::size_t l = 16;
+  const auto x = random_field(l * l * l, 78);
+  auto serial = x;
+  fft3d_forward(serial.data(), l, l, l);
+  auto threaded = x;
+  fft3d_forward(threaded.data(), l, l, l, FftOptions{4});
+  EXPECT_TRUE(bitwise_equal(threaded, serial));
+  // 0 = hardware concurrency must also be bit-identical.
+  auto hw = x;
+  fft3d_forward(hw.data(), l, l, l, FftOptions{0});
+  EXPECT_TRUE(bitwise_equal(hw, serial));
+}
+
+TEST(FftThreads, Rfft2dThreadedIsBitIdenticalToSerial) {
+  const std::size_t ny = 33, nx = 40;
+  const auto real = random_real(ny * nx, 79);
+  std::vector<cdouble> serial(ny * nx), threaded(ny * nx);
+  rfft2d_forward(real.data(), serial.data(), ny, nx);
+  rfft2d_forward(real.data(), threaded.data(), ny, nx, FftOptions{3});
+  EXPECT_TRUE(bitwise_equal(threaded, serial));
+}
+
+}  // namespace

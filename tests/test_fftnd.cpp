@@ -154,6 +154,17 @@ TEST(Shift, Shift3dRoundTrip) {
   }
 }
 
+TEST(Shift, Shift3dRoundTripNonCubicOdd) {
+  // Exercises the block-rotate z stage with nz != ny != nx and odd
+  // lengths on every axis (where fftshift and ifftshift differ).
+  const std::size_t nz = 5, ny = 6, nx = 7;
+  const auto x = random_field(nz * ny * nx, 99);
+  auto y = x;
+  fftshift3d(y.data(), nz, ny, nx);
+  ifftshift3d(y.data(), nz, ny, nx);
+  EXPECT_LT(max_err(y, x), 1e-15);
+}
+
 TEST(Shift, Shift3dMovesOriginToCenter) {
   const std::size_t l = 6;
   std::vector<cdouble> x(l * l * l, {0, 0});
