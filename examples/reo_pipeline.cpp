@@ -6,7 +6,21 @@
 //
 //   ./reo_pipeline [--l 48] [--views 48] [--snr 2] [--ranks 4]
 //                  [--workdir /tmp/por_reo] [--cycles 2]
+//                  [--checkpoint true] [--resume true] [--io_retries 3]
+//                  [--kill_rank R] [--kill_at_step S] [--heartbeat_ms 500]
+//
+// Resilience (DESIGN.md §10): --checkpoint true records every refined
+// view of each cycle to <workdir>/ckpt_cycle_<n>.porc; with --resume
+// true an interrupted cycle restores those views instead of refining
+// them again.  --io_retries N retries transient master-side file reads
+// with capped exponential backoff.  --kill_rank R kills that worker
+// rank after --kill_at_step refined views in every cycle; the heartbeat
+// detector reassigns its views and the output files are
+// bitwise-identical to a fault-free run.
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 
@@ -33,6 +47,13 @@ int main(int argc, char** argv) {
   const int ranks = static_cast<int>(cli.get_int("ranks", 4));
   const int cycles = static_cast<int>(cli.get_int("cycles", 2));
   const std::string workdir = cli.get("workdir", "/tmp/por_reo");
+  const bool use_checkpoint = cli.get_bool("checkpoint", false);
+  const bool resume = cli.get_bool("resume", false);
+  const int io_retries = static_cast<int>(cli.get_int("io_retries", 1));
+  const int kill_rank = static_cast<int>(cli.get_int("kill_rank", -1));
+  const std::uint64_t kill_at_step =
+      static_cast<std::uint64_t>(cli.get_int("kill_at_step", 0));
+  const int heartbeat_ms = static_cast<int>(cli.get_int("heartbeat_ms", 500));
   cli.assert_all_consumed();
 
   fs::create_directories(workdir);
@@ -81,6 +102,20 @@ int main(int argc, char** argv) {
   refiner_config.match.r_map = static_cast<double>(l) / 2.0 - 4.0;
   refiner_config.refine_centers = false;
 
+  // Resilience knobs (DESIGN.md §10).
+  refiner_config.resilience.resume = resume;
+  refiner_config.resilience.io_retry.max_attempts =
+      static_cast<std::size_t>(std::max(1, io_retries));
+  refiner_config.resilience.heartbeat_timeout =
+      std::chrono::milliseconds(std::max(1, heartbeat_ms));
+  vmpi::FaultPlan fault_plan;
+  if (kill_rank >= 0) {
+    fault_plan.kill_rank_at_step(kill_rank, kill_at_step);
+    std::printf("fault plan: kill rank %d after %llu refined views per "
+                "cycle\n",
+                kill_rank, static_cast<unsigned long long>(kill_at_step));
+  }
+
   // Cycle 0 map: reconstruct from the quantized orientations.
   std::vector<em::Orientation> current(view_count);
   for (int i = 0; i < view_count; ++i) {
@@ -97,10 +132,28 @@ int main(int argc, char** argv) {
     const std::string orient_out =
         workdir + "/orient_" + std::to_string(cycle) + ".txt";
 
-    vmpi::run(ranks, [&](vmpi::Comm& comm) {
-      (void)core::parallel_refine_files(comm, map_in, stack_path, orient_in,
-                                        orient_out, refiner_config);
+    refiner_config.resilience.checkpoint_path =
+        use_checkpoint
+            ? workdir + "/ckpt_cycle_" + std::to_string(cycle) + ".porc"
+            : std::string();
+
+    std::uint64_t restored = 0, reassigned = 0, dead = 0;
+    vmpi::run(ranks, fault_plan, [&](vmpi::Comm& comm) {
+      const auto r = core::parallel_refine_files(
+          comm, map_in, stack_path, orient_in, orient_out, refiner_config);
+      if (comm.is_root()) {
+        restored = r.restored_views;
+        reassigned = r.reassigned_views;
+        dead = r.dead_ranks;
+      }
     });
+    if (restored + reassigned + dead > 0) {
+      std::printf("cycle %d resilience: restored=%llu reassigned=%llu "
+                  "dead_ranks=%llu\n",
+                  cycle, static_cast<unsigned long long>(restored),
+                  static_cast<unsigned long long>(reassigned),
+                  static_cast<unsigned long long>(dead));
+    }
 
     const auto refined = io::read_orientations(orient_out);
     for (int i = 0; i < view_count; ++i) {

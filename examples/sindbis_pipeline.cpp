@@ -17,11 +17,26 @@
 //
 //   ./sindbis_pipeline [--l 48] [--views 60] [--snr 2] [--ranks 4]
 //                      [--fft_threads 1] [--metrics-out report.json]
+//                      [--checkpoint ckpt.porc] [--resume true]
+//                      [--io_retries 3] [--kill_rank R] [--kill_at_step S]
+//                      [--heartbeat_ms 500]
 //
 // With --metrics-out the distributed refinement's obs::RunReport —
-// per-rank counters (matchings, slides, interp fetches, vmpi traffic)
-// and per-step spans, plus their cross-rank merge — is written as JSON.
+// per-rank counters (matchings, slides, interp fetches, vmpi traffic,
+// resilience.*) and per-step spans, plus their cross-rank merge — is
+// written as JSON.
+//
+// Resilience demo (DESIGN.md §10): --kill_rank R [--kill_at_step S]
+// installs a fault plan that kills worker rank R after it has refined
+// S views; the master's heartbeat detector notices the silence,
+// redistributes R's unfinished views, and the refined orientations are
+// bitwise-identical to a fault-free run.  --checkpoint records every
+// refined view; rerunning with --resume restores them instead of
+// recomputing.
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 
 #include "por/core/parallel_refiner.hpp"
@@ -48,6 +63,13 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("fft_threads", 1));
   const double cli_r_map = cli.get_double("r_map", 0.0);
   const std::string metrics_out = cli.metrics_out();
+  const std::string checkpoint = cli.get("checkpoint", "");
+  const bool resume = cli.get_bool("resume", false);
+  const int io_retries = static_cast<int>(cli.get_int("io_retries", 1));
+  const int kill_rank = static_cast<int>(cli.get_int("kill_rank", -1));
+  const std::uint64_t kill_at_step =
+      static_cast<std::uint64_t>(cli.get_int("kill_at_step", 0));
+  const int heartbeat_ms = static_cast<int>(cli.get_int("heartbeat_ms", 500));
   cli.assert_all_consumed();
 
   std::printf("sindbis-like pipeline: l=%zu views=%d snr=%.1f ranks=%d\n\n", l,
@@ -123,15 +145,30 @@ int main(int argc, char** argv) {
   // to the serial default; useful when ranks < cores.
   refiner_config.match.fft_threads = fft_threads;
 
+  // Resilience knobs (DESIGN.md §10).
+  refiner_config.resilience.checkpoint_path = checkpoint;
+  refiner_config.resilience.resume = resume;
+  refiner_config.resilience.io_retry.max_attempts =
+      static_cast<std::size_t>(std::max(1, io_retries));
+  refiner_config.resilience.heartbeat_timeout =
+      std::chrono::milliseconds(std::max(1, heartbeat_ms));
+  vmpi::FaultPlan fault_plan;
+  if (kill_rank >= 0) {
+    fault_plan.kill_rank_at_step(kill_rank, kill_at_step);
+    std::printf("fault plan: kill rank %d after %llu refined views\n",
+                kill_rank, static_cast<unsigned long long>(kill_at_step));
+  }
+
   std::vector<em::Orientation> refined = old_orientations;
   std::vector<std::pair<double, double>> centers(views.size(), {0.0, 0.0});
   std::printf("refining on %d vmpi ranks...\n", ranks);
   obs::RunReport obs_report;
   std::uint64_t total_matchings = 0, total_slides = 0;
+  std::uint64_t restored = 0, reassigned = 0, dead = 0, quarantined = 0;
   const auto report = [&] {
     std::vector<core::ViewResult> results;
     auto rep = vmpi::RunReport{};
-    rep = vmpi::run(ranks, [&](vmpi::Comm& comm) {
+    rep = vmpi::run(ranks, fault_plan, [&](vmpi::Comm& comm) {
       auto r = core::parallel_refine(comm, truth_map, l, views,
                                      old_orientations, centers,
                                      refiner_config);
@@ -140,6 +177,10 @@ int main(int argc, char** argv) {
         obs_report = std::move(r.obs);
         total_matchings = r.total_matchings;
         total_slides = r.total_slides;
+        restored = r.restored_views;
+        reassigned = r.reassigned_views;
+        dead = r.dead_ranks;
+        quarantined = r.quarantined_views;
       }
     });
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -151,9 +192,15 @@ int main(int argc, char** argv) {
   std::printf("communication: %llu messages, %.1f MB\n",
               static_cast<unsigned long long>(report.messages),
               static_cast<double>(report.bytes) / 1e6);
-  std::printf("matchings: %llu, window slides: %llu\n\n",
+  std::printf("matchings: %llu, window slides: %llu\n",
               static_cast<unsigned long long>(total_matchings),
               static_cast<unsigned long long>(total_slides));
+  std::printf("resilience: restored=%llu reassigned=%llu dead_ranks=%llu "
+              "quarantined=%llu\n\n",
+              static_cast<unsigned long long>(restored),
+              static_cast<unsigned long long>(reassigned),
+              static_cast<unsigned long long>(dead),
+              static_cast<unsigned long long>(quarantined));
   if (!metrics_out.empty()) {
     obs::write_text_file(metrics_out, obs_report.to_json());
     std::printf("metrics run report written to %s\n\n", metrics_out.c_str());

@@ -29,7 +29,17 @@ ParallelCycleReport parallel_cycle(
 
   // ---- Step C: every rank reconstructs with its block of views ----
   util::WallTimer recon_timer;
-  const std::size_t total = all.size();
+
+  // Quarantined views (DESIGN.md §10) carry their *initial* parameters
+  // and a non-zero flag: they must not pollute the reconstruction.
+  // Every rank derives the same kept-index list from the broadcast
+  // records, so the block partition below agrees across ranks.
+  std::vector<std::size_t> kept;
+  kept.reserve(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i].quarantined == 0) kept.push_back(i);
+  }
+  const std::size_t total = kept.size();
   const std::size_t begin = io::block_begin(total, comm.size(), comm.rank());
   const std::size_t share = io::block_share(total, comm.size(), comm.rank());
 
@@ -40,21 +50,23 @@ ParallelCycleReport parallel_cycle(
   std::vector<em::Image<double>> my_views;
   constexpr vmpi::Tag kReconViewsTag = 400;
   if (comm.is_root()) {
-    if (views_on_root.size() != total) {
+    if (views_on_root.size() != all.size()) {
       throw std::invalid_argument("parallel_cycle: view count mismatch");
     }
     for (int r = comm.size() - 1; r >= 0; --r) {
       const std::size_t rb = io::block_begin(total, comm.size(), r);
       const std::size_t rs = io::block_share(total, comm.size(), r);
       if (r == 0) {
-        my_views.assign(views_on_root.begin() + rb,
-                        views_on_root.begin() + rb + rs);
+        my_views.reserve(rs);
+        for (std::size_t i = rb; i < rb + rs; ++i) {
+          my_views.push_back(views_on_root[kept[i]]);
+        }
       } else {
         std::vector<double> flat;
         flat.reserve(rs * l * l);
         for (std::size_t i = rb; i < rb + rs; ++i) {
-          flat.insert(flat.end(), views_on_root[i].storage().begin(),
-                      views_on_root[i].storage().end());
+          flat.insert(flat.end(), views_on_root[kept[i]].storage().begin(),
+                      views_on_root[kept[i]].storage().end());
         }
         comm.send(r, kReconViewsTag, flat);
       }
@@ -73,8 +85,8 @@ ParallelCycleReport parallel_cycle(
   std::vector<em::Orientation> my_orientations;
   std::vector<std::pair<double, double>> my_centers;
   for (std::size_t i = begin; i < begin + share; ++i) {
-    my_orientations.push_back(all[i].orientation);
-    my_centers.emplace_back(all[i].center_x, all[i].center_y);
+    my_orientations.push_back(all[kept[i]].orientation);
+    my_centers.emplace_back(all[kept[i]].center_x, all[kept[i]].center_y);
   }
   report.map = recon::parallel_fourier_reconstruct(
       comm, l, my_views, my_orientations, my_centers, recon_options);

@@ -1,7 +1,13 @@
 #include "por/core/parallel_refiner.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <optional>
 #include <stdexcept>
 #include <string_view>
+#include <utility>
 
 #include "por/em/pad.hpp"
 #include "por/em/projection.hpp"
@@ -11,14 +17,90 @@
 #include "por/io/orientation_io.hpp"
 #include "por/io/master_io.hpp"
 #include "por/obs/registry.hpp"
+#include "por/resilience/checkpoint.hpp"
+#include "por/resilience/retry.hpp"
+#include "por/util/log.hpp"
 
 namespace por::core {
 
 namespace {
 
+// Work protocol tags (DESIGN.md §10).  kCtrlTag carries a
+// vector<u64> of global view indices from the master: non-empty means
+// "refine these" and is followed by matching kInitTag / kViewBlockTag
+// payloads; empty means "stop".  kResultTag carries one ResultMsg per
+// refined view back to the master — each doubles as a heartbeat — and
+// a kDoneIndex sentinel closing a batch.
 constexpr vmpi::Tag kViewBlockTag = 200;
 constexpr vmpi::Tag kInitTag = 201;
 constexpr vmpi::Tag kResultTag = 202;
+constexpr vmpi::Tag kCtrlTag = 203;
+
+constexpr std::uint64_t kDoneIndex =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// Initial parameters of one view, as shipped to the refining rank.
+struct InitRecord {
+  em::Orientation orientation;
+  double cx = 0.0, cy = 0.0;
+};
+
+/// One refined view streamed back to the master (or, with
+/// view_index == kDoneIndex, a batch-complete marker).
+struct ResultMsg {
+  std::uint64_t view_index = kDoneIndex;
+  ViewResult result;
+};
+
+resilience::CheckpointRecord to_record(std::uint64_t index,
+                                       const ViewResult& vr) {
+  resilience::CheckpointRecord rec;
+  rec.view_index = index;
+  rec.theta = vr.orientation.theta;
+  rec.phi = vr.orientation.phi;
+  rec.omega = vr.orientation.omega;
+  rec.center_x = vr.center_x;
+  rec.center_y = vr.center_y;
+  rec.final_distance = vr.final_distance;
+  rec.matchings = vr.matchings;
+  rec.cache_hits = vr.cache_hits;
+  rec.center_evals = vr.center_evals;
+  rec.window_slides = vr.window_slides;
+  rec.quarantined = vr.quarantined;
+  return rec;
+}
+
+ViewResult from_record(const resilience::CheckpointRecord& rec) {
+  ViewResult vr;
+  vr.orientation = em::Orientation{rec.theta, rec.phi, rec.omega};
+  vr.center_x = rec.center_x;
+  vr.center_y = rec.center_y;
+  vr.final_distance = rec.final_distance;
+  vr.matchings = rec.matchings;
+  vr.cache_hits = rec.cache_hits;
+  vr.center_evals = rec.center_evals;
+  vr.window_slides = rec.window_slides;
+  vr.quarantined = rec.quarantined;
+  return vr;
+}
+
+/// Scoped override of the rank's communication deadline
+/// (ResilienceOptions::comm_deadline); restores the previous deadline
+/// even when the refinement throws.
+class DeadlineGuard {
+ public:
+  DeadlineGuard(vmpi::Comm& comm, std::chrono::milliseconds deadline)
+      : comm_(comm), saved_(comm.deadline()) {
+    if (deadline.count() > 0) comm_.set_deadline(deadline);
+  }
+  DeadlineGuard(const DeadlineGuard&) = delete;
+  DeadlineGuard& operator=(const DeadlineGuard&) = delete;
+  ~DeadlineGuard() { comm_.set_deadline(saved_); }
+
+ private:
+  vmpi::Comm& comm_;
+  std::chrono::milliseconds saved_;
+};
 
 /// Reduce a StepTimes with max over ranks so the report reflects the
 /// slowest rank, which is what determines the wall clock of the cycle.
@@ -53,6 +135,13 @@ util::StepTimes step_times_from(const obs::Snapshot& snapshot) {
   return out;
 }
 
+/// Per-worker bookkeeping on the master side.
+struct WorkerState {
+  std::vector<std::uint64_t> pending;  ///< assigned, no result yet
+  bool done = true;   ///< batch-complete marker received (idle)
+  bool alive = true;  ///< false once the failure detector fired
+};
+
 /// The shared steps (a)-(o) once the root holds map/views/orientations
 /// in memory.
 ParallelRefineReport refine_distributed(
@@ -70,12 +159,18 @@ ParallelRefineReport refine_distributed(
   obs::SpanSeries& dft_span = rank_registry.span_series("step.3D DFT");
   obs::SpanSeries& read_span = rank_registry.span_series("step.Read image");
 
-  // TrafficStats accumulates over the runtime's whole life (several
-  // pipeline cycles may share one vmpi::Runtime); remember the baseline
-  // so the report covers this call only.
+  // TrafficStats and FaultStats accumulate over the runtime's whole
+  // life (several pipeline cycles may share one vmpi::Runtime);
+  // remember the baselines so the report covers this call only.
   const int rank = comm.rank();
   const std::uint64_t messages_before = comm.traffic().rank_messages(rank);
   const std::uint64_t bytes_before = comm.traffic().rank_bytes(rank);
+  const vmpi::FaultStats faults_before = comm.fault_stats();
+
+  // Blocking receives (and thus collectives) on every rank honor the
+  // configured deadline for the duration of this call, so a dead peer
+  // yields a typed vmpi::CommTimeout instead of an eternal hang.
+  const DeadlineGuard deadline_guard(comm, config.resilience.comm_deadline);
 
   const std::size_t padded_edge = l * config.match.pad;
   if (padded_edge % static_cast<std::size_t>(comm.size()) != 0) {
@@ -101,94 +196,328 @@ ParallelRefineReport refine_distributed(
       em::centered_from_raw_fft3(std::move(raw_volume));
   dft_span.record(static_cast<std::uint64_t>(dft_timer.seconds() * 1e9));
 
-  // ---- steps (b)+(c): master distributes views and orientations ----
-  util::WallTimer read_timer;
-  const std::size_t m =
-      comm.is_root() ? views_on_root.size() : 0;  // broadcast below
-  std::vector<std::size_t> meta{m};
-  comm.bcast(0, meta);
-  const std::size_t total_views = meta[0];
+  // Every rank may be handed work (initially or by reassignment), so
+  // every rank builds the refiner.
+  const OrientationRefiner refiner(
+      FourierMatcher(std::move(spectrum), l, config.matcher_options()),
+      config);
 
-  struct InitRecord {
-    em::Orientation orientation;
-    double cx, cy;
-  };
+  ParallelRefineReport report;
+  std::uint64_t my_matchings = 0, my_slides = 0;
 
-  std::vector<em::Image<double>> my_views;
-  std::vector<InitRecord> my_init;
   if (comm.is_root()) {
+    // ---- master: restore, distribute, listen, recover --------------------
+    const std::size_t total_views = views_on_root.size();
     if (initial_on_root.size() != total_views ||
         (!centers_on_root.empty() && centers_on_root.size() != total_views)) {
       throw std::invalid_argument("parallel_refine: input sizes disagree");
     }
-    for (int r = comm.size() - 1; r >= 0; --r) {
-      const std::size_t begin = io::block_begin(total_views, comm.size(), r);
-      const std::size_t share = io::block_share(total_views, comm.size(), r);
-      std::vector<double> flat;
-      flat.reserve(share * l * l);
+    const auto center_of = [&](std::uint64_t i) {
+      return centers_on_root.empty() ? std::pair<double, double>{0.0, 0.0}
+                                     : centers_on_root[i];
+    };
+
+    report.results.assign(total_views, ViewResult{});
+    std::vector<char> recorded(total_views, 0);
+    std::size_t n_recorded = 0;
+
+    // Checkpoint restore (step 0 of a resumed run): views already in
+    // the log are final — per-view refinement is deterministic, so
+    // restoring beats recomputing bit-for-bit.
+    std::vector<resilience::CheckpointRecord> seed;
+    const ResilienceOptions& res = config.resilience;
+    if (!res.checkpoint_path.empty() && res.resume) {
+      seed = resilience::load_checkpoint(res.checkpoint_path);
+      for (const auto& rec : seed) {
+        if (rec.view_index >= total_views) {
+          util::log_warn("parallel_refine: checkpoint record for view ",
+                         rec.view_index, " outside stack of ", total_views,
+                         " views; ignored");
+          continue;
+        }
+        if (recorded[rec.view_index]) continue;
+        recorded[rec.view_index] = 1;
+        report.results[rec.view_index] = from_record(rec);
+        ++n_recorded;
+        ++report.restored_views;
+      }
+    }
+    std::optional<resilience::CheckpointWriter> checkpoint;
+    if (!res.checkpoint_path.empty()) {
+      checkpoint.emplace(res.checkpoint_path, res.checkpoint_flush_every,
+                         std::move(seed));
+    }
+
+    const auto record_result = [&](std::uint64_t index, const ViewResult& vr) {
+      // First result wins.  A rank falsely declared dead may deliver a
+      // duplicate after its views were reassigned; the duplicate is
+      // bit-identical anyway (deterministic per-view refinement), so
+      // dropping it keeps the bookkeeping single-writer.
+      if (index >= total_views || recorded[index]) return;
+      recorded[index] = 1;
+      report.results[index] = vr;
+      ++n_recorded;
+      if (checkpoint) checkpoint->append(to_record(index, vr));
+    };
+    const auto refine_local = [&](std::uint64_t index) {
+      ViewResult vr = refiner.refine_view(views_on_root[index],
+                                          initial_on_root[index],
+                                          center_of(index).first,
+                                          center_of(index).second);
+      my_matchings += vr.matchings;
+      my_slides += static_cast<std::uint64_t>(vr.window_slides);
+      return vr;
+    };
+
+    // ---- steps (b)+(c): distribute the remaining views -------------------
+    util::WallTimer read_timer;
+    std::vector<std::uint64_t> remaining;
+    remaining.reserve(total_views - n_recorded);
+    for (std::uint64_t i = 0; i < total_views; ++i) {
+      if (!recorded[i]) remaining.push_back(i);
+    }
+
+    const auto inits_for = [&](const std::vector<std::uint64_t>& idxs) {
       std::vector<InitRecord> init;
-      init.reserve(share);
-      for (std::size_t i = begin; i < begin + share; ++i) {
+      init.reserve(idxs.size());
+      for (const std::uint64_t i : idxs) {
+        init.push_back(InitRecord{initial_on_root[i], center_of(i).first,
+                                  center_of(i).second});
+      }
+      return init;
+    };
+    const auto pixels_for = [&](const std::vector<std::uint64_t>& idxs) {
+      std::vector<double> flat;
+      flat.reserve(idxs.size() * l * l);
+      for (const std::uint64_t i : idxs) {
         flat.insert(flat.end(), views_on_root[i].storage().begin(),
                     views_on_root[i].storage().end());
-        init.push_back(InitRecord{
-            initial_on_root[i],
-            centers_on_root.empty() ? 0.0 : centers_on_root[i].first,
-            centers_on_root.empty() ? 0.0 : centers_on_root[i].second});
       }
+      return flat;
+    };
+
+    std::vector<WorkerState> workers(comm.size());
+    const auto send_assignment = [&](int r, std::vector<std::uint64_t> idxs) {
+      comm.send(r, kCtrlTag, idxs);
+      comm.send(r, kInitTag, inits_for(idxs));
+      comm.send(r, kViewBlockTag, pixels_for(idxs));
+      workers[r].done = false;
+      workers[r].pending = std::move(idxs);
+    };
+
+    std::vector<std::uint64_t> my_block;
+    for (int r = 0; r < comm.size(); ++r) {
+      const std::size_t begin =
+          io::block_begin(remaining.size(), comm.size(), r);
+      const std::size_t share =
+          io::block_share(remaining.size(), comm.size(), r);
+      std::vector<std::uint64_t> idxs(remaining.begin() + begin,
+                                      remaining.begin() + begin + share);
       if (r == 0) {
-        my_init = std::move(init);
-        my_views.reserve(share);
-        for (std::size_t i = 0; i < share; ++i) {
-          em::Image<double> img(l, l);
-          std::copy(flat.begin() + i * l * l, flat.begin() + (i + 1) * l * l,
-                    img.storage().begin());
-          my_views.push_back(std::move(img));
+        my_block = std::move(idxs);
+      } else if (!idxs.empty()) {
+        // A rank with no initial share simply never hears kCtrlTag
+        // until the final stop; it stays idle and reassignable.
+        send_assignment(r, std::move(idxs));
+      }
+    }
+    read_span.record(static_cast<std::uint64_t>(read_timer.seconds() * 1e9));
+
+    // ---- steps (d)-(l) + failure detection + recovery --------------------
+    std::vector<std::uint64_t> orphans;
+    const auto erase_pending = [&](std::uint64_t index) {
+      // A reassigned view can sit in up to two ranks' pending sets.
+      for (auto& w : workers) {
+        auto it = std::find(w.pending.begin(), w.pending.end(), index);
+        if (it != w.pending.end()) w.pending.erase(it);
+      }
+    };
+    const auto process_msg = [&](int src, const ResultMsg& msg) {
+      WorkerState& w = workers[src];
+      w.alive = true;  // any message proves life, even post-declaration
+      if (msg.view_index == kDoneIndex) {
+        w.done = true;
+        if (!w.pending.empty()) {
+          // The batch closed but some of its results never arrived —
+          // they were lost in transit (dropped messages).  Recover
+          // them the same way as a dead rank's views.
+          orphans.insert(orphans.end(), w.pending.begin(), w.pending.end());
+          w.pending.clear();
+        }
+        return;
+      }
+      if (msg.view_index >= total_views) {
+        util::log_warn("parallel_refine: discarding malformed result for "
+                       "view ",
+                       msg.view_index, " from rank ", src);
+        return;
+      }
+      record_result(msg.view_index, msg.result);
+      erase_pending(msg.view_index);
+    };
+    const auto dispatch_orphans = [&]() {
+      if (orphans.empty()) return;
+      report.reassigned_views += orphans.size();
+      rank_registry.counter("resilience.reassigned_views")
+          .add(orphans.size());
+      std::vector<int> idle;
+      for (int r = 1; r < comm.size(); ++r) {
+        if (workers[r].alive && workers[r].done) idle.push_back(r);
+      }
+      if (idle.empty()) {
+        // Nobody to delegate to: the master is always alive, refine
+        // the orphans here so the run is guaranteed to terminate.
+        for (const std::uint64_t index : orphans) {
+          if (!recorded[index]) record_result(index, refine_local(index));
         }
       } else {
-        comm.send(r, kViewBlockTag, flat);
-        comm.send(r, kInitTag, init);
+        std::vector<std::vector<std::uint64_t>> shares(idle.size());
+        for (std::size_t i = 0; i < orphans.size(); ++i) {
+          shares[i % idle.size()].push_back(orphans[i]);
+        }
+        for (std::size_t k = 0; k < idle.size(); ++k) {
+          if (!shares[k].empty()) {
+            send_assignment(idle[k], std::move(shares[k]));
+          }
+        }
+      }
+      orphans.clear();
+    };
+
+    // The master refines its own block first, draining worker results
+    // opportunistically between views so the mailbox stays shallow.
+    int src = 0;
+    for (const std::uint64_t index : my_block) {
+      while (const auto msg = comm.try_recv_any_value<ResultMsg>(
+                 kResultTag, src, std::chrono::milliseconds{0})) {
+        process_msg(src, *msg);
+      }
+      dispatch_orphans();
+      record_result(index, refine_local(index));
+    }
+
+    // Event loop: every incoming result is a heartbeat.  Total silence
+    // for heartbeat_timeout while views are still outstanding means
+    // the ranks holding them are gone; their views become orphans.
+    while (n_recorded < total_views) {
+      const auto msg = comm.try_recv_any_value<ResultMsg>(
+          kResultTag, src, config.resilience.heartbeat_timeout);
+      if (msg) {
+        process_msg(src, *msg);
+        dispatch_orphans();
+        continue;
+      }
+      bool declared = false;
+      for (int r = 1; r < comm.size(); ++r) {
+        WorkerState& w = workers[r];
+        if (w.alive && !w.done && !w.pending.empty()) {
+          util::log_warn("parallel_refine: rank ", r, " silent for ",
+                         config.resilience.heartbeat_timeout.count(),
+                         " ms with ", w.pending.size(),
+                         " views outstanding; declaring it dead");
+          w.alive = false;
+          ++report.dead_ranks;
+          rank_registry.counter("resilience.dead_ranks").add();
+          orphans.insert(orphans.end(), w.pending.begin(), w.pending.end());
+          w.pending.clear();
+          declared = true;
+        }
+      }
+      if (declared) {
+        dispatch_orphans();
+      } else {
+        // Silence with nothing assigned anywhere: unreachable by
+        // construction, but never spin — finish locally.
+        for (std::uint64_t i = 0; i < total_views; ++i) {
+          if (!recorded[i]) record_result(i, refine_local(i));
+        }
       }
     }
+    if (checkpoint) checkpoint->flush();
+
+    // Release every worker — including zombies, which drain their
+    // queue until this empty control message arrives.
+    for (int r = 1; r < comm.size(); ++r) {
+      comm.send(r, kCtrlTag, std::vector<std::uint64_t>{});
+    }
+
+    for (const auto& vr : report.results) {
+      if (vr.quarantined != 0) ++report.quarantined_views;
+    }
+    if (report.restored_views > 0) {
+      rank_registry.counter("resilience.checkpoint.restored_views")
+          .add(report.restored_views);
+    }
   } else {
-    auto flat = comm.recv<double>(0, kViewBlockTag);
-    my_init = comm.recv<InitRecord>(0, kInitTag);
-    const std::size_t share = my_init.size();
-    my_views.reserve(share);
-    for (std::size_t i = 0; i < share; ++i) {
-      em::Image<double> img(l, l);
-      std::copy(flat.begin() + i * l * l, flat.begin() + (i + 1) * l * l,
-                img.storage().begin());
-      my_views.push_back(std::move(img));
+    // ---- worker: refine batches until the master says stop ---------------
+    // `step` numbers the views this rank attempts, monotonically over
+    // the whole call; FaultPlan::kill_rank_at_step matches against it.
+    std::uint64_t step = 0;
+    bool killed = false;
+    while (true) {
+      // Waiting for work is waiting on the master; under a configured
+      // deadline a dead master surfaces as CommTimeout here instead of
+      // an eternal hang.
+      const auto indices = comm.recv<std::uint64_t>(0, kCtrlTag);
+      if (indices.empty()) break;  // stop
+      const auto init = comm.recv<InitRecord>(0, kInitTag);
+      const auto flat = comm.recv<double>(0, kViewBlockTag);
+      if (init.size() != indices.size() ||
+          flat.size() != indices.size() * l * l) {
+        throw std::runtime_error(
+            "parallel_refine: assignment payload sizes disagree");
+      }
+      try {
+        em::Image<double> img(l, l);
+        for (std::size_t i = 0; i < indices.size(); ++i) {
+          comm.fault_point(step++);
+          std::copy(flat.begin() + i * l * l, flat.begin() + (i + 1) * l * l,
+                    img.storage().begin());
+          ResultMsg msg;
+          msg.view_index = indices[i];
+          msg.result = refiner.refine_view(img, init[i].orientation,
+                                           init[i].cx, init[i].cy);
+          my_matchings += msg.result.matchings;
+          my_slides += static_cast<std::uint64_t>(msg.result.window_slides);
+          comm.send_value(0, kResultTag, msg);
+        }
+        comm.send_value(0, kResultTag, ResultMsg{});  // batch done
+      } catch (const vmpi::RankKilled&) {
+        killed = true;
+      }
+      if (killed) {
+        // Soft-kill zombie (DESIGN.md §10): the rank is dead to the
+        // work protocol — it reports nothing more, so the master's
+        // failure detector fires — but its thread still exists, so it
+        // silently drains control traffic until the stop and then
+        // joins the final collectives like everyone else.
+        while (true) {
+          const auto ctrl = comm.recv<std::uint64_t>(0, kCtrlTag);
+          if (ctrl.empty()) break;
+          (void)comm.recv<InitRecord>(0, kInitTag);
+          (void)comm.recv<double>(0, kViewBlockTag);
+        }
+        break;
+      }
     }
   }
-  read_span.record(static_cast<std::uint64_t>(read_timer.seconds() * 1e9));
-
-  // ---- steps (d)-(l): refine my block ----
-  OrientationRefiner refiner(
-      FourierMatcher(std::move(spectrum), l, config.matcher_options()),
-      config);
-  std::vector<ViewResult> my_results;
-  my_results.reserve(my_views.size());
-  for (std::size_t i = 0; i < my_views.size(); ++i) {
-    my_results.push_back(refiner.refine_view(my_views[i],
-                                             my_init[i].orientation,
-                                             my_init[i].cx, my_init[i].cy));
-  }
-  // The refiner's per-step spans ("step.FFT analysis", ...) landed in
-  // rank_registry already; no bespoke StepTimes folding is needed.
 
   // ---- step (m): wait for all nodes ----
   comm.barrier();
 
-  // ---- step (o): gather results on the master ----
-  ParallelRefineReport report;
-  report.results = comm.gather(0, my_results);
-  std::uint64_t my_matchings = 0, my_slides = 0;
-  for (const auto& r : my_results) {
-    my_matchings += r.matchings;
-    my_slides += static_cast<std::uint64_t>(r.window_slides);
+  // Straggler results that arrived after the master finished (a rank
+  // falsely declared dead completing its stale batch) would otherwise
+  // leak into the next refinement cycle on this runtime.  The barrier
+  // guarantees every send is enqueued, so one non-blocking drain
+  // empties the channel for good.
+  if (comm.is_root()) {
+    int src = 0;
+    while (comm.try_recv_any_value<ResultMsg>(kResultTag, src,
+                                              std::chrono::milliseconds{0})) {
+    }
   }
+
+  // ---- step (o): aggregate (results already live on the master) ----
   report.total_matchings =
       comm.allreduce_value(my_matchings, vmpi::ReduceOp::kSum);
   report.total_slides = comm.allreduce_value(my_slides, vmpi::ReduceOp::kSum);
@@ -201,6 +530,25 @@ ParallelRefineReport refine_distributed(
       .add(comm.traffic().rank_messages(rank) - messages_before);
   rank_registry.counter("vmpi.sent_bytes")
       .add(comm.traffic().rank_bytes(rank) - bytes_before);
+
+  // Faults injected during this call, recorded once (root) because the
+  // stats are runtime-global, not per-rank.
+  if (comm.is_root()) {
+    const vmpi::FaultStats now = comm.fault_stats();
+    const auto delta = [&](std::uint64_t a, std::uint64_t b) {
+      return a - b;
+    };
+    rank_registry.counter("resilience.faults.dropped")
+        .add(delta(now.dropped, faults_before.dropped));
+    rank_registry.counter("resilience.faults.delayed")
+        .add(delta(now.delayed, faults_before.delayed));
+    rank_registry.counter("resilience.faults.corrupted")
+        .add(delta(now.corrupted, faults_before.corrupted));
+    rank_registry.counter("resilience.faults.kills")
+        .add(delta(now.kills, faults_before.kills));
+    rank_registry.counter("resilience.comm.timeouts")
+        .add(delta(now.timeouts, faults_before.timeouts));
+  }
 
   const obs::Snapshot snapshot = rank_registry.snapshot();
   report.times = reduce_times_max(comm, step_times_from(snapshot));
@@ -225,15 +573,24 @@ ParallelRefineReport parallel_refine_files(
     const std::string& stack_path, const std::string& orientations_in_path,
     const std::string& orientations_out_path, const RefinerConfig& config) {
   // Step (a.1): the master reads the density map and the inputs.
+  // Reads classified transient (shared-filesystem hiccups) are retried
+  // with capped exponential backoff per config.resilience.io_retry;
+  // corrupt inputs are never retried — they throw immediately.
+  const resilience::RetryPolicy& retry = config.resilience.io_retry;
   em::Volume<double> map;
   std::vector<em::Image<double>> views;
   std::vector<em::Orientation> initial;
   std::vector<std::pair<double, double>> centers;
   std::size_t l = 0;
   if (comm.is_root()) {
-    map = io::read_map(map_path);
-    views = io::read_stack(stack_path);
-    const auto records = io::read_orientations(orientations_in_path);
+    map = resilience::with_retry(retry, "read_map",
+                                 [&] { return io::read_map(map_path); });
+    views = resilience::with_retry(
+        retry, "read_stack", [&] { return io::read_stack(stack_path); });
+    const auto records =
+        resilience::with_retry(retry, "read_orientations", [&] {
+          return io::read_orientations(orientations_in_path);
+        });
     if (records.size() != views.size()) {
       throw std::runtime_error(
           "parallel_refine_files: stack and orientation file disagree");

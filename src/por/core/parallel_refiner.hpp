@@ -14,6 +14,20 @@
 // Per-step wall times are recorded under the same step names as the
 // paper's Tables 1 and 2 ("3D DFT", "Read image", "FFT analysis",
 // "Orientation refinement"), reduced with a max across ranks.
+//
+// Resilience (DESIGN.md §10): steps (b)-(l) run as a master-worker
+// protocol rather than a fire-and-forget block split.  Each refined
+// view streams back to the master as its own message, doubling as a
+// heartbeat; when every rank still holding work stays silent for
+// config.resilience.heartbeat_timeout the silent ranks are declared
+// dead and their unfinished views are redistributed to idle live
+// workers (or refined by the master itself).  Per-view refinement is
+// deterministic, so the recovered run's orientation file is
+// bitwise-identical to a fault-free one.  With
+// config.resilience.checkpoint_path set, the master appends each
+// refined view to an atomic CRC-tagged checkpoint; with .resume it
+// restores finished views from that file and distributes only the
+// remainder.
 #pragma once
 
 #include <string>
@@ -43,6 +57,17 @@ struct ParallelRefineReport {
   /// gathered and merged here.  Complete on the root rank; non-root
   /// ranks hold only their own snapshot.
   obs::RunReport obs;
+
+  // ---- resilience outcome (valid on the root rank only) -----------------
+  /// Views restored from the checkpoint instead of being refined.
+  std::uint64_t restored_views = 0;
+  /// Views taken away from a silent rank and refined elsewhere.
+  std::uint64_t reassigned_views = 0;
+  /// Worker ranks the failure detector declared dead this run.
+  std::uint64_t dead_ranks = 0;
+  /// Views quarantined by the per-view degradation path (their records
+  /// carry the initial parameters and quarantined != 0).
+  std::uint64_t quarantined_views = 0;
 };
 
 /// In-memory SPMD driver: the root rank supplies the map, all views

@@ -3,6 +3,7 @@
 #include "por/em/projection.hpp"
 #include "por/obs/registry.hpp"
 #include "por/obs/span.hpp"
+#include "por/resilience/quarantine.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -20,6 +21,7 @@ void OrientationRefiner::bind_observability() {
   obs_fft_span_ = &registry.span_series("step.FFT analysis");
   obs_orient_span_ = &registry.span_series("step.Orientation refinement");
   obs_center_span_ = &registry.span_series("step.Center refinement");
+  obs_quarantined_ = &registry.counter("resilience.views.quarantined");
 }
 
 OrientationRefiner::OrientationRefiner(const em::Volume<double>& density_map,
@@ -45,6 +47,22 @@ ViewResult OrientationRefiner::refine_view(const em::Image<double>& view,
                                            double center_x,
                                            double center_y) const {
   const obs::SpanTimer view_timer(*obs_view_span_);
+
+  // Graceful per-view degradation (DESIGN.md §10): a view with
+  // NaN/Inf pixels would drive every matching distance non-finite and
+  // poison the whole run's statistics.  Quarantine it — return the
+  // initial parameters untouched, flagged, so the drivers can keep it
+  // out of the reconstruction and the run report can count it.
+  if (config_.resilience.quarantine_views &&
+      !resilience::all_finite(view.data(), view.size())) {
+    obs_quarantined_->add();
+    ViewResult bad;
+    bad.orientation = initial;
+    bad.center_x = center_x;
+    bad.center_y = center_y;
+    bad.quarantined = 1;
+    return bad;
+  }
 
   // Step (d)+(e): 2D DFT of the view and CTF correction.
   util::WallTimer fft_timer;
@@ -150,6 +168,21 @@ ViewResult OrientationRefiner::refine_view(const em::Image<double>& view,
         break;
       }
     }
+  }
+
+  // Second quarantine gate: finite pixels can still drive the matching
+  // distance non-finite (overflow in a pathological spectrum).  Such a
+  // "refined" orientation is meaningless — flag the view instead of
+  // letting the non-finite score propagate into run statistics.
+  if (config_.resilience.quarantine_views &&
+      !std::isfinite(result.final_distance)) {
+    obs_quarantined_->add();
+    ViewResult bad;
+    bad.orientation = initial;
+    bad.center_x = center_x;
+    bad.center_y = center_y;
+    bad.quarantined = 1;
+    return bad;
   }
   return result;
 }

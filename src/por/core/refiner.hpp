@@ -9,17 +9,52 @@
 // steps (a)-(c) and (m)-(o) lives in por/core/parallel_refiner.hpp.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "por/core/center_refine.hpp"
 #include "por/core/matcher.hpp"
 #include "por/core/search_domain.hpp"
 #include "por/core/sliding_window.hpp"
+#include "por/resilience/retry.hpp"
 #include "por/util/timer.hpp"
 
 namespace por::core {
+
+/// Fault-tolerance knobs for the refinement drivers (DESIGN.md §10).
+/// The defaults reproduce the pre-resilience behavior exactly: no
+/// checkpoint, no communication deadline, no retries.
+struct ResilienceOptions {
+  /// Master-side checkpoint log ("PORC"): every refined view is
+  /// appended (atomic temp+rename, CRC-tagged) so an interrupted run
+  /// can restart without repeating finished work.  Empty = disabled.
+  std::string checkpoint_path;
+  /// Resume from `checkpoint_path`: views already recorded there are
+  /// restored and only the remainder is distributed and refined.
+  bool resume = false;
+  /// Records buffered between atomic checkpoint rewrites.
+  std::size_t checkpoint_flush_every = 8;
+  /// Master-side failure detector: if no worker message (result /
+  /// heartbeat / done) arrives for this long while views are still
+  /// outstanding, silent ranks holding work are declared dead and
+  /// their unfinished views are reassigned.  The default is generous
+  /// next to per-view refinement times; tests shrink it.
+  std::chrono::milliseconds heartbeat_timeout{2000};
+  /// Default deadline installed on every rank's Comm for the duration
+  /// of the call: blocking receives (and thus collectives) throw
+  /// vmpi::CommTimeout instead of hanging forever on a dead peer.
+  /// Zero = block forever (the pre-resilience behavior).
+  std::chrono::milliseconds comm_deadline{0};
+  /// Retry policy for the file driver's reads (map, stack,
+  /// orientations).  max_attempts = 1 disables retries.
+  resilience::RetryPolicy io_retry{};
+  /// Quarantine views with non-finite pixels / match scores instead of
+  /// letting them poison the run (see por/resilience/quarantine.hpp).
+  bool quarantine_views = true;
+};
 
 /// Full refinement configuration.
 struct RefinerConfig {
@@ -34,6 +69,7 @@ struct RefinerConfig {
   std::optional<em::CtfParams> ctf;   ///< CTF of the views' micrograph
   em::CtfCorrection ctf_correction = em::CtfCorrection::kPhaseFlip;
   double wiener_snr = 10.0;
+  ResilienceOptions resilience;       ///< checkpoint / recovery / retry
 
   RefinerConfig() : schedule(paper_schedule()) {}
 
@@ -61,6 +97,11 @@ struct ViewResult {
   std::uint64_t cache_hits = 0;      ///< matchings avoided by the score cache
   std::uint64_t center_evals = 0;    ///< center positions tried
   int window_slides = 0;             ///< total slides over all levels
+  /// Non-zero when the view was quarantined (non-finite pixels or a
+  /// non-finite match score): the record carries the *initial*
+  /// orientation/center untouched and the view must be excluded from
+  /// reconstruction (see ResilienceOptions::quarantine_views).
+  std::uint32_t quarantined = 0;
 };
 
 /// Orientation refinement against a fixed density map.
@@ -108,6 +149,7 @@ class OrientationRefiner {
   obs::SpanSeries* obs_fft_span_ = nullptr;
   obs::SpanSeries* obs_orient_span_ = nullptr;
   obs::SpanSeries* obs_center_span_ = nullptr;
+  obs::Counter* obs_quarantined_ = nullptr;  ///< resilience.views.quarantined
 };
 
 }  // namespace por::core

@@ -3,7 +3,10 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
-#include <stdexcept>
+#include <limits>
+
+#include "por/resilience/atomic_file.hpp"
+#include "por/resilience/error.hpp"
 
 namespace por::io {
 
@@ -11,53 +14,72 @@ namespace {
 
 constexpr char kMagic[4] = {'P', 'O', 'R', 'M'};
 constexpr std::uint32_t kVersion = 1;
-
-void write_bytes(std::ofstream& out, const void* data, std::size_t bytes,
-                 const std::string& path) {
-  out.write(static_cast<const char*>(data),
-            static_cast<std::streamsize>(bytes));
-  if (!out) throw std::runtime_error("write_map: write failed for " + path);
-}
+constexpr std::size_t kHeaderBytes =
+    sizeof kMagic + sizeof kVersion + 3 * sizeof(std::uint64_t);
 
 void read_bytes(std::ifstream& in, void* data, std::size_t bytes,
                 const std::string& path) {
   in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
   if (in.gcount() != static_cast<std::streamsize>(bytes)) {
-    throw std::runtime_error("read_map: truncated file " + path);
+    throw resilience::corrupt_error("read_map: truncated file " + path);
   }
 }
 
 }  // namespace
 
 void write_map(const std::string& path, const em::Volume<double>& vol) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("write_map: cannot open " + path);
-  write_bytes(out, kMagic, sizeof kMagic, path);
-  write_bytes(out, &kVersion, sizeof kVersion, path);
-  const std::uint64_t dims[3] = {vol.nz(), vol.ny(), vol.nx()};
-  write_bytes(out, dims, sizeof dims, path);
-  write_bytes(out, vol.data(), vol.size() * sizeof(double), path);
+  // Atomic replacement (DESIGN.md §10): the next cycle's step (a.1)
+  // must never read a half-written map after a crash in step (o).
+  resilience::atomic_write_file(path, [&](std::ostream& out) {
+    out.write(kMagic, sizeof kMagic);
+    out.write(reinterpret_cast<const char*>(&kVersion), sizeof kVersion);
+    const std::uint64_t dims[3] = {vol.nz(), vol.ny(), vol.nx()};
+    out.write(reinterpret_cast<const char*>(dims), sizeof dims);
+    out.write(reinterpret_cast<const char*>(vol.data()),
+              static_cast<std::streamsize>(vol.size() * sizeof(double)));
+  });
 }
 
 em::Volume<double> read_map(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("read_map: cannot open " + path);
+  if (!in) {
+    throw resilience::transient_error("read_map: cannot open " + path);
+  }
+  in.seekg(0, std::ios::end);
+  const std::streamoff end = in.tellg();
+  const std::uint64_t file_bytes =
+      end < 0 ? 0 : static_cast<std::uint64_t>(end);
+  in.seekg(0, std::ios::beg);
+
   char magic[4];
   read_bytes(in, magic, sizeof magic, path);
   if (std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
-    throw std::runtime_error("read_map: bad magic in " + path);
+    throw resilience::corrupt_error("read_map: bad magic in " + path);
   }
   std::uint32_t version = 0;
   read_bytes(in, &version, sizeof version, path);
   if (version != kVersion) {
-    throw std::runtime_error("read_map: unsupported version in " + path);
+    throw resilience::corrupt_error("read_map: unsupported version in " +
+                                    path);
   }
   std::uint64_t dims[3];
   read_bytes(in, dims, sizeof dims, path);
   constexpr std::uint64_t kMaxEdge = 1u << 14;
   if (dims[0] == 0 || dims[1] == 0 || dims[2] == 0 || dims[0] > kMaxEdge ||
       dims[1] > kMaxEdge || dims[2] > kMaxEdge) {
-    throw std::runtime_error("read_map: implausible dimensions in " + path);
+    throw resilience::corrupt_error("read_map: implausible dimensions in " +
+                                    path);
+  }
+  // nz*ny*nx*8 cannot overflow with edges <= 2^14 (product <= 2^45),
+  // but validate the promised payload against the actual file size so
+  // truncation is a typed error before any allocation happens.
+  const std::uint64_t payload_bytes =
+      dims[0] * dims[1] * dims[2] * sizeof(double);
+  if (file_bytes < kHeaderBytes + payload_bytes) {
+    throw resilience::corrupt_error(
+        "read_map: truncated payload in " + path + " (" +
+        std::to_string(file_bytes) + " bytes, header promises " +
+        std::to_string(kHeaderBytes + payload_bytes) + ")");
   }
   em::Volume<double> vol(dims[0], dims[1], dims[2]);
   read_bytes(in, vol.data(), vol.size() * sizeof(double), path);

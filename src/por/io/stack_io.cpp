@@ -3,7 +3,11 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
+
+#include "por/resilience/atomic_file.hpp"
+#include "por/resilience/error.hpp"
 
 namespace por::io {
 
@@ -18,7 +22,25 @@ struct Header {
   std::uint64_t nx = 0;
 };
 
+constexpr std::size_t kHeaderBytes =
+    sizeof kMagic + sizeof kVersion + 3 * sizeof(std::uint64_t);
+
+/// Bytes actually in the stream (position is left at the beginning).
+std::uint64_t stream_size(std::ifstream& in) {
+  in.seekg(0, std::ios::end);
+  const std::streamoff end = in.tellg();
+  in.seekg(0, std::ios::beg);
+  return end < 0 ? 0 : static_cast<std::uint64_t>(end);
+}
+
+/// Parse and validate the header.  Corrupt-input policy (DESIGN.md
+/// §10): every malformed way a stack file can arrive — bad magic,
+/// unknown version, short header, implausible or overflowing
+/// dimensions, truncated payload — yields a typed
+/// resilience::Error{kCorrupt} naming the file, never a garbage image
+/// vector or a silent short read.
 Header read_header(std::ifstream& in, const std::string& path) {
+  const std::uint64_t file_bytes = stream_size(in);
   char magic[4];
   in.read(magic, sizeof magic);
   std::uint32_t version = 0;
@@ -27,27 +49,60 @@ Header read_header(std::ifstream& in, const std::string& path) {
   in.read(reinterpret_cast<char*>(&h.count), sizeof h.count);
   in.read(reinterpret_cast<char*>(&h.ny), sizeof h.ny);
   in.read(reinterpret_cast<char*>(&h.nx), sizeof h.nx);
-  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0 ||
-      version != kVersion) {
-    throw std::runtime_error("read_stack: bad header in " + path);
+  if (!in) {
+    throw resilience::corrupt_error("read_stack: truncated header in " +
+                                    path);
+  }
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw resilience::corrupt_error("read_stack: bad magic in " + path);
+  }
+  if (version != kVersion) {
+    throw resilience::corrupt_error("read_stack: unsupported version " +
+                                    std::to_string(version) + " in " + path);
   }
   constexpr std::uint64_t kMaxEdge = 1u << 14;
   if (h.ny > kMaxEdge || h.nx > kMaxEdge ||
       (h.count > 0 && (h.ny == 0 || h.nx == 0))) {
-    throw std::runtime_error("read_stack: implausible dimensions in " + path);
+    throw resilience::corrupt_error("read_stack: implausible dimensions in " +
+                                    path);
+  }
+  // count * ny * nx * sizeof(double) must not overflow: ny, nx are
+  // bounded above so ny*nx fits easily; guard the count product
+  // explicitly before any allocation or seek arithmetic trusts it.
+  const std::uint64_t pixels_per_image = h.ny * h.nx;  // <= 2^28
+  if (pixels_per_image > 0 &&
+      h.count > std::numeric_limits<std::uint64_t>::max() /
+                    (pixels_per_image * sizeof(double))) {
+    throw resilience::corrupt_error(
+        "read_stack: count*ny*nx overflows in " + path);
+  }
+  const std::uint64_t payload_bytes =
+      h.count * pixels_per_image * sizeof(double);
+  if (file_bytes < kHeaderBytes + payload_bytes) {
+    throw resilience::corrupt_error(
+        "read_stack: truncated payload in " + path + " (" +
+        std::to_string(file_bytes) + " bytes, header promises " +
+        std::to_string(kHeaderBytes + payload_bytes) + ")");
   }
   return h;
 }
 
-constexpr std::size_t kHeaderBytes =
-    sizeof kMagic + sizeof kVersion + 3 * sizeof(std::uint64_t);
+std::ifstream open_stack(const std::string& path, const char* who) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    // Classified transient: on the paper's shared-filesystem model an
+    // open can fail momentarily (mount flap, stale handle); the retry
+    // layer decides whether to try again.
+    throw resilience::transient_error(std::string(who) + ": cannot open " +
+                                      path);
+  }
+  return in;
+}
 
 }  // namespace
 
 void write_stack(const std::string& path,
                  const std::vector<em::Image<double>>& images) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("write_stack: cannot open " + path);
   const std::uint64_t count = images.size();
   const std::uint64_t ny = count ? images.front().ny() : 0;
   const std::uint64_t nx = count ? images.front().nx() : 0;
@@ -56,38 +111,38 @@ void write_stack(const std::string& path,
       throw std::invalid_argument("write_stack: images differ in size");
     }
   }
-  out.write(kMagic, sizeof kMagic);
-  out.write(reinterpret_cast<const char*>(&kVersion), sizeof kVersion);
-  out.write(reinterpret_cast<const char*>(&count), sizeof count);
-  out.write(reinterpret_cast<const char*>(&ny), sizeof ny);
-  out.write(reinterpret_cast<const char*>(&nx), sizeof nx);
-  for (const auto& img : images) {
-    out.write(reinterpret_cast<const char*>(img.data()),
-              static_cast<std::streamsize>(img.size() * sizeof(double)));
-  }
-  if (!out) throw std::runtime_error("write_stack: write failed for " + path);
+  // Atomic replacement: a crash mid-write leaves the previous stack
+  // (or nothing), never a half-written file a restart would trust.
+  resilience::atomic_write_file(path, [&](std::ostream& out) {
+    out.write(kMagic, sizeof kMagic);
+    out.write(reinterpret_cast<const char*>(&kVersion), sizeof kVersion);
+    out.write(reinterpret_cast<const char*>(&count), sizeof count);
+    out.write(reinterpret_cast<const char*>(&ny), sizeof ny);
+    out.write(reinterpret_cast<const char*>(&nx), sizeof nx);
+    for (const auto& img : images) {
+      out.write(reinterpret_cast<const char*>(img.data()),
+                static_cast<std::streamsize>(img.size() * sizeof(double)));
+    }
+  });
 }
 
 std::vector<em::Image<double>> read_stack(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("read_stack: cannot open " + path);
+  std::ifstream in = open_stack(path, "read_stack");
   const Header h = read_header(in, path);
   return read_stack_range(path, 0, h.count);
 }
 
 std::size_t stack_count(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("stack_count: cannot open " + path);
+  std::ifstream in = open_stack(path, "stack_count");
   return read_header(in, path).count;
 }
 
 std::vector<em::Image<double>> read_stack_range(const std::string& path,
                                                 std::size_t first,
                                                 std::size_t count) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("read_stack_range: cannot open " + path);
+  std::ifstream in = open_stack(path, "read_stack_range");
   const Header h = read_header(in, path);
-  if (first + count > h.count) {
+  if (first + count < first || first + count > h.count) {
     throw std::out_of_range("read_stack_range: range beyond stack");
   }
   const std::size_t image_bytes = h.ny * h.nx * sizeof(double);
@@ -99,7 +154,8 @@ std::vector<em::Image<double>> read_stack_range(const std::string& path,
     in.read(reinterpret_cast<char*>(img.data()),
             static_cast<std::streamsize>(image_bytes));
     if (in.gcount() != static_cast<std::streamsize>(image_bytes)) {
-      throw std::runtime_error("read_stack_range: truncated file " + path);
+      throw resilience::corrupt_error("read_stack_range: truncated file " +
+                                      path);
     }
     images.push_back(std::move(img));
   }

@@ -1,0 +1,98 @@
+#include "por/resilience/atomic_file.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "por/obs/registry.hpp"
+#include "por/resilience/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define POR_HAVE_FSYNC 1
+#else
+#define POR_HAVE_FSYNC 0
+#endif
+
+namespace por::resilience {
+
+namespace {
+
+/// Directory part of `path` ("." when the path has no slash).
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// fsync an already-written file (and, separately, a directory entry)
+/// by path.  Best effort off-POSIX: the stream flush is all we get.
+bool fsync_path(const std::string& path) {
+#if POR_HAVE_FSYNC
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  return true;
+#endif
+}
+
+std::string make_temp_path(const std::string& path) {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+#if POR_HAVE_FSYNC
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  return path + ".tmp." + std::to_string(pid) + "." + std::to_string(n);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer) {
+  const std::string temp = make_temp_path(path);
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw transient_error("atomic_write_file: cannot open temp file " +
+                            temp);
+    }
+    try {
+      writer(out);
+    } catch (...) {
+      out.close();
+      std::remove(temp.c_str());
+      throw;
+    }
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(temp.c_str());
+      throw transient_error("atomic_write_file: write failed for " + temp);
+    }
+  }
+  // Durability before visibility: the temp's bytes must be on stable
+  // storage before the rename makes them the official artifact.
+  if (!fsync_path(temp)) {
+    std::remove(temp.c_str());
+    throw transient_error("atomic_write_file: fsync failed for " + temp);
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    throw transient_error("atomic_write_file: rename " + temp + " -> " +
+                          path + " failed");
+  }
+  // And the directory entry itself, so the rename survives a crash.
+  (void)fsync_path(parent_dir(path));
+  obs::current_registry().counter("resilience.io.atomic_writes").add();
+}
+
+}  // namespace por::resilience

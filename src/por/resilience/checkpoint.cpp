@@ -1,0 +1,106 @@
+#include "por/resilience/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <type_traits>
+
+#include "por/obs/registry.hpp"
+#include "por/resilience/atomic_file.hpp"
+#include "por/resilience/crc32.hpp"
+#include "por/resilience/error.hpp"
+#include "por/util/log.hpp"
+
+namespace por::resilience {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'O', 'R', 'C'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kRecordBytes = sizeof(CheckpointRecord);
+
+static_assert(std::is_trivially_copyable_v<CheckpointRecord>,
+              "checkpoint records are written as raw bytes");
+
+}  // namespace
+
+CheckpointWriter::CheckpointWriter(std::string path, std::size_t flush_every,
+                                   std::vector<CheckpointRecord> seed)
+    : path_(std::move(path)),
+      flush_every_(flush_every == 0 ? 1 : flush_every),
+      records_(std::move(seed)) {}
+
+CheckpointWriter::~CheckpointWriter() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructor flush is best-effort; the driver's explicit flush()
+    // is the one whose failure matters (and throws).
+  }
+}
+
+void CheckpointWriter::append(const CheckpointRecord& record) {
+  records_.push_back(record);
+  if (++unflushed_ >= flush_every_) flush();
+}
+
+void CheckpointWriter::flush() {
+  if (unflushed_ == 0) return;
+  atomic_write_file(path_, [&](std::ostream& out) {
+    out.write(kMagic, sizeof kMagic);
+    out.write(reinterpret_cast<const char*>(&kVersion), sizeof kVersion);
+    for (const CheckpointRecord& record : records_) {
+      const std::uint32_t crc = crc32(&record, kRecordBytes);
+      out.write(reinterpret_cast<const char*>(&record),
+                static_cast<std::streamsize>(kRecordBytes));
+      out.write(reinterpret_cast<const char*>(&crc), sizeof crc);
+    }
+  });
+  unflushed_ = 0;
+  obs::current_registry().counter("resilience.checkpoint.writes").add();
+}
+
+std::vector<CheckpointRecord> load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};  // no checkpoint yet: a fresh run
+  char magic[4];
+  in.read(magic, sizeof magic);
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof version);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw corrupt_error("load_checkpoint: bad magic in " + path);
+  }
+  if (version != kVersion) {
+    throw corrupt_error("load_checkpoint: unsupported version " +
+                        std::to_string(version) + " in " + path);
+  }
+  std::vector<CheckpointRecord> records;
+  bool dropped_tail = false;
+  while (true) {
+    CheckpointRecord record;
+    in.read(reinterpret_cast<char*>(&record),
+            static_cast<std::streamsize>(kRecordBytes));
+    if (in.gcount() == 0) break;  // clean end of log
+    std::uint32_t stored_crc = 0;
+    if (in.gcount() == static_cast<std::streamsize>(kRecordBytes)) {
+      in.read(reinterpret_cast<char*>(&stored_crc), sizeof stored_crc);
+    }
+    if (!in || in.gcount() != static_cast<std::streamsize>(
+                                  sizeof stored_crc)) {
+      dropped_tail = true;  // torn record: a crash mid-append
+      break;
+    }
+    if (crc32(&record, kRecordBytes) != stored_crc) {
+      dropped_tail = true;  // bit rot or torn write caught by the CRC
+      break;
+    }
+    records.push_back(record);
+  }
+  if (dropped_tail) {
+    obs::current_registry().counter("resilience.checkpoint.crc_dropped").add();
+    util::log_warn("load_checkpoint: dropped torn/corrupt tail of ", path,
+                   "; ", records.size(), " intact records kept");
+  }
+  return records;
+}
+
+}  // namespace por::resilience

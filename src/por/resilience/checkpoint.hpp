@@ -1,0 +1,89 @@
+// por/resilience/checkpoint.hpp
+//
+// Checkpoint/restart for the distributed refinement loop (paper §4
+// steps d-l): the master records every refined view as it completes,
+// so a run interrupted hours in — node loss, job preemption, power —
+// restarts by refining only the views that are missing.  Per-view
+// refinement is deterministic, so a resumed run's orientation file is
+// bitwise-identical to an uninterrupted one.
+//
+// Format ("PORC"): magic | u32 version | records, each the raw
+// little-endian CheckpointRecord bytes followed by their CRC-32.  The
+// file is replaced atomically on every flush (atomic_file.hpp), and
+// the per-record CRC means load_checkpoint() can prove each record
+// intact: a torn or bit-flipped tail is dropped, never trusted.
+//
+// The record is deliberately a plain-old-data mirror of
+// por::core::ViewResult (+ the global view index) rather than the type
+// itself, so the resilience layer stays below core in the dependency
+// order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace por::resilience {
+
+/// One refined view, as persisted.  Trivially copyable; written raw.
+struct CheckpointRecord {
+  std::uint64_t view_index = 0;
+  double theta = 0.0;  ///< Euler angles, degrees
+  double phi = 0.0;
+  double omega = 0.0;
+  double center_x = 0.0;
+  double center_y = 0.0;
+  double final_distance = 0.0;
+  std::uint64_t matchings = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t center_evals = 0;
+  std::int32_t window_slides = 0;
+  std::uint32_t quarantined = 0;
+
+  bool operator==(const CheckpointRecord&) const = default;
+};
+
+/// Master-side append log with atomic, CRC-tagged flushes.
+class CheckpointWriter {
+ public:
+  /// `flush_every` = records buffered between atomic rewrites; the
+  /// final records are persisted by flush() (call it, or rely on the
+  /// destructor's best-effort flush).  `seed` pre-populates the log
+  /// with records restored from a previous run so a flush never
+  /// forgets them.
+  explicit CheckpointWriter(std::string path, std::size_t flush_every = 8,
+                            std::vector<CheckpointRecord> seed = {});
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+  ~CheckpointWriter();
+
+  /// Buffer one record; rewrites the file when `flush_every` new
+  /// records have accumulated.
+  void append(const CheckpointRecord& record);
+
+  /// Atomically rewrite the checkpoint with everything appended so
+  /// far.  Increments "resilience.checkpoint.writes".  No-op when
+  /// nothing changed since the last flush.
+  void flush();
+
+  [[nodiscard]] const std::vector<CheckpointRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::size_t flush_every_;
+  std::size_t unflushed_ = 0;
+  std::vector<CheckpointRecord> records_;
+};
+
+/// Read a checkpoint.  A missing file is an empty checkpoint (fresh
+/// run).  A present file with a bad magic/version raises
+/// Error{kCorrupt}; a valid prefix followed by a torn or CRC-failing
+/// tail returns the intact prefix and counts the dropped tail on
+/// "resilience.checkpoint.crc_dropped".
+[[nodiscard]] std::vector<CheckpointRecord> load_checkpoint(
+    const std::string& path);
+
+}  // namespace por::resilience

@@ -1,0 +1,44 @@
+// por/resilience/crc32.hpp
+//
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum tagging
+// every checkpoint record so a torn or bit-flipped tail is detected on
+// restart instead of being trusted.  Table-driven, byte-at-a-time —
+// checkpoint records are tens of bytes, so simplicity beats slicing.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace por::resilience {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// CRC-32 of `bytes` (standard init/final XOR with 0xFFFFFFFF).
+[[nodiscard]] inline std::uint32_t crc32(const void* data,
+                                         std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& table = detail::crc32_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace por::resilience

@@ -1,0 +1,72 @@
+// por/resilience/error.hpp
+//
+// The failure taxonomy of the resilience subsystem (DESIGN.md §10).
+// Every I/O and recovery error in the tree is classified into one of
+// three kinds, because the three demand different responses from a
+// long refinement run:
+//
+//   kTransient  the operation may succeed if repeated (NFS hiccup,
+//               file momentarily locked, mount not yet back) — the
+//               retry layer (retry.hpp) backs off and tries again.
+//   kCorrupt    the bytes are wrong and will stay wrong (bad magic,
+//               truncated payload, failed CRC, overflowing header) —
+//               retrying is useless; the artifact must be quarantined
+//               or regenerated.
+//   kFatal      the program cannot continue regardless (logic error,
+//               impossible request) — surface immediately.
+//
+// Error derives from std::runtime_error so every pre-existing
+// catch(const std::runtime_error&) site keeps working; new code
+// catches por::resilience::Error and dispatches on kind().
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace por::resilience {
+
+/// How a failure should be handled, not merely what went wrong.
+enum class ErrorKind {
+  kTransient,  ///< retry with backoff may succeed
+  kCorrupt,    ///< data is malformed; retry cannot help
+  kFatal,      ///< unrecoverable; abort the operation
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kTransient: return "transient";
+    case ErrorKind::kCorrupt: return "corrupt";
+    case ErrorKind::kFatal: return "fatal";
+  }
+  return "unknown";
+}
+
+/// A classified failure.  what() carries the kind prefix so logs stay
+/// self-describing even through a plain std::exception catch.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorKind kind, const std::string& message)
+      : std::runtime_error(std::string("[") + to_string(kind) + "] " +
+                           message),
+        kind_(kind) {}
+
+  [[nodiscard]] ErrorKind kind() const { return kind_; }
+  [[nodiscard]] bool retryable() const {
+    return kind_ == ErrorKind::kTransient;
+  }
+
+ private:
+  ErrorKind kind_;
+};
+
+[[nodiscard]] inline Error transient_error(const std::string& message) {
+  return Error(ErrorKind::kTransient, message);
+}
+[[nodiscard]] inline Error corrupt_error(const std::string& message) {
+  return Error(ErrorKind::kCorrupt, message);
+}
+[[nodiscard]] inline Error fatal_error(const std::string& message) {
+  return Error(ErrorKind::kFatal, message);
+}
+
+}  // namespace por::resilience

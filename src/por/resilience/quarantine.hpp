@@ -1,0 +1,27 @@
+// por/resilience/quarantine.hpp
+//
+// Graceful per-view degradation: a view whose pixels contain NaN/Inf
+// (a corrupt read that slipped past the format checks, a detector
+// glitch) or whose match score comes back non-finite must not poison
+// the reconstruction — one bad image out of thousands should cost one
+// view, not the map.  The refiner marks such views quarantined; the
+// drivers keep them out of step C and report them on
+// "resilience.views.quarantined".
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace por::resilience {
+
+/// Are all `n` doubles finite?  The scan is branch-cheap (single
+/// std::isfinite per element) and runs once per view — noise next to
+/// the refinement itself.
+[[nodiscard]] inline bool all_finite(const double* values, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(values[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace por::resilience

@@ -1,0 +1,34 @@
+#include "por/resilience/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "por/obs/registry.hpp"
+#include "por/util/log.hpp"
+
+namespace por::resilience::detail {
+
+std::chrono::milliseconds backoff_delay(const RetryPolicy& policy,
+                                        int failed_attempt) {
+  const double factor =
+      std::pow(std::max(1.0, policy.multiplier),
+               static_cast<double>(std::max(0, failed_attempt)));
+  const double raw =
+      static_cast<double>(policy.base_delay.count()) * factor;
+  const double capped =
+      std::min(raw, static_cast<double>(policy.max_delay.count()));
+  return std::chrono::milliseconds(
+      static_cast<std::chrono::milliseconds::rep>(std::max(0.0, capped)));
+}
+
+void on_retry(const char* what, int failed_attempt,
+              std::chrono::milliseconds sleep_ms, const char* error) {
+  obs::current_registry().counter("resilience.io.retries").add();
+  util::log_warn("retry: ", what, " attempt ", failed_attempt + 1,
+                 " failed (", error, "); retrying in ", sleep_ms.count(),
+                 " ms");
+  if (sleep_ms.count() > 0) std::this_thread::sleep_for(sleep_ms);
+}
+
+}  // namespace por::resilience::detail

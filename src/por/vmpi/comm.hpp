@@ -13,6 +13,8 @@
 // would carry.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -20,24 +22,25 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <type_traits>
 #include <vector>
 
+#include "por/vmpi/fault.hpp"
 #include "por/vmpi/traffic.hpp"
 
 namespace por::vmpi {
-
-using Tag = int;
 
 /// Reduction operators understood by reduce/allreduce.
 enum class ReduceOp { kSum, kMin, kMax };
 
 namespace detail {
 
-/// Shared state for the ranks of one Runtime: mailboxes and a barrier.
-/// Not part of the public API.
+/// Shared state for the ranks of one Runtime: mailboxes, a barrier and
+/// the installed fault-injection plan.  Not part of the public API.
 struct Context {
-  explicit Context(int nranks) : size(nranks), traffic(nranks) {}
+  explicit Context(int nranks, FaultPlan fault_plan = {})
+      : size(nranks), plan(std::move(fault_plan)), traffic(nranks) {}
 
   struct Key {
     int src;
@@ -56,12 +59,28 @@ struct Context {
   int barrier_count = 0;
   std::uint64_t barrier_generation = 0;
 
+  // Fault injection (por/vmpi/fault.hpp): the plan is immutable for
+  // the runtime's life; the per-channel send ordinals live under
+  // `mutex` (the send path already holds it); the injected-fault
+  // counters are relaxed atomics read after join (same policy as
+  // TrafficStats).
+  const FaultPlan plan;
+  std::map<Key, std::uint64_t> send_seq;
+  std::atomic<std::uint64_t> faults_dropped{0};
+  std::atomic<std::uint64_t> faults_delayed{0};
+  std::atomic<std::uint64_t> faults_corrupted{0};
+  std::atomic<std::uint64_t> faults_killed{0};
+  std::atomic<std::uint64_t> recv_timeouts{0};
+
   TrafficStats traffic;
 };
 
 }  // namespace detail
 
 // Reserved internal tags; user tags should be non-negative.
+// kBarrierTag never travels in a message; it only labels barrier
+// timeouts in CommTimeout.
+inline constexpr Tag kBarrierTag = -7;
 inline constexpr Tag kBcastTag = -1;
 inline constexpr Tag kScatterTag = -2;
 inline constexpr Tag kGatherTag = -3;
@@ -86,6 +105,35 @@ class Comm {
   [[nodiscard]] bool is_root() const { return rank_ == 0; }
   [[nodiscard]] TrafficStats& traffic() { return context_.traffic; }
 
+  // ---- resilience -------------------------------------------------------
+
+  /// Default deadline applied to every blocking receive on this rank
+  /// (and therefore to every collective, which is built from receives).
+  /// Zero means "block forever" — the pre-resilience behavior and the
+  /// default.  When set, a receive that waits longer throws CommTimeout
+  /// instead of hanging on a dead peer.
+  void set_deadline(std::chrono::milliseconds deadline) {
+    deadline_ = deadline;
+  }
+  [[nodiscard]] std::chrono::milliseconds deadline() const {
+    return deadline_;
+  }
+
+  /// Fault-plan kill hook: drivers call this between work items (the
+  /// paper's per-view steps d-l); throws RankKilled when the installed
+  /// plan kills this rank at or before `step`.  No-op without a plan.
+  void fault_point(std::uint64_t step);
+
+  /// Totals of faults injected so far across the whole runtime.
+  [[nodiscard]] FaultStats fault_stats() const {
+    return FaultStats{
+        context_.faults_dropped.load(std::memory_order_relaxed),
+        context_.faults_delayed.load(std::memory_order_relaxed),
+        context_.faults_corrupted.load(std::memory_order_relaxed),
+        context_.faults_killed.load(std::memory_order_relaxed),
+        context_.recv_timeouts.load(std::memory_order_relaxed)};
+  }
+
   // ---- point-to-point ---------------------------------------------------
 
   /// Copy `bytes` into rank `dst`'s mailbox under `tag`.  Buffered,
@@ -94,14 +142,23 @@ class Comm {
 
   /// Block until a message from `src` with `tag` arrives; return its
   /// payload.  Messages between a fixed (src, dst, tag) triple are
-  /// delivered in send order.
+  /// delivered in send order.  Honors the rank's default deadline
+  /// (set_deadline): throws CommTimeout once it expires.
   [[nodiscard]] std::vector<std::byte> recv_bytes(int src, Tag tag);
 
   /// Block until a message with `tag` arrives from ANY source (the
   /// MPI_ANY_SOURCE pattern); `src` receives the sender's rank.  Used
   /// by request servers (e.g. the shared-virtual-memory brick store)
-  /// that cannot know who will ask next.
+  /// that cannot know who will ask next.  Honors the default deadline.
   [[nodiscard]] std::vector<std::byte> recv_any_bytes(Tag tag, int& src);
+
+  /// Wait up to `timeout` for a message with `tag` from any source;
+  /// returns std::nullopt on expiry instead of throwing.  `timeout`
+  /// <= 0 is a non-blocking mailbox poll.  This is the master's
+  /// heartbeat listen primitive: silence is an observable outcome, not
+  /// an error.
+  [[nodiscard]] std::optional<std::vector<std::byte>> try_recv_any_bytes(
+      Tag tag, int& src, std::chrono::milliseconds timeout);
 
   /// Typed convenience wrappers (trivially copyable element types).
   template <typename T>
@@ -139,6 +196,22 @@ class Comm {
     }
     T value{};
     std::memcpy(&value, raw.data(), sizeof(T));
+    return value;
+  }
+
+  /// Typed try_recv_any_bytes: one value of T from any source, or
+  /// std::nullopt after `timeout` of silence.
+  template <typename T>
+  [[nodiscard]] std::optional<T> try_recv_any_value(
+      Tag tag, int& src, std::chrono::milliseconds timeout) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto raw = try_recv_any_bytes(tag, src, timeout);
+    if (!raw) return std::nullopt;
+    if (raw->size() != sizeof(T)) {
+      throw_payload_mismatch(src, tag, raw->size(), sizeof(T));
+    }
+    T value{};
+    std::memcpy(&value, raw->data(), sizeof(T));
     return value;
   }
 
@@ -214,6 +287,7 @@ class Comm {
 
   detail::Context& context_;
   const int rank_;
+  std::chrono::milliseconds deadline_{0};  ///< 0 = block forever
 };
 
 // ---- template implementations --------------------------------------------

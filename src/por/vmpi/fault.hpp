@@ -1,0 +1,176 @@
+// por/vmpi/fault.hpp
+//
+// Deterministic fault injection for the vmpi runtime (por::resilience,
+// DESIGN.md §10).  A FaultPlan is a declarative list of failure modes
+// installed when the runtime is created; the communicator consults it
+// on every send, so every failure a production cluster can produce —
+// a lost message, a late message, a flipped bit on the wire, a node
+// that dies mid-step — is reproducible in a unit test:
+//
+//   FaultPlan plan;
+//   plan.drop(0, 1, /*tag=*/7, /*seq=*/0);     // first 0->1 tag-7 message lost
+//   plan.delay(kAnyRank, 2, kAnyTag, kAnySeq, 50ms);
+//   plan.corrupt(3, 0, kAnyTag, 2);            // 3rd 3->0 message bit-flipped
+//   plan.kill_rank_at_step(1, 4);              // rank 1 dies at its 5th step
+//   vmpi::run(p, plan, rank_main);
+//
+// Matching is by (src, dst, tag, seq) where seq is the per-(src,dst,
+// tag) send ordinal — the same program produces the same ordinals, so
+// a plan hits the same message every run.  Kill rules fire when a rank
+// calls Comm::fault_point(step) with step >= at_step, modelling the
+// paper's long per-view refinement loop (§4 steps d-l) where a node
+// loss strikes between work items.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace por::vmpi {
+
+using Tag = int;
+
+/// Wildcards for FaultRule fields.
+inline constexpr int kAnyRank = -1;
+inline constexpr Tag kAnyTag = INT32_MIN;
+inline constexpr std::uint64_t kAnySeq = UINT64_MAX;
+
+/// What to do to a matched message.
+enum class FaultKind : std::uint8_t {
+  kDrop,     ///< message is never delivered (lost on the wire)
+  kDelay,    ///< delivery is postponed by `delay` (congested link)
+  kCorrupt,  ///< every payload byte is XORed with 0x5A (flipped bits)
+};
+
+/// One injection rule.  A rule matches a send when every non-wildcard
+/// field equals the message's (src, dst, tag, seq).
+struct FaultRule {
+  int src = kAnyRank;
+  int dst = kAnyRank;
+  Tag tag = kAnyTag;
+  std::uint64_t seq = kAnySeq;  ///< per-(src,dst,tag) send ordinal, 0-based
+  FaultKind kind = FaultKind::kDrop;
+  std::chrono::milliseconds delay{0};  ///< kDelay only
+
+  [[nodiscard]] bool matches(int s, int d, Tag t, std::uint64_t q) const {
+    return (src == kAnyRank || src == s) && (dst == kAnyRank || dst == d) &&
+           (tag == kAnyTag || tag == t) && (seq == kAnySeq || seq == q);
+  }
+};
+
+/// Kill rule: the rank raises RankKilled at the first
+/// Comm::fault_point(step) with step >= at_step.
+struct KillRule {
+  int rank = kAnyRank;
+  std::uint64_t at_step = 0;
+};
+
+/// Counts of faults actually injected (whole-runtime totals); folded
+/// into the por::obs run report by the drivers as resilience.faults.*.
+struct FaultStats {
+  std::uint64_t dropped = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t kills = 0;     ///< RankKilled raised by fault_point()
+  std::uint64_t timeouts = 0;  ///< CommTimeout raised by deadline recvs
+
+  [[nodiscard]] std::uint64_t injected() const {
+    return dropped + delayed + corrupted + kills;
+  }
+};
+
+/// A deterministic set of failures to inject into one runtime.
+struct FaultPlan {
+  std::vector<FaultRule> rules;
+  std::vector<KillRule> kills;
+
+  [[nodiscard]] bool empty() const { return rules.empty() && kills.empty(); }
+
+  FaultPlan& drop(int src, int dst, Tag tag, std::uint64_t seq = kAnySeq) {
+    rules.push_back(FaultRule{src, dst, tag, seq, FaultKind::kDrop, {}});
+    return *this;
+  }
+  FaultPlan& delay(int src, int dst, Tag tag, std::uint64_t seq,
+                   std::chrono::milliseconds by) {
+    rules.push_back(FaultRule{src, dst, tag, seq, FaultKind::kDelay, by});
+    return *this;
+  }
+  FaultPlan& corrupt(int src, int dst, Tag tag, std::uint64_t seq = kAnySeq) {
+    rules.push_back(FaultRule{src, dst, tag, seq, FaultKind::kCorrupt, {}});
+    return *this;
+  }
+  FaultPlan& kill_rank_at_step(int rank, std::uint64_t at_step) {
+    kills.push_back(KillRule{rank, at_step});
+    return *this;
+  }
+
+  /// First matching rule for a send, or nullptr.
+  [[nodiscard]] const FaultRule* match(int src, int dst, Tag tag,
+                                       std::uint64_t seq) const {
+    for (const FaultRule& rule : rules) {
+      if (rule.matches(src, dst, tag, seq)) return &rule;
+    }
+    return nullptr;
+  }
+
+  /// Does the plan kill `rank` at or before `step`?
+  [[nodiscard]] bool kills_at(int rank, std::uint64_t step) const {
+    for (const KillRule& rule : kills) {
+      if ((rule.rank == kAnyRank || rule.rank == rank) &&
+          step >= rule.at_step) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// A blocking receive exceeded its deadline: the structured error the
+/// paper-scale runs need instead of blocking forever on a dead peer.
+class CommTimeout : public std::runtime_error {
+ public:
+  CommTimeout(int src, int dst, Tag tag, std::chrono::milliseconds waited)
+      : std::runtime_error(
+            "vmpi: recv on rank " + std::to_string(dst) + " from " +
+            (src < 0 ? std::string("any rank") :
+                       "rank " + std::to_string(src)) +
+            " tag " + std::to_string(tag) + " timed out after " +
+            std::to_string(waited.count()) + " ms"),
+        src_(src), dst_(dst), tag_(tag), waited_(waited) {}
+
+  [[nodiscard]] int src() const { return src_; }  ///< -1 for recv-any
+  [[nodiscard]] int dst() const { return dst_; }
+  [[nodiscard]] Tag tag() const { return tag_; }
+  [[nodiscard]] std::chrono::milliseconds waited() const { return waited_; }
+
+ private:
+  int src_;
+  int dst_;
+  Tag tag_;
+  std::chrono::milliseconds waited_;
+};
+
+/// Raised by Comm::fault_point when the installed FaultPlan kills this
+/// rank at the given step.  The parallel drivers catch it to turn the
+/// rank into a silent zombie (it stops working and reporting, exactly
+/// like a crashed node seen from its peers) while keeping the
+/// in-process thread joinable.
+class RankKilled : public std::runtime_error {
+ public:
+  RankKilled(int rank, std::uint64_t step)
+      : std::runtime_error("vmpi: fault plan killed rank " +
+                           std::to_string(rank) + " at step " +
+                           std::to_string(step)),
+        rank_(rank), step_(step) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] std::uint64_t step() const { return step_; }
+
+ private:
+  int rank_;
+  std::uint64_t step_;
+};
+
+}  // namespace por::vmpi

@@ -9,9 +9,15 @@
 namespace por::vmpi {
 
 RunReport run(int nranks, const std::function<void(Comm&)>& rank_main) {
+  return run(nranks, FaultPlan{}, rank_main, nullptr);
+}
+
+RunReport run(int nranks, const FaultPlan& plan,
+              const std::function<void(Comm&)>& rank_main,
+              FaultStats* stats) {
   if (nranks < 1) throw std::invalid_argument("vmpi::run: nranks must be >= 1");
 
-  detail::Context context(nranks);
+  detail::Context context(nranks, plan);
 
   std::exception_ptr first_error;
   std::mutex error_mutex;
@@ -35,6 +41,13 @@ RunReport run(int nranks, const std::function<void(Comm&)>& rank_main) {
       ranks.emplace_back(rank_body, r);
     }
     for (auto& thread : ranks) thread.join();
+  }
+
+  if (stats != nullptr) {
+    *stats = FaultStats{
+        context.faults_dropped.load(),   context.faults_delayed.load(),
+        context.faults_corrupted.load(), context.faults_killed.load(),
+        context.recv_timeouts.load()};
   }
 
   if (first_error) std::rethrow_exception(first_error);

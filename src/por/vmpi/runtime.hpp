@@ -28,4 +28,12 @@ struct RunReport {
 /// Returns the communication totals for the run.
 RunReport run(int nranks, const std::function<void(Comm&)>& rank_main);
 
+/// Same, with a fault-injection plan installed for the runtime's life
+/// (por/vmpi/fault.hpp): drop/delay/corrupt rules apply to every
+/// matching send, kill rules arm Comm::fault_point.  `stats`, when
+/// non-null, receives the injected-fault totals after the join.
+RunReport run(int nranks, const FaultPlan& plan,
+              const std::function<void(Comm&)>& rank_main,
+              FaultStats* stats = nullptr);
+
 }  // namespace por::vmpi

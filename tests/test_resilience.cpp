@@ -1,0 +1,812 @@
+// Resilience-layer tests (DESIGN.md §10): error taxonomy, retry,
+// atomic replacement, CRC-tagged checkpoints, the corrupt-input corpus
+// for every por::io reader, deterministic vmpi fault injection, and
+// the acceptance properties of the recovering parallel refiner —
+// a killed rank's views are reassigned and the output is
+// bitwise-identical to a fault-free run; a resumed run refines only
+// the views missing from the checkpoint.
+//
+// Every test here carries the "fault" ctest label (plus "tsan": the
+// rank-death and timeout paths are exactly the code the thread
+// sanitizer should watch).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "por/core/parallel_refiner.hpp"
+#include "por/core/refiner.hpp"
+#include "por/io/map_io.hpp"
+#include "por/io/orientation_io.hpp"
+#include "por/io/stack_io.hpp"
+#include "por/obs/registry.hpp"
+#include "por/resilience/atomic_file.hpp"
+#include "por/resilience/checkpoint.hpp"
+#include "por/resilience/crc32.hpp"
+#include "por/resilience/error.hpp"
+#include "por/resilience/retry.hpp"
+#include "por/vmpi/runtime.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace por;
+using namespace por::core;
+using namespace por::em;
+using namespace std::chrono_literals;
+namespace fs = std::filesystem;
+using por::test::small_phantom;
+
+// The work-protocol result tag of parallel_refiner.cpp; referenced
+// here to aim drop rules at in-flight result messages.
+constexpr vmpi::Tag kResultTag = 202;
+
+fs::path test_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() /
+                       ("por_resilience_" + std::to_string(::getpid())) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+void write_raw(const fs::path& path, const void* data, std::size_t bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+template <typename Fn>
+void expect_error_kind(resilience::ErrorKind kind, Fn&& fn) {
+  try {
+    fn();
+    FAIL() << "expected resilience::Error{" << resilience::to_string(kind)
+           << "}";
+  } catch (const resilience::Error& error) {
+    EXPECT_EQ(error.kind(), kind) << error.what();
+  }
+}
+
+// ---- error taxonomy -------------------------------------------------------
+
+TEST(ResilienceError, CarriesKindAndPrefix) {
+  const auto err = resilience::transient_error("mount flapped");
+  EXPECT_EQ(err.kind(), resilience::ErrorKind::kTransient);
+  EXPECT_TRUE(err.retryable());
+  EXPECT_NE(std::string(err.what()).find("[transient]"), std::string::npos);
+  EXPECT_FALSE(resilience::corrupt_error("x").retryable());
+  EXPECT_FALSE(resilience::fatal_error("x").retryable());
+}
+
+TEST(ResilienceError, IsARuntimeError) {
+  // Legacy catch sites must keep working.
+  EXPECT_THROW(throw resilience::corrupt_error("bad"), std::runtime_error);
+}
+
+// ---- retry ----------------------------------------------------------------
+
+resilience::RetryPolicy fast_retry(int attempts) {
+  resilience::RetryPolicy policy;
+  policy.max_attempts = attempts;
+  policy.base_delay = 1ms;
+  policy.max_delay = 2ms;
+  return policy;
+}
+
+TEST(Retry, RetriesTransientUntilSuccess) {
+  obs::MetricsRegistry registry;
+  obs::RegistryScope scope(registry);
+  int calls = 0;
+  const int value = resilience::with_retry(fast_retry(5), "flaky", [&] {
+    if (++calls < 3) throw resilience::transient_error("hiccup");
+    return 7;
+  });
+  EXPECT_EQ(value, 7);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(registry.snapshot().counters.at("resilience.io.retries"), 2u);
+}
+
+TEST(Retry, DoesNotRetryCorrupt) {
+  int calls = 0;
+  expect_error_kind(resilience::ErrorKind::kCorrupt, [&] {
+    (void)resilience::with_retry(fast_retry(5), "corrupt", [&]() -> int {
+      ++calls;
+      throw resilience::corrupt_error("bad bytes");
+    });
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Retry, ExhaustsAttemptsAndRethrows) {
+  int calls = 0;
+  expect_error_kind(resilience::ErrorKind::kTransient, [&] {
+    (void)resilience::with_retry(fast_retry(3), "hopeless", [&]() -> int {
+      ++calls;
+      throw resilience::transient_error("still down");
+    });
+  });
+  EXPECT_EQ(calls, 3);
+}
+
+// ---- atomic file replacement ---------------------------------------------
+
+TEST(AtomicFile, ReplacesWholeFileOrNothing) {
+  const fs::path dir = test_dir("atomic");
+  const fs::path path = dir / "artifact.txt";
+  resilience::atomic_write_file(path.string(),
+                                [](std::ostream& out) { out << "first"; });
+  EXPECT_EQ(slurp(path), "first");
+
+  // A writer that throws must leave the previous artifact untouched
+  // and clean up its temp file.
+  EXPECT_THROW(resilience::atomic_write_file(
+                   path.string(),
+                   [](std::ostream& out) {
+                     out << "half-writ";
+                     throw std::logic_error("crash mid-write");
+                   }),
+               std::logic_error);
+  EXPECT_EQ(slurp(path), "first");
+  std::size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u) << "temp file leaked";
+
+  resilience::atomic_write_file(path.string(),
+                                [](std::ostream& out) { out << "second"; });
+  EXPECT_EQ(slurp(path), "second");
+}
+
+// ---- crc32 ----------------------------------------------------------------
+
+TEST(Crc32, MatchesKnownVector) {
+  // The classic IEEE 802.3 check value.
+  EXPECT_EQ(resilience::crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(resilience::crc32("", 0), 0u);
+}
+
+// ---- checkpoint -----------------------------------------------------------
+
+resilience::CheckpointRecord make_record(std::uint64_t index) {
+  resilience::CheckpointRecord rec;
+  rec.view_index = index;
+  rec.theta = 10.0 + static_cast<double>(index);
+  rec.phi = 20.0 + static_cast<double>(index);
+  rec.omega = 30.0 + static_cast<double>(index);
+  rec.center_x = 0.5;
+  rec.center_y = -0.5;
+  rec.final_distance = 0.25;
+  rec.matchings = 100 + index;
+  return rec;
+}
+
+TEST(Checkpoint, RoundTripsRecords) {
+  const fs::path path = test_dir("ckpt") / "run.porc";
+  {
+    resilience::CheckpointWriter writer(path.string(), 2);
+    writer.append(make_record(0));
+    writer.append(make_record(1));
+    writer.append(make_record(2));
+  }  // destructor flushes the odd record
+  const auto loaded = resilience::load_checkpoint(path.string());
+  ASSERT_EQ(loaded.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) EXPECT_EQ(loaded[i], make_record(i));
+}
+
+TEST(Checkpoint, MissingFileIsFreshRun) {
+  EXPECT_TRUE(
+      resilience::load_checkpoint("/nonexistent/por/run.porc").empty());
+}
+
+TEST(Checkpoint, BadMagicIsCorrupt) {
+  const fs::path path = test_dir("ckpt_magic") / "bad.porc";
+  write_raw(path, "JUNKJUNKJUNK", 12);
+  expect_error_kind(resilience::ErrorKind::kCorrupt, [&] {
+    (void)resilience::load_checkpoint(path.string());
+  });
+}
+
+TEST(Checkpoint, TornTailIsDroppedNotTrusted) {
+  obs::MetricsRegistry registry;
+  obs::RegistryScope scope(registry);
+  const fs::path path = test_dir("ckpt_torn") / "run.porc";
+  {
+    resilience::CheckpointWriter writer(path.string(), 1);
+    for (std::uint64_t i = 0; i < 3; ++i) writer.append(make_record(i));
+  }
+  // Simulate a crash mid-append: tear bytes off the last record.
+  fs::resize_file(path, fs::file_size(path) - 5);
+  const auto loaded = resilience::load_checkpoint(path.string());
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[1], make_record(1));
+  EXPECT_EQ(registry.snapshot().counters.at("resilience.checkpoint.crc_dropped"),
+            1u);
+}
+
+TEST(Checkpoint, FlippedBitFailsCrc) {
+  const fs::path path = test_dir("ckpt_flip") / "run.porc";
+  {
+    resilience::CheckpointWriter writer(path.string(), 1);
+    writer.append(make_record(0));
+    writer.append(make_record(1));
+  }
+  // Flip one bit inside the second record's payload.
+  std::string bytes = slurp(path);
+  bytes[bytes.size() - 20] ^= 0x01;
+  write_raw(path, bytes.data(), bytes.size());
+  const auto loaded = resilience::load_checkpoint(path.string());
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0], make_record(0));
+}
+
+// ---- corrupt-input corpus: every reader yields typed errors ---------------
+
+struct StackHeader {
+  char magic[4] = {'P', 'O', 'R', 'S'};
+  std::uint32_t version = 1;
+  std::uint64_t count = 0;
+  std::uint64_t ny = 0;
+  std::uint64_t nx = 0;
+};
+
+void write_stack_header(const fs::path& path, const StackHeader& h,
+                        std::size_t payload_doubles = 0) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(h.magic, 4);
+  out.write(reinterpret_cast<const char*>(&h.version), sizeof h.version);
+  out.write(reinterpret_cast<const char*>(&h.count), sizeof h.count);
+  out.write(reinterpret_cast<const char*>(&h.ny), sizeof h.ny);
+  out.write(reinterpret_cast<const char*>(&h.nx), sizeof h.nx);
+  const std::vector<double> payload(payload_doubles, 1.0);
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size() * sizeof(double)));
+}
+
+TEST(CorruptCorpus, StackReaderRejectsEveryMalformation) {
+  const fs::path dir = test_dir("corpus_stack");
+  using resilience::ErrorKind;
+
+  // Missing file: classified transient (shared-filesystem model).
+  expect_error_kind(ErrorKind::kTransient, [&] {
+    (void)io::read_stack((dir / "absent.pors").string());
+  });
+
+  {  // bad magic
+    const fs::path p = dir / "magic.pors";
+    StackHeader h;
+    std::memcpy(h.magic, "XXXX", 4);
+    write_stack_header(p, h);
+    expect_error_kind(ErrorKind::kCorrupt,
+                      [&] { (void)io::read_stack(p.string()); });
+  }
+  {  // unsupported version
+    const fs::path p = dir / "version.pors";
+    StackHeader h;
+    h.version = 99;
+    write_stack_header(p, h);
+    expect_error_kind(ErrorKind::kCorrupt,
+                      [&] { (void)io::read_stack(p.string()); });
+  }
+  {  // truncated header
+    const fs::path p = dir / "short.pors";
+    write_raw(p, "PORS\x01\x00\x00\x00", 8);
+    expect_error_kind(ErrorKind::kCorrupt,
+                      [&] { (void)io::read_stack(p.string()); });
+  }
+  {  // implausible dimensions
+    const fs::path p = dir / "dims.pors";
+    StackHeader h;
+    h.count = 1;
+    h.ny = std::uint64_t{1} << 20;
+    h.nx = 4;
+    write_stack_header(p, h);
+    expect_error_kind(ErrorKind::kCorrupt,
+                      [&] { (void)io::read_stack(p.string()); });
+  }
+  {  // count * ny * nx * 8 overflows
+    const fs::path p = dir / "overflow.pors";
+    StackHeader h;
+    h.count = std::numeric_limits<std::uint64_t>::max();
+    h.ny = 1u << 14;
+    h.nx = 1u << 14;
+    write_stack_header(p, h);
+    expect_error_kind(ErrorKind::kCorrupt,
+                      [&] { (void)io::read_stack(p.string()); });
+  }
+  {  // truncated payload: header promises 2*4*4 doubles, file holds 10
+    const fs::path p = dir / "payload.pors";
+    StackHeader h;
+    h.count = 2;
+    h.ny = 4;
+    h.nx = 4;
+    write_stack_header(p, h, 10);
+    expect_error_kind(ErrorKind::kCorrupt,
+                      [&] { (void)io::read_stack(p.string()); });
+    expect_error_kind(ErrorKind::kCorrupt,
+                      [&] { (void)io::stack_count(p.string()); });
+  }
+  {  // a well-formed stack still round-trips, and range checks hold
+    const fs::path p = dir / "good.pors";
+    std::vector<Image<double>> images(3, Image<double>(4, 4));
+    images[1].storage().assign(16, 2.5);
+    io::write_stack(p.string(), images);
+    EXPECT_EQ(io::stack_count(p.string()), 3u);
+    const auto back = io::read_stack(p.string());
+    ASSERT_EQ(back.size(), 3u);
+    EXPECT_EQ(back[1].storage(), images[1].storage());
+    EXPECT_THROW((void)io::read_stack_range(p.string(), 2, 2),
+                 std::out_of_range);
+  }
+}
+
+TEST(CorruptCorpus, MapReaderRejectsEveryMalformation) {
+  const fs::path dir = test_dir("corpus_map");
+  using resilience::ErrorKind;
+
+  expect_error_kind(ErrorKind::kTransient, [&] {
+    (void)io::read_map((dir / "absent.porm").string());
+  });
+  {  // bad magic
+    const fs::path p = dir / "magic.porm";
+    write_raw(p, "NOPE\x01\x00\x00\x00", 8);
+    expect_error_kind(ErrorKind::kCorrupt,
+                      [&] { (void)io::read_map(p.string()); });
+  }
+  {  // implausible dimensions
+    const fs::path p = dir / "dims.porm";
+    std::ofstream out(p, std::ios::binary);
+    out.write("PORM", 4);
+    const std::uint32_t version = 1;
+    out.write(reinterpret_cast<const char*>(&version), sizeof version);
+    const std::uint64_t dims[3] = {0, 4, 4};
+    out.write(reinterpret_cast<const char*>(dims), sizeof dims);
+    out.close();
+    expect_error_kind(ErrorKind::kCorrupt,
+                      [&] { (void)io::read_map(p.string()); });
+  }
+  {  // truncated payload
+    const fs::path p = dir / "payload.porm";
+    std::ofstream out(p, std::ios::binary);
+    out.write("PORM", 4);
+    const std::uint32_t version = 1;
+    out.write(reinterpret_cast<const char*>(&version), sizeof version);
+    const std::uint64_t dims[3] = {4, 4, 4};
+    out.write(reinterpret_cast<const char*>(dims), sizeof dims);
+    const double few[5] = {1, 2, 3, 4, 5};
+    out.write(reinterpret_cast<const char*>(few), sizeof few);
+    out.close();
+    expect_error_kind(ErrorKind::kCorrupt,
+                      [&] { (void)io::read_map(p.string()); });
+  }
+  {  // round trip still works
+    const fs::path p = dir / "good.porm";
+    Volume<double> vol(4);
+    vol.storage().assign(64, 3.0);
+    io::write_map(p.string(), vol);
+    EXPECT_EQ(io::read_map(p.string()).storage(), vol.storage());
+  }
+}
+
+TEST(CorruptCorpus, OrientationReaderRejectsEveryMalformation) {
+  const fs::path dir = test_dir("corpus_orient");
+  using resilience::ErrorKind;
+
+  expect_error_kind(ErrorKind::kTransient, [&] {
+    (void)io::read_orientations((dir / "absent.txt").string());
+  });
+  {  // malformed line
+    const fs::path p = dir / "malformed.txt";
+    write_raw(p, "# header\n0 1 2 three 4 5\n", 25);
+    expect_error_kind(ErrorKind::kCorrupt,
+                      [&] { (void)io::read_orientations(p.string()); });
+  }
+  {  // non-finite value
+    const fs::path p = dir / "nonfinite.txt";
+    const std::string text = "0 nan 0 0 0 0\n";
+    write_raw(p, text.data(), text.size());
+    expect_error_kind(ErrorKind::kCorrupt,
+                      [&] { (void)io::read_orientations(p.string()); });
+  }
+}
+
+// ---- vmpi fault injection -------------------------------------------------
+
+TEST(FaultInjection, DropLosesExactlyTheMatchedMessage) {
+  vmpi::FaultPlan plan;
+  plan.drop(0, 1, /*tag=*/5, /*seq=*/0);  // first 0->1 tag-5 send is lost
+  vmpi::FaultStats stats;
+  vmpi::run(
+      2, plan,
+      [&](vmpi::Comm& comm) {
+        if (comm.rank() == 0) {
+          comm.send_value(1, 5, 111);
+          comm.send_value(1, 5, 222);
+        } else {
+          // The dropped message never arrives; the next one on the
+          // channel is delivered in its place.
+          EXPECT_EQ(comm.recv_value<int>(0, 5), 222);
+        }
+      },
+      &stats);
+  EXPECT_EQ(stats.dropped, 1u);
+  EXPECT_EQ(stats.injected(), 1u);
+}
+
+TEST(FaultInjection, CorruptXorsPayloadBytes) {
+  vmpi::FaultPlan plan;
+  plan.corrupt(0, 1, /*tag=*/5, /*seq=*/0);
+  vmpi::FaultStats stats;
+  vmpi::run(
+      2, plan,
+      [&](vmpi::Comm& comm) {
+        const std::vector<unsigned char> sent{0x00, 0xFF, 0x5A};
+        if (comm.rank() == 0) {
+          comm.send(1, 5, sent);
+        } else {
+          const auto got = comm.recv<unsigned char>(0, 5);
+          ASSERT_EQ(got.size(), sent.size());
+          for (std::size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i], static_cast<unsigned char>(sent[i] ^ 0x5A));
+          }
+        }
+      },
+      &stats);
+  EXPECT_EQ(stats.corrupted, 1u);
+}
+
+TEST(FaultInjection, DelayDeliversIntactLater) {
+  vmpi::FaultPlan plan;
+  plan.delay(0, 1, /*tag=*/5, /*seq=*/0, 20ms);
+  vmpi::FaultStats stats;
+  vmpi::run(
+      2, plan,
+      [&](vmpi::Comm& comm) {
+        if (comm.rank() == 0) {
+          comm.send_value(1, 5, 42);
+        } else {
+          EXPECT_EQ(comm.recv_value<int>(0, 5), 42);
+        }
+      },
+      &stats);
+  EXPECT_EQ(stats.delayed, 1u);
+}
+
+TEST(FaultInjection, DeadlineRecvThrowsCommTimeout) {
+  vmpi::FaultStats stats;
+  vmpi::run(
+      2, vmpi::FaultPlan{},
+      [&](vmpi::Comm& comm) {
+        if (comm.rank() == 1) {
+          comm.set_deadline(50ms);
+          bool timed_out = false;
+          try {
+            (void)comm.recv_value<int>(0, 9);  // never sent
+          } catch (const vmpi::CommTimeout& timeout) {
+            timed_out = true;
+            EXPECT_EQ(timeout.dst(), 1);
+            EXPECT_EQ(timeout.src(), 0);
+            EXPECT_EQ(timeout.tag(), 9);
+          }
+          EXPECT_TRUE(timed_out);
+          comm.set_deadline(0ms);  // back to block-forever
+        }
+      },
+      &stats);
+  EXPECT_GE(stats.timeouts, 1u);
+}
+
+TEST(FaultInjection, TryRecvAnyDistinguishesSilenceFromMessage) {
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      int src = -1;
+      // Nothing can have been sent yet: the poll must report silence.
+      EXPECT_EQ(comm.try_recv_any_value<int>(7, src, 0ms), std::nullopt);
+      comm.barrier();
+      const auto value = comm.try_recv_any_value<int>(7, src, 2000ms);
+      ASSERT_TRUE(value.has_value());
+      EXPECT_EQ(*value, 42);
+      EXPECT_EQ(src, 1);
+    } else {
+      comm.barrier();
+      comm.send_value(0, 7, 42);
+    }
+  });
+}
+
+TEST(FaultInjection, KillRuleRaisesRankKilledAtStep) {
+  vmpi::FaultPlan plan;
+  plan.kill_rank_at_step(1, 2);
+  vmpi::FaultStats stats;
+  vmpi::run(
+      2, plan,
+      [&](vmpi::Comm& comm) {
+        if (comm.rank() == 1) {
+          comm.fault_point(0);
+          comm.fault_point(1);
+          EXPECT_THROW(comm.fault_point(2), vmpi::RankKilled);
+        } else {
+          comm.fault_point(0);  // no rule for rank 0
+        }
+      },
+      &stats);
+  EXPECT_EQ(stats.kills, 1u);
+}
+
+// ---- recovering parallel refiner ------------------------------------------
+
+// ThreadSanitizer slows the per-view refinement ~10-20x, so a 100 ms
+// heartbeat would false-declare slow-but-alive ranks dead (recovery
+// still yields bitwise-identical results — that's the design — but
+// exact dead/reassigned counts become nondeterministic).  Scale the
+// timeout up under TSan so the counts stay exact.
+#if defined(__SANITIZE_THREAD__)
+constexpr int kTimingScale = 30;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr int kTimingScale = 30;
+#else
+constexpr int kTimingScale = 1;
+#endif
+#else
+constexpr int kTimingScale = 1;
+#endif
+
+RefinerConfig fast_config() {
+  RefinerConfig config;
+  config.schedule = {SearchLevel{1.0, 3, 1.0, 3},
+                     SearchLevel{0.25, 5, 0.25, 3}};
+  config.match.r_map = 8.0;
+  config.refine_centers = false;
+  config.resilience.heartbeat_timeout = 100ms * kTimingScale;
+  return config;
+}
+
+struct Workload {
+  std::size_t l = 16;
+  BlobModel model = small_phantom(16, 10);
+  Volume<double> map;
+  std::vector<Image<double>> views;
+  std::vector<Orientation> initials;
+  std::vector<std::pair<double, double>> centers;
+
+  explicit Workload(int m = 10) : map(model.rasterize(16)) {
+    util::Rng rng(97);
+    for (int i = 0; i < m; ++i) {
+      const Orientation truth = por::test::random_orientation(rng);
+      views.push_back(model.project_analytic(l, truth));
+      initials.push_back({truth.theta + rng.uniform(-1, 1),
+                          truth.phi + rng.uniform(-1, 1),
+                          truth.omega + rng.uniform(-1, 1)});
+      centers.emplace_back(0.0, 0.0);
+    }
+  }
+};
+
+ParallelRefineReport run_refine(int ranks, const vmpi::FaultPlan& plan,
+                                const Workload& w,
+                                const RefinerConfig& config) {
+  ParallelRefineReport report;
+  vmpi::run(ranks, plan, [&](vmpi::Comm& comm) {
+    auto r = parallel_refine(comm, w.map, w.l, w.views, w.initials, w.centers,
+                             config);
+    if (comm.is_root()) report = std::move(r);
+  });
+  return report;
+}
+
+void expect_identical_results(const std::vector<ViewResult>& a,
+                              const std::vector<ViewResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Bitwise identity, not tolerance: recovery re-runs the identical
+    // deterministic per-view refinement.
+    EXPECT_EQ(a[i].orientation, b[i].orientation) << "view " << i;
+    EXPECT_EQ(a[i].center_x, b[i].center_x) << "view " << i;
+    EXPECT_EQ(a[i].center_y, b[i].center_y) << "view " << i;
+    EXPECT_EQ(a[i].final_distance, b[i].final_distance) << "view " << i;
+    EXPECT_EQ(a[i].quarantined, b[i].quarantined) << "view " << i;
+  }
+}
+
+TEST(FaultRecovery, KilledRankViewsAreReassignedBitIdentical) {
+  const Workload w;
+  const RefinerConfig config = fast_config();
+
+  const ParallelRefineReport clean =
+      run_refine(4, vmpi::FaultPlan{}, w, config);
+  ASSERT_EQ(clean.results.size(), w.views.size());
+  EXPECT_EQ(clean.dead_ranks, 0u);
+  EXPECT_EQ(clean.reassigned_views, 0u);
+
+  // Rank 2 dies after refining exactly one view (mid steps d-l); the
+  // master's heartbeat detector must reassign the remainder.
+  vmpi::FaultPlan plan;
+  plan.kill_rank_at_step(2, 1);
+  const ParallelRefineReport recovered = run_refine(4, plan, w, config);
+  EXPECT_EQ(recovered.dead_ranks, 1u);
+  EXPECT_GT(recovered.reassigned_views, 0u);
+  expect_identical_results(clean.results, recovered.results);
+
+  // The injected faults surface in the merged obs report.
+  EXPECT_GE(recovered.obs.merged.counters.at("resilience.faults.kills"), 1u);
+  EXPECT_GE(recovered.obs.merged.counters.at("resilience.dead_ranks"), 1u);
+}
+
+TEST(FaultRecovery, RankDeadFromTheStartStillCompletes) {
+  const Workload w(8);
+  const RefinerConfig config = fast_config();
+  const ParallelRefineReport clean =
+      run_refine(2, vmpi::FaultPlan{}, w, config);
+
+  vmpi::FaultPlan plan;
+  plan.kill_rank_at_step(1, 0);  // dies before refining anything
+  const ParallelRefineReport recovered = run_refine(2, plan, w, config);
+  EXPECT_EQ(recovered.dead_ranks, 1u);
+  EXPECT_EQ(recovered.reassigned_views,
+            static_cast<std::uint64_t>(w.views.size()) -
+                recovered.results.size() / 2);  // rank 1's whole block
+  expect_identical_results(clean.results, recovered.results);
+}
+
+TEST(FaultRecovery, DroppedResultMessageIsRecovered) {
+  const Workload w(6);
+  const RefinerConfig config = fast_config();
+  const ParallelRefineReport clean =
+      run_refine(2, vmpi::FaultPlan{}, w, config);
+
+  // Lose rank 1's first refined-view message on the wire.  The done
+  // marker then closes the batch with one view unaccounted for, which
+  // the master treats exactly like a dead rank's leftovers.
+  vmpi::FaultPlan plan;
+  plan.drop(1, 0, kResultTag, /*seq=*/0);
+  const ParallelRefineReport recovered = run_refine(2, plan, w, config);
+  EXPECT_EQ(recovered.reassigned_views, 1u);
+  expect_identical_results(clean.results, recovered.results);
+}
+
+TEST(FaultRecovery, OrientationFileBitwiseIdenticalAfterRankDeath) {
+  const fs::path dir = test_dir("file_recovery");
+  const Workload w;
+  const RefinerConfig config = fast_config();
+
+  const std::string map_path = (dir / "map.porm").string();
+  const std::string stack_path = (dir / "views.pors").string();
+  const std::string orient_in = (dir / "orient_in.txt").string();
+  io::write_map(map_path, w.map);
+  io::write_stack(stack_path, w.views);
+  std::vector<io::ViewOrientation> records;
+  for (std::size_t i = 0; i < w.views.size(); ++i) {
+    records.push_back(io::ViewOrientation{i, w.initials[i], 0.0, 0.0});
+  }
+  io::write_orientations(orient_in, records, "initial");
+
+  const std::string out_clean = (dir / "out_clean.txt").string();
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    (void)parallel_refine_files(comm, map_path, stack_path, orient_in,
+                                out_clean, config);
+  });
+
+  const std::string out_faulty = (dir / "out_faulty.txt").string();
+  vmpi::FaultPlan plan;
+  plan.kill_rank_at_step(3, 1);
+  vmpi::run(4, plan, [&](vmpi::Comm& comm) {
+    (void)parallel_refine_files(comm, map_path, stack_path, orient_in,
+                                out_faulty, config);
+  });
+
+  // The acceptance bar: the recovered run's orientation file is
+  // byte-for-byte the fault-free file.
+  EXPECT_EQ(slurp(out_clean), slurp(out_faulty));
+}
+
+// ---- checkpoint / restart -------------------------------------------------
+
+TEST(CheckpointRestart, ResumeRefinesOnlyMissingViews) {
+  const fs::path dir = test_dir("restart");
+  const Workload w(8);
+  RefinerConfig config = fast_config();
+
+  // Full run, recording a checkpoint as it goes.
+  config.resilience.checkpoint_path = (dir / "full.porc").string();
+  const ParallelRefineReport full =
+      run_refine(2, vmpi::FaultPlan{}, w, config);
+  const auto all_records =
+      resilience::load_checkpoint(config.resilience.checkpoint_path);
+  ASSERT_EQ(all_records.size(), w.views.size());
+
+  // Simulate an interrupted run: a checkpoint holding only the first
+  // half of the records.
+  const std::string partial = (dir / "partial.porc").string();
+  {
+    resilience::CheckpointWriter writer(partial, 1);
+    for (std::size_t i = 0; i < all_records.size() / 2; ++i) {
+      writer.append(all_records[i]);
+    }
+  }
+
+  // Resume: restored views must be taken from the checkpoint, the
+  // rest refined, and the final results identical to the full run.
+  config.resilience.checkpoint_path = partial;
+  config.resilience.resume = true;
+  const ParallelRefineReport resumed =
+      run_refine(2, vmpi::FaultPlan{}, w, config);
+  EXPECT_EQ(resumed.restored_views, all_records.size() / 2);
+  EXPECT_EQ(resumed.obs.merged.counters.at(
+                "resilience.checkpoint.restored_views"),
+            all_records.size() / 2);
+  expect_identical_results(full.results, resumed.results);
+  // Only the remainder was refined.
+  EXPECT_LT(resumed.total_matchings, full.total_matchings);
+
+  // After the resumed run the checkpoint is complete again.
+  EXPECT_EQ(resilience::load_checkpoint(partial).size(), w.views.size());
+
+  // Resuming a finished run refines nothing at all.
+  const ParallelRefineReport noop = run_refine(2, vmpi::FaultPlan{}, w, config);
+  EXPECT_EQ(noop.restored_views, w.views.size());
+  EXPECT_EQ(noop.total_matchings, 0u);
+  expect_identical_results(full.results, noop.results);
+}
+
+// ---- per-view quarantine --------------------------------------------------
+
+TEST(Quarantine, NonFiniteViewIsFlaggedNotPoisonous) {
+  obs::MetricsRegistry registry;
+  obs::RegistryScope scope(registry);
+  const Workload w(2);
+  RefinerConfig config = fast_config();
+  const OrientationRefiner refiner(w.map, config);
+
+  Image<double> poisoned = w.views[0];
+  poisoned.storage()[5] = std::numeric_limits<double>::quiet_NaN();
+  const Orientation initial = w.initials[0];
+  const ViewResult result = refiner.refine_view(poisoned, initial, 0.25, -0.5);
+  EXPECT_EQ(result.quarantined, 1u);
+  EXPECT_EQ(result.orientation, initial);  // untouched
+  EXPECT_EQ(result.center_x, 0.25);
+  EXPECT_EQ(result.center_y, -0.5);
+  EXPECT_EQ(registry.snapshot().counters.at("resilience.views.quarantined"),
+            1u);
+
+  // Quarantine off reproduces the legacy behavior (no flag).
+  config.resilience.quarantine_views = false;
+  const OrientationRefiner legacy(w.map, config);
+  EXPECT_EQ(legacy.refine_view(w.views[1], w.initials[1]).quarantined, 0u);
+}
+
+TEST(Quarantine, ParallelRunCountsAndSkipsBadViews) {
+  Workload w(6);
+  w.views[3].storage()[0] = std::numeric_limits<double>::infinity();
+  const ParallelRefineReport report =
+      run_refine(2, vmpi::FaultPlan{}, w, fast_config());
+  ASSERT_EQ(report.results.size(), 6u);
+  EXPECT_EQ(report.quarantined_views, 1u);
+  EXPECT_EQ(report.results[3].quarantined, 1u);
+  EXPECT_EQ(report.results[3].orientation, w.initials[3]);
+  EXPECT_EQ(report.obs.merged.counters.at("resilience.views.quarantined"),
+            1u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (i != 3) {
+      EXPECT_EQ(report.results[i].quarantined, 0u);
+    }
+  }
+}
+
+}  // namespace
