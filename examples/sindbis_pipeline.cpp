@@ -61,6 +61,8 @@ int main(int argc, char** argv) {
   const int ranks = static_cast<int>(cli.get_int("ranks", 4));
   const std::size_t fft_threads =
       static_cast<std::size_t>(cli.get_int("fft_threads", 1));
+  const int refine_workers =
+      static_cast<int>(cli.get_int("refine_workers", 1));
   const double cli_r_map = cli.get_double("r_map", 0.0);
   const std::string metrics_out = cli.metrics_out();
   const std::string checkpoint = cli.get("checkpoint", "");
@@ -144,6 +146,10 @@ int main(int argc, char** argv) {
   // Per-rank FFT threading (0 = hardware concurrency).  Bit-identical
   // to the serial default; useful when ranks < cores.
   refiner_config.match.fft_threads = fft_threads;
+  // Per-rank work-stealing batch refinement (DESIGN.md §11): N > 1
+  // puts each rank's view batches on the por::serve scheduler,
+  // bitwise-identical to the serial default.
+  refiner_config.refine_workers = refine_workers;
 
   // Resilience knobs (DESIGN.md §10).
   refiner_config.resilience.checkpoint_path = checkpoint;

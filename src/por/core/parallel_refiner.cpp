@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string_view>
@@ -19,6 +20,7 @@
 #include "por/obs/registry.hpp"
 #include "por/resilience/checkpoint.hpp"
 #include "por/resilience/retry.hpp"
+#include "por/serve/scheduler.hpp"
 #include "por/util/log.hpp"
 
 namespace por::core {
@@ -387,13 +389,48 @@ ParallelRefineReport refine_distributed(
     // The master refines its own block first, draining worker results
     // opportunistically between views so the mailbox stays shallow.
     int src = 0;
-    for (const std::uint64_t index : my_block) {
+    const auto drain_mailbox = [&] {
       while (const auto msg = comm.try_recv_any_value<ResultMsg>(
                  kResultTag, src, std::chrono::milliseconds{0})) {
         process_msg(src, *msg);
       }
       dispatch_orphans();
-      record_result(index, refine_local(index));
+    };
+    if (config.refine_workers != 1 && my_block.size() > 1) {
+      // Work-stealing over the master's own share.  Sub-batches of one
+      // chunk per worker keep the mailbox drains frequent; results are
+      // recorded serially on this rank thread (record_result and the
+      // checkpoint writer are single-writer), so the protocol state is
+      // untouched by the parallelism.
+      serve::SchedulerOptions sched_options;
+      sched_options.workers =
+          config.refine_workers < 0
+              ? 1
+              : static_cast<std::size_t>(config.refine_workers);
+      serve::Scheduler scheduler(sched_options);
+      const std::size_t stride = std::max<std::size_t>(scheduler.workers(), 1);
+      for (std::size_t lo = 0; lo < my_block.size(); lo += stride) {
+        drain_mailbox();
+        const std::size_t hi = std::min(my_block.size(), lo + stride);
+        std::vector<ViewResult> sub(hi - lo);
+        scheduler.run(hi - lo, [&](std::size_t k) {
+          const std::uint64_t index = my_block[lo + k];
+          sub[k] = refiner.refine_view(views_on_root[index],
+                                       initial_on_root[index],
+                                       center_of(index).first,
+                                       center_of(index).second);
+        });
+        for (std::size_t k = 0; k < sub.size(); ++k) {
+          my_matchings += sub[k].matchings;
+          my_slides += static_cast<std::uint64_t>(sub[k].window_slides);
+          record_result(my_block[lo + k], sub[k]);
+        }
+      }
+    } else {
+      for (const std::uint64_t index : my_block) {
+        drain_mailbox();
+        record_result(index, refine_local(index));
+      }
     }
 
     // Event loop: every incoming result is a heartbeat.  Total silence
@@ -454,6 +491,20 @@ ParallelRefineReport refine_distributed(
     // the whole call; FaultPlan::kill_rank_at_step matches against it.
     std::uint64_t step = 0;
     bool killed = false;
+    // Work-stealing within the rank (refine_workers != 1): the rank's
+    // batch fans out across a scheduler instead of a serial loop.  The
+    // Comm stays on this thread — fault points are consumed up front
+    // (kills land at batch granularity) and results are sent after the
+    // batch completes, so the wire protocol is byte-identical.
+    std::unique_ptr<serve::Scheduler> scheduler;
+    if (config.refine_workers != 1) {
+      serve::SchedulerOptions sched_options;
+      sched_options.workers =
+          config.refine_workers < 0
+              ? 1
+              : static_cast<std::size_t>(config.refine_workers);
+      scheduler = std::make_unique<serve::Scheduler>(sched_options);
+    }
     while (true) {
       // Waiting for work is waiting on the master; under a configured
       // deadline a dead master surfaces as CommTimeout here instead of
@@ -468,18 +519,42 @@ ParallelRefineReport refine_distributed(
             "parallel_refine: assignment payload sizes disagree");
       }
       try {
-        em::Image<double> img(l, l);
-        for (std::size_t i = 0; i < indices.size(); ++i) {
-          comm.fault_point(step++);
-          std::copy(flat.begin() + i * l * l, flat.begin() + (i + 1) * l * l,
-                    img.storage().begin());
-          ResultMsg msg;
-          msg.view_index = indices[i];
-          msg.result = refiner.refine_view(img, init[i].orientation,
-                                           init[i].cx, init[i].cy);
-          my_matchings += msg.result.matchings;
-          my_slides += static_cast<std::uint64_t>(msg.result.window_slides);
-          comm.send_value(0, kResultTag, msg);
+        if (scheduler && indices.size() > 1) {
+          // Fault points for the whole batch first — Comm's fault
+          // bookkeeping is rank-thread state.  A kill here means no
+          // result of this batch was sent, so the master reassigns the
+          // entire batch: same recovery, coarser timing.
+          for (std::size_t i = 0; i < indices.size(); ++i) {
+            comm.fault_point(step++);
+          }
+          std::vector<ResultMsg> msgs(indices.size());
+          scheduler->run(indices.size(), [&](std::size_t i) {
+            em::Image<double> img(l, l);
+            std::copy(flat.begin() + i * l * l,
+                      flat.begin() + (i + 1) * l * l, img.storage().begin());
+            msgs[i].view_index = indices[i];
+            msgs[i].result = refiner.refine_view(img, init[i].orientation,
+                                                 init[i].cx, init[i].cy);
+          });
+          for (const ResultMsg& msg : msgs) {
+            my_matchings += msg.result.matchings;
+            my_slides += static_cast<std::uint64_t>(msg.result.window_slides);
+            comm.send_value(0, kResultTag, msg);
+          }
+        } else {
+          em::Image<double> img(l, l);
+          for (std::size_t i = 0; i < indices.size(); ++i) {
+            comm.fault_point(step++);
+            std::copy(flat.begin() + i * l * l, flat.begin() + (i + 1) * l * l,
+                      img.storage().begin());
+            ResultMsg msg;
+            msg.view_index = indices[i];
+            msg.result = refiner.refine_view(img, init[i].orientation,
+                                             init[i].cx, init[i].cy);
+            my_matchings += msg.result.matchings;
+            my_slides += static_cast<std::uint64_t>(msg.result.window_slides);
+            comm.send_value(0, kResultTag, msg);
+          }
         }
         comm.send_value(0, kResultTag, ResultMsg{});  // batch done
       } catch (const vmpi::RankKilled&) {

@@ -4,6 +4,7 @@
 #include "por/obs/registry.hpp"
 #include "por/obs/span.hpp"
 #include "por/resilience/quarantine.hpp"
+#include "por/serve/scheduler.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -197,12 +198,24 @@ std::vector<ViewResult> OrientationRefiner::refine(
   if (!initial_centers.empty() && initial_centers.size() != views.size()) {
     throw std::invalid_argument("refine: centers size mismatch");
   }
-  std::vector<ViewResult> results;
-  results.reserve(views.size());
-  for (std::size_t i = 0; i < views.size(); ++i) {
+  std::vector<ViewResult> results(views.size());
+  const auto refine_one = [&](std::size_t i) {
     const double cx = initial_centers.empty() ? 0.0 : initial_centers[i].first;
     const double cy = initial_centers.empty() ? 0.0 : initial_centers[i].second;
-    results.push_back(refine_view(views[i], initial_orientations[i], cx, cy));
+    results[i] = refine_view(views[i], initial_orientations[i], cx, cy);
+  };
+  if (config_.refine_workers != 1 && views.size() > 1) {
+    // Work-stealing batch: each view index runs exactly once, writes
+    // only results[i], and refine_view is deterministic — so this is
+    // bitwise-identical to the serial loop below at any worker count.
+    serve::SchedulerOptions options;
+    options.workers = config_.refine_workers < 0
+                          ? 1
+                          : static_cast<std::size_t>(config_.refine_workers);
+    serve::Scheduler scheduler(options);
+    scheduler.run(views.size(), refine_one);
+  } else {
+    for (std::size_t i = 0; i < views.size(); ++i) refine_one(i);
   }
   return results;
 }

@@ -70,6 +70,12 @@ struct RefinerConfig {
   em::CtfCorrection ctf_correction = em::CtfCorrection::kPhaseFlip;
   double wiener_snr = 10.0;
   ResilienceOptions resilience;       ///< checkpoint / recovery / retry
+  /// Shared-memory workers for refine() batches: 1 = serial loop (the
+  /// historical behavior), N > 1 = the por::serve work-stealing
+  /// scheduler, 0 = hardware_concurrency.  Per-view refinement is
+  /// deterministic and views are independent, so the batch result is
+  /// bitwise-identical at any worker count.
+  int refine_workers = 1;
 
   RefinerConfig() : schedule(paper_schedule()) {}
 

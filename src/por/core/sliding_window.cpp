@@ -28,7 +28,6 @@ WindowResult sliding_window_search(const FourierMatcher& matcher,
              "sliding window needs a positive width:", initial_domain.width);
   WindowResult result;
   SearchDomain domain = initial_domain;
-  const std::uint64_t matchings_before = matcher.matchings();
   util::ThreadPool* pool = matcher.search_pool();
 
   const int w = domain.width;
@@ -95,6 +94,13 @@ WindowResult sliding_window_search(const FourierMatcher& matcher,
         cache->insert(candidates[i], scores[i]);
       }
     }
+    // Count this search's own matchings (one distance() per missing
+    // candidate) rather than a before/after delta of the matcher's
+    // shared counter: concurrent searches on one matcher (the serve
+    // scheduler refines many views against a shared refiner) would
+    // bleed into each other's deltas and break the bitwise-identical
+    // per-view statistics.
+    result.matchings += static_cast<std::uint64_t>(missing.size());
 
     // Reduce in candidate order — bitwise the same selection (strict
     // <, first wins) as the original serial triple loop.
@@ -127,7 +133,6 @@ WindowResult sliding_window_search(const FourierMatcher& matcher,
     slides_counter.add();
   }
 
-  result.matchings = matcher.matchings() - matchings_before;
   return result;
 }
 

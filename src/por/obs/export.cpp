@@ -299,6 +299,20 @@ std::string to_prometheus(const Snapshot& snapshot) {
     os << prom << "_bucket{le=\"+Inf\"} " << data.count << "\n";
     os << prom << "_sum " << fmt_double(data.sum) << "\n";
     os << prom << "_count " << data.count << "\n";
+    // Pre-computed summary-style quantiles (interpolated from the
+    // buckets) so dashboards get p50/p95/p99 without PromQL.  Labels
+    // are spelled literally — %.17g would render 0.99 as
+    // 0.98999999999999999.
+    if (data.count > 0) {
+      static constexpr struct {
+        const char* label;
+        double q;
+      } kQuantiles[] = {{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}};
+      for (const auto& [label, q] : kQuantiles) {
+        os << prom << "_quantile{quantile=\"" << label << "\"} "
+           << fmt_double(histogram_quantile(data, q)) << "\n";
+      }
+    }
   }
   for (const auto& [name, data] : snapshot.spans) {
     const std::string prom = prom_sanitize(name);
@@ -351,8 +365,17 @@ std::string to_json(const Snapshot& snapshot) {
       if (i > 0) os << ",";
       os << data.buckets[i];
     }
-    os << "],\"count\":" << data.count << ",\"sum\":" << fmt_double(data.sum)
-       << "}";
+    os << "],\"count\":" << data.count << ",\"sum\":" << fmt_double(data.sum);
+    // Derived, not state: snapshot_from_json ignores unknown keys, so
+    // round-trip equality is preserved while consumers (BENCH_serve,
+    // dashboards) read p50/p95/p99 straight off the export.
+    if (data.count > 0) {
+      os << ",\"quantiles\":{\"p50\":"
+         << fmt_double(histogram_quantile(data, 0.5))
+         << ",\"p95\":" << fmt_double(histogram_quantile(data, 0.95))
+         << ",\"p99\":" << fmt_double(histogram_quantile(data, 0.99)) << "}";
+    }
+    os << "}";
   }
   os << "},";
 

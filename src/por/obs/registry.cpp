@@ -1,6 +1,8 @@
 #include "por/obs/registry.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "por/obs/trace_detail.hpp"
@@ -12,6 +14,43 @@ namespace {
 std::atomic<std::uint64_t> g_next_registry_id{1};
 std::atomic<bool> g_enabled{true};
 thread_local MetricsRegistry* t_current_registry = nullptr;
+
+/// Shared quantile estimator over cumulative bucket counts.
+/// `bucket_at(i)` for i in [0, bounds.size()] (last = overflow).
+template <typename BucketAt>
+double quantile_impl(const std::vector<double>& bounds, std::size_t n_buckets,
+                     const BucketAt& bucket_at, double q) {
+  q = std::clamp(q, 0.0, 1.0);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n_buckets; ++i) total += bucket_at(i);
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  // Rank of the q-th sample, 1-based, clamped so q=0 picks the first
+  // and q=1 the last.
+  const double target = std::max(1.0, q * static_cast<double>(total));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < n_buckets; ++i) {
+    const std::uint64_t in_bucket = bucket_at(i);
+    if (static_cast<double>(cumulative + in_bucket) < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= bounds.size()) {
+      // Overflow bucket has no finite upper edge; the last finite
+      // bound is the best (under-)estimate we can defend.
+      return bounds.empty() ? std::numeric_limits<double>::quiet_NaN()
+                            : bounds.back();
+    }
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double hi = bounds[i];
+    const double frac = in_bucket == 0
+                            ? 1.0
+                            : (target - static_cast<double>(cumulative)) /
+                                  static_cast<double>(in_bucket);
+    return lo + frac * (hi - lo);
+  }
+  return bounds.empty() ? std::numeric_limits<double>::quiet_NaN()
+                        : bounds.back();
+}
 
 }  // namespace
 
@@ -27,6 +66,75 @@ Histogram::Histogram(std::vector<double> upper_bounds)
   for (std::size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
   }
+  // Detect a geometric ladder (what log_bounds produces): positive
+  // bounds with a consistent ratio.  Enables the O(1) observe path.
+  if (bounds_.size() >= 2 && bounds_.front() > 0.0) {
+    const double ratio = bounds_[1] / bounds_[0];
+    bool geometric = ratio > 1.0;
+    for (std::size_t i = 1; geometric && i < bounds_.size(); ++i) {
+      const double step = bounds_[i] / bounds_[i - 1];
+      geometric = std::abs(step - ratio) <= 1e-9 * ratio;
+    }
+    if (geometric) {
+      geometric_ = true;
+      inv_log_ratio_ = 1.0 / std::log(ratio);
+    }
+  }
+}
+
+std::vector<double> Histogram::log_bounds(double min_bound, double max_bound,
+                                          int buckets_per_decade) {
+  if (!(min_bound > 0.0) || !(max_bound > min_bound) ||
+      buckets_per_decade < 1) {
+    throw std::invalid_argument(
+        "Histogram::log_bounds: need 0 < min < max and >= 1 bucket/decade");
+  }
+  const double ratio = std::pow(10.0, 1.0 / buckets_per_decade);
+  std::vector<double> bounds;
+  // Generate multiplicatively from min_bound: i-th bound is exactly
+  // min * ratio^i up to rounding, which the geometric detector and the
+  // O(1) indexer both tolerate.
+  double bound = min_bound;
+  while (true) {
+    bounds.push_back(bound);
+    if (bound >= max_bound) break;
+    bound *= ratio;
+  }
+  return bounds;
+}
+
+std::size_t Histogram::bucket_index(double value) const {
+  if (bounds_.empty()) return 0;
+  if (geometric_) {
+    // !(value > front) also catches NaN (no ordering) — pin it to the
+    // first bucket rather than feeding log() garbage.
+    if (!(value > bounds_.front())) return 0;
+    if (value > bounds_.back()) return bounds_.size();
+    double estimate =
+        std::ceil(std::log(value / bounds_.front()) * inv_log_ratio_);
+    std::size_t i = static_cast<std::size_t>(std::max(0.0, estimate));
+    if (i >= bounds_.size()) i = bounds_.size() - 1;
+    // One-step nudge absorbs floating-point error at bucket edges.
+    while (i > 0 && value <= bounds_[i - 1]) --i;
+    while (i < bounds_.size() && value > bounds_[i]) ++i;
+    return i;
+  }
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) return i;
+  }
+  return bounds_.size();
+}
+
+double Histogram::quantile(double q) const {
+  return quantile_impl(
+      bounds_, bounds_.size() + 1,
+      [this](std::size_t i) { return bucket(i); }, q);
+}
+
+double histogram_quantile(const Snapshot::HistogramData& data, double q) {
+  return quantile_impl(
+      data.bounds, data.buckets.size(),
+      [&data](std::size_t i) { return data.buckets[i]; }, q);
 }
 
 // ---- MetricsRegistry -------------------------------------------------------
@@ -65,6 +173,13 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   Histogram* cell = &histogram_storage_.back();
   histograms_.emplace(name, cell);
   return *cell;
+}
+
+Histogram& MetricsRegistry::log_histogram(const std::string& name,
+                                          double min_bound, double max_bound,
+                                          int buckets_per_decade) {
+  return histogram(
+      name, Histogram::log_bounds(min_bound, max_bound, buckets_per_decade));
 }
 
 SpanSeries& MetricsRegistry::span_series(const std::string& name) {

@@ -107,25 +107,35 @@ class Gauge {
 
 /// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the
 /// first N buckets; one implicit +inf overflow bucket follows.  The
-/// bucket layout is chosen at registration and never changes, so
-/// observe() is a branch-light scan over a short immutable array plus
-/// two relaxed atomic adds.
+/// bucket layout is chosen at registration and never changes.
+/// observe() is lock-free: bucket selection plus three relaxed atomic
+/// adds.  Geometric (log-spaced) ladders — the constructor detects
+/// them — index the bucket in O(1) from one logarithm instead of
+/// scanning, so wide latency ladders (decades of dynamic range) cost
+/// the same as narrow ones.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> upper_bounds);
 
+  /// Geometric bucket ladder for latency-style data: bounds start at
+  /// `min_bound` and multiply by 10^(1/buckets_per_decade) until they
+  /// reach (at least) `max_bound`.  Values above the ladder land in
+  /// the +inf overflow bucket as usual.
+  static std::vector<double> log_bounds(double min_bound, double max_bound,
+                                        int buckets_per_decade);
+
   void observe(double value) {
-    std::size_t b = bounds_.size();
-    for (std::size_t i = 0; i < bounds_.size(); ++i) {
-      if (value <= bounds_[i]) {
-        b = i;
-        break;
-      }
-    }
-    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     detail::atomic_add(sum_, value);
   }
+
+  /// Interpolated quantile estimate (q in [0, 1]) from the bucket
+  /// cumulative counts: linear within the containing bucket, the last
+  /// finite bound for ranks that fall in the overflow bucket, NaN when
+  /// the histogram is empty.  Resolution is the bucket width — for a
+  /// log ladder, a constant relative error.
+  [[nodiscard]] double quantile(double q) const;
 
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
   /// Count in bucket i (i == bounds().size() is the overflow bucket).
@@ -140,10 +150,17 @@ class Histogram {
   }
 
  private:
+  [[nodiscard]] std::size_t bucket_index(double value) const;
+
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  // O(1) index for geometric ladders: i ≈ ceil(log(v / b0) / log(r)),
+  // nudged by at most one step to absorb floating-point error at the
+  // boundaries.  Zero/false for irregular ladders (linear scan).
+  bool geometric_ = false;
+  double inv_log_ratio_ = 0.0;
 };
 
 /// Aggregated timing series for one span name: how often the span ran,
@@ -216,6 +233,11 @@ struct Snapshot {
   bool operator==(const Snapshot&) const = default;
 };
 
+/// Histogram::quantile over exported/merged data: same estimator, same
+/// edge cases (NaN when empty, last finite bound in overflow).
+[[nodiscard]] double histogram_quantile(const Snapshot::HistogramData& data,
+                                        double q);
+
 namespace detail {
 struct ThreadTrace;  // defined in span.cpp
 }
@@ -238,6 +260,11 @@ class MetricsRegistry {
   /// registration (later calls with the same name ignore the bounds).
   Histogram& histogram(const std::string& name,
                        std::vector<double> upper_bounds);
+  /// histogram() with Histogram::log_bounds(min, max, per_decade) —
+  /// the natural ladder for latency metrics (O(1) observe, quantiles
+  /// with constant relative error).
+  Histogram& log_histogram(const std::string& name, double min_bound,
+                           double max_bound, int buckets_per_decade);
   SpanSeries& span_series(const std::string& name);
 
   /// Point-in-time copy of every instrument.

@@ -1,0 +1,123 @@
+// por/serve/job_channel.hpp
+//
+// Bounded MPMC channel (Vyukov's array-based queue): any number of
+// producers and consumers, lock-free in the practical sense (every
+// operation completes in a bounded number of steps unless the queue is
+// genuinely full/empty), TSan-clean acquire/release ordering.
+//
+// Each cell carries a sequence number.  A producer may write a cell's
+// value only after observing seq == position (the cell is free for
+// this lap); it publishes the value with a release store of
+// seq = position + 1, which is exactly what a consumer acquires before
+// reading the value.  The value field itself therefore needs no
+// atomicity: the seq edge orders every access — this is the standard
+// Vyukov protocol and the reason the channel can carry non-trivial T.
+//
+// The Scheduler uses the channel twice: as the global injector queue
+// (external submitters cannot push into a Chase-Lev deque — only the
+// owner may — so batches enter here and workers pull them out) and as
+// the overflow target when a worker's bounded deque fills up.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "por/serve/steal_deque.hpp"  // next_pow2
+#include "por/util/contracts.hpp"
+
+namespace por::serve {
+
+template <typename T>
+class JobChannel {
+ public:
+  explicit JobChannel(std::size_t capacity)
+      : capacity_(next_pow2(capacity)),
+        mask_(capacity_ - 1),
+        cells_(std::make_unique<Cell[]>(capacity_)) {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  JobChannel(const JobChannel&) = delete;
+  JobChannel& operator=(const JobChannel&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// False when the channel is full (bounded admission: the caller
+  /// rejects or retries, nothing blocks).
+  bool try_push(T value) {
+    Cell* cell = nullptr;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::ptrdiff_t>(seq) -
+                       static_cast<std::ptrdiff_t>(pos);
+      if (dif == 0) {
+        // Cell free for this lap: claim the position.
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // a full lap behind: the queue is full
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// False when the channel is empty.
+  bool try_pop(T& out) {
+    Cell* cell = nullptr;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::ptrdiff_t>(seq) -
+                       static_cast<std::ptrdiff_t>(pos + 1);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // nothing published at this position yet
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    cell->seq.store(pos + capacity_, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy size estimate (monitoring / back-pressure hints only).
+  [[nodiscard]] std::size_t size_approx() const {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    return h > t ? h - t : 0;
+  }
+
+  [[nodiscard]] bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< next producer position
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< next consumer position
+};
+
+}  // namespace por::serve

@@ -1,0 +1,347 @@
+#include "por/serve/service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "por/obs/registry.hpp"
+#include "por/obs/span.hpp"
+#include "por/util/contracts.hpp"
+
+namespace por::serve {
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+const char* to_string(Admission admission) {
+  switch (admission) {
+    case Admission::kAccepted:
+      return "accepted";
+    case Admission::kQueueFull:
+      return "queue_full";
+    case Admission::kQuotaExhausted:
+      return "quota_exhausted";
+    case Admission::kUnknownTenant:
+      return "unknown_tenant";
+    case Admission::kUnknownModel:
+      return "unknown_model";
+    case Admission::kDraining:
+      return "draining";
+    case Admission::kBadRequest:
+      return "bad_request";
+  }
+  return "?";
+}
+
+RefineService::RefineService(ServiceOptions options)
+    : options_(std::move(options)) {
+  clock_ = options_.clock_ns ? options_.clock_ns
+                             : [] { return obs::now_ns(); };
+
+  obs::MetricsRegistry& registry = obs::current_registry();
+  submitted_ = &registry.counter("serve.jobs.submitted");
+  accepted_ = &registry.counter("serve.jobs.accepted");
+  completed_ = &registry.counter("serve.jobs.completed");
+  failed_ = &registry.counter("serve.jobs.failed");
+  cancelled_ = &registry.counter("serve.jobs.cancelled");
+  rejected_queue_ = &registry.counter("serve.jobs.rejected.queue_full");
+  rejected_quota_ = &registry.counter("serve.jobs.rejected.quota");
+  rejected_other_ = &registry.counter("serve.jobs.rejected.other");
+  queue_depth_ = &registry.gauge("serve.queue_depth");
+  running_gauge_ = &registry.gauge("serve.jobs_running");
+  // Log buckets 100 us .. ~1000 s, 5 per decade: tight enough for a
+  // meaningful p99 on sub-millisecond jobs, wide enough for full-size
+  // refinements.
+  latency_ = &registry.log_histogram("serve.job_latency_seconds", 1e-4, 1e3, 5);
+
+  POR_EXPECT(options_.queue_capacity > 0, "serve: queue_capacity must be > 0");
+  queue_ = std::make_unique<JobChannel<std::uint64_t>>(options_.queue_capacity);
+
+  open_tenancy_ = options_.tenants.empty();
+  for (const TenantConfig& tenant : options_.tenants) {
+    tenant_entry_locked(tenant.name);  // pre-register configured tenants
+  }
+
+  SchedulerOptions sched = options_.scheduler;
+  if (options_.workers != 0) sched.workers = options_.workers;
+  scheduler_ = std::make_unique<Scheduler>(sched);
+
+  max_running_ = options_.max_running != 0 ? options_.max_running
+                                           : 2 * scheduler_->workers();
+
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+RefineService::~RefineService() { shutdown(); }
+
+RefineService::Tenant& RefineService::tenant_entry_locked(
+    const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    TokenBucket bucket(0.0, 0.0);  // unlimited (open tenancy)
+    for (const TenantConfig& config : options_.tenants) {
+      if (config.name == name) {
+        bucket = TokenBucket(config.rate_per_sec, config.burst);
+        break;
+      }
+    }
+    obs::MetricsRegistry& registry = obs::current_registry();
+    Tenant entry{std::move(bucket),
+                 &registry.counter("serve.tenant." + name + ".accepted"),
+                 &registry.counter("serve.tenant." + name + ".completed"),
+                 &registry.counter("serve.tenant." + name + ".rejected_quota")};
+    it = tenants_.emplace(name, std::move(entry)).first;
+  }
+  return it->second;
+}
+
+void RefineService::register_model(const std::string& name,
+                                   const em::Volume<double>& map,
+                                   const core::RefinerConfig& config) {
+  // Build outside the lock: the padded 3D DFT is the expensive part and
+  // must not stall the admission path.
+  auto refiner = std::make_shared<const core::OrientationRefiner>(map, config);
+  std::lock_guard<std::mutex> lock(mutex_);
+  models_[name] = std::move(refiner);
+}
+
+SubmitResult RefineService::submit(JobRequest request) {
+  submitted_->add();
+  const auto reject = [this](Admission why) {
+    (why == Admission::kQueueFull
+         ? rejected_queue_
+         : why == Admission::kQuotaExhausted ? rejected_quota_
+                                             : rejected_other_)
+        ->add();
+    return SubmitResult{0, why};
+  };
+
+  if (request.views.empty() ||
+      request.views.size() != request.initial.size() ||
+      (!request.centers.empty() &&
+       request.centers.size() != request.views.size())) {
+    return reject(Admission::kBadRequest);
+  }
+
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_ || stop_) return reject(Admission::kDraining);
+
+    auto model = models_.find(request.model);
+    if (model == models_.end()) return reject(Admission::kUnknownModel);
+
+    if (!open_tenancy_ && tenants_.find(request.tenant) == tenants_.end()) {
+      return reject(Admission::kUnknownTenant);
+    }
+    Tenant& tenant = tenant_entry_locked(request.tenant);
+
+    // Bounded backlog before the bucket: a queue-full shed is a
+    // service-wide condition, so it must not also debit the tenant's
+    // tokens (a client retrying through a full queue would otherwise
+    // get double-punished with kQuotaExhausted once the queue opens).
+    // `queued_` is the exact admitted-not-dispatched count (the channel
+    // itself rounds capacity up to a power of two).
+    if (queued_ >= options_.queue_capacity) {
+      return reject(Admission::kQueueFull);
+    }
+    if (!tenant.bucket.try_acquire(now_ns())) {
+      tenant.rejected_quota->add();
+      return reject(Admission::kQuotaExhausted);
+    }
+
+    job = std::make_shared<Job>();
+    job->id = next_job_id_++;
+    job->state = JobState::kQueued;
+    job->tenant = request.tenant;
+    job->model = request.model;
+    job->refiner = model->second;
+    job->views = std::move(request.views);
+    job->initial = std::move(request.initial);
+    job->centers = std::move(request.centers);
+    job->results.resize(job->views.size());
+    job->submit_ns = now_ns();
+    jobs_[job->id] = job;
+
+    const bool pushed = queue_->try_push(job->id);
+    POR_ENSURE(pushed, "serve: admission accounting allowed an overfull queue",
+               "queued =", queued_, "capacity =", options_.queue_capacity);
+    ++queued_;
+    queue_depth_->set(static_cast<double>(queued_));
+    tenant.accepted->add();
+  }
+  accepted_->add();
+  cv_dispatch_.notify_one();
+  return SubmitResult{job->id, Admission::kAccepted};
+}
+
+void RefineService::dispatcher_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_dispatch_.wait(lock, [this] {
+      return stop_ || (queued_ > 0 && running_ < max_running_);
+    });
+    if (stop_) return;
+
+    std::uint64_t id = 0;
+    const bool popped = queue_->try_pop(id);
+    POR_ENSURE(popped, "serve: queued_ says backlog but channel is empty",
+               "queued =", queued_);
+    --queued_;
+    queue_depth_->set(static_cast<double>(queued_));
+
+    auto it = jobs_.find(id);
+    POR_EXPECT(it != jobs_.end(), "serve: queued job id unknown", "id =", id);
+    std::shared_ptr<Job> job = it->second;
+    if (job->state == JobState::kCancelled) {
+      // No finalize will run for this job; wake drain() waiters in case
+      // this pop emptied the backlog.
+      cv_job_.notify_all();
+      continue;
+    }
+
+    job->state = JobState::kRunning;
+    job->start_ns = now_ns();
+    ++running_;
+    running_gauge_->set(static_cast<double>(running_));
+
+    lock.unlock();
+    dispatch(job);
+    lock.lock();
+  }
+}
+
+void RefineService::dispatch(const std::shared_ptr<Job>& job) {
+  const std::size_t n = job->views.size();
+  Job* raw = job.get();  // the batch body/callback keep `job` alive
+  scheduler_->submit(
+      n,
+      [raw](std::size_t i) {
+        const auto center = raw->centers.empty()
+                                ? std::pair<double, double>{0.0, 0.0}
+                                : raw->centers[i];
+        raw->results[i] = raw->refiner->refine_view(
+            raw->views[i], raw->initial[i], center.first, center.second);
+      },
+      [this, job](Batch& batch) { finalize(job, batch); });
+}
+
+void RefineService::finalize(const std::shared_ptr<Job>& job, Batch& batch) {
+  std::string error;
+  if (batch.failed()) {
+    try {
+      batch.wait();  // already complete; rethrows the recorded error
+    } catch (const std::exception& e) {
+      error = e.what();
+    } catch (...) {
+      error = "unknown refinement error";
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->end_ns = now_ns();
+    if (batch.failed()) {
+      job->state = JobState::kFailed;
+      job->error = error.empty() ? "refinement failed" : error;
+      failed_->add();
+    } else {
+      job->state = JobState::kDone;
+      completed_->add();
+      tenant_entry_locked(job->tenant).completed->add();
+    }
+    latency_->observe(static_cast<double>(job->end_ns - job->submit_ns) *
+                      1e-9);
+    POR_EXPECT(running_ > 0, "serve: finalize without a running job");
+    --running_;
+    running_gauge_->set(static_cast<double>(running_));
+  }
+  cv_job_.notify_all();
+  cv_dispatch_.notify_all();
+}
+
+JobStatus RefineService::status_locked(const Job& job) const {
+  JobStatus out;
+  out.job = job.id;
+  out.state = job.state;
+  out.tenant = job.tenant;
+  out.model = job.model;
+  out.error = job.error;
+  if (job.end_ns != 0) {
+    out.latency_seconds =
+        static_cast<double>(job.end_ns - job.submit_ns) * 1e-9;
+  }
+  if (job.state == JobState::kDone) out.results = job.results;
+  return out;
+}
+
+JobStatus RefineService::status(std::uint64_t job) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) {
+    throw std::out_of_range("serve: unknown job id " + std::to_string(job));
+  }
+  return status_locked(*it->second);
+}
+
+JobStatus RefineService::wait(std::uint64_t job) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) {
+    throw std::out_of_range("serve: unknown job id " + std::to_string(job));
+  }
+  std::shared_ptr<Job> entry = it->second;
+  cv_job_.wait(lock, [&] {
+    return entry->state == JobState::kDone ||
+           entry->state == JobState::kFailed ||
+           entry->state == JobState::kCancelled;
+  });
+  return status_locked(*entry);
+}
+
+bool RefineService::cancel(std::uint64_t job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(job);
+    if (it == jobs_.end() || it->second->state != JobState::kQueued) {
+      return false;
+    }
+    // The id stays in the channel; the dispatcher pops and skips it.
+    it->second->state = JobState::kCancelled;
+    it->second->end_ns = now_ns();
+    cancelled_->add();
+  }
+  cv_job_.notify_all();
+  return true;
+}
+
+void RefineService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  draining_ = true;
+  cv_job_.wait(lock, [this] { return queued_ == 0 && running_ == 0; });
+}
+
+void RefineService::shutdown() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    stop_ = true;
+  }
+  cv_dispatch_.notify_all();
+  dispatcher_.join();
+}
+
+}  // namespace por::serve

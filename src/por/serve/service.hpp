@@ -1,0 +1,237 @@
+// por/serve/service.hpp
+//
+// RefineService — the multi-tenant refinement server core
+// (DESIGN.md §11).  Turns the one-shot batch pipeline into a
+// long-running service: clients register density-map models once,
+// then submit refinement jobs (a shard of views + initial orientations
+// against a named model); the service admits or rejects each job at
+// the front door, queues admitted jobs, and executes them on the
+// work-stealing Scheduler with many jobs in flight at once.
+//
+// Admission control is two-layered and O(1) per submit:
+//   * per-tenant token buckets (rate + burst) — a noisy tenant is
+//     rejected with kQuotaExhausted while the others keep flowing;
+//   * a bounded job queue — when the backlog hits queue_capacity the
+//     service sheds load with kQueueFull instead of growing an
+//     unbounded queue and blowing its latency promise.
+//
+// Job lifecycle: kQueued -> kRunning -> {kDone, kFailed}; a queued job
+// can be cancelled (kCancelled).  Rejected submissions never get a job
+// id.  drain() stops admission and waits for the backlog to empty;
+// shutdown() drains and joins; the destructor is a shutdown().
+//
+// Determinism: per-view refinement is deterministic and the Scheduler
+// executes every view of a job exactly once, so a job's refined
+// orientations are bitwise-identical to a serial single-tenant run of
+// the same job, at any worker count and under any tenant mix.
+//
+// Observability (por::obs, the registry current on the constructing
+// thread): serve.jobs.* counters, per-tenant serve.tenant.<name>.*
+// counters, queue-depth / running gauges, and the log-bucket
+// serve.job_latency_seconds histogram whose p50/p95/p99 land in every
+// JSON / Prometheus export.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "por/core/refiner.hpp"
+#include "por/serve/scheduler.hpp"
+#include "por/serve/token_bucket.hpp"
+
+namespace por::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace por::obs
+
+namespace por::serve {
+
+struct TenantConfig {
+  std::string name;
+  double rate_per_sec = 0.0;  ///< sustained jobs/s; <= 0 means unlimited
+  double burst = 16.0;        ///< instantaneous burst allowance
+};
+
+enum class JobState : std::uint8_t {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,
+};
+
+enum class Admission : std::uint8_t {
+  kAccepted,
+  kQueueFull,       ///< bounded queue at capacity — shed load
+  kQuotaExhausted,  ///< tenant token bucket empty
+  kUnknownTenant,   ///< tenant not configured (closed tenancy only)
+  kUnknownModel,    ///< model name never registered
+  kDraining,        ///< service is draining or shut down
+  kBadRequest,      ///< empty job or mismatched view/orientation sizes
+};
+
+[[nodiscard]] const char* to_string(JobState state);
+[[nodiscard]] const char* to_string(Admission admission);
+
+struct ServiceOptions {
+  /// Scheduler worker threads (0 → hardware_concurrency).
+  std::size_t workers = 0;
+  /// Bounded admission queue: jobs admitted but not yet dispatched.
+  std::size_t queue_capacity = 64;
+  /// Jobs running on the scheduler at once (0 → 2 x workers).  The cap
+  /// keeps per-job latency bounded instead of thrashing every job at
+  /// once.
+  std::size_t max_running = 0;
+  /// Configured tenants.  Empty → open tenancy: any tenant name is
+  /// admitted with an unlimited quota.
+  std::vector<TenantConfig> tenants;
+  /// Work-stealing knobs + fault plan; `workers` above wins over
+  /// scheduler.workers.
+  SchedulerOptions scheduler;
+  /// Injectable clock (monotonic nanoseconds) for quota refill and
+  /// latency measurement; tests drive it by hand.  Null → steady clock.
+  std::function<std::uint64_t()> clock_ns;
+};
+
+struct JobRequest {
+  std::string tenant;
+  std::string model;
+  std::vector<em::Image<double>> views;
+  std::vector<em::Orientation> initial;
+  /// Optional per-view centers (empty → all (0, 0)).
+  std::vector<std::pair<double, double>> centers;
+};
+
+struct SubmitResult {
+  std::uint64_t job = 0;  ///< valid only when accepted
+  Admission admission = Admission::kAccepted;
+  [[nodiscard]] bool accepted() const {
+    return admission == Admission::kAccepted;
+  }
+};
+
+struct JobStatus {
+  std::uint64_t job = 0;
+  JobState state = JobState::kQueued;
+  std::string tenant;
+  std::string model;
+  std::string error;  ///< kFailed only
+  /// submit → finish wall time; valid once the job reached a terminal
+  /// state.
+  double latency_seconds = 0.0;
+  /// Refined per-view records, in view order; kDone only.
+  std::vector<core::ViewResult> results;
+};
+
+class RefineService {
+ public:
+  explicit RefineService(ServiceOptions options);
+  RefineService(const RefineService&) = delete;
+  RefineService& operator=(const RefineService&) = delete;
+  ~RefineService();  ///< shutdown()
+
+  /// Build and cache the refiner for `name` (padded 3D DFT of `map`,
+  /// serial — do it at startup, not on the request path).  Re-register
+  /// to replace.  Thread-safe.
+  void register_model(const std::string& name, const em::Volume<double>& map,
+                      const core::RefinerConfig& config);
+
+  /// Admission-controlled, non-blocking submit.
+  SubmitResult submit(JobRequest request);
+
+  /// Snapshot of one job's lifecycle (results included once done).
+  [[nodiscard]] JobStatus status(std::uint64_t job) const;
+
+  /// Block until the job reaches a terminal state, then return it.
+  JobStatus wait(std::uint64_t job);
+
+  /// Cancel a queued job.  False if unknown or already running/done.
+  bool cancel(std::uint64_t job);
+
+  /// Stop admitting and wait until queued == running == 0.
+  void drain();
+
+  /// drain() + stop the dispatcher.  Idempotent.
+  void shutdown();
+
+  [[nodiscard]] std::size_t workers() const { return scheduler_->workers(); }
+  [[nodiscard]] const Scheduler& scheduler() const { return *scheduler_; }
+
+ private:
+  struct Tenant {
+    TokenBucket bucket;
+    obs::Counter* accepted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* rejected_quota = nullptr;
+  };
+
+  struct Job {
+    std::uint64_t id = 0;
+    JobState state = JobState::kQueued;
+    std::string tenant;
+    std::string model;
+    std::string error;
+    std::shared_ptr<const core::OrientationRefiner> refiner;
+    std::vector<em::Image<double>> views;
+    std::vector<em::Orientation> initial;
+    std::vector<std::pair<double, double>> centers;
+    std::vector<core::ViewResult> results;
+    std::uint64_t submit_ns = 0;
+    std::uint64_t start_ns = 0;
+    std::uint64_t end_ns = 0;
+  };
+
+  void dispatcher_loop();
+  void dispatch(const std::shared_ptr<Job>& job);
+  void finalize(const std::shared_ptr<Job>& job, Batch& batch);
+  Tenant& tenant_entry_locked(const std::string& name);
+  [[nodiscard]] JobStatus status_locked(const Job& job) const;
+  [[nodiscard]] std::uint64_t now_ns() const { return clock_(); }
+
+  ServiceOptions options_;
+  std::function<std::uint64_t()> clock_;
+  std::size_t max_running_ = 0;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_dispatch_;  ///< dispatcher: backlog / slots
+  std::condition_variable cv_job_;       ///< waiters: job state changes
+  std::map<std::string, Tenant> tenants_;
+  bool open_tenancy_ = false;
+  std::map<std::string, std::shared_ptr<const core::OrientationRefiner>>
+      models_;
+  std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::uint64_t next_job_id_ = 1;
+  std::size_t queued_ = 0;
+  std::size_t running_ = 0;
+  bool draining_ = false;
+  bool stop_ = false;
+  bool stopped_ = false;
+
+  std::unique_ptr<JobChannel<std::uint64_t>> queue_;
+  std::unique_ptr<Scheduler> scheduler_;
+
+  obs::Counter* submitted_;
+  obs::Counter* accepted_;
+  obs::Counter* completed_;
+  obs::Counter* failed_;
+  obs::Counter* cancelled_;
+  obs::Counter* rejected_queue_;
+  obs::Counter* rejected_quota_;
+  obs::Counter* rejected_other_;
+  obs::Gauge* queue_depth_;
+  obs::Gauge* running_gauge_;
+  obs::Histogram* latency_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace por::serve

@@ -1,0 +1,137 @@
+// por/serve/steal_deque.hpp
+//
+// Chase-Lev work-stealing deque (Chase & Lev, SPAA 2005) in the
+// bounded, fence-free formulation: one owner thread pushes and pops at
+// the bottom, any number of thief threads steal from the top.  Every
+// shared cell is a std::atomic, so the implementation is TSan-clean by
+// construction — there is no non-atomic access a fence would have to
+// order, and no standalone memory fences (TSan does not model them).
+//
+// Memory-order argument (DESIGN.md §11):
+//
+//  * push():  the buffer-cell store is relaxed and published by the
+//    release store of bottom_; a thief that observes the new bottom via
+//    its seq_cst load also observes the cell contents.
+//  * pop():   the owner reserves the bottom slot with a seq_cst store
+//    of bottom_ before its seq_cst load of top_.  Together with the
+//    thief's seq_cst {load top_, load bottom_, CAS top_} this is the
+//    classic SC race resolution: when owner and thief contend for the
+//    last element exactly one of them wins the CAS on top_.
+//  * steal(): loads top_ then bottom_ (both seq_cst); if the interval
+//    is non-empty it reads the cell (relaxed — published by push's
+//    release) and claims it by CAS on top_.  A failed CAS means
+//    another thief or the owner took the element; the caller treats it
+//    as "try elsewhere", not as corruption.
+//
+// The capacity is fixed at construction (rounded up to a power of
+// two): push() reports failure instead of growing, and the caller
+// (por::serve::Scheduler) overflows into the MPMC JobChannel.  Fixed
+// capacity sidesteps the buffer-reclamation problem that makes the
+// growable Chase-Lev deque hard to get right, at zero cost for our
+// workload where the per-worker backlog is bounded by the batch size.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+
+#include "por/util/contracts.hpp"
+
+namespace por::serve {
+
+/// Round up to the next power of two (minimum 2).
+[[nodiscard]] constexpr std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+template <typename T>
+class StealDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "StealDeque cells are raw atomics; T must be trivially "
+                "copyable (use an index or a pointer)");
+
+ public:
+  explicit StealDeque(std::size_t capacity)
+      : capacity_(next_pow2(capacity)),
+        mask_(capacity_ - 1),
+        buffer_(std::make_unique<std::atomic<T>[]>(capacity_)) {}
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Owner only.  False when the deque is full (caller overflows into
+  /// the shared channel).
+  bool push(T value) {
+    const std::size_t b = bottom_.load(std::memory_order_relaxed);
+    const std::size_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= capacity_) return false;
+    buffer_[b & mask_].store(value, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  /// Owner only.  LIFO end — the owner works on what it pushed last,
+  /// which keeps its working set hot while thieves drain the cold top.
+  bool pop(T& out) {
+    const std::size_t b = bottom_.load(std::memory_order_relaxed);
+    const std::size_t t0 = top_.load(std::memory_order_relaxed);
+    if (t0 >= b) return false;  // empty, no reservation needed
+    // Reserve the bottom slot, then re-read top: the seq_cst ordering
+    // of this store against the thieves' top/bottom loads decides who
+    // owns the contested last element.
+    bottom_.store(b - 1, std::memory_order_seq_cst);
+    std::size_t t = top_.load(std::memory_order_seq_cst);
+    if (t < b - 1) {
+      // More than one element left: the slot is ours uncontested.
+      out = buffer_[(b - 1) & mask_].load(std::memory_order_relaxed);
+      return true;
+    }
+    bool won = false;
+    if (t == b - 1) {
+      // Exactly one element: race the thieves for it via top_.
+      out = buffer_[(b - 1) & mask_].load(std::memory_order_relaxed);
+      won = top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                         std::memory_order_relaxed);
+    }
+    bottom_.store(b, std::memory_order_seq_cst);  // restore: deque now empty
+    return won;
+  }
+
+  /// Any thread.  FIFO end.  False means empty *or* lost a race —
+  /// callers must treat it as "nothing here right now".
+  bool steal(T& out) {
+    std::size_t t = top_.load(std::memory_order_seq_cst);
+    const std::size_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;
+    out = buffer_[t & mask_].load(std::memory_order_relaxed);
+    return top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed);
+  }
+
+  /// Racy size estimate (monitoring only).
+  [[nodiscard]] std::size_t size_approx() const {
+    const std::size_t b = bottom_.load(std::memory_order_relaxed);
+    const std::size_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+  [[nodiscard]] bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  // top_/bottom_ are monotonically increasing indices; the buffer is a
+  // power-of-two ring.  Unsigned wraparound is harmless: b - t is the
+  // element count as long as fewer than SIZE_MAX pushes happen, and a
+  // deque processes nowhere near that.
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<std::atomic<T>[]> buffer_;
+  alignas(64) std::atomic<std::size_t> top_{0};
+  alignas(64) std::atomic<std::size_t> bottom_{0};
+};
+
+}  // namespace por::serve

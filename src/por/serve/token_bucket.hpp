@@ -1,0 +1,64 @@
+// por/serve/token_bucket.hpp
+//
+// Per-tenant admission quota: the classic token bucket.  A tenant may
+// burst up to `burst` jobs instantly; sustained throughput is capped
+// at `rate_per_sec` jobs per second.  Time is passed in explicitly
+// (nanoseconds from any monotonic origin) so tests drive the clock by
+// hand and the refill arithmetic stays deterministic.
+//
+// Not internally synchronized: RefineService consults every bucket
+// under its admission mutex, which also orders the bounded-queue
+// check — admission is one short critical section either way.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "por/util/contracts.hpp"
+
+namespace por::serve {
+
+class TokenBucket {
+ public:
+  /// `rate_per_sec` <= 0 means "unlimited" (the bucket always grants).
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_(rate_per_sec), burst_(std::max(burst, 1.0)), tokens_(burst_) {}
+
+  /// Refill for the elapsed time, then try to take `cost` tokens.
+  bool try_acquire(std::uint64_t now_ns, double cost = 1.0) {
+    if (rate_ <= 0.0) return true;
+    POR_EXPECT(cost >= 0.0, "token cost must be non-negative:", cost);
+    refill(now_ns);
+    if (tokens_ < cost) return false;
+    tokens_ -= cost;
+    return true;
+  }
+
+  /// Tokens currently available (after refilling to `now_ns`).
+  [[nodiscard]] double available(std::uint64_t now_ns) {
+    refill(now_ns);
+    return tokens_;
+  }
+
+  [[nodiscard]] double rate_per_sec() const { return rate_; }
+  [[nodiscard]] double burst() const { return burst_; }
+
+ private:
+  void refill(std::uint64_t now_ns) {
+    if (last_ns_ == 0) {
+      last_ns_ = now_ns;  // first observation anchors the clock
+      return;
+    }
+    if (now_ns <= last_ns_) return;  // clock must be monotonic; be safe
+    const double elapsed = static_cast<double>(now_ns - last_ns_) * 1e-9;
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+    last_ns_ = now_ns;
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  std::uint64_t last_ns_ = 0;
+};
+
+}  // namespace por::serve

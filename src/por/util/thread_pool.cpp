@@ -23,7 +23,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
   }
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
   POR_ENSURE(!threads_.empty(), "pool constructed with zero workers");
 }
@@ -49,6 +49,23 @@ void ThreadPool::submit(std::function<void()> task) {
   }
   tasks_counter_->add();
   work_available_.notify_one();
+}
+
+void ThreadPool::set_task_source(TaskSource* source) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    source_ = source;
+    ++source_epoch_;
+  }
+  work_available_.notify_all();
+}
+
+void ThreadPool::notify_source() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++source_epoch_;
+  }
+  work_available_.notify_all();
 }
 
 void ThreadPool::wait_idle() {
@@ -94,27 +111,52 @@ void ThreadPool::finish_one() {
   if (--in_flight_ == 0) idle_.notify_all();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker) {
+  // Epoch handshake with notify_source(): the worker records the epoch
+  // *before* polling the source dry, so a producer that publishes work
+  // and bumps the epoch concurrently always either (a) is seen by the
+  // poll, or (b) changes the epoch and defeats the sleep predicate.
+  // Idle workers therefore block — never spin, never miss a wakeup.
+  std::uint64_t seen_epoch = 0;
   for (;;) {
     Task task;
+    bool have_task = false;
+    TaskSource* source = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      queue_depth_->set(static_cast<double>(queue_.size()));
+      work_available_.wait(lock, [&] {
+        return stopping_ || !queue_.empty() ||
+               (source_ != nullptr && source_epoch_ != seen_epoch);
+      });
+      if (stopping_ && queue_.empty()) return;
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        queue_depth_->set(static_cast<double>(queue_.size()));
+        have_task = true;
+      } else {
+        seen_epoch = source_epoch_;
+        source = source_;
+      }
     }
-    task_wait_->observe(static_cast<double>(obs::now_ns() - task.enqueued_ns) *
-                        1e-9);
-    try {
-      task.fn();
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+    if (have_task) {
+      task_wait_->observe(
+          static_cast<double>(obs::now_ns() - task.enqueued_ns) * 1e-9);
+      try {
+        task.fn();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      finish_one();
+      continue;
     }
-    finish_one();
+    // FIFO empty: drain the injected source outside the lock, then go
+    // back to sleep until the epoch moves again.
+    if (source != nullptr) {
+      while (source->run_one(worker)) {
+      }
+    }
   }
 }
 

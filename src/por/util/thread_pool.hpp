@@ -13,6 +13,15 @@
 // next wait_idle() (and therefore from parallel_for) on the caller's
 // thread; later exceptions from the same batch are dropped.
 //
+// Injectable task source: beyond the built-in FIFO queue, a TaskSource
+// can be installed (set_task_source).  Workers that find the FIFO
+// empty poll the source — this is how por::serve::Scheduler turns the
+// pool's threads into work-stealing workers without owning threads of
+// its own.  Idle workers never spin: whether the FIFO or the source
+// runs dry, they block on the pool's condition variable until
+// submit() or notify_source() wakes them (the epoch handshake in
+// worker_loop makes the sleep lost-wakeup-free).
+//
 // Observability: the pool publishes `pool.tasks` (counter),
 // `pool.queue_depth` / `pool.queue_depth_peak` (gauges) and
 // `pool.task_wait_seconds` (histogram of submit->start latency) to the
@@ -36,6 +45,19 @@ class Histogram;
 }  // namespace por::obs
 
 namespace por::util {
+
+/// External supplier of work for ThreadPool workers.  run_one(worker)
+/// executes at most one unit of work on the calling thread and returns
+/// whether anything ran; `worker` is the stable pool-worker ordinal in
+/// [0, size()), which lets the source keep per-worker state (e.g. one
+/// work-stealing deque per worker).  run_one must not throw — the
+/// source owns its error model (the pool's first_error_ channel only
+/// covers its own FIFO tasks).
+class TaskSource {
+ public:
+  virtual ~TaskSource() = default;
+  virtual bool run_one(std::size_t worker) = 0;
+};
 
 // CONTRACT: in_flight_ counts exactly the submitted-but-unfinished
 // tasks (each submit() pairs with one finish_one()); wait_idle()'s
@@ -68,13 +90,24 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
+  /// Install (or, with nullptr, remove) an external task source.  The
+  /// source must outlive its installation and must be quiescent — no
+  /// unfinished source work — when it is removed.  Workers prefer the
+  /// FIFO queue and fall back to the source.
+  void set_task_source(TaskSource* source);
+
+  /// Wake the workers to poll the task source: call after making new
+  /// source work visible.  Cheap when nobody sleeps; never lost —
+  /// every call bumps the epoch the sleep predicate watches.
+  void notify_source();
+
  private:
   struct Task {
     std::function<void()> fn;
     std::uint64_t enqueued_ns = 0;
   };
 
-  void worker_loop();
+  void worker_loop(std::size_t worker);
   void finish_one();
 
   std::vector<std::thread> threads_;
@@ -85,6 +118,8 @@ class ThreadPool {
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
   std::exception_ptr first_error_;
+  TaskSource* source_ = nullptr;     ///< guarded by mutex_
+  std::uint64_t source_epoch_ = 1;   ///< bumped by notify_source()
 
   // obs handles, resolved once against the constructing thread's
   // registry; never null.

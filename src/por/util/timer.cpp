@@ -3,23 +3,32 @@
 namespace por::util {
 
 void StepTimes::add(const std::string& step, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
   entries_[step] += seconds;
 }
 
 double StepTimes::get(const std::string& step) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(step);
   return it == entries_.end() ? 0.0 : it->second;
 }
 
 double StepTimes::total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   double sum = 0.0;
   for (const auto& [name, secs] : entries_) sum += secs;
   return sum;
 }
 
 double StepTimes::fraction(const std::string& step) const {
-  const double t = total();
-  return t > 0.0 ? get(step) / t : 0.0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  double sum = 0.0;
+  double step_sum = 0.0;
+  for (const auto& [name, secs] : entries_) {
+    sum += secs;
+    if (name == step) step_sum = secs;
+  }
+  return sum > 0.0 ? step_sum / sum : 0.0;
 }
 
 }  // namespace por::util

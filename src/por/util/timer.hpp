@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace por::util {
@@ -42,8 +43,25 @@ class WallTimer {
 /// Used to build the step-by-step breakdown of a refinement cycle
 /// ("3D DFT", "Read image", "FFT analysis", "Orientation refinement")
 /// exactly as the paper tabulates it.
+///
+/// Thread-safe: concurrent add() from many workers is the normal case
+/// now that refine_view runs on the work-stealing scheduler (the
+/// refiner's per-step accounting funnels through one shared StepTimes).
+/// Accumulation order still affects the low bits of a bucket under
+/// concurrency — treat the values as measurements, not invariants.
 class StepTimes {
  public:
+  StepTimes() = default;
+  StepTimes(const StepTimes& other) : entries_(other.entries()) {}
+  StepTimes& operator=(const StepTimes& other) {
+    if (this != &other) {
+      auto copy = other.entries();
+      std::lock_guard<std::mutex> lock(mutex_);
+      entries_ = std::move(copy);
+    }
+    return *this;
+  }
+
   /// Add `seconds` to the bucket named `step`.
   void add(const std::string& step, double seconds);
 
@@ -56,15 +74,20 @@ class StepTimes {
   /// Fraction of total() spent in `step`; 0 when nothing was recorded.
   [[nodiscard]] double fraction(const std::string& step) const;
 
-  /// All buckets in insertion-independent (sorted) order.
-  [[nodiscard]] const std::map<std::string, double>& entries() const {
+  /// Snapshot of all buckets in insertion-independent (sorted) order.
+  [[nodiscard]] std::map<std::string, double> entries() const {
+    std::lock_guard<std::mutex> lock(mutex_);
     return entries_;
   }
 
   /// Drop all recorded buckets.
-  void clear() { entries_.clear(); }
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+  }
 
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, double> entries_;
 };
 

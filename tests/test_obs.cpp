@@ -14,6 +14,7 @@
 #include "por/obs/registry.hpp"
 #include "por/obs/run_report.hpp"
 #include "por/obs/span.hpp"
+#include "por/util/rng.hpp"
 #include "por/vmpi/runtime.hpp"
 
 namespace {
@@ -88,6 +89,80 @@ TEST(Registry, HistogramBucketing) {
 TEST(Registry, HistogramRejectsUnsortedBounds) {
   obs::MetricsRegistry registry;
   EXPECT_THROW(registry.histogram("bad", {10.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Registry, LogBoundsCoverTheRequestedRangeGeometrically) {
+  const std::vector<double> bounds = obs::Histogram::log_bounds(1e-4, 1e3, 5);
+  ASSERT_GE(bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-4);
+  EXPECT_GE(bounds.back(), 1e3);
+  const double ratio = std::pow(10.0, 1.0 / 5.0);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_NEAR(bounds[i] / bounds[i - 1], ratio, 1e-12) << "step " << i;
+  }
+  EXPECT_THROW(obs::Histogram::log_bounds(0.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram::log_bounds(1.0, 1.0, 5), std::invalid_argument);
+}
+
+TEST(Registry, LogHistogramIndexesLikeTheLinearScan) {
+  // Same observations into a geometric ladder (O(1) log-index path)
+  // and a plain histogram with identical bounds where the geometry is
+  // broken by one bucket (linear-scan path); every bucket must agree
+  // except where the ladders differ — so build TWO geometric-bound
+  // histograms, one fed through observe(), one bucketed by hand.
+  obs::MetricsRegistry registry;
+  const std::vector<double> bounds = obs::Histogram::log_bounds(1e-3, 1e2, 4);
+  obs::Histogram& fast = registry.histogram("fast", bounds);
+  std::vector<std::uint64_t> reference(bounds.size() + 1, 0);
+  por::util::Rng rng(97);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = std::pow(10.0, rng.uniform(-4.0, 3.0));
+    fast.observe(v);
+    std::size_t b = bounds.size();
+    for (std::size_t k = 0; k < bounds.size(); ++k) {
+      if (v <= bounds[k]) {
+        b = k;
+        break;
+      }
+    }
+    ++reference[b];
+  }
+  // Exact boundary values too (the floating-point nudge path).
+  for (const double b : bounds) {
+    fast.observe(b);
+    std::size_t idx = bounds.size();
+    for (std::size_t k = 0; k < bounds.size(); ++k) {
+      if (b <= bounds[k]) {
+        idx = k;
+        break;
+      }
+    }
+    ++reference[idx];
+  }
+  for (std::size_t k = 0; k <= bounds.size(); ++k) {
+    EXPECT_EQ(fast.bucket(k), reference[k]) << "bucket " << k;
+  }
+}
+
+TEST(Registry, QuantileInterpolatesWithinBuckets) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("q", {10.0, 20.0, 30.0});
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));  // empty
+  for (int i = 0; i < 100; ++i) h.observe(5.0);    // bucket (0, 10]
+  for (int i = 0; i < 100; ++i) h.observe(15.0);   // bucket (10, 20]
+  // Median sits exactly at the bucket edge; p25/p75 in bucket middles.
+  EXPECT_NEAR(h.quantile(0.5), 10.0, 0.11);
+  EXPECT_NEAR(h.quantile(0.25), 5.0, 0.11);
+  EXPECT_NEAR(h.quantile(0.75), 15.0, 0.11);
+  EXPECT_NEAR(h.quantile(0.0), 0.1, 0.11);   // rank clamps to 1st sample
+  EXPECT_NEAR(h.quantile(1.0), 20.0, 1e-12);
+  h.observe(1e9);  // overflow bucket
+  // Ranks inside +inf report the last finite bound (defensible floor).
+  EXPECT_DOUBLE_EQ(h.quantile(0.9999), 30.0);
+  // The snapshot-side estimator agrees with the live one.
+  const obs::Snapshot snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(snap.histograms.at("q"), 0.75),
+                   h.quantile(0.75));
 }
 
 TEST(Registry, SnapshotCapturesEverything) {
@@ -225,6 +300,21 @@ TEST(Export, PrometheusTextFormat) {
   EXPECT_NE(text.find("por_wait_bucket{le=\"+Inf\"} 1"), std::string::npos);
   EXPECT_NE(text.find("por_step_match_seconds_total 2"), std::string::npos);
   EXPECT_NE(text.find("por_step_match_count 1"), std::string::npos);
+  EXPECT_NE(text.find("por_wait_quantile{quantile=\"0.99\"}"),
+            std::string::npos);
+}
+
+TEST(Export, JsonCarriesHistogramQuantiles) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.log_histogram("lat", 1e-3, 10.0, 3);
+  for (int i = 0; i < 100; ++i) h.observe(0.01);
+  const std::string json = obs::to_json(registry.snapshot());
+  EXPECT_NE(json.find("\"quantiles\":{\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  // The quantiles block is derived data: the parser skips it and the
+  // round trip still reproduces the snapshot exactly.
+  EXPECT_EQ(obs::snapshot_from_json(json), registry.snapshot());
 }
 
 TEST(Export, JsonRoundTripIsExact) {
