@@ -1,18 +1,27 @@
-// bench_matcher — the matcher hot-path trajectory benchmark.
+// bench_matcher — the matcher hot-path trajectory benchmark AND the
+// PR-7 perf/correctness gate.
 //
 // Times one matching operation (the paper's cost unit: every view
-// costs w^3 of these per level per slide) through both matcher paths:
+// costs w^3 of these per level per slide) through the matcher paths:
 //   scalar   — distance_reference(): per-pixel sqrt + ring test +
 //              transfer lerp + bounds-checked trilinear fetch,
-//   fast     — distance(): precomputed annulus table + split-complex
-//              SoA spectrum + branch-free interior trilinear kernel,
-// verifies their equivalence on the spot, measures the sliding-window
-// score-cache hit rate on a forced multi-slide search, and writes
-// everything to BENCH_matcher.json (override with --out <path>) so CI
-// can chart ns/matching over time.
+//   fast     — distance() on EVERY simd tier this machine + binary
+//              supports (sse2 / avx2 / avx512, forced per matcher via
+//              SimdOptions::isa), staged through the dispatched
+//              stage/consume kernel pair,
+// verifies every tier's equivalence against the scalar oracle on the
+// spot, measures the sliding-window score-cache hit rate on a forced
+// multi-slide search, counts general-heap allocations on the warmed
+// steady-state search path (must be ZERO — the por::arena contract),
+// and writes everything to BENCH_matcher.json (override with
+// --out <path>) so CI can chart ns/matching over time.
+//
+// Exit status: 1 if any tier diverges from the scalar oracle by more
+// than 1e-12 (relative) or the warmed steady-state search path touches
+// the general heap; 0 otherwise.  CI runs this as a hard gate.
 //
 // Timing protocol: each path's matching loop runs --reps times,
-// alternating fast/scalar so slow machine phases hit both, and the
+// alternating tiers/scalar so slow machine phases hit both, and the
 // reported ns/matching is the minimum over reps — the standard
 // noise-robust estimator on shared hardware.
 //
@@ -22,8 +31,11 @@
 //        --out <path> (default BENCH_matcher.json)
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -33,9 +45,38 @@
 #include "por/em/phantom.hpp"
 #include "por/obs/export.hpp"
 #include "por/obs/registry.hpp"
+#include "por/simd/isa.hpp"
+#include "por/simd/kernels.hpp"
 #include "por/util/cli.hpp"
 #include "por/util/rng.hpp"
 #include "por/util/timer.hpp"
+
+// ---------------------------------------------------------------------------
+// Counting global operator new/delete: the oracle for the "zero
+// general-heap allocations on the warmed steady-state search path"
+// contract (por/util/arena.hpp).  Counting is gated so only the probed
+// region pays the (relaxed) atomic increment.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<bool> g_count_heap{false};
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void* counted_alloc(std::size_t size) {
+  if (g_count_heap.load(std::memory_order_relaxed)) {
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -46,6 +87,8 @@ std::string json_number(double v) {
   std::snprintf(buffer, sizeof(buffer), "%.9g", v);
   return buffer;
 }
+
+constexpr double kMaxRelDiff = 1e-12;  ///< fast-vs-scalar gate
 
 }  // namespace
 
@@ -67,12 +110,33 @@ int main(int argc, char** argv) {
   em::PhantomSpec phantom;
   phantom.l = l;
   const em::BlobModel model = em::make_sindbis_like(phantom);
-  core::MatchOptions options;
-  options.pad = pad;
+  const em::Volume<double> lattice = model.rasterize(l);
 
+  // The tiers this machine + binary can actually run: kernel_table()
+  // clamps a requested tier down, so a tier is available exactly when
+  // its table answers for itself.
+  std::vector<simd::Isa> tiers;
+  for (const simd::Isa isa :
+       {simd::Isa::kSse2, simd::Isa::kAvx2, simd::Isa::kAvx512}) {
+    if (simd::kernel_table(isa).isa == isa) tiers.push_back(isa);
+  }
+  const simd::Isa best = tiers.back();
+
+  // One matcher per tier (SimdOptions::isa pins the dispatch, bypassing
+  // POR_FORCE_ISA — the bench measures every tier regardless of the
+  // environment).  The best tier doubles as the "fast" path and drives
+  // the scalar comparison + window probes.
   util::WallTimer build_timer;
-  const core::FourierMatcher matcher(model.rasterize(l), options);
-  const double build_seconds = build_timer.seconds();
+  std::vector<std::unique_ptr<core::FourierMatcher>> matchers;
+  for (const simd::Isa isa : tiers) {
+    core::MatchOptions options;
+    options.pad = pad;
+    options.simd.isa = isa;
+    matchers.push_back(std::make_unique<core::FourierMatcher>(lattice, options));
+  }
+  const double build_seconds =
+      build_timer.seconds() / static_cast<double>(tiers.size());
+  const core::FourierMatcher& matcher = *matchers.back();
 
   const em::Orientation truth{48.0, 160.0, 72.0};
   const em::Image<em::cdouble> spectrum =
@@ -97,42 +161,57 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Warm both paths (page in the tables / spectrum), then time.  Each
-  // path runs `reps` full passes, alternating fast/scalar so machine
-  // noise lands on both; min-of-reps is the reported estimate.
-  (void)matcher.distance(spectrum, truth);
+  // Warm every path (page in the tables / spectrum), then time.  Each
+  // path runs `reps` full passes, interleaved tier/scalar so machine
+  // noise lands on all of them; min-of-reps is the reported estimate.
+  for (const auto& m : matchers) (void)m->distance(spectrum, truth);
   (void)matcher.distance_reference(spectrum, truth);
 
-  std::vector<double> fast_scores(matchings), scalar_scores(matchings);
-  std::vector<double> fast_rep_seconds(reps), scalar_rep_seconds(reps);
+  std::vector<std::vector<double>> tier_scores(
+      tiers.size(), std::vector<double>(matchings));
+  std::vector<double> scalar_scores(matchings);
+  std::vector<std::vector<double>> tier_rep_seconds(
+      tiers.size(), std::vector<double>(reps));
+  std::vector<double> scalar_rep_seconds(reps);
   for (std::size_t rep = 0; rep < reps; ++rep) {
-    util::WallTimer fast_timer;
-    for (std::size_t i = 0; i < matchings; ++i) {
-      fast_scores[i] = matcher.distance(spectrum, candidates[i]);
+    for (std::size_t t = 0; t < tiers.size(); ++t) {
+      util::WallTimer tier_timer;
+      for (std::size_t i = 0; i < matchings; ++i) {
+        tier_scores[t][i] = matchers[t]->distance(spectrum, candidates[i]);
+      }
+      tier_rep_seconds[t][rep] = tier_timer.seconds();
     }
-    fast_rep_seconds[rep] = fast_timer.seconds();
     util::WallTimer scalar_timer;
     for (std::size_t i = 0; i < matchings; ++i) {
       scalar_scores[i] = matcher.distance_reference(spectrum, candidates[i]);
     }
     scalar_rep_seconds[rep] = scalar_timer.seconds();
   }
-  const double fast_seconds =
-      *std::min_element(fast_rep_seconds.begin(), fast_rep_seconds.end());
-  const double scalar_seconds =
-      *std::min_element(scalar_rep_seconds.begin(), scalar_rep_seconds.end());
+  const auto min_seconds = [](const std::vector<double>& seconds) {
+    return *std::min_element(seconds.begin(), seconds.end());
+  };
+  const double scalar_seconds = min_seconds(scalar_rep_seconds);
 
-  double max_rel_diff = 0.0;
-  for (std::size_t i = 0; i < matchings; ++i) {
-    const double scale = std::max(1.0, std::abs(scalar_scores[i]));
-    max_rel_diff = std::max(
-        max_rel_diff, std::abs(fast_scores[i] - scalar_scores[i]) / scale);
+  // Every tier must agree with the scalar oracle to 1e-12 (relative) —
+  // the FMA-contraction tolerance policy of por/simd/kernels.hpp.
+  std::vector<double> tier_max_rel_diff(tiers.size(), 0.0);
+  for (std::size_t t = 0; t < tiers.size(); ++t) {
+    for (std::size_t i = 0; i < matchings; ++i) {
+      const double scale = std::max(1.0, std::abs(scalar_scores[i]));
+      tier_max_rel_diff[t] =
+          std::max(tier_max_rel_diff[t],
+                   std::abs(tier_scores[t][i] - scalar_scores[i]) / scale);
+    }
   }
 
-  const double ns_fast =
-      fast_seconds * 1e9 / static_cast<double>(matchings);
   const double ns_scalar =
       scalar_seconds * 1e9 / static_cast<double>(matchings);
+  std::vector<double> tier_ns(tiers.size());
+  for (std::size_t t = 0; t < tiers.size(); ++t) {
+    tier_ns[t] =
+        min_seconds(tier_rep_seconds[t]) * 1e9 / static_cast<double>(matchings);
+  }
+  const double ns_fast = tier_ns.back();
   const double speedup = ns_fast > 0.0 ? ns_scalar / ns_fast : 0.0;
   const double fetches_per_matching =
       static_cast<double>(matcher.annulus().size());
@@ -150,12 +229,35 @@ int main(int argc, char** argv) {
       cache_total > 0.0 ? static_cast<double>(cache.hits()) / cache_total
                         : 0.0;
 
+  // Steady-state allocation probe: the search above warmed the frame
+  // arena, the score-cache table, and the obs handle caches; repeated
+  // serial searches on the warmed matcher must now run entirely out of
+  // warm arena chunks.  clear() keeps the cache's capacity, so each
+  // pass re-scores the full window through distance() + insert().
+  std::uint64_t steady_state_allocs = 0;
+  {
+    cache.clear();
+    g_heap_allocs.store(0, std::memory_order_relaxed);
+    g_count_heap.store(true, std::memory_order_relaxed);
+    for (int pass = 0; pass < 3; ++pass) {
+      cache.clear();
+      (void)core::sliding_window_search(matcher, spectrum, domain, 8, &cache);
+    }
+    g_count_heap.store(false, std::memory_order_relaxed);
+    steady_state_allocs = g_heap_allocs.load(std::memory_order_relaxed);
+  }
+
   std::printf("  annulus pixels (fetches/matching): %zu\n",
               matcher.annulus().size());
   std::printf("  table build: %.3f ms\n", build_seconds * 1e3);
-  std::printf("  ns/matching  fast: %.0f   scalar: %.0f   speedup: %.2fx\n",
-              ns_fast, ns_scalar, speedup);
-  std::printf("  max rel diff fast-vs-scalar: %.3g\n", max_rel_diff);
+  for (std::size_t t = 0; t < tiers.size(); ++t) {
+    std::printf("  ns/matching  %-6s: %.0f   (max rel diff vs scalar %.3g)\n",
+                simd::isa_name(tiers[t]), tier_ns[t], tier_max_rel_diff[t]);
+  }
+  std::printf("  ns/matching  scalar: %.0f   best-tier speedup: %.2fx\n",
+              ns_scalar, speedup);
+  std::printf("  steady-state heap allocations (3 warmed searches): %llu\n",
+              static_cast<unsigned long long>(steady_state_allocs));
   std::printf("  window: slides=%d cache hits=%llu misses=%llu (%.1f%%)\n",
               window.slides,
               static_cast<unsigned long long>(cache.hits()),
@@ -167,9 +269,17 @@ int main(int argc, char** argv) {
   json += "  \"pad\": " + std::to_string(pad) + ",\n";
   json += "  \"matchings\": " + std::to_string(matchings) + ",\n";
   json += "  \"reps\": " + std::to_string(reps) + ",\n";
+  json += "  \"simd_isa\": \"" + std::string(simd::isa_name(best)) + "\",\n";
   json += "  \"table_build_seconds\": " + json_number(build_seconds) + ",\n";
   json += "  \"fetches_per_matching\": " + json_number(fetches_per_matching) +
           ",\n";
+  for (std::size_t t = 0; t < tiers.size(); ++t) {
+    const std::string name = simd::isa_name(tiers[t]);
+    json += "  \"ns_per_matching_" + name + "\": " + json_number(tier_ns[t]) +
+            ",\n";
+    json += "  \"max_rel_diff_" + name + "\": " +
+            json_number(tier_max_rel_diff[t]) + ",\n";
+  }
   json += "  \"ns_per_matching_fast\": " + json_number(ns_fast) + ",\n";
   json += "  \"ns_per_matching_scalar\": " + json_number(ns_scalar) + ",\n";
   auto rep_list = [&](const std::vector<double>& seconds) {
@@ -180,13 +290,15 @@ int main(int argc, char** argv) {
     }
     return list + "]";
   };
-  json += "  \"ns_per_matching_fast_reps\": " + rep_list(fast_rep_seconds) +
-          ",\n";
+  json += "  \"ns_per_matching_fast_reps\": " +
+          rep_list(tier_rep_seconds.back()) + ",\n";
   json += "  \"ns_per_matching_scalar_reps\": " +
           rep_list(scalar_rep_seconds) + ",\n";
   json += "  \"speedup_vs_scalar\": " + json_number(speedup) + ",\n";
-  json += "  \"max_rel_diff_vs_scalar\": " + json_number(max_rel_diff) +
-          ",\n";
+  json += "  \"max_rel_diff_vs_scalar\": " +
+          json_number(tier_max_rel_diff.back()) + ",\n";
+  json += "  \"steady_state_allocs\": " +
+          std::to_string(steady_state_allocs) + ",\n";
   json += "  \"window_slides\": " + std::to_string(window.slides) + ",\n";
   json += "  \"cache_hits\": " + std::to_string(cache.hits()) + ",\n";
   json += "  \"cache_misses\": " + std::to_string(cache.misses()) + ",\n";
@@ -200,5 +312,23 @@ int main(int argc, char** argv) {
                          obs::to_json(obs::current_registry().snapshot()));
     std::printf("  wrote %s\n", metrics_out.c_str());
   }
-  return 0;
+
+  // Hard gates (CI fails the job on a nonzero exit).
+  int rc = 0;
+  for (std::size_t t = 0; t < tiers.size(); ++t) {
+    if (!(tier_max_rel_diff[t] <= kMaxRelDiff)) {
+      std::fprintf(stderr,
+                   "GATE FAILED: %s diverges from scalar by %.3g (> %.0e)\n",
+                   simd::isa_name(tiers[t]), tier_max_rel_diff[t], kMaxRelDiff);
+      rc = 1;
+    }
+  }
+  if (steady_state_allocs != 0) {
+    std::fprintf(stderr,
+                 "GATE FAILED: %llu general-heap allocations on the warmed "
+                 "steady-state search path (must be 0)\n",
+                 static_cast<unsigned long long>(steady_state_allocs));
+    rc = 1;
+  }
+  return rc;
 }

@@ -24,6 +24,12 @@ using namespace por;
 
 int main(int argc, char** argv) {
   util::CliParser cli(argc, argv);
+  if (cli.has("help")) {
+    std::printf(
+        "usage: quickstart [--l 32] [--views 36] [--snr 4] [--perturb 2]\n\n"
+        "Environment:\n  POR_FORCE_ISA=sse2|avx2|avx512   pin the SIMD tier of the matching\n                                   kernels (default: best the CPU has;\n                                   clamped to what is available)\n");
+    return 0;
+  }
   const std::size_t l = cli.get_int("l", 32);
   const int view_count = static_cast<int>(cli.get_int("views", 36));
   const double snr = cli.get_double("snr", 4.0);

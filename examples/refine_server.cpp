@@ -61,6 +61,12 @@ Shard make_shard(const em::BlobModel& particle, std::size_t l,
 
 int main(int argc, char** argv) {
   util::CliParser cli(argc, argv);
+  if (cli.has("help")) {
+    std::printf(
+        "usage: refine_server [--l 20] [--workers 4] [--jobs 18] [--queue 6]\n\n"
+        "Environment:\n  POR_FORCE_ISA=sse2|avx2|avx512   pin the SIMD tier of the matching\n                                   kernels (default: best the CPU has;\n                                   clamped to what is available)\n");
+    return 0;
+  }
   const std::size_t l = static_cast<std::size_t>(cli.get_int("l", 20));
   const std::size_t workers =
       static_cast<std::size_t>(cli.get_int("workers", 4));

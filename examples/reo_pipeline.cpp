@@ -41,6 +41,12 @@ namespace fs = std::filesystem;
 
 int main(int argc, char** argv) {
   util::CliParser cli(argc, argv);
+  if (cli.has("help")) {
+    std::printf(
+        "usage: reo_pipeline [--l 48] [--views 48] [--snr 2] [--ranks 4]\n\n    [--cycles 2] [--workdir /tmp/por_reo] [--checkpoint true] [--resume true]\n\n    [--io_retries 1] [--kill_rank R --kill_at_step N] [--heartbeat_ms 500]\n\n"
+        "Environment:\n  POR_FORCE_ISA=sse2|avx2|avx512   pin the SIMD tier of the matching\n                                   kernels (default: best the CPU has;\n                                   clamped to what is available)\n");
+    return 0;
+  }
   const std::size_t l = cli.get_int("l", 48);
   const int view_count = static_cast<int>(cli.get_int("views", 48));
   const double snr = cli.get_double("snr", 2.0);

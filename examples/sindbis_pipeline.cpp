@@ -55,6 +55,12 @@ using namespace por;
 
 int main(int argc, char** argv) {
   util::CliParser cli(argc, argv);
+  if (cli.has("help")) {
+    std::printf(
+        "usage: sindbis_pipeline [--l 48] [--views 60] [--snr 2] [--ranks 4]\n\n    [--fft_threads 1] [--refine_workers 1] [--r_map R]\n\n    [--metrics-out report.json] [--checkpoint ckpt.porc] [--resume true]\n\n    [--io_retries 1] [--kill_rank R --kill_at_step N] [--heartbeat_ms 500]\n\n"
+        "Environment:\n  POR_FORCE_ISA=sse2|avx2|avx512   pin the SIMD tier of the matching\n                                   kernels (default: best the CPU has;\n                                   clamped to what is available)\n");
+    return 0;
+  }
   const std::size_t l = cli.get_int("l", 48);
   const int view_count = static_cast<int>(cli.get_int("views", 60));
   const double snr = cli.get_double("snr", 2.0);

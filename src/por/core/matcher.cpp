@@ -1,3 +1,8 @@
+// POR_HOT_PATH
+//
+// distance() is the per-matching kernel driver: steady-state scratch
+// is stack arrays only (hot-path-alloc lint; build_tables runs once
+// per matcher and is waived where it allocates).
 #include "por/core/matcher.hpp"
 
 #include <algorithm>
@@ -6,6 +11,7 @@
 
 #include "por/em/interp.hpp"
 #include "por/em/projection.hpp"
+#include "por/simd/kernels.hpp"
 #include "por/util/contracts.hpp"
 #include "por/obs/registry.hpp"
 #include "por/obs/span.hpp"
@@ -46,6 +52,8 @@ FourierMatcher::FourierMatcher(em::Volume<em::cdouble> centered_padded_spectrum,
       obs_matchings_(&obs::current_registry().counter("matcher.matchings")),
       obs_interp_fetches_(
           &obs::current_registry().counter("matcher.interp_fetches")),
+      obs_simd_dispatch_(
+          &obs::current_registry().counter("simd.matcher_dispatch")),
       obs_prepare_view_(
           &obs::current_registry().span_series("matcher.prepare_view")) {
   if (options_.pad < 1) {
@@ -156,14 +164,28 @@ void FourierMatcher::build_tables() {
                  annulus_.index.size() == annulus_.ku.size(),
              "annulus table columns out of sync");
 
-  // Split-complex SoA spectrum for the branch-free trilinear kernel.
-  soa_ = em::SplitComplexLattice(spectrum_);
+  // Snapshot the dispatched kernel tier for this instance (process-
+  // wide selection capped by options_.simd), then build ONLY the
+  // lattice layout that tier consumes: split re/im planes for the
+  // SSE2 tier, the interleaved copy for the AVX tiers.
+  isa_ = simd::resolve_isa(options_.simd);
+  kernels_ = &simd::kernel_table(isa_);
+  std::size_t lattice_edge = 0;
+  if (kernels_->layout == simd::LatticeLayout::kInterleaved) {
+    ilv_ = em::InterleavedComplexLattice(spectrum_);
+    soa_ = em::SplitComplexLattice();
+    lattice_edge = ilv_.edge;
+  } else {
+    soa_ = em::SplitComplexLattice(spectrum_);
+    ilv_ = em::InterleavedComplexLattice();
+    lattice_edge = soa_.edge;
+  }
 
   // Radius-vs-lattice guard, hoisted out of the per-sample loop: every
   // cut sample coordinate is q_component + c with |q_component| <=
   // radius <= r_max, so when r_max <= c - 0.5 every 2x2x2 base cell
   // lies in [0, big-1]^3 (with >= 0.5 px margin against rounding) and
-  // interp_trilinear_interior needs no bounds checks.  The constructor
+  // the staged cell fetch needs no bounds checks.  The constructor
   // clamps r_map to Nyquist = big/2 - 1 <= c - 0.5, so this holds for
   // every reachable configuration; the check stays as a defensive
   // fallback to the scalar path.
@@ -172,10 +194,10 @@ void FourierMatcher::build_tables() {
   // the annulus can reach must satisfy the interp contract.  q + c
   // with |q| <= r_max <= c - 0.5 gives coordinates in
   // [0.5, 2c - 0.5] subset [0, big - 1], whose truncation lies in
-  // [0, big - 1] = [0, soa_.edge - 1].
-  POR_ENSURE(!fast_path_ || (padded_r_map_ <= c - 0.5 && soa_.edge == big),
+  // [0, big - 1] = [0, lattice_edge - 1].
+  POR_ENSURE(!fast_path_ || (padded_r_map_ <= c - 0.5 && lattice_edge == big),
              "fast-path guard violated: r_max =", padded_r_map_, "c =", c,
-             "edge =", soa_.edge);
+             "edge =", lattice_edge);
 
   obs::MetricsRegistry& registry = obs::current_registry();
   registry.gauge("matcher.annulus_pixels")
@@ -227,126 +249,119 @@ double FourierMatcher::distance(const em::Image<em::cdouble>& view_spectrum,
   const double c = std::floor(static_cast<double>(big) / 2.0);
 
   const std::size_t n = annulus_.size();
-  // checked_span: plain indexed loads in release, POR_BOUNDS-checked
-  // in instrumented builds (the por_lint naked-subscript rule keeps
-  // raw operator[] on these flattened tables out of this file).
-  const contracts::checked_span<const double> ku(annulus_.ku);
-  const contracts::checked_span<const double> kv(annulus_.kv);
-  const contracts::checked_span<const double> transfer(annulus_.transfer);
-  const contracts::checked_span<const double> weight(annulus_.weight);
-  const contracts::checked_span<const std::uint32_t> index(annulus_.index);
-  const contracts::checked_span<const em::cdouble> view(
-      view_spectrum.data(), view_spectrum.size());
-  const double* soa_re = soa_.re.data();
-  const double* soa_im = soa_.im.data();
-  const std::size_t stride_y = soa_.stride_y;
-  const std::size_t stride_z = soa_.stride_z;
+  const simd::KernelTable& kt = *kernels_;
+  const bool interleaved = kt.layout == simd::LatticeLayout::kInterleaved;
 
   // The 2x2x2 fetches land on a rotated plane through a lattice far
-  // larger than cache (two 129^3 double planes at L=64 pad=2), so the
-  // loop is DRAM-bound.  Software-pipeline it in blocks: stage A
-  // resolves the NEXT block's cells (q = ku*eu + kv*ev, truncation
-  // floor, flat base index — exactly the arithmetic the scalar path's
-  // Vec3 + interp_trilinear perform) and issues the corner-line
-  // prefetches, so by the time stage B fetches a block its lines have
-  // had a full block (~hundreds of ns) of flight time; stage B then
-  // consumes the staged cells without recomputing any addressing.
-  // Pixels are processed strictly in annulus order, so the
-  // accumulation is bit-identical to a straight loop.
-  struct Cell {
-    std::size_t base;
-    double tz, ty, tx;
-  };
+  // larger than cache (~34 MiB at L=64 pad=2), so the loop is memory-
+  // latency-bound.  Software-pipeline it in blocks through the
+  // dispatched kernel pair: the STAGE kernel resolves the NEXT block's
+  // cells (q = ku*eu + kv*ev, truncation floor, flat base index —
+  // exactly the arithmetic the scalar path's Vec3 + interp_trilinear
+  // perform); the SSE2 tier also issues its corner-line prefetches
+  // here, while the AVX tiers prefetch a short fixed distance ahead
+  // inside their consume loops instead (a whole block's lines overran
+  // L1 — see por/simd/kernels_avx512.cpp).  Pixels are processed
+  // strictly in annulus order and the consume kernel continues the
+  // RUNNING accumulator, so the summation sequence is identical to a
+  // straight loop (bit-identical on the SSE2 tier; the AVX tiers
+  // differ by FMA/association rounding only — see por/simd/kernels.hpp).
+  // Block size trades the stage/consume switch overhead against the
+  // staged-coordinate footprint (4 arrays x 2 slots, ~8 KiB at 256):
+  // with prefetch moved into the consume loop the block no longer
+  // bounds prefetch flight time, and 256 measured faster than 96.
   constexpr std::size_t kBlock = 256;
-  Cell cells[2][kBlock];
+  std::size_t cell_base[2][kBlock];
+  double cell_tz[2][kBlock];
+  double cell_ty[2][kBlock];
+  double cell_tx[2][kBlock];
   std::size_t last_line = ~std::size_t{0};
-  auto stage = [&](std::size_t start, std::size_t count, Cell* slot) {
-    for (std::size_t k = 0; k < count; ++k) {
-      const std::size_t j = start + k;
-      // q + c >= c - r_max >= 0.5 under the fast-path guard, so the
-      // size_t truncation is a floor.
-      const double z = ku[j] * eu.z + kv[j] * ev.z + c;
-      const double y = ku[j] * eu.y + kv[j] * ev.y + c;
-      const double x = ku[j] * eu.x + kv[j] * ev.x + c;
-      const std::size_t iz = static_cast<std::size_t>(z);
-      const std::size_t iy = static_cast<std::size_t>(y);
-      const std::size_t ix = static_cast<std::size_t>(x);
-      const std::size_t base = iz * stride_z + iy * stride_y + ix;
-      slot[k].base = base;
-      slot[k].tz = z - static_cast<double>(iz);
-      slot[k].ty = y - static_cast<double>(iy);
-      slot[k].tx = x - static_cast<double>(ix);
-#if defined(__GNUC__) || defined(__clang__)
-      // Neighboring annulus pixels usually land in the same 64-byte
-      // line; when the base line repeats, all eight corner lines
-      // repeat with it, so skip the whole batch instead of burning
-      // load-port slots on duplicate prefetches.
-      const std::size_t line = base >> 3;
-      if (line != last_line) {
-        last_line = line;
-        __builtin_prefetch(soa_re + base, 0, 3);
-        __builtin_prefetch(soa_re + base + stride_y, 0, 3);
-        __builtin_prefetch(soa_re + base + stride_z, 0, 3);
-        __builtin_prefetch(soa_re + base + stride_z + stride_y, 0, 3);
-        __builtin_prefetch(soa_im + base, 0, 3);
-        __builtin_prefetch(soa_im + base + stride_y, 0, 3);
-        __builtin_prefetch(soa_im + base + stride_z, 0, 3);
-        __builtin_prefetch(soa_im + base + stride_z + stride_y, 0, 3);
-      }
-#endif
-    }
+
+  simd::StageBlock sb;
+  sb.euz = eu.z;
+  sb.euy = eu.y;
+  sb.eux = eu.x;
+  sb.evz = ev.z;
+  sb.evy = ev.y;
+  sb.evx = ev.x;
+  sb.c = c;
+  sb.last_line = &last_line;
+  const double* soa_re = nullptr;
+  const double* soa_im = nullptr;
+  const double* ilv_data = nullptr;
+  std::size_t lat_size = 0;
+  if (interleaved) {
+    ilv_data = ilv_.data.data();
+    lat_size = ilv_.cells();
+    sb.stride_y = ilv_.stride_y;
+    sb.stride_z = ilv_.stride_z;
+    sb.pf_a = ilv_data;
+    sb.pf_b = nullptr;
+    sb.pf_scale = 2;  // doubles per interleaved complex cell
+  } else {
+    soa_re = soa_.re.data();
+    soa_im = soa_.im.data();
+    lat_size = soa_.re.size();
+    sb.stride_y = soa_.stride_y;
+    sb.stride_z = soa_.stride_z;
+    sb.pf_a = soa_re;
+    sb.pf_b = soa_im;
+    sb.pf_scale = 1;
+  }
+
+  simd::AnnulusBlock ab;
+  // std::complex<double> is layout-compatible with double[2]
+  // ([complex.numbers]); the kernels read the view as interleaved
+  // por-lint: allow(reinterpret-cast) (re, im) doubles, per the above.
+  ab.view = reinterpret_cast<const double*>(view_spectrum.data());
+  // Without a CTF every transfer is exactly 1.0, and with uniform
+  // weighting every weight is exactly 1.0; a null column tells the
+  // kernel to skip the load+multiply — a bit-exact no-op elision.
+  const double* transfer_col =
+      transfer_table_.empty() ? nullptr : annulus_.transfer.data();
+  const double* weight_col = options_.weighting == metrics::Weighting::kRadial
+                                 ? annulus_.weight.data()
+                                 : nullptr;
+
+  auto stage = [&](std::size_t start, std::size_t count, std::size_t slot) {
+    sb.ku = annulus_.ku.data() + start;
+    sb.kv = annulus_.kv.data() + start;
+    sb.count = count;
+    sb.base = cell_base[slot];
+    sb.tz = cell_tz[slot];
+    sb.ty = cell_ty[slot];
+    sb.tx = cell_tx[slot];
+    kt.stage(sb);
   };
 
-  // Specialize the consume loop on the two per-pixel multipliers.
-  // Without a CTF every transfer is exactly 1.0, and with uniform
-  // weighting every weight is exactly 1.0; multiplying by 1.0 is a
-  // bit-exact no-op, so skipping the load+multiply is free speedup on
-  // the common configuration with identical results.
-  auto run = [&](auto use_transfer, auto use_weight) -> double {
-    double sum = 0.0;
-    std::size_t cur = 0;
-    std::size_t cur_count = std::min(kBlock, n);
-    stage(0, cur_count, cells[0]);
-    for (std::size_t start = 0; start < n; ) {
-      const std::size_t next_start = start + cur_count;
-      const std::size_t next_count =
-          next_start < n ? std::min(kBlock, n - next_start) : 0;
-      if (next_count > 0) stage(next_start, next_count, cells[cur ^ 1]);
-      const Cell* slot = cells[cur];
-      for (std::size_t k = 0; k < cur_count; ++k) {
-        const std::size_t i = start + k;
-        const em::SplitSample s = em::interp_trilinear_cell(
-            soa_, slot[k].base, slot[k].tz, slot[k].ty, slot[k].tx);
-        double sre = s.re, sim = s.im;
-        if constexpr (decltype(use_transfer)::value) {
-          const double t = transfer[i];
-          sre *= t;
-          sim *= t;
-        }
-        const em::cdouble v = view[index[i]];
-        const double dre = v.real() - sre;
-        const double dim = v.imag() - sim;
-        double term = dre * dre + dim * dim;
-        if constexpr (decltype(use_weight)::value) term *= weight[i];
-        sum += term;
-      }
-      start = next_start;
-      cur_count = next_count;
-      cur ^= 1;
-    }
-    return sum;
-  };
-  const bool use_transfer = !transfer_table_.empty();
-  const bool use_weight = options_.weighting == metrics::Weighting::kRadial;
-  double sum;
-  if (use_transfer) {
-    sum = use_weight ? run(std::true_type{}, std::true_type{})
-                     : run(std::true_type{}, std::false_type{});
-  } else {
-    sum = use_weight ? run(std::false_type{}, std::true_type{})
-                     : run(std::false_type{}, std::false_type{});
+  double sum = 0.0;
+  std::size_t cur = 0;
+  std::size_t cur_count = std::min(kBlock, n);
+  stage(0, cur_count, 0);
+  for (std::size_t start = 0; start < n;) {
+    const std::size_t next_start = start + cur_count;
+    const std::size_t next_count =
+        next_start < n ? std::min(kBlock, n - next_start) : 0;
+    if (next_count > 0) stage(next_start, next_count, cur ^ 1);
+    ab.base = cell_base[cur];
+    ab.tz = cell_tz[cur];
+    ab.ty = cell_ty[cur];
+    ab.tx = cell_tx[cur];
+    ab.count = cur_count;
+    ab.index = annulus_.index.data() + start;
+    ab.transfer = transfer_col != nullptr ? transfer_col + start : nullptr;
+    ab.weight = weight_col != nullptr ? weight_col + start : nullptr;
+    sum = interleaved
+              ? kt.annulus_ilv(ilv_data, sb.stride_y, sb.stride_z, lat_size,
+                               ab, sum)
+              : kt.annulus_split(soa_re, soa_im, sb.stride_y, sb.stride_z,
+                                 lat_size, ab, sum);
+    start = next_start;
+    cur_count = next_count;
+    cur ^= 1;
   }
   obs_interp_fetches_->add(n);
+  obs_simd_dispatch_->add();
   return sum / static_cast<double>(big * big);
 }
 

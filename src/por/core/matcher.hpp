@@ -29,11 +29,16 @@
 #include "por/em/orientation.hpp"
 #include "por/em/pad.hpp"
 #include "por/metrics/distance.hpp"
+#include "por/simd/isa.hpp"
 
 namespace por::obs {
 class Counter;
 class SpanSeries;
 }  // namespace por::obs
+
+namespace por::simd {
+struct KernelTable;
+}  // namespace por::simd
 
 namespace por::util {
 class ThreadPool;
@@ -71,6 +76,13 @@ struct MatchOptions {
   /// threads, so 1 = serial (default, bit-identical to any other
   /// setting) and 0 = hardware concurrency.
   std::size_t fft_threads = 1;
+
+  /// Per-matcher ISA cap for the dispatched hot kernels (por/simd).
+  /// Default: follow the process-wide selection (detect_best_isa()
+  /// capped by POR_FORCE_ISA).  The matcher snapshots its kernel table
+  /// — and builds the matching lattice layout — at CONSTRUCTION, so a
+  /// later simd::force_isa() does not affect existing matchers.
+  simd::SimdOptions simd;
 };
 
 /// Flattened precomputed annulus: one entry per Fourier pixel of the
@@ -189,9 +201,16 @@ class FourierMatcher {
   /// nullptr when options().search_threads <= 1.
   [[nodiscard]] util::ThreadPool* search_pool() const { return pool_.get(); }
 
+  /// The ISA tier this matcher's kernels were snapshotted at (resolved
+  /// from options().simd and the process-wide selection, clamped to
+  /// hardware/build support at construction).
+  [[nodiscard]] simd::Isa isa() const { return isa_; }
+
  private:
   /// Build transfer_image_ (when CTF is configured), annulus_ and the
-  /// split-complex SoA spectrum; record build time + table size.
+  /// lattice layout the snapshotted kernel tier consumes (split-
+  /// complex for SSE2, interleaved for the AVX tiers); record build
+  /// time + table size.
   void build_tables();
 
   std::size_t l_;
@@ -202,7 +221,13 @@ class FourierMatcher {
   std::vector<double> transfer_table_;  ///< envelope by padded radius px
 
   // --- precomputed hot-path state (immutable after construction) ----
-  em::SplitComplexLattice soa_;      ///< split-complex spectrum, zero-padded
+  // Exactly one lattice is populated, matching kernels_->layout: the
+  // SSE2 tier reads the split planes, the AVX tiers the interleaved
+  // copy (one wide load per (x, x+1) corner pair).
+  em::SplitComplexLattice soa_;      ///< split-complex spectrum (SSE2 tier)
+  em::InterleavedComplexLattice ilv_;  ///< interleaved copy (AVX tiers)
+  simd::Isa isa_ = simd::Isa::kSse2;   ///< tier snapshotted at construction
+  const simd::KernelTable* kernels_ = nullptr;  ///< dispatched hot kernels
   AnnulusTable annulus_;             ///< flattened [r_min, r_map] ring
   em::Image<double> transfer_image_; ///< per-pixel cut transfer (CTF only)
   bool fast_path_ = false;           ///< radius-vs-lattice guard verdict
@@ -218,8 +243,12 @@ class FourierMatcher {
   //   matcher.prepare_view    — span series timing step (d)+(e)
   //   matcher.table_build     — span series timing build_tables()
   //   matcher.annulus_pixels  — gauge: entries in the annulus table
+  //   simd.matcher_dispatch   — fast-path distance() calls routed
+  //                             through the snapshotted kernel table
+  //   simd.isa                — gauge published by por/simd selection
   obs::Counter* obs_matchings_;
   obs::Counter* obs_interp_fetches_;
+  obs::Counter* obs_simd_dispatch_;
   obs::SpanSeries* obs_prepare_view_;
 };
 

@@ -1,26 +1,56 @@
+// POR_HOT_PATH
+//
+// One search per refine step; all scratch on the frame arena
+// (hot-path-alloc lint enforces the zero-allocation steady state).
 #include "por/core/sliding_window.hpp"
 
+#include <cstdint>
 #include <limits>
-#include <vector>
 
 #include "por/obs/registry.hpp"
+#include "por/util/arena.hpp"
 #include "por/util/contracts.hpp"
 #include "por/util/thread_pool.hpp"
 
 namespace por::core {
 
+namespace {
+
+/// Thread-local, registry-keyed cache of the window counters (same
+/// pattern as por/fft/obs_handles.hpp).  All four metric names exceed
+/// libstdc++'s 15-char SSO, so resolving them per search used to heap-
+/// allocate four temporary std::strings — on the steady-state matching
+/// path that is the difference between zero and nonzero general-heap
+/// allocations (the bench_matcher gate).
+struct WindowObs {
+  std::uint64_t registry_id = 0;
+  obs::Counter* searches = nullptr;  ///< "window.searches"
+  obs::Counter* slides = nullptr;    ///< "window.slides"
+  obs::Counter* hits = nullptr;      ///< "window.cache_hits"
+  obs::Counter* misses = nullptr;    ///< "window.cache_misses"
+};
+
+WindowObs& window_obs() {
+  thread_local WindowObs handles;
+  obs::MetricsRegistry& registry = obs::current_registry();
+  if (handles.searches == nullptr || handles.registry_id != registry.id()) {
+    handles.registry_id = registry.id();
+    handles.searches = &registry.counter("window.searches");
+    handles.slides = &registry.counter("window.slides");
+    handles.hits = &registry.counter("window.cache_hits");
+    handles.misses = &registry.counter("window.cache_misses");
+  }
+  return handles;
+}
+
+}  // namespace
+
 WindowResult sliding_window_search(const FourierMatcher& matcher,
                                    const em::Image<em::cdouble>& view_spectrum,
                                    const SearchDomain& initial_domain,
                                    int max_slides, ScoreCache* cache) {
-  // Registry lookups here are once-per-search (not per matching), so
-  // the find-or-create mutex cost is negligible against the w^3 inner
-  // matchings below.
-  obs::MetricsRegistry& registry = obs::current_registry();
-  registry.counter("window.searches").add();
-  obs::Counter& slides_counter = registry.counter("window.slides");
-  obs::Counter& hits_counter = registry.counter("window.cache_hits");
-  obs::Counter& misses_counter = registry.counter("window.cache_misses");
+  WindowObs& obs = window_obs();
+  obs.searches->add();
 
   // CONTRACT: a positive window width is what makes `count` non-zero,
   // so the argmin below always selects a real candidate.
@@ -34,12 +64,16 @@ WindowResult sliding_window_search(const FourierMatcher& matcher,
   const std::size_t count =
       static_cast<std::size_t>(w) * static_cast<std::size_t>(w) *
       static_cast<std::size_t>(w);
-  std::vector<em::Orientation> candidates;
-  std::vector<double> scores;
-  std::vector<std::size_t> missing;  // candidate indices not in the cache
-  candidates.reserve(count);
-  scores.resize(count);
-  missing.reserve(count);
+  // Search scratch lives on the calling thread's frame arena: after the
+  // first search of a given width the chunks are warm and repeated
+  // searches never touch the general heap.  distance() below may fan
+  // out to pool workers, but they only write `scores` slots — the arena
+  // itself is touched by this thread alone, so the LIFO scope holds.
+  util::ArenaScope scope(util::frame_arena());
+  util::ArenaVector<em::Orientation> candidates(util::frame_arena(), count);
+  util::ArenaVector<double> scores(util::frame_arena());
+  util::ArenaVector<std::size_t> missing(util::frame_arena(), count);
+  scores.resize_uninit(count);
 
   for (int round = 0;; ++round) {
     // Step (g): enumerate the w^3 candidate grid (theta-major, same
@@ -71,8 +105,8 @@ WindowResult sliding_window_search(const FourierMatcher& matcher,
       const std::uint64_t hits =
           static_cast<std::uint64_t>(count - missing.size());
       result.cache_hits += hits;
-      hits_counter.add(hits);
-      misses_counter.add(static_cast<std::uint64_t>(missing.size()));
+      obs.hits->add(hits);
+      obs.misses->add(static_cast<std::uint64_t>(missing.size()));
     } else {
       for (std::size_t i = 0; i < count; ++i) missing.push_back(i);
     }
@@ -90,7 +124,8 @@ WindowResult sliding_window_search(const FourierMatcher& matcher,
       for (std::size_t mi = 0; mi < missing.size(); ++mi) score_one(mi);
     }
     if (cache != nullptr) {
-      for (const std::size_t i : missing) {
+      for (std::size_t mi = 0; mi < missing.size(); ++mi) {
+        const std::size_t i = missing[mi];
         cache->insert(candidates[i], scores[i]);
       }
     }
@@ -106,7 +141,8 @@ WindowResult sliding_window_search(const FourierMatcher& matcher,
     // <, first wins) as the original serial triple loop.
     double best_distance = std::numeric_limits<double>::infinity();
     std::size_t best_index = 0;
-    const contracts::checked_span<const double> scores_view(scores);
+    const contracts::checked_span<const double> scores_view(scores.data(),
+                                                            scores.size());
     for (std::size_t i = 0; i < count; ++i) {
       // A NaN score would poison the strict-< argmin silently (NaN
       // never compares less, so the candidate vanishes); matching
@@ -130,7 +166,7 @@ WindowResult sliding_window_search(const FourierMatcher& matcher,
     }
     domain = domain.recentered(result.best);
     ++result.slides;
-    slides_counter.add();
+    obs.slides->add();
   }
 
   return result;

@@ -132,6 +132,42 @@ class Volume {
   std::vector<T> data_;
 };
 
+namespace detail {
+
+/// Ask the kernel to back a plane with 2 MiB pages.  A matching
+/// samples a rotated plane through the lattice, touching hundreds of
+/// distinct 4 KiB pages per call — at L=64 pad=2 the lattice totals
+/// ~34 MiB and the page-walk stalls rival the data misses.  Huge pages
+/// cut the TLB footprint ~500x.  Best effort: MADV_COLLAPSE (Linux
+/// 6.1+) collapses the already-populated range synchronously;
+/// MADV_HUGEPAGE is the async fallback.  Failure is harmless and
+/// ignored — correctness never depends on page size.
+inline void advise_huge_pages(double* data, std::size_t count) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+#ifndef MADV_COLLAPSE
+#define POR_MADV_COLLAPSE 25
+#else
+#define POR_MADV_COLLAPSE MADV_COLLAPSE
+#endif
+  constexpr std::uintptr_t kHuge = 2u << 20;
+  if (count * sizeof(double) < 2 * kHuge) return;
+  const std::uintptr_t begin = reinterpret_cast<std::uintptr_t>(data);
+  const std::uintptr_t end = begin + count * sizeof(double);
+  const std::uintptr_t lo = (begin + kHuge - 1) & ~(kHuge - 1);
+  const std::uintptr_t hi = end & ~(kHuge - 1);
+  if (lo >= hi) return;
+  void* p = reinterpret_cast<void*>(lo);
+  if (madvise(p, hi - lo, POR_MADV_COLLAPSE) != 0) {
+    (void)madvise(p, hi - lo, MADV_HUGEPAGE);
+  }
+#else
+  (void)data;
+  (void)count;
+#endif
+}
+
+}  // namespace detail
+
 /// Split-complex (SoA) copy of a cubic complex volume, padded by one
 /// zero plane/row/column per axis.
 ///
@@ -184,43 +220,69 @@ struct SplitComplexLattice {
     POR_ENSURE(re.size() == stride_z * stride_y &&
                    im.size() == stride_z * stride_y,
                "padded plane size mismatch: edge =", edge);
-    advise_huge_pages();
+    detail::advise_huge_pages(re.data(), re.size());
+    detail::advise_huge_pages(im.data(), im.size());
   }
 
   [[nodiscard]] bool empty() const { return re.empty(); }
+};
 
- private:
-  /// Ask the kernel to back the two planes with 2 MiB pages.  A
-  /// matching samples a rotated plane through the lattice, touching
-  /// hundreds of distinct 4 KiB pages per call — at L=64 pad=2 the
-  /// planes total ~34 MiB and the page-walk stalls rival the data
-  /// misses.  Huge pages cut the TLB footprint ~500x.  Best effort:
-  /// MADV_COLLAPSE (Linux 6.1+) collapses the already-populated range
-  /// synchronously; MADV_HUGEPAGE is the async fallback.  Failure is
-  /// harmless and ignored — correctness never depends on page size.
-  void advise_huge_pages() {
-#if defined(__linux__) && defined(MADV_HUGEPAGE)
-#ifndef MADV_COLLAPSE
-#define POR_MADV_COLLAPSE 25
-#else
-#define POR_MADV_COLLAPSE MADV_COLLAPSE
-#endif
-    constexpr std::uintptr_t kHuge = 2u << 20;
-    for (std::vector<double>* plane : {&re, &im}) {
-      if (plane->size() * sizeof(double) < 2 * kHuge) continue;
-      const std::uintptr_t begin =
-          reinterpret_cast<std::uintptr_t>(plane->data());
-      const std::uintptr_t end = begin + plane->size() * sizeof(double);
-      const std::uintptr_t lo = (begin + kHuge - 1) & ~(kHuge - 1);
-      const std::uintptr_t hi = end & ~(kHuge - 1);
-      if (lo >= hi) continue;
-      void* p = reinterpret_cast<void*>(lo);
-      if (madvise(p, hi - lo, POR_MADV_COLLAPSE) != 0) {
-        (void)madvise(p, hi - lo, MADV_HUGEPAGE);
+/// Interleaved (re, im) copy of a cubic complex volume with the same
+/// one-cell zero padding as SplitComplexLattice.
+///
+/// Purpose: the AVX2/AVX-512 matcher tiers (por/simd).  With re and im
+/// adjacent in memory, one 256-bit load covers BOTH components of an
+/// (x, x+1) corner pair, so a trilinear cell costs 4 corner loads
+/// instead of the split layout's 8 — half the cache lines, half the
+/// prefetches.  The split layout remains the SSE2-tier (and scalar
+/// reference) representation.
+///
+/// Layout: cell (z, y, x) -> complex index (z*(edge+1) + y)*(edge+1)+x;
+/// data[2*i] = re, data[2*i + 1] = im.  stride_y/stride_z are in
+/// complex CELLS and numerically equal to the split lattice's strides.
+///
+/// CONTRACT: data holds exactly 2*(edge+1)^3 doubles and every cell
+/// beyond the logical [0, edge)^3 cube is (0, 0) — the same pad that
+/// makes the branch-free 2x2x2 fetch memory-safe (see
+/// SplitComplexLattice and por/em/interp.hpp).
+struct InterleavedComplexLattice {
+  std::size_t edge = 0;      ///< logical cube edge (n)
+  std::size_t stride_y = 0;  ///< edge + 1, in complex cells
+  std::size_t stride_z = 0;  ///< (edge + 1)^2, in complex cells
+  std::vector<double> data;  ///< 2*(edge+1)^3 interleaved doubles
+
+  InterleavedComplexLattice() = default;
+
+  /// Build from a cubic complex volume (throws on non-cube input).
+  explicit InterleavedComplexLattice(const Volume<cdouble>& vol) {
+    if (!vol.is_cube()) {
+      throw std::invalid_argument(
+          "InterleavedComplexLattice: volume must be cubic");
+    }
+    edge = vol.nx();
+    stride_y = edge + 1;
+    stride_z = stride_y * stride_y;
+    data.assign(2 * stride_z * stride_y, 0.0);
+    const cdouble* src = vol.data();
+    for (std::size_t z = 0; z < edge; ++z) {
+      for (std::size_t y = 0; y < edge; ++y) {
+        const std::size_t dst_row = 2 * (z * stride_z + y * stride_y);
+        const std::size_t src_row = (z * edge + y) * edge;
+        for (std::size_t x = 0; x < edge; ++x) {
+          data[dst_row + 2 * x] = src[src_row + x].real();
+          data[dst_row + 2 * x + 1] = src[src_row + x].imag();
+        }
       }
     }
-#endif
+    POR_ENSURE(data.size() == 2 * stride_z * stride_y,
+               "padded lattice size mismatch: edge =", edge);
+    detail::advise_huge_pages(data.data(), data.size());
   }
+
+  /// Number of complex cells (the bounds unit for cell indices).
+  [[nodiscard]] std::size_t cells() const { return stride_z * stride_y; }
+
+  [[nodiscard]] bool empty() const { return data.empty(); }
 };
 
 /// Promote a real raster to complex (imaginary part zero).

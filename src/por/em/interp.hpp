@@ -109,14 +109,6 @@ struct SplitSample {
   // The +1,+1,+1 corner is the largest index the fetch touches; if it
   // is inside the padded plane, all eight corners are.
   POR_BOUNDS(base + lat.stride_z + lat.stride_y + 1, lat.re.size());
-  const std::size_t i000 = base;
-  const std::size_t i001 = base + 1;
-  const std::size_t i010 = base + lat.stride_y;
-  const std::size_t i011 = base + lat.stride_y + 1;
-  const std::size_t i100 = base + lat.stride_z;
-  const std::size_t i101 = base + lat.stride_z + 1;
-  const std::size_t i110 = base + lat.stride_z + lat.stride_y;
-  const std::size_t i111 = base + lat.stride_z + lat.stride_y + 1;
 
   // Weight products in the reference's association order ((wz*wy)*wx).
   const double wz0 = 1.0 - tz, wz1 = tz;
@@ -125,8 +117,25 @@ struct SplitSample {
   const double w00 = wz0 * wy0, w01 = wz0 * wy1;
   const double w10 = wz1 * wy0, w11 = wz1 * wy1;
 
+  // The four (iy, iz) row bases are shared between the re and im plane
+  // fetches and between the packed and scalar bodies: each row's
+  // (x, x+1) corner pair sits at offsets 0 and 1 from its base, so
+  // only these four offsets are ever computed — the odd corners are
+  // base+1 within a row, never separate index arithmetic.
+  const std::size_t i000 = base;
+  const std::size_t i010 = base + lat.stride_y;
+  const std::size_t i100 = base + lat.stride_z;
+  const std::size_t i110 = base + lat.stride_z + lat.stride_y;
   const double* re = lat.re.data();
   const double* im = lat.im.data();
+  const double* re00 = re + i000;
+  const double* re01 = re + i010;
+  const double* re10 = re + i100;
+  const double* re11 = re + i110;
+  const double* im00 = im + i000;
+  const double* im01 = im + i010;
+  const double* im10 = im + i100;
+  const double* im11 = im + i110;
   SplitSample s;
 #if POR_INTERP_SSE2
   // The (x, x+1) corner pairs are contiguous in each plane, so the
@@ -144,16 +153,16 @@ struct SplitSample {
   const __m128d w01v = _mm_mul_pd(_mm_set1_pd(w01), wx);
   const __m128d w10v = _mm_mul_pd(_mm_set1_pd(w10), wx);
   const __m128d w11v = _mm_mul_pd(_mm_set1_pd(w11), wx);
-  const __m128d re_acc = _mm_add_pd(
-      _mm_add_pd(_mm_mul_pd(w00v, _mm_loadu_pd(re + i000)),
-                 _mm_mul_pd(w01v, _mm_loadu_pd(re + i010))),
-      _mm_add_pd(_mm_mul_pd(w10v, _mm_loadu_pd(re + i100)),
-                 _mm_mul_pd(w11v, _mm_loadu_pd(re + i110))));
-  const __m128d im_acc = _mm_add_pd(
-      _mm_add_pd(_mm_mul_pd(w00v, _mm_loadu_pd(im + i000)),
-                 _mm_mul_pd(w01v, _mm_loadu_pd(im + i010))),
-      _mm_add_pd(_mm_mul_pd(w10v, _mm_loadu_pd(im + i100)),
-                 _mm_mul_pd(w11v, _mm_loadu_pd(im + i110))));
+  const __m128d re_acc =
+      _mm_add_pd(_mm_add_pd(_mm_mul_pd(w00v, _mm_loadu_pd(re00)),
+                            _mm_mul_pd(w01v, _mm_loadu_pd(re01))),
+                 _mm_add_pd(_mm_mul_pd(w10v, _mm_loadu_pd(re10)),
+                            _mm_mul_pd(w11v, _mm_loadu_pd(re11))));
+  const __m128d im_acc =
+      _mm_add_pd(_mm_add_pd(_mm_mul_pd(w00v, _mm_loadu_pd(im00)),
+                            _mm_mul_pd(w01v, _mm_loadu_pd(im01))),
+                 _mm_add_pd(_mm_mul_pd(w10v, _mm_loadu_pd(im10)),
+                            _mm_mul_pd(w11v, _mm_loadu_pd(im11))));
   // One packed horizontal reduction for both components:
   // lane0 = re_even + re_odd, lane1 = im_even + im_odd — the same
   // (even-lane + odd-lane) sums as two scalar extracts would compute.
@@ -161,23 +170,19 @@ struct SplitSample {
                                     _mm_unpackhi_pd(re_acc, im_acc));
   s.re = _mm_cvtsd_f64(packed);
   s.im = _mm_cvtsd_f64(_mm_unpackhi_pd(packed, packed));
-  (void)i001;
-  (void)i011;
-  (void)i101;
-  (void)i111;
 #else
   const double w000 = w00 * wx0, w001 = w00 * wx1;
   const double w010 = w01 * wx0, w011 = w01 * wx1;
   const double w100 = w10 * wx0, w101 = w10 * wx1;
   const double w110 = w11 * wx0, w111 = w11 * wx1;
-  s.re = ((w000 * re[i000] + w001 * re[i001]) +
-          (w010 * re[i010] + w011 * re[i011])) +
-         ((w100 * re[i100] + w101 * re[i101]) +
-          (w110 * re[i110] + w111 * re[i111]));
-  s.im = ((w000 * im[i000] + w001 * im[i001]) +
-          (w010 * im[i010] + w011 * im[i011])) +
-         ((w100 * im[i100] + w101 * im[i101]) +
-          (w110 * im[i110] + w111 * im[i111]));
+  s.re = ((w000 * re00[0] + w001 * re00[1]) +
+          (w010 * re01[0] + w011 * re01[1])) +
+         ((w100 * re10[0] + w101 * re10[1]) +
+          (w110 * re11[0] + w111 * re11[1]));
+  s.im = ((w000 * im00[0] + w001 * im00[1]) +
+          (w010 * im01[0] + w011 * im01[1])) +
+         ((w100 * im10[0] + w101 * im10[1]) +
+          (w110 * im11[0] + w111 * im11[1]));
 #endif
   return s;
 }

@@ -1,3 +1,8 @@
+// POR_HOT_PATH
+//
+// Executed per line of every 2D/3D transform; execute-path scratch
+// is frame-arena only.  Plan construction (tables below) runs once
+// per length and carries hot-path-alloc waivers.
 #include "por/fft/fft1d.hpp"
 
 #include <cmath>
@@ -6,13 +11,17 @@
 #include <utility>
 
 #include "por/fft/obs_handles.hpp"
+#include "por/simd/kernels.hpp"
+#include "por/util/arena.hpp"
 #include "por/util/contracts.hpp"
 
 namespace por::fft {
 
 namespace {
 
+// por-lint: allow(hot-path-alloc) plan table, built once per length
 std::vector<std::size_t> make_bitrev(std::size_t n) {
+  // por-lint: allow(hot-path-alloc) plan table, built once per length
   std::vector<std::size_t> rev(n);
   std::size_t bits = 0;
   while ((std::size_t{1} << bits) < n) ++bits;
@@ -26,7 +35,9 @@ std::vector<std::size_t> make_bitrev(std::size_t n) {
   return rev;
 }
 
+// por-lint: allow(hot-path-alloc) plan table, built once per length
 std::vector<cdouble> make_roots(std::size_t n) {
+  // por-lint: allow(hot-path-alloc) plan table, built once per length
   std::vector<cdouble> roots(n / 2);
   for (std::size_t k = 0; k < n / 2; ++k) {
     const double angle =
@@ -43,6 +54,17 @@ Fft1D::Fft1D(std::size_t n) : n_(n), pow2_(is_pow2(n)) {
   if (pow2_) {
     bitrev_ = make_bitrev(n_);
     roots_ = make_roots(n_);
+    // Flatten the per-stage twiddles (see fft1d.hpp): stage half=h at
+    // complex offset h-1, reading roots_ with the stage's stride.
+    if (n_ >= 2) {
+      stage_tw_.resize(n_ - 1);
+      for (std::size_t half = 1; half < n_; half <<= 1) {
+        const std::size_t step = n_ / (2 * half);
+        for (std::size_t k = 0; k < half; ++k) {
+          stage_tw_[half - 1 + k] = roots_[k * step];
+        }
+      }
+    }
     return;
   }
   // Bluestein setup.  chirp_[k] = exp(+i*pi*k^2/n); the inner circular
@@ -57,6 +79,7 @@ Fft1D::Fft1D(std::size_t n) : n_(n), pow2_(is_pow2(n)) {
         std::numbers::pi * static_cast<double>(k2) / static_cast<double>(n_);
     chirp_[k] = {std::cos(angle), std::sin(angle)};
   }
+  // por-lint: allow(hot-path-alloc) Bluestein setup, once per plan
   std::vector<cdouble> b(m_, cdouble{0.0, 0.0});
   b[0] = chirp_[0];
   for (std::size_t k = 1; k < n_; ++k) {
@@ -94,85 +117,71 @@ void Fft1D::transform(cdouble* data, bool inverse) const {
 
 void Fft1D::pow2_forward(cdouble* data) const {
   const std::size_t n = n_;
-  // CONTRACT: the bit-reversal permutation and the root table are
+  // CONTRACT: the bit-reversal permutation and the twiddle tables are
   // built for exactly this n at construction; a mismatch would read
   // out of the tables inside the butterfly loop.
-  POR_ENSURE(bitrev_.size() == n && roots_.size() == n / 2,
+  POR_ENSURE(bitrev_.size() == n && roots_.size() == n / 2 &&
+                 (n < 2 || stage_tw_.size() == n - 1),
              "precomputed tables out of sync: n =", n,
              "bitrev =", bitrev_.size(), "roots =", roots_.size());
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t j = bitrev_[i];
     if (i < j) std::swap(data[i], data[j]);
   }
-  // Butterflies on raw doubles.  std::complex<double> operator* lowers
-  // to a __muldc3 libcall (NaN-recovery semantics) which dominates the
-  // whole transform; the manual form below is the identical finite-case
-  // arithmetic — (ac - bd, ad + bc) — at a fraction of the cost, and
-  // vectorizes.  std::complex<double> is layout-compatible with
-  // double[2] by [complex.numbers.general], so the casts are defined.
+  // Butterfly stages run through the dispatched per-ISA kernel (the
+  // process-wide tier, re-read per transform — plans are shared and
+  // must not snapshot a stale table).  The kernels work on raw doubles:
+  // std::complex<double> operator* lowers to a __muldc3 libcall
+  // (NaN-recovery semantics) which dominates the whole transform; the
+  // manual (ac - bd, ad + bc) form is the identical finite-case
+  // arithmetic at a fraction of the cost.  std::complex<double> is
+  // layout-compatible with double[2] by [complex.numbers.general], so
+  // the casts are defined.
+  const simd::KernelTable& kt = simd::active_kernels();
+  detail::obs_handles().simd_stage_dispatch->add();
   double* d = reinterpret_cast<double*>(data);
-  const double* rt = reinterpret_cast<const double*>(roots_.data());
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const std::size_t half = len >> 1;
-    const std::size_t step = n / len;  // stride into the root table
-    for (std::size_t block = 0; block < n; block += len) {
-      double* lo = d + 2 * block;
-      double* hi = lo + 2 * half;
-      for (std::size_t k = 0; k < half; ++k) {
-        const double wr = rt[2 * k * step];
-        const double wi = rt[2 * k * step + 1];
-        const double xr = hi[2 * k];
-        const double xi = hi[2 * k + 1];
-        const double odd_r = xr * wr - xi * wi;
-        const double odd_i = xr * wi + xi * wr;
-        const double er = lo[2 * k];
-        const double ei = lo[2 * k + 1];
-        lo[2 * k] = er + odd_r;
-        lo[2 * k + 1] = ei + odd_i;
-        hi[2 * k] = er - odd_r;
-        hi[2 * k + 1] = ei - odd_i;
-      }
-    }
+  const double* tw = reinterpret_cast<const double*>(stage_tw_.data());
+  for (std::size_t half = 1; half < n; half <<= 1) {
+    kt.fft_stage(d, n, half, tw + 2 * (half - 1));
   }
 }
 
 void Fft1D::bluestein_forward(cdouble* data) const {
   POR_ENSURE(chirp_.size() == n_ && chirp_fft_.size() == m_ && m_ >= 2 * n_ - 1,
              "Bluestein tables out of sync: n =", n_, "m =", m_);
-  // a[k] = x[k] * conj(chirp[k]), zero-padded to m.  All pointwise
-  // complex products are spelled out manually for the same __muldc3
-  // reason as in pow2_forward.
-  std::vector<cdouble> a(m_, cdouble{0.0, 0.0});
-  for (std::size_t k = 0; k < n_; ++k) {
-    const double xr = data[k].real(), xi = data[k].imag();
-    const double cr = chirp_[k].real(), ci = chirp_[k].imag();
-    a[k] = {xr * cr + xi * ci, xi * cr - xr * ci};
-  }
-  inner_->forward(a.data());
-  for (std::size_t k = 0; k < m_; ++k) {
-    const double ar = a[k].real(), ai = a[k].imag();
-    const double br = chirp_fft_[k].real(), bi = chirp_fft_[k].imag();
-    a[k] = {ar * br - ai * bi, ar * bi + ai * br};
-  }
-  inner_->inverse(a.data());
-  for (std::size_t k = 0; k < n_; ++k) {
-    const double ar = a[k].real(), ai = a[k].imag();
-    const double cr = chirp_[k].real(), ci = chirp_[k].imag();
-    data[k] = {ar * cr + ai * ci, ai * cr - ar * ci};
-  }
+  // Convolution scratch comes from the calling thread's frame arena:
+  // after the first transform of a given size the chunks are warm and
+  // repeated transforms never touch the general heap.
+  util::ArenaScope scope(util::frame_arena());
+  cdouble* a = util::frame_arena().alloc_array<cdouble>(m_);
+  // The pointwise complex products run through the dispatched per-ISA
+  // kernels (manual (ac - bd, ad + bc) arithmetic — see pow2_forward
+  // for the __muldc3 rationale and the layout-compatibility note).
+  const simd::KernelTable& kt = simd::active_kernels();
+  double* ad = reinterpret_cast<double*>(a);
+  const double* chirp = reinterpret_cast<const double*>(chirp_.data());
+  // a[k] = x[k] * conj(chirp[k]), zero-padded to m.
+  kt.cmul_conj(ad, reinterpret_cast<const double*>(data), chirp, n_);
+  for (std::size_t k = n_; k < m_; ++k) a[k] = cdouble{0.0, 0.0};
+  inner_->forward(a);
+  kt.cmul(ad, reinterpret_cast<const double*>(chirp_fft_.data()), m_);
+  inner_->inverse(a);
+  kt.cmul_conj(reinterpret_cast<double*>(data), ad, chirp, n_);
 }
 
 void Fft1D::forward_strided(cdouble* base, std::size_t stride) const {
-  std::vector<cdouble> line(n_);
+  util::ArenaScope scope(util::frame_arena());
+  cdouble* line = util::frame_arena().alloc_array<cdouble>(n_);
   for (std::size_t i = 0; i < n_; ++i) line[i] = base[i * stride];
-  forward(line.data());
+  forward(line);
   for (std::size_t i = 0; i < n_; ++i) base[i * stride] = line[i];
 }
 
 void Fft1D::inverse_strided(cdouble* base, std::size_t stride) const {
-  std::vector<cdouble> line(n_);
+  util::ArenaScope scope(util::frame_arena());
+  cdouble* line = util::frame_arena().alloc_array<cdouble>(n_);
   for (std::size_t i = 0; i < n_; ++i) line[i] = base[i * stride];
-  inverse(line.data());
+  inverse(line);
   for (std::size_t i = 0; i < n_; ++i) base[i * stride] = line[i];
 }
 

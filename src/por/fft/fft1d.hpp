@@ -79,6 +79,12 @@ class Fft1D {
   // Radix-2 tables (also used by the Bluestein inner transform).
   std::vector<std::size_t> bitrev_;    // bit-reversal permutation
   std::vector<cdouble> roots_;         // exp(-2*pi*i*k/n), k < n/2
+  // Per-stage flattened twiddles for the dispatched butterfly kernel
+  // (por/simd fft_stage): the stage with half h reads h CONTIGUOUS
+  // complexes at offset h-1 (stage_tw_[h-1+k] = roots_[k*(n/(2h))]),
+  // n-1 complexes total — the strided root walk of the historical loop
+  // becomes a unit-stride load the wide tiers can vectorize.
+  std::vector<cdouble> stage_tw_;
 
   // Bluestein tables.
   std::size_t m_ = 0;                  // inner power-of-two length >= 2n-1

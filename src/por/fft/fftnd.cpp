@@ -11,6 +11,7 @@
 #include "por/fft/obs_handles.hpp"
 #include "por/fft/plan_cache.hpp"
 #include "por/obs/registry.hpp"
+#include "por/util/arena.hpp"
 #include "por/util/contracts.hpp"
 #include "por/util/thread_pool.hpp"
 
@@ -106,11 +107,12 @@ void roll_blocks(cdouble* data, std::size_t nblocks, std::size_t block,
   POR_EXPECT(shift <= nblocks, "roll shift exceeds block count:", shift, ">",
              nblocks);
   if (shift == 0 || nblocks == 0 || block == 0) return;
-  std::vector<cdouble> head(shift * block);
-  std::memcpy(head.data(), data, shift * block * sizeof(cdouble));
+  util::ArenaScope scope(util::frame_arena());
+  cdouble* head = util::frame_arena().alloc_array<cdouble>(shift * block);
+  std::memcpy(head, data, shift * block * sizeof(cdouble));
   std::memmove(data, data + shift * block,
                (nblocks - shift) * block * sizeof(cdouble));
-  std::memcpy(data + (nblocks - shift) * block, head.data(),
+  std::memcpy(data + (nblocks - shift) * block, head,
               shift * block * sizeof(cdouble));
 }
 
@@ -119,10 +121,11 @@ void roll_blocks(cdouble* data, std::size_t nblocks, std::size_t block,
 void roll_cols(cdouble* data, std::size_t ny, std::size_t nx,
                std::size_t shift) {
   if (shift == 0 || nx == 0) return;
-  std::vector<cdouble> row(nx);
+  util::ArenaScope scope(util::frame_arena());
+  cdouble* row = util::frame_arena().alloc_array<cdouble>(nx);
   for (std::size_t y = 0; y < ny; ++y) {
-    roll_line_into(row.data(), data + y * nx, nx, shift);
-    std::memcpy(data + y * nx, row.data(), nx * sizeof(cdouble));
+    roll_line_into(row, data + y * nx, nx, shift);
+    std::memcpy(data + y * nx, row, nx * sizeof(cdouble));
   }
 }
 
@@ -148,12 +151,16 @@ void r2c_rows(const double* src, cdouble* dst, std::size_t ny, std::size_t nx,
   const std::size_t pairs = ny / 2;
   const std::size_t jobs = pairs + (ny % 2);  // a trailing lone row, if odd
   run_indexed(options, jobs, [&](std::size_t r) {
-    std::vector<cdouble> packed(nx);
+    // Scratch from the WORKER's frame arena: each pool thread owns its
+    // own, so there is no contention and repeated transforms reuse the
+    // warm chunks without touching the general heap.
+    util::ArenaScope scope(util::frame_arena());
+    cdouble* packed = util::frame_arena().alloc_array<cdouble>(nx);
     if (r < pairs) {
       const double* row0 = src + (2 * r) * nx;
       const double* row1 = src + (2 * r + 1) * nx;
       for (std::size_t i = 0; i < nx; ++i) packed[i] = {row0[i], row1[i]};
-      plan->forward(packed.data());
+      plan->forward(packed);
       cdouble* out0 = dst + (2 * r) * nx;
       cdouble* out1 = dst + (2 * r + 1) * nx;
       for (std::size_t k = 0; k < nx; ++k) {
@@ -167,8 +174,8 @@ void r2c_rows(const double* src, cdouble* dst, std::size_t ny, std::size_t nx,
       // Odd ny: the last row rides alone as a zero-imaginary transform.
       const double* row = src + (ny - 1) * nx;
       for (std::size_t i = 0; i < nx; ++i) packed[i] = {row[i], 0.0};
-      plan->forward(packed.data());
-      std::memcpy(dst + (ny - 1) * nx, packed.data(), nx * sizeof(cdouble));
+      plan->forward(packed);
+      std::memcpy(dst + (ny - 1) * nx, packed, nx * sizeof(cdouble));
     }
   });
 }
@@ -220,8 +227,11 @@ void fft1d_lines(cdouble* base, std::size_t count, std::size_t n,
     const std::size_t width = std::min(kLineTile, count - j0);
     // Gather `width` strided lines into contiguous rows of scratch
     // (scratch[t][i] = line (j0+t), element i): each inner iteration
-    // reads one contiguous chunk of `width` complex values.
-    std::vector<cdouble> scratch(width * n);
+    // reads one contiguous chunk of `width` complex values.  The tile
+    // comes from the worker's frame arena — warm after the first tile,
+    // zero general-heap traffic in the steady state.
+    util::ArenaScope scope(util::frame_arena());
+    cdouble* scratch = util::frame_arena().alloc_array<cdouble>(width * n);
     cdouble* tile_base = base + j0;
     for (std::size_t i = 0; i < n; ++i) {
       const cdouble* chunk = tile_base + i * stride;
@@ -229,9 +239,9 @@ void fft1d_lines(cdouble* base, std::size_t count, std::size_t n,
     }
     for (std::size_t t = 0; t < width; ++t) {
       if (inverse) {
-        plan->inverse(scratch.data() + t * n);
+        plan->inverse(scratch + t * n);
       } else {
-        plan->forward(scratch.data() + t * n);
+        plan->forward(scratch + t * n);
       }
     }
     for (std::size_t i = 0; i < n; ++i) {

@@ -28,6 +28,10 @@ struct ObsHandles {
   obs::Counter* nd_points = nullptr;      ///< "fft.nd.points"
   obs::Counter* plan_hits = nullptr;      ///< "fft.plan_cache.hits"
   obs::Counter* plan_misses = nullptr;    ///< "fft.plan_cache.misses"
+  /// Transforms routed through the dispatched por/simd butterfly
+  /// kernel ("simd.fft_dispatch"); which tier they hit is the process-
+  /// wide "simd.isa" gauge.
+  obs::Counter* simd_stage_dispatch = nullptr;
 };
 
 /// The calling thread's handles into its *current* registry,
@@ -42,6 +46,7 @@ inline ObsHandles& obs_handles() {
     handles.nd_points = &registry.counter("fft.nd.points");
     handles.plan_hits = &registry.counter("fft.plan_cache.hits");
     handles.plan_misses = &registry.counter("fft.plan_cache.misses");
+    handles.simd_stage_dispatch = &registry.counter("simd.fft_dispatch");
   }
   return handles;
 }

@@ -1,0 +1,200 @@
+#include "por/util/arena.hpp"
+
+#include <new>
+#include <utility>
+
+namespace por::util {
+
+namespace {
+
+class HeapUpstream final : public ArenaUpstream {
+ public:
+  [[nodiscard]] void* allocate(std::size_t bytes) override {
+    return ::operator new(bytes);
+  }
+  void deallocate(void* p, std::size_t bytes) override {
+    ::operator delete(p, bytes);
+  }
+};
+
+}  // namespace
+
+ArenaUpstream& heap_upstream() {
+  static HeapUpstream upstream;
+  return upstream;
+}
+
+/// Chunk header; the bump payload follows immediately (the header is
+/// max_align_t-sized so the payload starts max-aligned).
+struct alignas(alignof(std::max_align_t)) Arena::Chunk {
+  Chunk* prev = nullptr;          ///< next-older chunk in the same list
+  std::size_t payload_bytes = 0;  ///< capacity after the header
+  std::size_t used = 0;           ///< bump offset into the payload
+
+  [[nodiscard]] char* payload() {
+    return reinterpret_cast<char*>(this) + sizeof(Chunk);
+  }
+};
+
+Arena::Arena(std::size_t first_chunk_bytes, ArenaUpstream* upstream)
+    : upstream_(upstream != nullptr ? upstream : &heap_upstream()),
+      next_chunk_bytes_(first_chunk_bytes < 1024 ? 1024 : first_chunk_bytes) {}
+
+Arena::~Arena() { release(); }
+
+Arena::Arena(Arena&& other) noexcept
+    : upstream_(other.upstream_),
+      head_(std::exchange(other.head_, nullptr)),
+      reserve_(std::exchange(other.reserve_, nullptr)),
+      next_chunk_bytes_(other.next_chunk_bytes_),
+      live_bytes_(std::exchange(other.live_bytes_, 0)),
+      peak_bytes_(std::exchange(other.peak_bytes_, 0)),
+      capacity_(std::exchange(other.capacity_, 0)),
+      chunk_count_(std::exchange(other.chunk_count_, 0)),
+      allocs_(std::exchange(other.allocs_, 0)) {}
+
+Arena& Arena::operator=(Arena&& other) noexcept {
+  if (this == &other) return *this;
+  release();
+  upstream_ = other.upstream_;
+  head_ = std::exchange(other.head_, nullptr);
+  reserve_ = std::exchange(other.reserve_, nullptr);
+  next_chunk_bytes_ = other.next_chunk_bytes_;
+  live_bytes_ = std::exchange(other.live_bytes_, 0);
+  peak_bytes_ = std::exchange(other.peak_bytes_, 0);
+  capacity_ = std::exchange(other.capacity_, 0);
+  chunk_count_ = std::exchange(other.chunk_count_, 0);
+  allocs_ = std::exchange(other.allocs_, 0);
+  return *this;
+}
+
+Arena::Chunk* Arena::grow(std::size_t min_payload) {
+  // Reuse a warm rewound chunk if any is large enough; this is what
+  // keeps the steady state off the upstream entirely.
+  Chunk** link = &reserve_;
+  while (*link != nullptr) {
+    if ((*link)->payload_bytes >= min_payload) {
+      Chunk* found = *link;
+      *link = found->prev;
+      found->prev = head_;
+      found->used = 0;
+      head_ = found;
+      return found;
+    }
+    link = &(*link)->prev;
+  }
+  // Exhaustion fallback: a fresh, geometrically larger chunk from the
+  // upstream.  Oversized single requests get a dedicated chunk without
+  // disturbing the doubling schedule.
+  std::size_t payload = next_chunk_bytes_;
+  if (payload < min_payload) {
+    payload = min_payload;
+  } else {
+    next_chunk_bytes_ *= 2;
+  }
+  void* raw = upstream_->allocate(sizeof(Chunk) + payload);
+  Chunk* chunk = new (raw) Chunk{};
+  chunk->payload_bytes = payload;
+  chunk->prev = head_;
+  head_ = chunk;
+  capacity_ += payload;
+  ++chunk_count_;
+  return chunk;
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  POR_EXPECT(align != 0 && (align & (align - 1)) == 0,
+             "arena alignment must be a power of two:", align);
+  if (bytes == 0) bytes = 1;
+  Chunk* chunk = head_;
+  std::size_t offset = 0;
+  if (chunk != nullptr) {
+    const std::uintptr_t cursor =
+        reinterpret_cast<std::uintptr_t>(chunk->payload()) + chunk->used;
+    const std::uintptr_t aligned = (cursor + align - 1) & ~(align - 1);
+    offset = chunk->used + static_cast<std::size_t>(aligned - cursor);
+  }
+  if (chunk == nullptr || offset + bytes > chunk->payload_bytes) {
+    // A new chunk's payload is max-aligned; over-ask by align-1 so the
+    // in-chunk alignment fixup always fits.
+    chunk = grow(bytes + align - 1);
+    const std::uintptr_t cursor =
+        reinterpret_cast<std::uintptr_t>(chunk->payload());
+    const std::uintptr_t aligned = (cursor + align - 1) & ~(align - 1);
+    offset = static_cast<std::size_t>(aligned - cursor);
+  }
+  POR_ENSURE(offset + bytes <= chunk->payload_bytes,
+             "bump overflow: offset =", offset, "bytes =", bytes,
+             "payload =", chunk->payload_bytes);
+  void* p = chunk->payload() + offset;
+  chunk->used = offset + bytes;
+  live_bytes_ += bytes;
+  if (live_bytes_ > peak_bytes_) peak_bytes_ = live_bytes_;
+  ++allocs_;
+  return p;
+}
+
+Arena::Mark Arena::mark() const {
+  Mark m;
+  m.chunk = head_;
+  m.used = head_ != nullptr ? head_->used : 0;
+  m.live = live_bytes_;
+  m.allocs = allocs_;
+  return m;
+}
+
+void Arena::rewind(const Mark& m) {
+  // Pop chunks carved after the mark back onto the warm reserve list.
+  while (head_ != static_cast<Chunk*>(m.chunk)) {
+    POR_EXPECT(head_ != nullptr,
+               "rewind to a mark from another arena or out of LIFO order");
+    Chunk* popped = head_;
+    head_ = popped->prev;
+    popped->prev = reserve_;
+    popped->used = 0;
+    reserve_ = popped;
+  }
+  if (head_ != nullptr) {
+    POR_EXPECT(m.used <= head_->used,
+               "rewind mark ahead of the bump cursor: mark =", m.used,
+               "used =", head_->used);
+    head_->used = m.used;
+  }
+  live_bytes_ = m.live;
+  allocs_ = m.allocs;
+}
+
+void Arena::reset() {
+  while (head_ != nullptr) {
+    Chunk* popped = head_;
+    head_ = popped->prev;
+    popped->prev = reserve_;
+    popped->used = 0;
+    reserve_ = popped;
+  }
+  live_bytes_ = 0;
+  allocs_ = 0;
+}
+
+void Arena::release() {
+  for (Chunk* list : {head_, reserve_}) {
+    while (list != nullptr) {
+      Chunk* next = list->prev;
+      upstream_->deallocate(list, sizeof(Chunk) + list->payload_bytes);
+      list = next;
+    }
+  }
+  head_ = nullptr;
+  reserve_ = nullptr;
+  live_bytes_ = 0;
+  capacity_ = 0;
+  chunk_count_ = 0;
+  allocs_ = 0;
+}
+
+Arena& frame_arena() {
+  thread_local Arena arena(256 * 1024);
+  return arena;
+}
+
+}  // namespace por::util

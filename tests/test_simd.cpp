@@ -1,0 +1,579 @@
+// test_simd — the por::simd dispatch layer and the por::util arena.
+//
+// Four concerns, mirroring DESIGN.md §12:
+//   1. ISA selection: CPUID detection, POR_FORCE_ISA override (probed
+//      in a child process so the once-per-process cache stays honest),
+//      force_isa clamping, and the SimdOptions::isa knob.
+//   2. Kernel equivalence: every compiled tier's trilinear / annulus /
+//      butterfly / pointwise kernels against the scalar reference on
+//      randomized lattices (boundary cells included).  The SSE2 tier
+//      is asserted BIT-identical to em::interp_trilinear_cell; the AVX
+//      tiers are held to the 1e-12 FMA-contraction budget.
+//   3. End-to-end: per-tier FourierMatcher::distance vs
+//      distance_reference.
+//   4. Arena semantics: mark/rewind, alignment, exhaustion fallback,
+//      warm steady state under a CountingUpstream, ArenaVector, and
+//      the ScoreCache no-regrowth contract.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstdlib>
+#include <numbers>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+#include "por/core/matcher.hpp"
+#include "por/core/score_cache.hpp"
+#include "por/em/grid.hpp"
+#include "por/em/interp.hpp"
+#include "por/em/phantom.hpp"
+#include "por/fft/fft1d.hpp"
+#include "por/simd/isa.hpp"
+#include "por/simd/kernels.hpp"
+#include "por/util/arena.hpp"
+#include "por/util/rng.hpp"
+
+namespace {
+
+using namespace por;
+
+/// The tiers this machine + binary can actually run.
+std::vector<simd::Isa> available_tiers() {
+  std::vector<simd::Isa> tiers;
+  for (const simd::Isa isa :
+       {simd::Isa::kSse2, simd::Isa::kAvx2, simd::Isa::kAvx512}) {
+    if (simd::kernel_table(isa).isa == isa) tiers.push_back(isa);
+  }
+  return tiers;
+}
+
+/// Restore the process-wide tier on scope exit (tests that force_isa
+/// must not leak their selection into later tests).
+struct IsaGuard {
+  simd::Isa saved = simd::active_isa();
+  ~IsaGuard() { simd::force_isa(saved); }
+};
+
+em::Volume<em::cdouble> random_volume(std::size_t l, std::uint64_t seed) {
+  em::Volume<em::cdouble> vol(l);
+  util::Rng rng(seed);
+  for (auto& v : vol.storage()) {
+    v = em::cdouble(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+  }
+  return vol;
+}
+
+/// A randomized set of resolved cells: interior bases plus the edge
+/// cells whose +1 corners land in the zero pad, plus exact-zero
+/// fractional offsets (the bit-exact skip paths).
+struct CellSet {
+  std::vector<std::size_t> base;
+  std::vector<double> tz, ty, tx;
+};
+
+CellSet random_cells(const em::SplitComplexLattice& lat, std::size_t count,
+                     std::uint64_t seed) {
+  util::Rng rng(seed);
+  CellSet cells;
+  const std::size_t edge = lat.edge;
+  for (std::size_t k = 0; k < count; ++k) {
+    std::size_t iz, iy, ix;
+    if (k % 7 == 0) {
+      // Boundary cell: at least one index on the last logical plane.
+      iz = edge - 1;
+      iy = static_cast<std::size_t>(rng.uniform(0.0, 1.0) * (edge - 1));
+      ix = edge - 1;
+    } else {
+      iz = static_cast<std::size_t>(rng.uniform(0.0, 1.0) * (edge - 1));
+      iy = static_cast<std::size_t>(rng.uniform(0.0, 1.0) * (edge - 1));
+      ix = static_cast<std::size_t>(rng.uniform(0.0, 1.0) * (edge - 1));
+    }
+    cells.base.push_back(iz * lat.stride_z + iy * lat.stride_y + ix);
+    // Every 11th cell sits exactly on a lattice point (t == 0), the
+    // weights-are-exactly-one case the kernels must keep bit-exact.
+    const bool exact = k % 11 == 0;
+    cells.tz.push_back(exact ? 0.0 : rng.uniform(0.0, 1.0));
+    cells.ty.push_back(exact ? 0.0 : rng.uniform(0.0, 1.0));
+    cells.tx.push_back(exact ? 0.0 : rng.uniform(0.0, 1.0));
+  }
+  return cells;
+}
+
+double rel_diff(double a, double b) {
+  return std::abs(a - b) / std::max(1.0, std::abs(b));
+}
+
+constexpr double kTol = 1e-12;  ///< the FMA-contraction budget
+
+// ---------------------------------------------------------------------------
+// 1. ISA selection
+// ---------------------------------------------------------------------------
+
+TEST(SimdIsa, DetectionAndNames) {
+  const simd::Isa best = simd::detect_best_isa();
+  EXPECT_TRUE(best == simd::Isa::kSse2 || best == simd::Isa::kAvx2 ||
+              best == simd::Isa::kAvx512);
+  for (const simd::Isa isa :
+       {simd::Isa::kSse2, simd::Isa::kAvx2, simd::Isa::kAvx512}) {
+    const auto parsed = simd::parse_isa(simd::isa_name(isa));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, isa);
+  }
+  EXPECT_EQ(simd::parse_isa("scalar"), simd::Isa::kSse2);
+  EXPECT_EQ(simd::parse_isa("avx512f"), simd::Isa::kAvx512);
+  EXPECT_FALSE(simd::parse_isa("neon").has_value());
+  EXPECT_FALSE(simd::parse_isa("").has_value());
+}
+
+TEST(SimdIsa, ForceIsaClampsToAvailable) {
+  IsaGuard guard;
+  EXPECT_EQ(simd::force_isa(simd::Isa::kSse2), simd::Isa::kSse2);
+  EXPECT_EQ(simd::active_isa(), simd::Isa::kSse2);
+  EXPECT_EQ(simd::active_kernels().isa, simd::Isa::kSse2);
+  // Forcing the widest tier lands on whatever the machine/build can
+  // actually run — exactly what kernel_table reports for that request.
+  const simd::Isa widest = simd::force_isa(simd::Isa::kAvx512);
+  EXPECT_EQ(widest, simd::kernel_table(simd::Isa::kAvx512).isa);
+  EXPECT_EQ(simd::active_kernels().isa, widest);
+}
+
+TEST(SimdIsa, ResolveIsaPrefersExplicitKnob) {
+  IsaGuard guard;
+  simd::force_isa(simd::Isa::kSse2);
+  simd::SimdOptions options;
+  options.isa = simd::detect_best_isa();
+  // The knob wins over the forced/process-wide selection, clamped.
+  EXPECT_EQ(simd::resolve_isa(options),
+            simd::kernel_table(simd::detect_best_isa()).isa);
+  options.isa.reset();
+  EXPECT_EQ(simd::resolve_isa(options), simd::Isa::kSse2);
+}
+
+// POR_FORCE_ISA is read once per process, so the override is probed in
+// a child process: the child (same binary, same test, POR_TEST_EXPECT_ISA
+// set) asserts that its first active_isa() matches the environment.
+TEST(SimdIsa, EnvOverrideInChildProcess) {
+  if (const char* expect = std::getenv("POR_TEST_EXPECT_ISA")) {
+    const auto parsed = simd::parse_isa(expect);
+    ASSERT_TRUE(parsed.has_value()) << "bad POR_TEST_EXPECT_ISA: " << expect;
+    EXPECT_EQ(simd::active_isa(), *parsed);
+    return;
+  }
+#if !defined(__linux__)
+  GTEST_SKIP() << "child re-exec reads /proc/self/exe";
+#else
+  // Resolve our own binary path HERE: a literal /proc/self/exe in the
+  // command would be resolved by the std::system shell, i.e. point at
+  // /bin/sh rather than this test.
+  char exe[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  ASSERT_GT(len, 0);
+  exe[len] = '\0';
+  // sse2 is always available, so forcing it must stick exactly.
+  const std::string base =
+      "POR_TEST_EXPECT_ISA=sse2 POR_FORCE_ISA=sse2 '" + std::string(exe) +
+      "' --gtest_filter=SimdIsa.EnvOverrideInChildProcess >/dev/null 2>&1";
+  EXPECT_EQ(std::system(base.c_str()), 0);
+  // An unknown name is diagnosed and ignored: detection wins.
+  const std::string best =
+      simd::isa_name(simd::kernel_table(simd::detect_best_isa()).isa);
+  const std::string bogus =
+      "POR_TEST_EXPECT_ISA=" + best + " POR_FORCE_ISA=bogus '" +
+      std::string(exe) +
+      "' --gtest_filter=SimdIsa.EnvOverrideInChildProcess >/dev/null 2>&1";
+  EXPECT_EQ(std::system(bogus.c_str()), 0);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// 2. Kernel equivalence vs the scalar reference
+// ---------------------------------------------------------------------------
+
+TEST(SimdKernels, TrilinearSplitMatchesReference) {
+  const std::size_t edge = 9;
+  const em::Volume<em::cdouble> vol = random_volume(edge, 101);
+  const em::SplitComplexLattice lat(vol);
+  const CellSet cells = random_cells(lat, 2000, 202);
+  for (const simd::Isa isa : available_tiers()) {
+    const simd::KernelTable& kt = simd::kernel_table(isa);
+    ASSERT_NE(kt.trilinear_split, nullptr);
+    for (std::size_t k = 0; k < cells.base.size(); ++k) {
+      const em::SplitSample ref = em::interp_trilinear_cell(
+          lat, cells.base[k], cells.tz[k], cells.ty[k], cells.tx[k]);
+      const simd::CellSample got =
+          kt.trilinear_split(lat.re.data(), lat.im.data(), lat.stride_y,
+                             lat.stride_z, cells.base[k], cells.tz[k],
+                             cells.ty[k], cells.tx[k]);
+      if (isa == simd::Isa::kSse2) {
+        // The baseline tier reproduces the reference BIT-identically.
+        EXPECT_EQ(got.re, ref.re) << "tier sse2, cell " << k;
+        EXPECT_EQ(got.im, ref.im) << "tier sse2, cell " << k;
+      } else {
+        EXPECT_LE(rel_diff(got.re, ref.re), kTol)
+            << "tier " << simd::isa_name(isa) << ", cell " << k;
+        EXPECT_LE(rel_diff(got.im, ref.im), kTol)
+            << "tier " << simd::isa_name(isa) << ", cell " << k;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, TrilinearInterleavedMatchesReference) {
+  const std::size_t edge = 9;
+  const em::Volume<em::cdouble> vol = random_volume(edge, 303);
+  const em::SplitComplexLattice split(vol);
+  const em::InterleavedComplexLattice ilv(vol);
+  const CellSet cells = random_cells(split, 2000, 404);
+  for (const simd::Isa isa : available_tiers()) {
+    const simd::KernelTable& kt = simd::kernel_table(isa);
+    if (kt.trilinear_ilv == nullptr) continue;  // SSE2 tier is split-only
+    for (std::size_t k = 0; k < cells.base.size(); ++k) {
+      const em::SplitSample ref = em::interp_trilinear_cell(
+          split, cells.base[k], cells.tz[k], cells.ty[k], cells.tx[k]);
+      const simd::CellSample got = kt.trilinear_ilv(
+          ilv.data.data(), ilv.stride_y, ilv.stride_z, cells.base[k],
+          cells.tz[k], cells.ty[k], cells.tx[k]);
+      EXPECT_LE(rel_diff(got.re, ref.re), kTol)
+          << "tier " << simd::isa_name(isa) << ", cell " << k;
+      EXPECT_LE(rel_diff(got.im, ref.im), kTol)
+          << "tier " << simd::isa_name(isa) << ", cell " << k;
+    }
+  }
+}
+
+TEST(SimdKernels, AnnulusConsumeMatchesScalarOracle) {
+  const std::size_t edge = 9;
+  const em::Volume<em::cdouble> vol = random_volume(edge, 505);
+  const em::SplitComplexLattice split(vol);
+  const em::InterleavedComplexLattice ilv(vol);
+  // An odd count exercises every tail path (the AVX tiers unroll by 4).
+  const std::size_t count = 257;
+  const CellSet cells = random_cells(split, count, 606);
+
+  util::Rng rng(707);
+  std::vector<double> view(2 * count);
+  std::vector<std::uint32_t> index(count);
+  std::vector<double> transfer(count), weight(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    view[2 * k] = rng.uniform(-2.0, 2.0);
+    view[2 * k + 1] = rng.uniform(-2.0, 2.0);
+    index[k] = static_cast<std::uint32_t>(k);
+    transfer[k] = rng.uniform(0.2, 1.5);
+    weight[k] = rng.uniform(0.1, 2.0);
+  }
+
+  for (const bool use_transfer : {false, true}) {
+    for (const bool use_weight : {false, true}) {
+      // Scalar oracle: the pre-dispatch pixel-sequential accumulation.
+      double expected = 0.25;  // nonzero running accumulator
+      for (std::size_t k = 0; k < count; ++k) {
+        const em::SplitSample s = em::interp_trilinear_cell(
+            split, cells.base[k], cells.tz[k], cells.ty[k], cells.tx[k]);
+        double sre = s.re, sim = s.im;
+        if (use_transfer) {
+          sre *= transfer[k];
+          sim *= transfer[k];
+        }
+        const double dre = view[2 * k] - sre;
+        const double dim = view[2 * k + 1] - sim;
+        double term = dre * dre + dim * dim;
+        if (use_weight) term *= weight[k];
+        expected += term;
+      }
+
+      simd::AnnulusBlock blk;
+      blk.base = cells.base.data();
+      blk.tz = cells.tz.data();
+      blk.ty = cells.ty.data();
+      blk.tx = cells.tx.data();
+      blk.count = count;
+      blk.view = view.data();
+      blk.index = index.data();
+      blk.transfer = use_transfer ? transfer.data() : nullptr;
+      blk.weight = use_weight ? weight.data() : nullptr;
+
+      for (const simd::Isa isa : available_tiers()) {
+        const simd::KernelTable& kt = simd::kernel_table(isa);
+        double got = 0.0;
+        if (kt.layout == simd::LatticeLayout::kSplit) {
+          ASSERT_NE(kt.annulus_split, nullptr);
+          got = kt.annulus_split(split.re.data(), split.im.data(),
+                                 split.stride_y, split.stride_z,
+                                 split.re.size(), blk, 0.25);
+        } else {
+          ASSERT_NE(kt.annulus_ilv, nullptr);
+          got = kt.annulus_ilv(ilv.data.data(), ilv.stride_y, ilv.stride_z,
+                               ilv.cells(), blk, 0.25);
+        }
+        if (isa == simd::Isa::kSse2) {
+          EXPECT_EQ(got, expected)
+              << "transfer=" << use_transfer << " weight=" << use_weight;
+        } else {
+          EXPECT_LE(rel_diff(got, expected), kTol)
+              << "tier " << simd::isa_name(isa) << " transfer=" << use_transfer
+              << " weight=" << use_weight;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, PointwiseComplexProductsMatchScalar) {
+  const std::size_t n = 33;  // odd: every tier's tail path runs
+  util::Rng rng(808);
+  std::vector<double> a0(2 * n), b(2 * n), src(2 * n);
+  for (double& v : a0) v = rng.uniform(-1.0, 1.0);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  for (double& v : src) v = rng.uniform(-1.0, 1.0);
+
+  for (const simd::Isa isa : available_tiers()) {
+    const simd::KernelTable& kt = simd::kernel_table(isa);
+    ASSERT_NE(kt.cmul, nullptr);
+    ASSERT_NE(kt.cmul_conj, nullptr);
+    std::vector<double> a = a0;
+    kt.cmul(a.data(), b.data(), n);
+    std::vector<double> conj_out(2 * n);
+    kt.cmul_conj(conj_out.data(), src.data(), b.data(), n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::complex<double> av{a0[2 * k], a0[2 * k + 1]};
+      const std::complex<double> bv{b[2 * k], b[2 * k + 1]};
+      const std::complex<double> sv{src[2 * k], src[2 * k + 1]};
+      const std::complex<double> want_mul = av * bv;
+      const std::complex<double> want_conj = sv * std::conj(bv);
+      EXPECT_LE(rel_diff(a[2 * k], want_mul.real()), kTol);
+      EXPECT_LE(rel_diff(a[2 * k + 1], want_mul.imag()), kTol);
+      EXPECT_LE(rel_diff(conj_out[2 * k], want_conj.real()), kTol);
+      EXPECT_LE(rel_diff(conj_out[2 * k + 1], want_conj.imag()), kTol);
+    }
+    // cmul_conj permits dst == src (the Bluestein in-place form).
+    std::vector<double> inplace = src;
+    kt.cmul_conj(inplace.data(), inplace.data(), b.data(), n);
+    for (std::size_t k = 0; k < 2 * n; ++k) {
+      EXPECT_EQ(inplace[k], conj_out[k]) << simd::isa_name(isa);
+    }
+  }
+}
+
+TEST(SimdKernels, FftMatchesNaiveDftOnEveryTier) {
+  IsaGuard guard;
+  for (const std::size_t n : {std::size_t{64}, std::size_t{31}}) {
+    const fft::Fft1D plan(n);
+    util::Rng rng(909);
+    std::vector<fft::cdouble> x(n);
+    for (auto& v : x) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    // Naive O(n^2) DFT oracle.
+    std::vector<fft::cdouble> want(n);
+    double scale = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      fft::cdouble acc{0.0, 0.0};
+      for (std::size_t j = 0; j < n; ++j) {
+        const double angle = -2.0 * std::numbers::pi *
+                             static_cast<double>(j * k % n) /
+                             static_cast<double>(n);
+        acc += x[j] * fft::cdouble{std::cos(angle), std::sin(angle)};
+      }
+      want[k] = acc;
+      scale = std::max(scale, std::abs(acc));
+    }
+    for (const simd::Isa isa : available_tiers()) {
+      simd::force_isa(isa);
+      std::vector<fft::cdouble> data = x;
+      plan.forward(data.data());
+      for (std::size_t k = 0; k < n; ++k) {
+        EXPECT_LE(std::abs(data[k] - want[k]) / scale, 1e-11)
+            << "n=" << n << " tier " << simd::isa_name(isa) << " bin " << k;
+      }
+      plan.inverse(data.data());
+      for (std::size_t k = 0; k < n; ++k) {
+        EXPECT_LE(std::abs(data[k] - x[k]), 1e-11)
+            << "n=" << n << " tier " << simd::isa_name(isa) << " bin " << k;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 3. End-to-end: per-tier matcher vs the scalar reference
+// ---------------------------------------------------------------------------
+
+TEST(SimdMatcher, EveryTierMatchesReferenceDistance) {
+  em::PhantomSpec phantom;
+  phantom.l = 16;
+  const em::BlobModel model = em::make_sindbis_like(phantom);
+  const em::Volume<double> lattice = model.rasterize(phantom.l);
+
+  std::vector<std::unique_ptr<core::FourierMatcher>> matchers;
+  for (const simd::Isa isa : available_tiers()) {
+    for (const metrics::Weighting w :
+         {metrics::Weighting::kUniform, metrics::Weighting::kRadial}) {
+      core::MatchOptions options;
+      options.pad = 2;
+      options.simd.isa = isa;
+      options.weighting = w;
+      matchers.push_back(
+          std::make_unique<core::FourierMatcher>(lattice, options));
+      EXPECT_EQ(matchers.back()->isa(), isa);
+    }
+  }
+
+  const em::Orientation truth{48.0, 160.0, 72.0};
+  util::Rng rng(1010);
+  for (const auto& matcher : matchers) {
+    const em::Image<em::cdouble> spectrum =
+        matcher->prepare_view(model.project_analytic(phantom.l, truth));
+    for (int trial = 0; trial < 8; ++trial) {
+      const em::Orientation o{rng.uniform(0.0, 180.0), rng.uniform(0.0, 360.0),
+                              rng.uniform(0.0, 360.0)};
+      const double fast = matcher->distance(spectrum, o);
+      const double ref = matcher->distance_reference(spectrum, o);
+      EXPECT_LE(rel_diff(fast, ref), kTol)
+          << "tier " << simd::isa_name(matcher->isa()) << " trial " << trial;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 4. Arena semantics
+// ---------------------------------------------------------------------------
+
+TEST(Arena, MarkRewindReusesStorage) {
+  util::Arena arena(1024);
+  const util::Arena::Mark m0 = arena.mark();
+  double* first = arena.alloc_array<double>(16);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(arena.live_bytes(), 16 * sizeof(double));
+  EXPECT_EQ(arena.allocation_count(), 1u);
+  arena.rewind(m0);
+  EXPECT_EQ(arena.live_bytes(), 0u);
+  // Same request after a rewind lands on the same warm storage.
+  double* again = arena.alloc_array<double>(16);
+  EXPECT_EQ(again, first);
+}
+
+TEST(Arena, ScopesNestLifo) {
+  util::Arena arena(1024);
+  {
+    util::ArenaScope outer(arena);
+    (void)arena.alloc_array<char>(100);
+    {
+      util::ArenaScope inner(arena);
+      (void)arena.alloc_array<char>(200);
+      EXPECT_EQ(arena.live_bytes(), 300u);
+    }
+    EXPECT_EQ(arena.live_bytes(), 100u);
+  }
+  EXPECT_EQ(arena.live_bytes(), 0u);
+}
+
+TEST(Arena, RespectsAlignment) {
+  util::Arena arena(4096);
+  (void)arena.alloc_array<char>(3);  // misalign the bump pointer
+  void* p64 = arena.allocate(128, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p64) % 64, 0u);
+  (void)arena.alloc_array<char>(1);
+  double* d = arena.alloc_array<double>(4);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+}
+
+TEST(Arena, ExhaustionFallsBackToUpstream) {
+  util::CountingUpstream counting(util::heap_upstream());
+  util::Arena arena(64, &counting);
+  // Far larger than the first chunk: the arena must pull a bigger
+  // chunk from upstream instead of failing.
+  constexpr std::size_t kBig = 1 << 20;
+  char* big = arena.alloc_array<char>(kBig);
+  ASSERT_NE(big, nullptr);
+  big[0] = 1;
+  big[kBig - 1] = 2;  // the whole span is addressable
+  EXPECT_GE(counting.allocations(), 1u);
+  EXPECT_GE(arena.capacity_bytes(), kBig);
+}
+
+TEST(Arena, WarmSteadyStateNeverRefills) {
+  util::CountingUpstream counting(util::heap_upstream());
+  util::Arena arena(256, &counting);
+  const auto pass = [&] {
+    util::ArenaScope scope(arena);
+    (void)arena.alloc_array<double>(300);
+    (void)arena.alloc_array<std::size_t>(100);
+    (void)arena.allocate(4096, 64);
+  };
+  pass();  // warm-up sizes the chunks
+  const std::uint64_t warm = counting.allocations();
+  EXPECT_GE(warm, 1u);
+  for (int i = 0; i < 10; ++i) pass();
+  EXPECT_EQ(counting.allocations(), warm)
+      << "steady-state passes must reuse warm chunks";
+}
+
+TEST(Arena, FrameArenaIsPerThread) {
+  util::Arena& mine = util::frame_arena();
+  EXPECT_EQ(&mine, &util::frame_arena());
+  util::Arena* other = nullptr;
+  std::thread worker([&] { other = &util::frame_arena(); });
+  worker.join();
+  EXPECT_NE(other, nullptr);
+  EXPECT_NE(other, &mine);
+}
+
+TEST(ArenaVector, GrowthAndAssignment) {
+  util::Arena arena(256);
+  util::ArenaScope scope(arena);
+  util::ArenaVector<int> v(arena);
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 100; ++i) v.push_back(i * 3);
+  ASSERT_EQ(v.size(), 100u);
+  EXPECT_GE(v.capacity(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i * 3);
+  v.clear();
+  EXPECT_EQ(v.size(), 0u);
+  v.assign_default(8);
+  ASSERT_EQ(v.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(v[i], 0);
+  v.resize_uninit(16);
+  EXPECT_EQ(v.size(), 16u);
+  // reserve keeps existing contents across regrowth.
+  v.clear();
+  v.push_back(42);
+  v.reserve(1000);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 42);
+}
+
+TEST(ScoreCache, ClearKeepsCapacityForSteadyState) {
+  core::ScoreCache cache(0.25, 16);
+  util::Rng rng(1111);
+  std::vector<em::Orientation> keys;
+  for (int i = 0; i < 40; ++i) {
+    keys.push_back(em::Orientation{static_cast<double>(i), 2.0 * i, 3.0 * i});
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    cache.insert(keys[i], static_cast<double>(i));
+  }
+  const std::size_t grown = cache.capacity();
+  EXPECT_GT(grown, 16u);  // the inserts forced at least one doubling
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.capacity(), grown);
+  // Re-inserting the same working set cannot regrow the table — this
+  // is what makes repeated warmed searches allocation-free.
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    cache.insert(keys[i], static_cast<double>(i) + 0.5);
+  }
+  EXPECT_EQ(cache.capacity(), grown);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto hit = cache.lookup(keys[i]);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, static_cast<double>(i) + 0.5);
+  }
+}
+
+}  // namespace

@@ -31,6 +31,15 @@ rules generic tools cannot express:
                     sibling .cpp — a contract that is only prose is not
                     machine-checked.
 
+  hot-path-alloc    Files marked ``// POR_HOT_PATH`` (first lines) carry
+                    the zero-allocation steady-state contract
+                    (por/util/arena.hpp): no raw ``new`` expressions and
+                    no ``std::vector`` — vector growth is flagged at its
+                    source, the declaration.  Construction-time
+                    allocations (plan/table building) are waived with a
+                    rationale; steady-state scratch goes through the
+                    frame arena or a private Arena.
+
 Waivers: append ``// por-lint: allow(<rule>) <reason>`` to the
 offending line, or place it on one of the two lines above.  A waiver
 without a reason is itself an error.
@@ -77,6 +86,10 @@ REINTERPRET_EXEMPT_TARGET_RE = re.compile(
     r"uintptr_t)\s*(?:\*|\s*$)"
 )
 CONTRACT_COMMENT_RE = re.compile(r"//[/!]?\s*CONTRACT\b")
+HOT_PATH_MARKER_RE = re.compile(r"^//\s*POR_HOT_PATH\b")
+# Raw new expressions; `new` in identifiers or comments does not match.
+HOT_NEW_RE = re.compile(r"\bnew\b(?!\s*[;,)\]])")
+HOT_VECTOR_RE = re.compile(r"\bstd::vector\s*<")
 CONTRACT_MACRO_RE = re.compile(
     r"\b(POR_EXPECT|POR_ENSURE|POR_BOUNDS|POR_FINITE)\s*\("
 )
@@ -126,6 +139,10 @@ def check_file(root: Path, path: Path) -> list[Finding]:
     lines = text.splitlines()
     findings: list[Finding] = []
 
+    # A POR_HOT_PATH marker in the first lines opts the whole file into
+    # the zero-allocation rule.
+    hot_path = any(HOT_PATH_MARKER_RE.match(line) for line in lines[:3])
+
     for i, raw in enumerate(lines):
         code = strip_line_comment(raw)
         waivers = waivers_for(lines, i)
@@ -157,6 +174,25 @@ def check_file(root: Path, path: Path) -> list[Finding]:
                     "floating-point ==/!= against a float literal; use a "
                     "tolerance, or waive with a rationale if the exact "
                     "comparison is intentional",
+                )
+
+        # Rule: hot-path-alloc --------------------------------------------
+        if hot_path and not is_test_path(rel):
+            if HOT_NEW_RE.search(code):
+                report(
+                    "hot-path-alloc",
+                    "raw `new` in a POR_HOT_PATH file; steady-state "
+                    "scratch must come from por::util::frame_arena() or a "
+                    "private Arena (waive construction-time allocations "
+                    "with a rationale)",
+                )
+            if HOT_VECTOR_RE.search(code):
+                report(
+                    "hot-path-alloc",
+                    "std::vector in a POR_HOT_PATH file (its growth hits "
+                    "the general heap); use ArenaVector / arena "
+                    "alloc_array, or waive construction-time tables with "
+                    "a rationale",
                 )
 
         # Rule: reinterpret-cast ------------------------------------------
