@@ -59,6 +59,8 @@
 // ---------------------------------------------------------------------------
 
 namespace {
+// por-atomic-file: stat — bench-local alloc counters; single bench
+// thread flips the gate, atomicity alone is enough.
 std::atomic<bool> g_count_heap{false};
 std::atomic<std::uint64_t> g_heap_allocs{0};
 

@@ -240,6 +240,7 @@ double FourierMatcher::distance(const em::Image<em::cdouble>& view_spectrum,
   if (view_spectrum.nx() != big || view_spectrum.ny() != big) {
     throw std::invalid_argument("distance: view spectrum size mismatch");
   }
+  // por-atomic: stat — matching counter; no ordering claims derive from it
   matchings_.v.fetch_add(1, std::memory_order_relaxed);
   obs_matchings_->add();
 
@@ -372,6 +373,7 @@ double FourierMatcher::distance_reference(
   if (view_spectrum.nx() != big || view_spectrum.ny() != big) {
     throw std::invalid_argument("distance: view spectrum size mismatch");
   }
+  // por-atomic: stat — matching counter; no ordering claims derive from it
   matchings_.v.fetch_add(1, std::memory_order_relaxed);
   obs_matchings_->add();
 

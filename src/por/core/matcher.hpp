@@ -110,9 +110,12 @@ namespace detail {
 struct MovableAtomicU64 {
   std::atomic<std::uint64_t> v{0};
   MovableAtomicU64() = default;
+  // por-atomic: owner-exclusive — moves happen before the matcher is
+  // shared across threads (container growth at setup time)
   MovableAtomicU64(MovableAtomicU64&& o) noexcept
       : v(o.v.load(std::memory_order_relaxed)) {}
   MovableAtomicU64& operator=(MovableAtomicU64&& o) noexcept {
+    // por-atomic: owner-exclusive — see the move constructor
     v.store(o.v.load(std::memory_order_relaxed), std::memory_order_relaxed);
     return *this;
   }
@@ -184,9 +187,12 @@ class FourierMatcher {
   /// Matching-operation counter (total calls to distance()); the
   /// quantity the paper's Tables 1/2 track through the sliding window.
   [[nodiscard]] std::uint64_t matchings() const {
+    // por-atomic: monitor — table statistic; a lagging read is fine
     return matchings_.v.load(std::memory_order_relaxed);
   }
   void reset_matchings() const {
+    // por-atomic: owner-exclusive — reset only between phases, while no
+    // worker is matching
     matchings_.v.store(0, std::memory_order_relaxed);
   }
 

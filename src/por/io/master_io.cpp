@@ -10,7 +10,6 @@ namespace {
 
 constexpr vmpi::Tag kViewMetaTag = 100;
 constexpr vmpi::Tag kViewDataTag = 101;
-constexpr vmpi::Tag kOrientTag = 102;
 constexpr vmpi::Tag kRefinedTag = 103;
 
 struct StackMeta {

@@ -1,0 +1,595 @@
+#include "por/mc/checker.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <random>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "por/mc/fiber.hpp"
+#include "por/mc/model.hpp"
+#include "por/util/contracts.hpp"
+
+namespace por::mc {
+
+namespace {
+
+/// One scheduling decision: run `thread`, resolve its pending op with
+/// candidate `cand` (-1 = "whatever prepare() lists first", expanded
+/// lazily when a DPOR backtrack point is finally taken).
+struct Choice {
+  int thread = -1;
+  int cand = -1;
+};
+
+/// One frame of the DFS stack.  Nodes persist across executions; the
+/// prefix path[0..k] prescribes the replayed schedule up to depth k.
+struct Node {
+  int taken_thread = -1;
+  int taken_cand = -1;
+  /// Location / writeness of the transition committed here, for the
+  /// sleep-set dependence filter when children are created.
+  int taken_loc = -1;
+  bool taken_is_write = false;
+  std::deque<Choice> todo;
+  /// Threads whose candidate lists were enumerated here — their
+  /// specific (thread, cand) pairs are all scheduled, so a wildcard
+  /// DPOR entry for them would be redundant.
+  std::set<int> expanded_threads;
+  /// Wildcard DPOR entries already queued, for dedup across the many
+  /// replays that pass through this node.
+  std::set<int> queued_wildcards;
+  /// Sleep set (Godefroid): threads whose subtrees below this node are
+  /// fully explored.  Running a sleeping thread first from here would
+  /// only rebuild an already-explored Mazurkiewicz trace, so sleeping
+  /// threads are never chosen (and a state whose every enabled thread
+  /// sleeps is pruned outright).  A child node inherits the sleepers
+  /// whose pending op is independent of the parent's transition —
+  /// a dependent transition "wakes" them.  Without this, plain DPOR
+  /// re-explores equivalent traces exponentially often.
+  std::set<int> sleep;
+};
+
+}  // namespace
+
+class Explorer {
+ public:
+  Explorer(const Options& options, const std::function<void(Env&)>& body)
+      : options_(options), body_(body), rng_(options.seed) {}
+
+  Result run();
+
+  // ---- Env backend ------------------------------------------------------
+
+  void add_thread(std::function<void()> body) {
+    POR_EXPECT(!run_called_, "Env::thread after Env::run");
+    POR_EXPECT(thread_bodies_.size() < static_cast<std::size_t>(kMaxThreads),
+               "too many virtual threads (kMaxThreads =", kMaxThreads, ")");
+    thread_bodies_.push_back(std::move(body));
+  }
+
+  void schedule();  // Env::run lands here
+
+  void expect(bool condition, const std::string& message) {
+    if (condition || !failure_.empty()) return;
+    failure_ = message;
+    Fiber* fiber = Fiber::current();
+    if (fiber != nullptr) {
+      // Tag the failing thread so the trace points at it.
+      for (std::size_t t = 0; t < fibers_.size(); ++t) {
+        if (fibers_[t].get() == fiber) {
+          failure_ += " [raised by T" + std::to_string(t) + "]";
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  enum class SchedMode { kDfs, kRandom, kReplay };
+
+  void run_one_execution(SchedMode mode,
+                         const std::vector<Choice>* prescribed);
+  void advance(int thread);
+  void drain_aborted();
+  bool backtrack_path();  // false once the DFS space is exhausted
+  void minimize_and_format();
+  bool replay_fails(const std::vector<Choice>& choices);
+  std::string format_trace() const;
+
+  const Options& options_;
+  const std::function<void(Env&)>& body_;
+  std::mt19937_64 rng_;
+
+  // Per-execution state.
+  SchedMode sched_mode_ = SchedMode::kDfs;
+  const std::vector<Choice>* prescribed_ = nullptr;
+  std::unique_ptr<Execution> exec_;
+  std::vector<std::function<void()>> thread_bodies_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::string failure_;
+  std::vector<Choice> run_choices_;
+  bool run_called_ = false;
+  bool truncated_this_run_ = false;
+  bool pruned_this_run_ = false;
+  bool replay_valid_ = true;
+
+  // DFS state (persists across executions).
+  std::vector<Node> path_;
+
+  // Totals.
+  std::uint64_t executions_ = 0;
+  std::uint64_t total_steps_ = 0;
+  std::uint64_t truncated_ = 0;
+  std::string trace_;
+};
+
+// ---- Env forwarding --------------------------------------------------------
+
+void Env::thread(std::function<void()> body) {
+  explorer_.add_thread(std::move(body));
+}
+void Env::run() { explorer_.schedule(); }
+void Env::expect(bool condition, const std::string& message) {
+  explorer_.expect(condition, message);
+}
+
+// ---- execution driving -----------------------------------------------------
+
+void Explorer::advance(int thread) {
+  exec_->clear_pending(thread);
+  exec_->set_running_thread(thread);
+  fibers_[static_cast<std::size_t>(thread)]->resume();
+  exec_->set_running_thread(-1);
+  // Post: the fiber is parked on a fresh pending op, or finished.
+}
+
+void Explorer::drain_aborted() {
+  exec_->request_abort();
+  for (std::size_t t = 0; t < fibers_.size(); ++t) {
+    Fiber& fiber = *fibers_[t];
+    while (!fiber.finished()) {
+      exec_->set_running_thread(static_cast<int>(t));
+      fiber.resume();
+      exec_->set_running_thread(-1);
+    }
+  }
+}
+
+void Explorer::schedule() {
+  POR_EXPECT(!run_called_, "Env::run called twice in one execution");
+  run_called_ = true;
+
+  const int nthreads = static_cast<int>(thread_bodies_.size());
+  while (fibers_.size() < thread_bodies_.size()) {
+    fibers_.push_back(std::make_unique<Fiber>());
+  }
+  for (int t = 0; t < nthreads; ++t) {
+    fibers_[static_cast<std::size_t>(t)]->reset(
+        thread_bodies_[static_cast<std::size_t>(t)]);
+    advance(t);  // run to the first atomic op (or to completion)
+  }
+
+  int depth = 0;
+  for (;;) {
+    std::vector<int> enabled;
+    for (int t = 0; t < nthreads; ++t) {
+      if (exec_->has_pending(t)) enabled.push_back(t);
+    }
+    if (enabled.empty()) break;  // every thread ran to completion
+
+    if (exec_->steps() >= options_.max_steps_per_execution) {
+      truncated_this_run_ = true;
+      drain_aborted();
+      break;
+    }
+
+    Choice choice;
+    if (sched_mode_ == SchedMode::kReplay) {
+      if (depth >= static_cast<int>(prescribed_->size())) {
+        // Prescribed prefix consumed: finish deterministically
+        // (first enabled thread, first candidate) so block-merge
+        // transformations that only permute a prefix still replay.
+        choice.thread = enabled.front();
+        choice.cand = 0;
+      } else {
+        choice = (*prescribed_)[static_cast<std::size_t>(depth)];
+        const bool thread_ok =
+            std::find(enabled.begin(), enabled.end(), choice.thread) !=
+            enabled.end();
+        if (!thread_ok) {
+          replay_valid_ = false;
+          drain_aborted();
+          break;
+        }
+      }
+    } else if (sched_mode_ == SchedMode::kRandom) {
+      choice.thread = enabled[std::uniform_int_distribution<std::size_t>(
+          0, enabled.size() - 1)(rng_)];
+      choice.cand = -1;  // resolved below, uniformly
+    } else if (depth < static_cast<int>(path_.size())) {
+      // Replaying the DFS prefix that leads to the current frontier.
+      Node& node = path_[static_cast<std::size_t>(depth)];
+      choice.thread = node.taken_thread;
+      choice.cand = node.taken_cand;
+    } else {
+      // Fresh frontier node.  Inherit the parent's sleepers whose
+      // pending op is independent of the transition the parent just
+      // committed (same location with at least one write = dependent,
+      // which wakes the sleeper).
+      std::set<int> sleep;
+      if (depth > 0) {
+        const Node& parent = path_[static_cast<std::size_t>(depth - 1)];
+        for (int q : parent.sleep) {
+          if (!exec_->has_pending(q)) continue;  // finished: moot
+          const PendingOp& qop = exec_->pending(q);
+          const bool q_writes = qop.kind == OpKind::kStore ||
+                                qop.kind == OpKind::kRmw || qop.is_cas;
+          const bool dependent = qop.loc == parent.taken_loc &&
+                                 (parent.taken_is_write || q_writes);
+          if (!dependent) sleep.insert(q);
+        }
+      }
+      // Default policy: keep running the thread that just ran (fewer
+      // context switches first — failing traces and the common case
+      // both prefer long same-thread blocks); DPOR decides which
+      // alternatives are worth queuing later.  Sleeping threads are
+      // never picked.
+      const int prev = depth > 0
+                           ? path_[static_cast<std::size_t>(depth - 1)]
+                                 .taken_thread
+                           : enabled.front();
+      int pick = -1;
+      if (std::find(enabled.begin(), enabled.end(), prev) != enabled.end() &&
+          sleep.count(prev) == 0) {
+        pick = prev;
+      } else {
+        for (int t : enabled) {
+          if (sleep.count(t) == 0) {
+            pick = t;
+            break;
+          }
+        }
+      }
+      if (pick < 0) {
+        // Every enabled thread sleeps: any continuation from here only
+        // permutes independent transitions of a trace that was already
+        // explored.  Prune the execution (it is not a truncation — the
+        // space stays exhaustively covered).
+        pruned_this_run_ = true;
+        drain_aborted();
+        break;
+      }
+      path_.emplace_back();
+      Node& node = path_.back();
+      node.sleep = std::move(sleep);
+      choice.thread = pick;
+      choice.cand = 0;
+      node.taken_thread = choice.thread;
+      node.taken_cand = 0;
+      node.expanded_threads.insert(choice.thread);
+      const auto cands = exec_->prepare(choice.thread);
+      for (int k = 1; k < static_cast<int>(cands.size()); ++k) {
+        node.todo.push_back(Choice{choice.thread, k});
+      }
+    }
+
+    const auto cands = exec_->prepare(choice.thread);
+    if (choice.cand < 0) {
+      if (sched_mode_ == SchedMode::kRandom) {
+        choice.cand = static_cast<int>(
+            std::uniform_int_distribution<std::size_t>(
+                0, cands.size() - 1)(rng_));
+      } else {
+        // A wildcard DPOR entry taken from a node's todo: expand the
+        // thread's candidates here, first one now, rest queued.
+        choice.cand = 0;
+        Node& node = path_[static_cast<std::size_t>(depth)];
+        node.taken_cand = 0;
+        node.expanded_threads.insert(choice.thread);
+        for (int k = 1; k < static_cast<int>(cands.size()); ++k) {
+          node.todo.push_back(Choice{choice.thread, k});
+        }
+      }
+    }
+    if (choice.cand >= static_cast<int>(cands.size())) {
+      POR_EXPECT(sched_mode_ == SchedMode::kReplay,
+                 "candidate index out of range outside replay");
+      replay_valid_ = false;
+      drain_aborted();
+      break;
+    }
+
+    const std::vector<Conflict> conflicts =
+        exec_->commit(choice.thread, cands[static_cast<std::size_t>(
+                                         choice.cand)]);
+
+    if (sched_mode_ == SchedMode::kDfs) {
+      // DPOR: the current transition conflicts with earlier step s by
+      // thread q — running *this* thread instead at s's pre-state may
+      // reverse the pair, so queue it at that node (wildcard: its
+      // candidate list only exists once the prefix is replayed).  A
+      // thread sleeping at that node was already fully explored from
+      // there, so re-queuing it would only rebuild known traces.
+      for (const Conflict& c : conflicts) {
+        Node& node = path_[static_cast<std::size_t>(c.step)];
+        if (node.expanded_threads.count(choice.thread) != 0) continue;
+        if (node.sleep.count(choice.thread) != 0) continue;
+        if (!node.queued_wildcards.insert(choice.thread).second) continue;
+        node.todo.push_back(Choice{choice.thread, -1});
+      }
+      // Record what was committed here for the sleep-set dependence
+      // filter when children are created.
+      Node& cur = path_[static_cast<std::size_t>(depth)];
+      const PendingOp& op = exec_->pending(choice.thread);
+      cur.taken_loc = op.loc;
+      cur.taken_is_write =
+          op.kind == OpKind::kStore ||
+          (op.kind == OpKind::kRmw && (!op.is_cas || op.cas_success));
+    }
+    run_choices_.push_back(choice);
+    advance(choice.thread);
+    ++depth;
+  }
+}
+
+void Explorer::run_one_execution(SchedMode mode,
+                                 const std::vector<Choice>* prescribed) {
+  sched_mode_ = mode;
+  prescribed_ = prescribed;
+  exec_ = std::make_unique<Execution>();
+  thread_bodies_.clear();
+  failure_.clear();
+  run_choices_.clear();
+  run_called_ = false;
+  truncated_this_run_ = false;
+  pruned_this_run_ = false;
+  replay_valid_ = true;
+
+  Execution::set_current(exec_.get());
+  Env env(*this);
+  body_(env);
+  Execution::set_current(nullptr);
+  POR_EXPECT(run_called_, "checker body never called Env::run");
+
+  // A sleep-set prune abandons the execution mid-flight; whatever the
+  // body's invariants saw in that partial state is not a real schedule
+  // (the full interleaving is covered by an earlier explored trace).
+  if (pruned_this_run_) failure_.clear();
+
+  ++executions_;
+  total_steps_ += static_cast<std::uint64_t>(exec_->steps());
+  if (truncated_this_run_) ++truncated_;
+}
+
+// ---- DFS bookkeeping -------------------------------------------------------
+
+bool Explorer::backtrack_path() {
+  while (!path_.empty()) {
+    Node& node = path_.back();
+    if (!node.todo.empty()) {
+      const Choice next = node.todo.front();
+      node.todo.pop_front();
+      if (next.thread != node.taken_thread) {
+        // Switching threads: the old thread's candidates are all
+        // explored from this state iff none remain queued — then it
+        // goes to sleep for every alternative branch below this node.
+        const bool more_of_old = std::any_of(
+            node.todo.begin(), node.todo.end(), [&](const Choice& c) {
+              return c.thread == node.taken_thread;
+            });
+        if (!more_of_old) node.sleep.insert(node.taken_thread);
+      }
+      node.taken_thread = next.thread;
+      node.taken_cand = next.cand;
+      return true;
+    }
+    // Subtree exhausted.  Deeper nodes' pending work (there is none —
+    // we only get here once they are popped) and this node's history
+    // go with it; DPOR entries queued at shallower nodes survive.
+    path_.pop_back();
+  }
+  return false;
+}
+
+// ---- failing-schedule minimization and printing ----------------------------
+
+bool Explorer::replay_fails(const std::vector<Choice>& choices) {
+  run_one_execution(SchedMode::kReplay, &choices);
+  return replay_valid_ && !truncated_this_run_ && !failure_.empty();
+}
+
+void Explorer::minimize_and_format() {
+  std::vector<Choice> best = run_choices_;
+  const std::string original_failure = failure_;
+  int budget = options_.minimize_budget;
+
+  // Greedy block merging: where the schedule runs x..x y..y x..., try
+  // hoisting the second x-block before the y-block.  Every accepted
+  // move removes one context switch; every candidate is replayed to
+  // confirm the same class of failure survives.
+  bool improved = true;
+  while (improved && budget > 0) {
+    improved = false;
+    // Block boundaries of `best`.
+    std::vector<std::pair<std::size_t, std::size_t>> blocks;  // [begin,end)
+    for (std::size_t i = 0; i < best.size();) {
+      std::size_t j = i;
+      while (j < best.size() && best[j].thread == best[i].thread) ++j;
+      blocks.emplace_back(i, j);
+      i = j;
+    }
+    for (std::size_t b = 0; b + 1 < blocks.size() && budget > 0; ++b) {
+      const int left_thread = best[blocks[b].first].thread;
+      const int right_thread = best[blocks[b + 1].first].thread;
+      if (left_thread == right_thread) continue;
+      const bool merges =
+          b > 0 && best[blocks[b - 1].first].thread == right_thread;
+      if (!merges) continue;
+      std::vector<Choice> trial;
+      trial.reserve(best.size());
+      trial.insert(trial.end(), best.begin(),
+                   best.begin() + static_cast<std::ptrdiff_t>(blocks[b].first));
+      trial.insert(
+          trial.end(),
+          best.begin() + static_cast<std::ptrdiff_t>(blocks[b + 1].first),
+          best.begin() + static_cast<std::ptrdiff_t>(blocks[b + 1].second));
+      trial.insert(
+          trial.end(),
+          best.begin() + static_cast<std::ptrdiff_t>(blocks[b].first),
+          best.begin() + static_cast<std::ptrdiff_t>(blocks[b].second));
+      trial.insert(
+          trial.end(),
+          best.begin() + static_cast<std::ptrdiff_t>(blocks[b + 1].second),
+          best.end());
+      --budget;
+      if (replay_fails(trial)) {
+        best = std::move(trial);
+        improved = true;
+        break;  // block list changed; recompute
+      }
+    }
+  }
+
+  // Re-run the winner to leave its events in exec_ for printing.  The
+  // original schedule always replays (the explorer is deterministic).
+  const bool final_ok = replay_fails(best);
+  if (!final_ok) {
+    const bool fallback_ok = replay_fails(run_choices_.empty() ? best
+                                                               : run_choices_);
+    POR_EXPECT(fallback_ok, "failing schedule did not replay");
+  }
+  failure_ = original_failure;
+  trace_ = format_trace();
+}
+
+namespace {
+
+std::string format_bits(std::uint64_t bits) {
+  // Small values read best in decimal; pointers/hashes in hex.
+  if (bits < 1u << 20) return std::to_string(bits);
+  std::ostringstream os;
+  os << "0x" << std::hex << bits;
+  return os.str();
+}
+
+}  // namespace
+
+std::string Explorer::format_trace() const {
+  const std::vector<Event>& events = exec_->events();
+  int nthreads = 0;
+  for (const Event& ev : events) nthreads = std::max(nthreads, ev.thread + 1);
+
+  std::ostringstream os;
+  os << "=== minimal failing interleaving ("
+     << exec_->steps() << " steps, " << nthreads << " threads) ===\n";
+  os << "violation: " << failure_ << "\n\n";
+
+  auto describe = [&](const Event& ev) {
+    std::ostringstream line;
+    const std::string& loc = exec_->location_name(ev.loc);
+    switch (ev.kind) {
+      case OpKind::kLoad:
+        line << "load  " << loc << " -> " << format_bits(ev.read_bits) << " ["
+             << order_name(ev.order) << "]";
+        if (ev.rf_step >= 0) {
+          line << " (rf step " << ev.rf_step << ")";
+        } else {
+          line << " (rf init)";
+        }
+        break;
+      case OpKind::kStore:
+        line << "store " << loc << " <- " << format_bits(ev.written_bits)
+             << " [" << order_name(ev.order) << "]";
+        break;
+      case OpKind::kRmw:
+        line << (ev.cas_success ? "cas   " : "rmw   ") << loc << " "
+             << format_bits(ev.read_bits) << " -> "
+             << format_bits(ev.written_bits) << " [" << order_name(ev.order)
+             << "]";
+        break;
+      case OpKind::kCasFail:
+        line << "cas!  " << loc << " failed, saw "
+             << format_bits(ev.read_bits) << " [" << order_name(ev.order)
+             << "]";
+        if (ev.rf_step >= 0) line << " (stale, rf step " << ev.rf_step << ")";
+        break;
+    }
+    return line.str();
+  };
+
+  // Interleaved stream: one column per thread, indentation = thread.
+  os << "step";
+  for (int t = 0; t < nthreads; ++t) os << "  T" << t << "                ";
+  os << "\n";
+  for (const Event& ev : events) {
+    if (ev.thread < 0) continue;  // setup ops are not schedule steps
+    os << (ev.step < 10 ? "   " : (ev.step < 100 ? "  " : " ")) << ev.step;
+    for (int t = 0; t < ev.thread; ++t) os << "  .                 ";
+    os << "  " << describe(ev) << "\n";
+  }
+
+  // Per-thread logs: the same events, program order, for reading one
+  // thread's view without the interleaving noise.
+  for (int t = 0; t < nthreads; ++t) {
+    os << "\nT" << t << " program order:\n";
+    for (const Event& ev : events) {
+      if (ev.thread != t) continue;
+      os << "  [step " << ev.step << "] " << describe(ev) << "\n";
+    }
+  }
+  return os.str();
+}
+
+// ---- top-level loop --------------------------------------------------------
+
+Result Explorer::run() {
+  Result result;
+  if (options_.mode == Mode::kRandomWalk) {
+    POR_EXPECT(options_.max_executions > 0,
+               "random-walk mode requires max_executions > 0");
+  }
+
+  for (;;) {
+    if (options_.mode == Mode::kRandomWalk) {
+      if (executions_ >= options_.max_executions) break;
+      run_one_execution(SchedMode::kRandom, nullptr);
+    } else {
+      run_one_execution(SchedMode::kDfs, nullptr);
+    }
+
+    if (!failure_.empty()) {
+      result.ok = false;
+      result.failure = failure_;
+      minimize_and_format();
+      result.trace = trace_;
+      break;
+    }
+
+    if (options_.mode == Mode::kExhaustive) {
+      if (!backtrack_path()) {
+        result.complete = truncated_ == 0;
+        break;
+      }
+      if (options_.max_executions != 0 &&
+          executions_ >= options_.max_executions) {
+        break;  // budget hit with work remaining: complete stays false
+      }
+    }
+  }
+
+  result.executions = executions_;
+  result.total_steps = total_steps_;
+  return result;
+}
+
+Result explore(const Options& options,
+               const std::function<void(Env&)>& body) {
+  Explorer explorer(options, body);
+  return explorer.run();
+}
+
+}  // namespace por::mc

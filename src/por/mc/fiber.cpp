@@ -1,0 +1,82 @@
+#include "por/mc/fiber.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+#include "por/util/contracts.hpp"
+
+namespace por::mc {
+
+namespace {
+// Only one fiber runs at a time and only one is ever mid-start, so
+// plain statics are enough (the whole checker is single-OS-thread).
+thread_local Fiber* t_current = nullptr;
+thread_local Fiber* t_starting = nullptr;
+}  // namespace
+
+Fiber* Fiber::current() { return t_current; }
+
+Fiber::Fiber(std::size_t stack_bytes)
+    : stack_bytes_(stack_bytes), stack_(new char[stack_bytes]) {}
+
+Fiber::~Fiber() {
+  // A fiber must not be destroyed mid-body: its stack would vanish
+  // under live frames.  The explorer always drives bodies to
+  // completion (or the process is aborting anyway).
+  POR_EXPECT(finished_, "Fiber destroyed while its body is suspended");
+}
+
+void Fiber::reset(std::function<void()> body) {
+  POR_EXPECT(finished_, "Fiber::reset while a body is suspended");
+  body_ = std::move(body);
+  started_ = false;
+  finished_ = false;
+}
+
+void Fiber::trampoline() {
+  Fiber* self = t_starting;
+  t_starting = nullptr;
+  // The body must not leak exceptions across the context switch —
+  // there is no handler on the explorer's side of swapcontext, so a
+  // stray throw would std::terminate with a useless stack.  Checker
+  // bodies report failures through Env::expect instead.
+  try {
+    self->body_();
+  } catch (const ExecutionAborted&) {
+    // Normal unwind of a truncated execution — the body is done.
+  } catch (...) {
+    std::terminate();
+  }
+  self->finished_ = true;
+  t_current = nullptr;
+  swapcontext(&self->context_, &self->return_context_);
+  // Unreachable: a finished fiber is never resumed.
+  std::abort();
+}
+
+bool Fiber::resume() {
+  POR_EXPECT(!finished_, "resume() on a finished fiber");
+  if (!started_) {
+    started_ = true;
+    getcontext(&context_);
+    context_.uc_stack.ss_sp = stack_.get();
+    context_.uc_stack.ss_size = stack_bytes_;
+    context_.uc_link = &return_context_;
+    makecontext(&context_, &Fiber::trampoline, 0);
+    t_starting = this;
+  }
+  t_current = this;
+  swapcontext(&return_context_, &context_);
+  t_current = nullptr;
+  return !finished_;
+}
+
+void Fiber::yield() {
+  POR_EXPECT(t_current == this, "yield() from a fiber that is not running");
+  t_current = nullptr;
+  swapcontext(&context_, &return_context_);
+  t_current = this;
+}
+
+}  // namespace por::mc

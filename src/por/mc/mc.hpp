@@ -1,0 +1,16 @@
+// por/mc/mc.hpp — umbrella header for the por::mc model checker.
+//
+// Pulls in the whole checker surface (DESIGN.md §13):
+//   fiber.hpp    — cooperative virtual-thread contexts
+//   model.hpp    — the operational weak-memory model (Execution)
+//   atomic.hpp   — mc::atomic<T>, the instrumented std::atomic
+//   checker.hpp  — Env / Options / Result / explore()
+//
+// Test code includes this one header and instantiates production
+// templates with por::mc::atomic through their POR_MC hook.
+#pragma once
+
+#include "por/mc/atomic.hpp"
+#include "por/mc/checker.hpp"
+#include "por/mc/fiber.hpp"
+#include "por/mc/model.hpp"

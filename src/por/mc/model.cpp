@@ -1,0 +1,454 @@
+#include "por/mc/model.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "por/mc/fiber.hpp"
+#include "por/util/contracts.hpp"
+
+namespace por::mc {
+
+namespace {
+
+thread_local Execution* t_execution = nullptr;
+
+bool is_acquiring(std::memory_order order) {
+  return order == std::memory_order_acquire ||
+         order == std::memory_order_acq_rel ||
+         order == std::memory_order_seq_cst ||
+         order == std::memory_order_consume;  // promoted, like compilers do
+}
+
+bool is_releasing(std::memory_order order) {
+  return order == std::memory_order_release ||
+         order == std::memory_order_acq_rel ||
+         order == std::memory_order_seq_cst;
+}
+
+bool is_sc(std::memory_order order) {
+  return order == std::memory_order_seq_cst;
+}
+
+}  // namespace
+
+VectorClock join(const VectorClock& a, const VectorClock& b) {
+  VectorClock out{};
+  for (int i = 0; i < kMaxThreads; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        std::max(a[static_cast<std::size_t>(i)],
+                 b[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+const char* order_name(std::memory_order order) {
+  switch (order) {
+    case std::memory_order_relaxed: return "relaxed";
+    case std::memory_order_consume: return "consume";
+    case std::memory_order_acquire: return "acquire";
+    case std::memory_order_release: return "release";
+    case std::memory_order_acq_rel: return "acq_rel";
+    case std::memory_order_seq_cst: return "seq_cst";
+  }
+  return "?";
+}
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kLoad: return "load";
+    case OpKind::kStore: return "store";
+    case OpKind::kRmw: return "rmw";
+    case OpKind::kCasFail: return "cas-fail";
+  }
+  return "?";
+}
+
+Execution* Execution::current() { return t_execution; }
+void Execution::set_current(Execution* exec) { t_execution = exec; }
+
+Execution::Execution() = default;
+
+int Execution::register_location(std::uint64_t init_bits, std::string name) {
+  const int id = static_cast<int>(locations_.size());
+  Location loc;
+  loc.name = std::move(name);
+  Store init;
+  init.bits = init_bits;
+  init.thread = -1;  // the setup context happens-before every thread
+  loc.stores.push_back(init);
+  locations_.push_back(std::move(loc));
+  for (auto& t : threads_) t.observed.push_back(0);
+  return id;
+}
+
+// ---- operation entry points (instrumented atomics land here) ---------------
+
+PendingOp& Execution::run_op(PendingOp op) {
+  Fiber* fiber = Fiber::current();
+  if (fiber == nullptr || running_thread_ < 0) {
+    apply_sequential(op);
+    sequential_result_ = op;
+    return sequential_result_;
+  }
+  if (abort_requested_) {
+    // The execution is being abandoned.  A fiber that reaches a fresh
+    // atomic op now must unwind — unless it is ALREADY unwinding (an
+    // atomic touched from a destructor mid-unwind), where a second
+    // throw would std::terminate; those ops apply sequentially, the
+    // execution's state is discarded anyway.
+    if (std::uncaught_exceptions() > 0) {
+      apply_sequential(op);
+      sequential_result_ = op;
+      return sequential_result_;
+    }
+    throw ExecutionAborted{};
+  }
+  const auto t = static_cast<std::size_t>(running_thread_);
+  pending_[t] = op;
+  pending_valid_[t] = true;
+  fiber->yield();  // the explorer prepares, commits, fills the result
+  if (abort_requested_) throw ExecutionAborted{};
+  return pending_[t];
+}
+
+std::uint64_t Execution::atomic_load(int loc, std::memory_order order) {
+  PendingOp op;
+  op.kind = OpKind::kLoad;
+  op.loc = loc;
+  op.order = order;
+  return run_op(op).result;
+}
+
+void Execution::atomic_store(int loc, std::uint64_t bits,
+                             std::memory_order order) {
+  PendingOp op;
+  op.kind = OpKind::kStore;
+  op.loc = loc;
+  op.order = order;
+  op.operand = bits;
+  run_op(op);
+}
+
+std::uint64_t Execution::atomic_rmw(int loc,
+                                    std::uint64_t (*modify)(std::uint64_t,
+                                                            std::uint64_t),
+                                    std::uint64_t operand,
+                                    std::memory_order order) {
+  PendingOp op;
+  op.kind = OpKind::kRmw;
+  op.loc = loc;
+  op.order = order;
+  op.modify = modify;
+  op.operand = operand;
+  return run_op(op).result;
+}
+
+bool Execution::atomic_cas(int loc, std::uint64_t& expected_bits,
+                           std::uint64_t desired_bits,
+                           std::memory_order success,
+                           std::memory_order failure) {
+  PendingOp op;
+  op.kind = OpKind::kRmw;
+  op.loc = loc;
+  op.order = success;
+  op.failure_order = failure;
+  op.operand = desired_bits;
+  op.expected = expected_bits;
+  op.is_cas = true;
+  const PendingOp& done = run_op(op);
+  if (!done.cas_success) expected_bits = done.result;
+  return done.cas_success;
+}
+
+// ---- sequential (setup / teardown) semantics -------------------------------
+
+void Execution::apply_sequential(PendingOp& op) {
+  auto& loc = locations_[static_cast<std::size_t>(op.loc)];
+  const std::uint64_t latest_bits = loc.stores.back().bits;
+  switch (op.kind) {
+    case OpKind::kLoad:
+      op.result = latest_bits;
+      break;
+    case OpKind::kStore: {
+      Store s;
+      s.bits = op.operand;
+      loc.stores.push_back(s);
+      if (is_sc(op.order)) {
+        loc.last_sc_store = static_cast<int>(loc.stores.size()) - 1;
+      }
+      break;
+    }
+    case OpKind::kRmw: {
+      op.result = latest_bits;
+      std::uint64_t next;
+      if (op.is_cas) {
+        op.cas_success = latest_bits == op.expected;
+        if (!op.cas_success) return;
+        next = op.operand;
+      } else {
+        next = op.modify(latest_bits, op.operand);
+      }
+      Store s;
+      s.bits = next;
+      loc.stores.push_back(s);
+      if (is_sc(op.order)) {
+        loc.last_sc_store = static_cast<int>(loc.stores.size()) - 1;
+      }
+      break;
+    }
+    case OpKind::kCasFail:
+      break;  // never parked
+  }
+}
+
+// ---- candidate computation -------------------------------------------------
+
+bool Execution::store_hb_before_thread(const Store& store, int thread) const {
+  if (store.thread < 0) return true;  // setup precedes every thread
+  if (store.thread == thread) return true;
+  return threads_[static_cast<std::size_t>(thread)]
+             .clock[static_cast<std::size_t>(store.thread)] >=
+         store.thread_pos;
+}
+
+int Execution::read_floor(int thread, int loc_id,
+                          std::memory_order order) const {
+  const auto& loc = locations_[static_cast<std::size_t>(loc_id)];
+  const auto& tm = threads_[static_cast<std::size_t>(thread)];
+  // Coherence: never older than what this thread already read or wrote.
+  int floor = tm.observed[static_cast<std::size_t>(loc_id)];
+  // Happens-before: a store that is hb-before the load hides everything
+  // before it in the modification order.
+  for (int j = static_cast<int>(loc.stores.size()) - 1; j > floor; --j) {
+    if (store_hb_before_thread(loc.stores[static_cast<std::size_t>(j)],
+                               thread)) {
+      floor = j;
+      break;
+    }
+  }
+  // SC: a seq_cst load reads no earlier than the newest seq_cst store.
+  if (is_sc(order) && loc.last_sc_store > floor) floor = loc.last_sc_store;
+  return floor;
+}
+
+std::vector<Candidate> Execution::prepare(int thread) const {
+  POR_EXPECT(pending_valid_[static_cast<std::size_t>(thread)],
+             "prepare() with no pending op for thread", thread);
+  const PendingOp& op = pending_[static_cast<std::size_t>(thread)];
+  const auto& loc = locations_[static_cast<std::size_t>(op.loc)];
+  const int last = static_cast<int>(loc.stores.size()) - 1;
+  std::vector<Candidate> out;
+  switch (op.kind) {
+    case OpKind::kStore:
+      out.push_back(Candidate{last, false});
+      break;
+    case OpKind::kRmw: {
+      if (!op.is_cas) {
+        out.push_back(Candidate{last, false});
+        break;
+      }
+      // Success first: the common path is explored first, the stale
+      // failure reads (legal under the failure order) afterwards.
+      if (loc.stores[static_cast<std::size_t>(last)].bits == op.expected) {
+        out.push_back(Candidate{last, true});
+      }
+      const int floor = read_floor(thread, op.loc, op.failure_order);
+      for (int j = last; j >= floor; --j) {
+        if (loc.stores[static_cast<std::size_t>(j)].bits != op.expected) {
+          out.push_back(Candidate{j, false});
+        }
+      }
+      break;
+    }
+    case OpKind::kLoad: {
+      const int floor = read_floor(thread, op.loc, op.order);
+      // Newest first: the SC-like behavior is the default branch.
+      for (int j = last; j >= floor; --j) out.push_back(Candidate{j, false});
+      break;
+    }
+    case OpKind::kCasFail:
+      POR_EXPECT(false, "kCasFail is an event kind, never pending");
+      break;
+  }
+  POR_ENSURE(!out.empty(), "no candidate for a pending op on",
+             loc.name.c_str());
+  return out;
+}
+
+// ---- commit ----------------------------------------------------------------
+
+void Execution::note_read(int thread, int loc_id, int store_index,
+                          std::memory_order order, PendingOp& op,
+                          OpKind kind) {
+  auto& loc = locations_[static_cast<std::size_t>(loc_id)];
+  auto& tm = threads_[static_cast<std::size_t>(thread)];
+  const Store& store = loc.stores[static_cast<std::size_t>(store_index)];
+  op.result = store.bits;
+  auto& observed = tm.observed[static_cast<std::size_t>(loc_id)];
+  observed = std::max(observed, store_index);
+  if (is_acquiring(order) && store.is_release) {
+    tm.clock = join(tm.clock, store.release_clock);
+  }
+  Event ev;
+  ev.step = step_count_;
+  ev.thread = thread;
+  ev.kind = kind;
+  ev.loc = loc_id;
+  ev.order = order;
+  ev.read_bits = store.bits;
+  ev.rf_step = store.step;
+  events_.push_back(ev);
+}
+
+int Execution::append_store(int thread, int loc_id, std::uint64_t bits,
+                            std::memory_order order,
+                            const VectorClock* rf_release) {
+  auto& loc = locations_[static_cast<std::size_t>(loc_id)];
+  auto& tm = threads_[static_cast<std::size_t>(thread)];
+  Store s;
+  s.bits = bits;
+  s.thread = thread;
+  s.thread_pos = tm.clock[static_cast<std::size_t>(thread)];
+  s.is_sc = is_sc(order);
+  s.step = step_count_;
+  if (is_releasing(order)) {
+    s.is_release = true;
+    s.release_clock = tm.clock;
+  }
+  if (rf_release != nullptr) {
+    // C++17 release sequence: an RMW carries the release clock of the
+    // store it read forward, whatever its own order.
+    s.is_release = true;
+    s.release_clock = join(s.release_clock, *rf_release);
+  }
+  loc.stores.push_back(s);
+  const int index = static_cast<int>(loc.stores.size()) - 1;
+  if (s.is_sc) loc.last_sc_store = index;
+  tm.observed[static_cast<std::size_t>(loc_id)] = index;
+  return index;
+}
+
+std::vector<Conflict> Execution::commit(int thread, const Candidate& cand) {
+  POR_EXPECT(pending_valid_[static_cast<std::size_t>(thread)],
+             "commit() with no pending op for thread", thread);
+  PendingOp& op = pending_[static_cast<std::size_t>(thread)];
+  auto& loc = locations_[static_cast<std::size_t>(op.loc)];
+  auto& tm = threads_[static_cast<std::size_t>(thread)];
+
+  const bool is_write =
+      op.kind == OpKind::kStore ||
+      (op.kind == OpKind::kRmw && (!op.is_cas || cand.cas_success));
+
+  // DPOR: collect the earlier transitions this one is dependent with
+  // (same location, at least one write, different thread), filtered by
+  // the dependence order — an already-ordered pair cannot be reversed,
+  // so it creates no backtrack point.
+  std::vector<Conflict> conflicts;
+  auto consider = [&](int c_thread, int c_step) {
+    if (c_thread < 0 || c_step < 0 || c_thread == thread) return;
+    if (tm.dep_clock[static_cast<std::size_t>(c_thread)] >=
+        static_cast<std::uint32_t>(c_step + 1)) {
+      return;  // dependence-ordered already
+    }
+    conflicts.push_back(Conflict{c_step, c_thread});
+  };
+  consider(loc.last_write_thread, loc.last_write_step);
+  if (is_write) {
+    for (const Conflict& r : loc.readers_since_write) {
+      consider(r.thread, r.step);
+    }
+  }
+
+  // Dependence clock: program order + an edge from every dependent
+  // predecessor (ordered or not — they are all dependence edges).
+  VectorClock dep = tm.dep_clock;
+  auto absorb = [&](int c_thread, int c_step) {
+    if (c_thread < 0 || c_step < 0 || c_thread == thread) return;
+    dep = join(dep, step_dep_clocks_[static_cast<std::size_t>(c_step)]);
+  };
+  absorb(loc.last_write_thread, loc.last_write_step);
+  if (is_write) {
+    for (const Conflict& r : loc.readers_since_write) {
+      absorb(r.thread, r.step);
+    }
+  }
+
+  // Every committed op advances the thread's own hb ordinal.
+  tm.clock[static_cast<std::size_t>(thread)] += 1;
+
+  switch (op.kind) {
+    case OpKind::kLoad:
+      note_read(thread, op.loc, cand.store_index, op.order, op, OpKind::kLoad);
+      loc.readers_since_write.push_back(Conflict{step_count_, thread});
+      break;
+    case OpKind::kStore: {
+      append_store(thread, op.loc, op.operand, op.order, nullptr);
+      Event ev;
+      ev.step = step_count_;
+      ev.thread = thread;
+      ev.kind = OpKind::kStore;
+      ev.loc = op.loc;
+      ev.order = op.order;
+      ev.written_bits = op.operand;
+      events_.push_back(ev);
+      loc.last_write_step = step_count_;
+      loc.last_write_thread = thread;
+      loc.readers_since_write.clear();
+      break;
+    }
+    case OpKind::kRmw: {
+      if (op.is_cas && !cand.cas_success) {
+        // Failed CAS: a pure load under the failure order.
+        note_read(thread, op.loc, cand.store_index, op.failure_order, op,
+                  OpKind::kCasFail);
+        op.cas_success = false;
+        events_.back().cas_success = false;
+        loc.readers_since_write.push_back(Conflict{step_count_, thread});
+        break;
+      }
+      // RMW atomicity: always reads the latest store.
+      const int last = static_cast<int>(loc.stores.size()) - 1;
+      POR_EXPECT(cand.store_index == last, "RMW must read the newest store");
+      // Copy: append_store reallocates loc.stores.
+      const Store read = loc.stores[static_cast<std::size_t>(last)];
+      op.result = read.bits;
+      auto& observed = tm.observed[static_cast<std::size_t>(op.loc)];
+      observed = std::max(observed, last);
+      if (is_acquiring(op.order) && read.is_release) {
+        tm.clock = join(tm.clock, read.release_clock);
+      }
+      const std::uint64_t next =
+          op.is_cas ? op.operand : op.modify(read.bits, op.operand);
+      append_store(thread, op.loc, next, op.order,
+                   read.is_release ? &read.release_clock : nullptr);
+      op.cas_success = op.is_cas;
+      Event ev;
+      ev.step = step_count_;
+      ev.thread = thread;
+      ev.kind = OpKind::kRmw;
+      ev.loc = op.loc;
+      ev.order = op.order;
+      ev.read_bits = read.bits;
+      ev.written_bits = next;
+      ev.rf_step = read.step;
+      ev.cas_success = op.is_cas;
+      events_.push_back(ev);
+      loc.last_write_step = step_count_;
+      loc.last_write_thread = thread;
+      loc.readers_since_write.clear();
+      break;
+    }
+    case OpKind::kCasFail:
+      POR_EXPECT(false, "kCasFail is an event kind, never pending");
+      break;
+  }
+
+  dep[static_cast<std::size_t>(thread)] =
+      static_cast<std::uint32_t>(step_count_ + 1);
+  tm.dep_clock = dep;
+  step_dep_clocks_.push_back(dep);
+  ++step_count_;
+  return conflicts;
+}
+
+}  // namespace por::mc

@@ -1,0 +1,156 @@
+// por/obs/cells.hpp
+//
+// The lock-free instrument cells underneath por::obs (counters,
+// gauges, histogram buckets, span aggregates), factored out of
+// registry.hpp and templated on the atomic type — the POR_MC hook
+// (DESIGN.md §13).  Production code uses the std::atomic default
+// through the Counter/Gauge/Histogram/SpanSeries wrappers in
+// registry.hpp (byte-identical codegen to the pre-split classes); the
+// por::mc model checker instantiates these SAME templates with
+// mc::atomic and checks the relaxed-order protocol below across every
+// schedule (tests/test_mc.cpp): per-cell monotonicity, no lost
+// updates in the CAS loops, and exact totals once writers join.
+//
+// Memory-order policy (registry.hpp carries the long-form TSan-audit
+// rationale): every access is relaxed ON PURPOSE — the cells are
+// independent monotone aggregates, nobody derives an ordering or a
+// pointer from their values, and the snapshot readers either run after
+// a join (which provides the happens-before) or are explicitly
+// approximate.  All relaxed sites in this file are covered by:
+//
+// por-atomic-file: stat
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace por::obs {
+
+namespace detail {
+
+/// fetch_add for an atomic<double> via CAS (portable pre-C++20-TS
+/// toolchains; the loop is contention-free in practice).  Relaxed
+/// failure order is fine: the loop re-reads.
+template <typename AtomicDouble>
+inline void atomic_add(AtomicDouble& cell, double delta) {
+  double cur = cell.load(std::memory_order_relaxed);
+  while (!cell.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+template <typename AtomicDouble>
+inline void atomic_max(AtomicDouble& cell, double value) {
+  double cur = cell.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !cell.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+template <typename AtomicU64>
+inline void atomic_max_u64(AtomicU64& cell, std::uint64_t value) {
+  std::uint64_t cur = cell.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !cell.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+/// Monotone event count.  add() is one relaxed fetch_add.
+template <template <class> class AtomicT = std::atomic>
+class BasicCounterCell {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  AtomicT<std::uint64_t> value_{0};
+};
+
+/// Last-value / accumulate / running-max cell over a double.
+template <template <class> class AtomicT = std::atomic>
+class BasicGaugeCell {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void record_max(double value) { detail::atomic_max(value_, value); }
+  void add(double delta) { detail::atomic_add(value_, delta); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  AtomicT<double> value_{0.0};
+};
+
+/// The histogram's atomic storage: bucket counts + total count + sum.
+/// Bucket *selection* (bounds, geometric indexing) stays in
+/// obs::Histogram — this is only the racing part of the protocol.
+template <template <class> class AtomicT = std::atomic>
+class BasicHistogramCells {
+ public:
+  explicit BasicHistogramCells(std::size_t bucket_count)
+      : buckets_(std::make_unique<AtomicT<std::uint64_t>[]>(bucket_count)) {
+    for (std::size_t i = 0; i < bucket_count; ++i) {
+      // por-atomic: init — pre-publication, not shared yet
+      buckets_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  void observe_bucket(std::size_t index, double value) {
+    buckets_[index].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    detail::atomic_add(sum_, value);
+  }
+
+  [[nodiscard]] std::uint64_t bucket(std::size_t index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::unique_ptr<AtomicT<std::uint64_t>[]> buckets_;
+  AtomicT<std::uint64_t> count_{0};
+  AtomicT<double> sum_{0.0};
+};
+
+/// Span aggregate: occurrence count, total and worst duration.
+template <template <class> class AtomicT = std::atomic>
+class BasicSpanCell {
+ public:
+  void record(std::uint64_t duration_ns) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(duration_ns, std::memory_order_relaxed);
+    detail::atomic_max_u64(max_ns_, duration_ns);
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_ns() const {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max_ns() const {
+    return max_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  AtomicT<std::uint64_t> count_{0};
+  AtomicT<std::uint64_t> total_ns_{0};
+  AtomicT<std::uint64_t> max_ns_{0};
+};
+
+}  // namespace por::obs

@@ -57,14 +57,9 @@ double quantile_impl(const std::vector<double>& bounds, std::size_t n_buckets,
 // ---- Histogram -------------------------------------------------------------
 
 Histogram::Histogram(std::vector<double> upper_bounds)
-    : bounds_(std::move(upper_bounds)),
-      buckets_(std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() +
-                                                              1)) {
+    : bounds_(std::move(upper_bounds)), cells_(bounds_.size() + 1) {
   if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
     throw std::invalid_argument("Histogram: bounds must be sorted ascending");
-  }
-  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
-    buckets_[i].store(0, std::memory_order_relaxed);
   }
   // Detect a geometric ladder (what log_bounds produces): positive
   // bounds with a consistent ratio.  Enables the O(1) observe path.
@@ -140,6 +135,7 @@ double histogram_quantile(const Snapshot::HistogramData& data, double q) {
 // ---- MetricsRegistry -------------------------------------------------------
 
 MetricsRegistry::MetricsRegistry()
+    // por-atomic: stat — unique-id allocation, atomicity alone suffices
     : id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)) {}
 
 MetricsRegistry::~MetricsRegistry() = default;
@@ -282,8 +278,10 @@ RegistryScope::RegistryScope(MetricsRegistry& registry)
 
 RegistryScope::~RegistryScope() { t_current_registry = previous_; }
 
+// por-atomic: monitor — recording gate; samplers may observe it late
 void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
 
+// por-atomic: monitor — best-effort gate read, staleness acceptable
 bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
 }  // namespace por::obs

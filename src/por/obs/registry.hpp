@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "por/obs/cells.hpp"
+
 namespace por::obs {
 
 // Memory-order policy (TSan audit, PR 3): every instrument cell below
@@ -47,62 +49,37 @@ namespace por::obs {
 // mutex.  If you add an instrument whose readers act on the value
 // (e.g. a back-pressure threshold), do NOT copy this pattern; give it
 // acquire/release semantics instead.
-namespace detail {
-/// fetch_add for atomic<double> via CAS (portable pre-C++20-TS
-/// toolchains; the loop is contention-free in practice).
-inline void atomic_add(std::atomic<double>& cell, double delta) {
-  double cur = cell.load(std::memory_order_relaxed);
-  while (!cell.compare_exchange_weak(cur, cur + delta,
-                                     std::memory_order_relaxed)) {
-  }
-}
-
-inline void atomic_max(std::atomic<double>& cell, double value) {
-  double cur = cell.load(std::memory_order_relaxed);
-  while (cur < value &&
-         !cell.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
-  }
-}
-
-inline void atomic_max_u64(std::atomic<std::uint64_t>& cell,
-                           std::uint64_t value) {
-  std::uint64_t cur = cell.load(std::memory_order_relaxed);
-  while (cur < value &&
-         !cell.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
-  }
-}
-}  // namespace detail
+//
+// The relaxed cells themselves live in por/obs/cells.hpp, templated on
+// the atomic type so the por::mc model checker can explore the exact
+// protocol these instruments run (DESIGN.md §13).  The classes here
+// are the std::atomic instantiations plus the non-racing logic
+// (histogram bucket selection, span names).
 
 /// Monotonically increasing event count (messages sent, matchings
 /// performed, FFT transforms executed, ...).
 class Counter {
  public:
-  void add(std::uint64_t delta = 1) {
-    value_.fetch_add(delta, std::memory_order_relaxed);
-  }
-  [[nodiscard]] std::uint64_t value() const {
-    return value_.load(std::memory_order_relaxed);
-  }
-  void reset() { value_.store(0, std::memory_order_relaxed); }
+  void add(std::uint64_t delta = 1) { cell_.add(delta); }
+  [[nodiscard]] std::uint64_t value() const { return cell_.value(); }
+  void reset() { cell_.reset(); }
 
  private:
-  std::atomic<std::uint64_t> value_{0};
+  BasicCounterCell<std::atomic> cell_;
 };
 
 /// Last-value instrument (queue depth, FSC crossing radius, ...).
 class Gauge {
  public:
-  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void set(double value) { cell_.set(value); }
   /// Keep the maximum of the current and the offered value.
-  void record_max(double value) { detail::atomic_max(value_, value); }
-  void add(double delta) { detail::atomic_add(value_, delta); }
-  [[nodiscard]] double value() const {
-    return value_.load(std::memory_order_relaxed);
-  }
-  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+  void record_max(double value) { cell_.record_max(value); }
+  void add(double delta) { cell_.add(delta); }
+  [[nodiscard]] double value() const { return cell_.value(); }
+  void reset() { cell_.reset(); }
 
  private:
-  std::atomic<double> value_{0.0};
+  BasicGaugeCell<std::atomic> cell_;
 };
 
 /// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the
@@ -125,9 +102,7 @@ class Histogram {
                                         int buckets_per_decade);
 
   void observe(double value) {
-    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    detail::atomic_add(sum_, value);
+    cells_.observe_bucket(bucket_index(value), value);
   }
 
   /// Interpolated quantile estimate (q in [0, 1]) from the bucket
@@ -140,22 +115,16 @@ class Histogram {
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
   /// Count in bucket i (i == bounds().size() is the overflow bucket).
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
-    return buckets_[i].load(std::memory_order_relaxed);
+    return cells_.bucket(i);
   }
-  [[nodiscard]] std::uint64_t count() const {
-    return count_.load(std::memory_order_relaxed);
-  }
-  [[nodiscard]] double sum() const {
-    return sum_.load(std::memory_order_relaxed);
-  }
+  [[nodiscard]] std::uint64_t count() const { return cells_.count(); }
+  [[nodiscard]] double sum() const { return cells_.sum(); }
 
  private:
   [[nodiscard]] std::size_t bucket_index(double value) const;
 
   std::vector<double> bounds_;
-  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<double> sum_{0.0};
+  BasicHistogramCells<std::atomic> cells_;
   // O(1) index for geometric ladders: i ≈ ceil(log(v / b0) / log(r)),
   // nudged by at most one step to absorb floating-point error at the
   // boundaries.  Zero/false for irregular ladders (linear scan).
@@ -171,31 +140,19 @@ class SpanSeries {
  public:
   explicit SpanSeries(std::string name) : name_(std::move(name)) {}
 
-  void record(std::uint64_t duration_ns) {
-    count_.fetch_add(1, std::memory_order_relaxed);
-    total_ns_.fetch_add(duration_ns, std::memory_order_relaxed);
-    detail::atomic_max_u64(max_ns_, duration_ns);
-  }
+  void record(std::uint64_t duration_ns) { cell_.record(duration_ns); }
 
   [[nodiscard]] const std::string& name() const { return name_; }
-  [[nodiscard]] std::uint64_t count() const {
-    return count_.load(std::memory_order_relaxed);
-  }
-  [[nodiscard]] std::uint64_t total_ns() const {
-    return total_ns_.load(std::memory_order_relaxed);
-  }
-  [[nodiscard]] std::uint64_t max_ns() const {
-    return max_ns_.load(std::memory_order_relaxed);
-  }
+  [[nodiscard]] std::uint64_t count() const { return cell_.count(); }
+  [[nodiscard]] std::uint64_t total_ns() const { return cell_.total_ns(); }
+  [[nodiscard]] std::uint64_t max_ns() const { return cell_.max_ns(); }
   [[nodiscard]] double total_seconds() const {
     return static_cast<double>(total_ns()) * 1e-9;
   }
 
  private:
   std::string name_;
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> total_ns_{0};
-  std::atomic<std::uint64_t> max_ns_{0};
+  BasicSpanCell<std::atomic> cell_;
 };
 
 /// One completed trace span: raw record with nesting information.

@@ -45,6 +45,7 @@ bool fsync_path(const std::string& path) {
 
 std::string make_temp_path(const std::string& path) {
   static std::atomic<std::uint64_t> counter{0};
+  // por-atomic: stat — temp-name uniqueness counter, atomicity only
   const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
 #if POR_HAVE_FSYNC
   const long pid = static_cast<long>(::getpid());

@@ -17,6 +17,12 @@
 // (external submitters cannot push into a Chase-Lev deque — only the
 // owner may — so batches enter here and workers pull them out) and as
 // the overflow target when a worker's bounded deque fills up.
+//
+// POR_MC hook: like StealDeque, the second template parameter selects
+// the atomic cell type — std::atomic by default (production,
+// byte-identical codegen), por::mc::atomic under the model checker,
+// which explores every schedule and weak behavior of this exact source
+// (DESIGN.md §13, tests/test_mc.cpp).
 #pragma once
 
 #include <atomic>
@@ -29,7 +35,7 @@
 
 namespace por::serve {
 
-template <typename T>
+template <typename T, template <class> class AtomicT = std::atomic>
 class JobChannel {
  public:
   explicit JobChannel(std::size_t capacity)
@@ -37,6 +43,7 @@ class JobChannel {
         mask_(capacity_ - 1),
         cells_(std::make_unique<Cell[]>(capacity_)) {
     for (std::size_t i = 0; i < capacity_; ++i) {
+      // por-atomic: init — pre-publication, the channel is not shared yet
       cells_[i].seq.store(i, std::memory_order_relaxed);
     }
   }
@@ -50,6 +57,7 @@ class JobChannel {
   /// rejects or retries, nothing blocks).
   bool try_push(T value) {
     Cell* cell = nullptr;
+    // por-atomic: pre-claim — validated against the cell seq before use
     std::size_t pos = head_.load(std::memory_order_relaxed);
     for (;;) {
       cell = &cells_[pos & mask_];
@@ -58,6 +66,7 @@ class JobChannel {
                        static_cast<std::ptrdiff_t>(pos);
       if (dif == 0) {
         // Cell free for this lap: claim the position.
+        // por-atomic: published-by-release — the cell seq edge orders the value
         if (head_.compare_exchange_weak(pos, pos + 1,
                                         std::memory_order_relaxed)) {
           break;
@@ -65,6 +74,7 @@ class JobChannel {
       } else if (dif < 0) {
         return false;  // a full lap behind: the queue is full
       } else {
+        // por-atomic: pre-claim — validated against the cell seq before use
         pos = head_.load(std::memory_order_relaxed);
       }
     }
@@ -76,6 +86,7 @@ class JobChannel {
   /// False when the channel is empty.
   bool try_pop(T& out) {
     Cell* cell = nullptr;
+    // por-atomic: pre-claim — validated against the cell seq before use
     std::size_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
       cell = &cells_[pos & mask_];
@@ -83,6 +94,7 @@ class JobChannel {
       const auto dif = static_cast<std::ptrdiff_t>(seq) -
                        static_cast<std::ptrdiff_t>(pos + 1);
       if (dif == 0) {
+        // por-atomic: published-by-release — the cell seq edge orders the value
         if (tail_.compare_exchange_weak(pos, pos + 1,
                                         std::memory_order_relaxed)) {
           break;
@@ -90,6 +102,7 @@ class JobChannel {
       } else if (dif < 0) {
         return false;  // nothing published at this position yet
       } else {
+        // por-atomic: pre-claim — validated against the cell seq before use
         pos = tail_.load(std::memory_order_relaxed);
       }
     }
@@ -100,7 +113,9 @@ class JobChannel {
 
   /// Racy size estimate (monitoring / back-pressure hints only).
   [[nodiscard]] std::size_t size_approx() const {
+    // por-atomic: monitor — approximate by contract
     const std::size_t h = head_.load(std::memory_order_relaxed);
+    // por-atomic: monitor — approximate by contract
     const std::size_t t = tail_.load(std::memory_order_relaxed);
     return h > t ? h - t : 0;
   }
@@ -109,15 +124,15 @@ class JobChannel {
 
  private:
   struct Cell {
-    std::atomic<std::size_t> seq{0};
+    AtomicT<std::size_t> seq{0};
     T value{};
   };
 
   const std::size_t capacity_;
   const std::size_t mask_;
   std::unique_ptr<Cell[]> cells_;
-  alignas(64) std::atomic<std::size_t> head_{0};  ///< next producer position
-  alignas(64) std::atomic<std::size_t> tail_{0};  ///< next consumer position
+  alignas(64) AtomicT<std::size_t> head_{0};  ///< next producer position
+  alignas(64) AtomicT<std::size_t> tail_{0};  ///< next consumer position
 };
 
 }  // namespace por::serve

@@ -50,6 +50,7 @@ Batch::Batch(std::size_t n, std::function<void(std::size_t)> body,
       done_flags_(std::make_unique<std::atomic<std::uint8_t>[]>(
           std::max<std::size_t>(n, 1))) {
   for (std::size_t i = 0; i < size_; ++i) {
+    // por-atomic: init — flags zeroed before the batch is published
     done_flags_[i].store(0, std::memory_order_relaxed);
   }
 }
@@ -241,6 +242,8 @@ void Scheduler::run_task(Batch& batch, std::uint32_t index) {
   // CONTRACT: first-result-wins — every index retires exactly once.
   // A double execution would mean a chunk was duplicated somewhere in
   // the deque/channel protocol and the determinism guarantee is gone.
+  // por-atomic: published-by-release — exactly-once token; the job payload
+  // hand-off is ordered by the deque/channel protocol, not this flag
   const std::uint8_t prev =
       batch.done_flags_[index].exchange(1, std::memory_order_relaxed);
   POR_EXPECT(prev == 0, "task executed twice:", index);

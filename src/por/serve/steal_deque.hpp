@@ -29,6 +29,15 @@
 // capacity sidesteps the buffer-reclamation problem that makes the
 // growable Chase-Lev deque hard to get right, at zero cost for our
 // workload where the per-worker backlog is bounded by the batch size.
+//
+// POR_MC hook: the second template parameter selects the atomic cell
+// type.  Production code uses the default (std::atomic — zero
+// overhead, the instantiation is byte-identical to the unparameterized
+// class); the por::mc model checker instantiates the SAME template
+// with mc::atomic and exhaustively explores every interleaving and
+// weak-memory behavior these declared orders permit (DESIGN.md §13,
+// tests/test_mc.cpp).  The memory-order argument above is therefore
+// machine-checked, not just prose.
 #pragma once
 
 #include <atomic>
@@ -47,7 +56,7 @@ namespace por::serve {
   return p;
 }
 
-template <typename T>
+template <typename T, template <class> class AtomicT = std::atomic>
 class StealDeque {
   static_assert(std::is_trivially_copyable_v<T>,
                 "StealDeque cells are raw atomics; T must be trivially "
@@ -57,7 +66,7 @@ class StealDeque {
   explicit StealDeque(std::size_t capacity)
       : capacity_(next_pow2(capacity)),
         mask_(capacity_ - 1),
-        buffer_(std::make_unique<std::atomic<T>[]>(capacity_)) {}
+        buffer_(std::make_unique<AtomicT<T>[]>(capacity_)) {}
 
   StealDeque(const StealDeque&) = delete;
   StealDeque& operator=(const StealDeque&) = delete;
@@ -67,9 +76,11 @@ class StealDeque {
   /// Owner only.  False when the deque is full (caller overflows into
   /// the shared channel).
   bool push(T value) {
+    // por-atomic: owner-exclusive — only the owner writes bottom_
     const std::size_t b = bottom_.load(std::memory_order_relaxed);
     const std::size_t t = top_.load(std::memory_order_acquire);
     if (b - t >= capacity_) return false;
+    // por-atomic: published-by-release — ordered by the bottom_ store below
     buffer_[b & mask_].store(value, std::memory_order_relaxed);
     bottom_.store(b + 1, std::memory_order_seq_cst);
     return true;
@@ -78,7 +89,9 @@ class StealDeque {
   /// Owner only.  LIFO end — the owner works on what it pushed last,
   /// which keeps its working set hot while thieves drain the cold top.
   bool pop(T& out) {
+    // por-atomic: owner-exclusive — only the owner writes bottom_
     const std::size_t b = bottom_.load(std::memory_order_relaxed);
+    // por-atomic: pre-claim — re-read with seq_cst after the reservation
     const std::size_t t0 = top_.load(std::memory_order_relaxed);
     if (t0 >= b) return false;  // empty, no reservation needed
     // Reserve the bottom slot, then re-read top: the seq_cst ordering
@@ -88,13 +101,16 @@ class StealDeque {
     std::size_t t = top_.load(std::memory_order_seq_cst);
     if (t < b - 1) {
       // More than one element left: the slot is ours uncontested.
+      // por-atomic: published-by-release — owner reads its own push's cell
       out = buffer_[(b - 1) & mask_].load(std::memory_order_relaxed);
       return true;
     }
     bool won = false;
     if (t == b - 1) {
       // Exactly one element: race the thieves for it via top_.
+      // por-atomic: published-by-release — owner reads its own push's cell
       out = buffer_[(b - 1) & mask_].load(std::memory_order_relaxed);
+      // por-atomic: cas-failure — a lost race only means a thief won
       won = top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                          std::memory_order_relaxed);
     }
@@ -108,14 +124,18 @@ class StealDeque {
     std::size_t t = top_.load(std::memory_order_seq_cst);
     const std::size_t b = bottom_.load(std::memory_order_seq_cst);
     if (t >= b) return false;
+    // por-atomic: published-by-release — push's bottom_ store publishes it
     out = buffer_[t & mask_].load(std::memory_order_relaxed);
+    // por-atomic: cas-failure — a lost race means "try elsewhere"
     return top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed);
   }
 
   /// Racy size estimate (monitoring only).
   [[nodiscard]] std::size_t size_approx() const {
+    // por-atomic: monitor — approximate by contract
     const std::size_t b = bottom_.load(std::memory_order_relaxed);
+    // por-atomic: monitor — approximate by contract
     const std::size_t t = top_.load(std::memory_order_relaxed);
     return b > t ? b - t : 0;
   }
@@ -129,9 +149,9 @@ class StealDeque {
   // deque processes nowhere near that.
   const std::size_t capacity_;
   const std::size_t mask_;
-  std::unique_ptr<std::atomic<T>[]> buffer_;
-  alignas(64) std::atomic<std::size_t> top_{0};
-  alignas(64) std::atomic<std::size_t> bottom_{0};
+  std::unique_ptr<AtomicT<T>[]> buffer_;
+  alignas(64) AtomicT<std::size_t> top_{0};
+  alignas(64) AtomicT<std::size_t> bottom_{0};
 };
 
 }  // namespace por::serve

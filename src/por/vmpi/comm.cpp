@@ -34,15 +34,18 @@ void Comm::send_bytes(int dst, Tag tag, const void* data, std::size_t bytes) {
   if (rule != nullptr) {
     switch (rule->kind) {
       case FaultKind::kDrop:
+        // por-atomic: stat — fault-injection counter
         context_.faults_dropped.fetch_add(1, std::memory_order_relaxed);
         return;  // never enqueued: the receiver sees only silence
       case FaultKind::kDelay:
+        // por-atomic: stat — fault-injection counter
         context_.faults_delayed.fetch_add(1, std::memory_order_relaxed);
         // Simulate a congested link by postponing delivery (the sender
         // thread stalls, which upper layers observe identically).
         std::this_thread::sleep_for(rule->delay);
         break;
       case FaultKind::kCorrupt:
+        // por-atomic: stat — fault-injection counter
         context_.faults_corrupted.fetch_add(1, std::memory_order_relaxed);
         for (std::byte& b : payload) b ^= std::byte{0x5A};
         break;
@@ -58,6 +61,7 @@ void Comm::send_bytes(int dst, Tag tag, const void* data, std::size_t bytes) {
 void Comm::fault_point(std::uint64_t step) {
   if (context_.plan.kills.empty()) return;
   if (context_.plan.kills_at(rank_, step)) {
+    // por-atomic: stat — fault-injection counter
     context_.faults_killed.fetch_add(1, std::memory_order_relaxed);
     throw RankKilled(rank_, step);
   }
@@ -85,6 +89,7 @@ std::vector<std::byte> Comm::recv_bytes(int src, Tag tag) {
   if (deadline_.count() <= 0) {
     context_.message_arrived.wait(lock, ready);
   } else if (!context_.message_arrived.wait_for(lock, deadline_, ready)) {
+    // por-atomic: stat — timeout counter
     context_.recv_timeouts.fetch_add(1, std::memory_order_relaxed);
     throw CommTimeout(src, rank_, tag, deadline_);
   }
@@ -115,6 +120,7 @@ std::vector<std::byte> Comm::recv_any_bytes(Tag tag, int& src) {
   if (deadline_.count() <= 0) {
     context_.message_arrived.wait(lock, ready);
   } else if (!context_.message_arrived.wait_for(lock, deadline_, ready)) {
+    // por-atomic: stat — timeout counter
     context_.recv_timeouts.fetch_add(1, std::memory_order_relaxed);
     throw CommTimeout(kAnyRank, rank_, tag, deadline_);
   }
@@ -169,6 +175,7 @@ void Comm::barrier() {
     // Withdraw this rank's arrival so a later retry (or a failure
     // handler re-entering the barrier) still counts correctly.
     --context_.barrier_count;
+    // por-atomic: stat — timeout counter
     context_.recv_timeouts.fetch_add(1, std::memory_order_relaxed);
     throw CommTimeout(kAnyRank, rank_, kBarrierTag, deadline_);
   }

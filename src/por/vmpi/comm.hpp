@@ -126,6 +126,7 @@ class Comm {
 
   /// Totals of faults injected so far across the whole runtime.
   [[nodiscard]] FaultStats fault_stats() const {
+    // por-atomic: monitor — diagnostics snapshot; each counter may lag
     return FaultStats{
         context_.faults_dropped.load(std::memory_order_relaxed),
         context_.faults_delayed.load(std::memory_order_relaxed),

@@ -1,6 +1,8 @@
 // por/vmpi/traffic.hpp
 //
 // Communication accounting for the vmpi runtime.
+// por-atomic-file: stat — every atomic here is an independent traffic
+// counter; readers make no cross-counter ordering claims.
 //
 // The paper's central parallelization decision (§6) is to *replicate*
 // the 3D DFT on every node to reduce communication, instead of a

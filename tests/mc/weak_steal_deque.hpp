@@ -1,0 +1,92 @@
+// tests/mc/weak_steal_deque.hpp
+//
+// NEGATIVE FIXTURE — deliberately broken, never link this into
+// production code.
+//
+// A copy of por::serve::StealDeque with exactly one memory order
+// weakened: pop()'s re-read of top_ after reserving the bottom slot is
+// relaxed instead of seq_cst.  This is the classic Chase-Lev mistake:
+// without the seq_cst load, pop's reservation store of bottom_ and its
+// read of top_ are no longer globally ordered against the thieves'
+// {load top_, load bottom_, CAS top_} sequence, so the owner can read
+// a STALE top_, conclude `t < b - 1` ("more than one element left,
+// uncontested"), and take an element a thief is simultaneously
+// claiming via CAS — the same element consumed twice.
+//
+// tests/test_mc.cpp (McMutant.*) runs the checker over this fixture
+// and REQUIRES the violation to be found, with a printed minimal
+// interleaving.  If the checker ever stops catching it, the model is
+// broken — this file is the canary for the checker itself.
+//
+// por-atomic-file: mutant
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+
+#include "por/serve/steal_deque.hpp"  // next_pow2
+
+namespace por::mctest {
+
+template <typename T, template <class> class AtomicT = std::atomic>
+class WeakStealDeque {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  explicit WeakStealDeque(std::size_t capacity)
+      : capacity_(por::serve::next_pow2(capacity)),
+        mask_(capacity_ - 1),
+        buffer_(std::make_unique<AtomicT<T>[]>(capacity_)) {}
+
+  bool push(T value) {
+    const std::size_t b = bottom_.load(std::memory_order_relaxed);
+    const std::size_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= capacity_) return false;
+    buffer_[b & mask_].store(value, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  bool pop(T& out) {
+    const std::size_t b = bottom_.load(std::memory_order_relaxed);
+    const std::size_t t0 = top_.load(std::memory_order_relaxed);
+    if (t0 >= b) return false;
+    bottom_.store(b - 1, std::memory_order_seq_cst);
+    // THE BUG: relaxed instead of seq_cst.  The owner may read a stale
+    // top_ here and take the "uncontested" fast path below while a
+    // thief CASes the same element away.
+    std::size_t t = top_.load(std::memory_order_relaxed);
+    if (t < b - 1) {
+      out = buffer_[(b - 1) & mask_].load(std::memory_order_relaxed);
+      return true;
+    }
+    bool won = false;
+    if (t == b - 1) {
+      out = buffer_[(b - 1) & mask_].load(std::memory_order_relaxed);
+      won = top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                         std::memory_order_relaxed);
+    }
+    bottom_.store(b, std::memory_order_seq_cst);
+    return won;
+  }
+
+  bool steal(T& out) {
+    std::size_t t = top_.load(std::memory_order_seq_cst);
+    const std::size_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;
+    out = buffer_[t & mask_].load(std::memory_order_relaxed);
+    return top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed);
+  }
+
+ private:
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<AtomicT<T>[]> buffer_;
+  AtomicT<std::size_t> top_{0};
+  AtomicT<std::size_t> bottom_{0};
+};
+
+}  // namespace por::mctest

@@ -1,0 +1,143 @@
+// Edge-case suite for por::serve::TokenBucket under a hand-driven
+// clock (the bucket takes now_ns explicitly, so every scenario here is
+// deterministic): zero-capacity configuration, burst saturation after
+// long idle, and refill arithmetic near the uint64 nanosecond wrap.
+
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "por/serve/token_bucket.hpp"
+
+namespace {
+
+using por::serve::TokenBucket;
+
+constexpr std::uint64_t kSecond = 1'000'000'000ull;
+
+// ---- zero / degenerate capacity --------------------------------------------
+
+TEST(TokenBucket, ZeroBurstClampsToOneToken) {
+  // burst = 0 would make the bucket permanently empty (refill caps at
+  // burst); the constructor clamps to 1.0 so a configured tenant can
+  // always make progress at its rate.
+  TokenBucket bucket(10.0, 0.0);
+  EXPECT_DOUBLE_EQ(bucket.burst(), 1.0);
+  EXPECT_TRUE(bucket.try_acquire(1 * kSecond));
+  // The single token is gone; the next grant needs a refill.
+  EXPECT_FALSE(bucket.try_acquire(1 * kSecond));
+  // 10 tokens/s -> 0.1 s restores the (single) token.
+  EXPECT_TRUE(bucket.try_acquire(1 * kSecond + kSecond / 10));
+}
+
+TEST(TokenBucket, ZeroRateMeansUnlimited) {
+  TokenBucket bucket(0.0, 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(bucket.try_acquire(1 * kSecond));
+  }
+  TokenBucket negative(-5.0, 1.0);
+  EXPECT_TRUE(negative.try_acquire(1 * kSecond));
+}
+
+TEST(TokenBucket, CostAboveBurstNeverGrants) {
+  // A cost larger than the bucket can ever hold must fail even after
+  // arbitrary idle time — refill saturates at burst.
+  TokenBucket bucket(100.0, 4.0);
+  EXPECT_FALSE(bucket.try_acquire(1 * kSecond, 5.0));
+  EXPECT_FALSE(bucket.try_acquire(3600 * kSecond, 5.0));
+  EXPECT_TRUE(bucket.try_acquire(3600 * kSecond, 4.0));
+}
+
+// ---- burst after long idle -------------------------------------------------
+
+TEST(TokenBucket, LongIdleSaturatesAtBurstNotElapsedTimesRate) {
+  TokenBucket bucket(1000.0, 8.0);
+  ASSERT_TRUE(bucket.try_acquire(1 * kSecond, 8.0));  // drain
+  // A day idle at 1000/s would naively accrue 86.4M tokens; the bucket
+  // must cap at its burst of 8.
+  const std::uint64_t after_idle = 1 * kSecond + 86400 * kSecond;
+  EXPECT_DOUBLE_EQ(bucket.available(after_idle), 8.0);
+  // Exactly the burst is grantable, not one token more.
+  EXPECT_TRUE(bucket.try_acquire(after_idle, 8.0));
+  EXPECT_FALSE(bucket.try_acquire(after_idle, 1.0));
+}
+
+TEST(TokenBucket, SteadyDrainMatchesConfiguredRate) {
+  // 5 tokens/s, burst 1: a caller polling every 100 ms gets exactly
+  // every other grant — the long-run rate is the configured one.
+  TokenBucket bucket(5.0, 1.0);
+  std::uint64_t now = 1 * kSecond;
+  ASSERT_TRUE(bucket.try_acquire(now));  // the initial burst token
+  int granted = 0;
+  for (int tick = 1; tick <= 100; ++tick) {
+    now += kSecond / 10;
+    if (bucket.try_acquire(now)) ++granted;
+  }
+  // 10 seconds at 5/s = 50 tokens (+/- one boundary grant).
+  EXPECT_GE(granted, 49);
+  EXPECT_LE(granted, 51);
+}
+
+TEST(TokenBucket, FirstObservationAnchorsTheClock) {
+  // The first call only anchors: no elapsed time is credited against
+  // an epoch the bucket never saw.
+  TokenBucket bucket(1.0, 2.0);
+  ASSERT_TRUE(bucket.try_acquire(1000 * kSecond, 2.0));  // burst, drained
+  // Anchored at t=1000s: a half-second later there is only half a
+  // token, not the thousand seconds of "elapsed since 0" credit.
+  EXPECT_FALSE(bucket.try_acquire(1000 * kSecond + kSecond / 2, 1.0));
+  EXPECT_TRUE(bucket.try_acquire(1001 * kSecond, 1.0));
+}
+
+// ---- refill arithmetic near the uint64 wrap --------------------------------
+
+TEST(TokenBucket, RefillJustBelowUint64MaxIsExact) {
+  // A monotonic nanosecond clock reaches 2^64 after ~584 years, but a
+  // caller may anchor on any origin — including one close to the top.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  TokenBucket bucket(2.0, 4.0);
+  const std::uint64_t anchor = kMax - 10 * kSecond;
+  ASSERT_TRUE(bucket.try_acquire(anchor, 4.0));  // anchor + drain
+  // 1 s before the wrap: 2 tokens accrued, computed via uint64
+  // subtraction (no overflow: now > last).
+  EXPECT_DOUBLE_EQ(bucket.available(kMax - 9 * kSecond), 2.0);
+  EXPECT_TRUE(bucket.try_acquire(kMax - 9 * kSecond, 2.0));
+  // At the very top of the range 9 more seconds elapsed: 18 tokens
+  // accrued but the bucket saturates at its burst of 4.  Drain exactly
+  // that, then nothing is left at the same timestamp.
+  EXPECT_TRUE(bucket.try_acquire(kMax, 4.0));
+  EXPECT_FALSE(bucket.try_acquire(kMax, 0.5));
+}
+
+TEST(TokenBucket, WrappedClockIsIgnoredNotCredited) {
+  // If the clock DOES wrap (or jumps backwards), now <= last: the
+  // refill must be a no-op — not a gigantic unsigned difference that
+  // would instantly saturate every bucket.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  TokenBucket bucket(1000.0, 8.0);
+  const std::uint64_t anchor = kMax - kSecond;
+  ASSERT_TRUE(bucket.try_acquire(anchor, 8.0));  // anchor near top, drain
+  // Wrapped to a tiny value: no credit.
+  EXPECT_DOUBLE_EQ(bucket.available(5), 0.0);
+  EXPECT_FALSE(bucket.try_acquire(5, 1.0));
+  // Equal timestamp: also no credit.
+  EXPECT_FALSE(bucket.try_acquire(anchor, 1.0));
+  // Time resumes past the anchor: normal refill from the anchor (the
+  // wrapped observations must not have moved it) — 1 ms at 1000/s is
+  // exactly one token.
+  EXPECT_TRUE(bucket.try_acquire(anchor + kSecond / 1000, 1.0));
+}
+
+TEST(TokenBucket, ZeroTimestampDoesNotAnchor) {
+  // now_ns == 0 is indistinguishable from "never anchored"; the bucket
+  // treats it as such and anchors on the first non-zero observation.
+  TokenBucket bucket(1.0, 1.0);
+  ASSERT_TRUE(bucket.try_acquire(0, 1.0));  // burst token, no anchor
+  EXPECT_FALSE(bucket.try_acquire(0, 1.0));
+  // First real timestamp anchors; no phantom credit for [0, 5s).
+  EXPECT_FALSE(bucket.try_acquire(5 * kSecond, 1.0));
+  EXPECT_TRUE(bucket.try_acquire(6 * kSecond, 1.0));
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+"""Shared finding model and emitters for the por lint tools.
+
+Both por_lint.py (token rules) and ast_lint.py (atomics/vmpi protocol
+rules) produce the same Finding shape and route it through emit(), so
+every tool speaks all three output dialects:
+
+  text    path:line: [rule] message           (human, default)
+  github  ::error file=...,line=...           (GitHub annotations — the
+          CI jobs use this so findings land on the PR diff)
+  json    {"tool": ..., "findings": [...]}    (machine-readable; also
+          written unconditionally when --json-out is given)
+
+Exit-status convention shared by every tool: 0 clean, 1 findings,
+2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+from typing import IO
+
+
+@dataclasses.dataclass
+class Finding:
+    """One diagnostic, anchored to a repo-relative path and 1-based line."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    severity: str = "error"
+
+    def as_text(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_github(self) -> str:
+        # The workflow-command grammar reserves these characters in the
+        # message body.
+        message = (self.message.replace("%", "%25").replace("\r", "%0D")
+                   .replace("\n", "%0A"))
+        level = "error" if self.severity == "error" else "warning"
+        return (f"::{level} file={self.path},line={self.line},"
+                f"title={self.rule}::{message}")
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def add_output_args(parser: argparse.ArgumentParser) -> None:
+    """The --format / --json-out pair every lint tool exposes."""
+    parser.add_argument("--format", choices=("text", "github", "json"),
+                        default="text",
+                        help="finding output dialect (default: text)")
+    parser.add_argument("--json-out", type=Path, default=None,
+                        help="additionally write the JSON report here, "
+                             "regardless of --format")
+
+
+def emit(tool: str, findings: list[Finding], files_checked: int,
+         fmt: str = "text", json_out: Path | None = None,
+         stream: IO[str] = sys.stdout) -> int:
+    """Print findings in the requested dialect; return the exit status."""
+    report = {
+        "tool": tool,
+        "files_checked": files_checked,
+        "findings": [f.as_dict() for f in findings],
+    }
+    if json_out is not None:
+        json_out.parent.mkdir(parents=True, exist_ok=True)
+        json_out.write_text(json.dumps(report, indent=2) + "\n",
+                            encoding="utf-8")
+
+    if fmt == "json":
+        print(json.dumps(report, indent=2), file=stream)
+    else:
+        for finding in findings:
+            print(finding.as_github() if fmt == "github"
+                  else finding.as_text(), file=stream)
+
+    if findings:
+        print(f"{tool}: {len(findings)} finding(s) in {files_checked} files",
+              file=sys.stderr)
+        return 1
+    if fmt != "json":
+        print(f"{tool}: clean ({files_checked} files)", file=stream)
+    return 0

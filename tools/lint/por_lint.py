@@ -44,6 +44,10 @@ Waivers: append ``// por-lint: allow(<rule>) <reason>`` to the
 offending line, or place it on one of the two lines above.  A waiver
 without a reason is itself an error.
 
+Output dialects (shared with ast_lint via lint_common): ``--format
+text|github|json`` plus ``--json-out <path>`` for a machine-readable
+report alongside any format.
+
 Exit status: 0 clean, 1 findings, 2 usage error.
 """
 
@@ -53,6 +57,10 @@ import argparse
 import re
 import sys
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from lint_common import Finding, add_output_args, emit  # noqa: E402
 
 SOURCE_DIRS = ("src", "bench", "examples")
 TEST_DIRS = ("tests",)
@@ -102,17 +110,6 @@ def strip_line_comment(line: str) -> str:
     return line if idx < 0 else line[:idx]
 
 
-class Finding:
-    def __init__(self, path: Path, line_no: int, rule: str, message: str):
-        self.path = path
-        self.line_no = line_no
-        self.rule = rule
-        self.message = message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line_no}: [{self.rule}] {self.message}"
-
-
 def waivers_for(lines: list[str], idx: int) -> dict[int, str]:
     """Waivers covering line `idx`: on the line itself or on one of the
     two preceding comment lines.  Maps rule name -> reason."""
@@ -135,7 +132,7 @@ def check_file(root: Path, path: Path) -> list[Finding]:
     try:
         text = path.read_text(encoding="utf-8")
     except UnicodeDecodeError:
-        return [Finding(path, 0, "encoding", "file is not valid UTF-8")]
+        return [Finding(rel, 1, "encoding", "file is not valid UTF-8")]
     lines = text.splitlines()
     findings: list[Finding] = []
 
@@ -151,10 +148,10 @@ def check_file(root: Path, path: Path) -> list[Finding]:
             if rule in waivers:
                 if not waivers[rule]:
                     findings.append(
-                        Finding(path, i + 1, rule,
+                        Finding(rel, i + 1, rule,
                                 "waiver without a reason — justify it"))
                 return
-            findings.append(Finding(path, i + 1, rule, message))
+            findings.append(Finding(rel, i + 1, rule, message))
 
         # Rule: naked-subscript -------------------------------------------
         if rel not in NAKED_SUBSCRIPT_ALLOWED and not is_test_path(rel):
@@ -235,7 +232,7 @@ def check_contract_comments(root: Path, files: list[Path]) -> list[Finding]:
                                                     errors="replace"))
         if not any(CONTRACT_MACRO_RE.search(body) for body in bodies):
             findings.append(
-                Finding(path, contract_lines[0], "contract-comment",
+                Finding(rel, contract_lines[0], "contract-comment",
                         "header declares a CONTRACT: but neither it nor its "
                         "sibling .cpp contains a POR_EXPECT/POR_ENSURE/"
                         "POR_BOUNDS/POR_FINITE backing it"))
@@ -261,6 +258,7 @@ def main() -> int:
                         help="repository root (default: cwd)")
     parser.add_argument("paths", nargs="*", type=Path,
                         help="restrict to these files (default: whole tree)")
+    add_output_args(parser)
     args = parser.parse_args()
 
     root = args.root.resolve()
@@ -277,14 +275,8 @@ def main() -> int:
         findings.extend(check_file(root, path))
     findings.extend(check_contract_comments(root, files))
 
-    for finding in findings:
-        print(finding)
-    if findings:
-        print(f"por_lint: {len(findings)} finding(s) in {len(files)} files",
-              file=sys.stderr)
-        return 1
-    print(f"por_lint: clean ({len(files)} files)")
-    return 0
+    return emit("por_lint", findings, len(files),
+                fmt=args.format, json_out=args.json_out)
 
 
 if __name__ == "__main__":

@@ -11,6 +11,13 @@ Checks and suppressions live in ``.clang-tidy``; this script only
 handles discovery, parallel dispatch and exit-status aggregation so the
 CMake ``lint`` target stays a one-liner.
 
+Fails fast (exit 2) when the compile database is missing OR stale:
+entries pointing at sources that no longer exist, or project sources
+modified after the database was written.  Linting against a stale DB
+silently analyzes old flags/files and reports nothing for new ones —
+worse than failing.  ``--allow-stale`` downgrades staleness to a
+warning for local spelunking.
+
 Exit status: 0 clean, 1 findings, 2 usage/environment error.
 """
 
@@ -20,6 +27,7 @@ import argparse
 import concurrent.futures
 import json
 import os
+import shutil
 import subprocess
 import sys
 from pathlib import Path
@@ -48,6 +56,43 @@ def project_sources(build_dir: Path, root: Path) -> list[Path]:
     return sorted(files)
 
 
+def staleness_reasons(build_dir: Path, files: list[Path],
+                      root: Path) -> list[str]:
+    """Why the compile database can't be trusted, if it can't.
+
+    Two signals, both cheap: (1) DB entries whose source file no longer
+    exists on disk — the tree moved on after the last configure; (2)
+    project sources (or headers they pull in) modified after the DB was
+    written — their flags/definitions may have changed with them.
+    """
+    db_path = build_dir / "compile_commands.json"
+    db_mtime = db_path.stat().st_mtime
+    reasons: list[str] = []
+
+    deleted = [p for p in files if not p.is_file()]
+    for path in deleted[:5]:
+        reasons.append(f"database entry for deleted source "
+                       f"{path.relative_to(root)}")
+    if len(deleted) > 5:
+        reasons.append(f"... and {len(deleted) - 5} more deleted sources")
+
+    newer: list[Path] = []
+    for d in PROJECT_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        newer.extend(
+            p for p in base.rglob("*")
+            if p.suffix in {".cpp", ".cc", ".cxx", ".hpp", ".h"}
+            and p.is_file() and p.stat().st_mtime > db_mtime)
+    for path in sorted(newer)[:5]:
+        reasons.append(f"{path.relative_to(root)} modified after the "
+                       "database was written")
+    if len(newer) > 5:
+        reasons.append(f"... and {len(newer) - 5} more modified sources")
+    return reasons
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--clang-tidy", default="clang-tidy",
@@ -59,15 +104,35 @@ def main() -> int:
     parser.add_argument("--jobs", type=int,
                         default=max(1, (os.cpu_count() or 1) - 1),
                         help="parallel clang-tidy processes")
+    parser.add_argument("--allow-stale", action="store_true",
+                        help="warn instead of failing when the compile "
+                             "database is stale")
     args = parser.parse_args()
 
     root = args.root.resolve()
     build_dir = args.build_dir.resolve()
+    if shutil.which(args.clang_tidy) is None:
+        print(f"run_clang_tidy: {args.clang_tidy!r} not found on PATH — "
+              "install clang-tidy or point --clang-tidy at it",
+              file=sys.stderr)
+        return 2
     files = project_sources(build_dir, root)
     if not files:
         print("run_clang_tidy: no project translation units in the "
               "compile database", file=sys.stderr)
         return 2
+
+    reasons = staleness_reasons(build_dir, files, root)
+    if reasons:
+        for reason in reasons:
+            print(f"run_clang_tidy: stale compile database: {reason}",
+                  file=sys.stderr)
+        if not args.allow_stale:
+            print("run_clang_tidy: re-run cmake to refresh "
+                  "compile_commands.json (or pass --allow-stale)",
+                  file=sys.stderr)
+            return 2
+        files = [p for p in files if p.is_file()]
 
     def run_one(path: Path) -> tuple[Path, int, str]:
         proc = subprocess.run(
