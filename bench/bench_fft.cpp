@@ -25,6 +25,8 @@
 //
 // Flags: --l3d <edge>  (default 128)   --l2d <edge> (default 331)
 //        --reps <n>    (default 5)     --threads <n> (default 0 = hw)
+//        --paper_sizes (also bench the paper's 2D view edges, 331 and
+//                       511 — opt-in so the CI smoke run stays fast)
 //        --out <path>  (default BENCH_fft.json)
 
 #include <algorithm>
@@ -241,6 +243,7 @@ int main(int argc, char** argv) {
   const std::size_t reps = static_cast<std::size_t>(cli.get_int("reps", 5));
   const std::size_t threads =
       static_cast<std::size_t>(cli.get_int("threads", 0));
+  const bool paper_sizes = cli.get_bool("paper_sizes", false);
   const std::string out = cli.get("out", "BENCH_fft.json");
   cli.assert_all_consumed();
 
@@ -306,9 +309,19 @@ int main(int argc, char** argv) {
   }
 
   // ---- 2D: seed vs v2 (c2c) and c2c vs r2c, per size ----------------------
+  // --paper_sizes appends the paper's two view edges (331 Sindbis, 511
+  // reovirus) to whatever --l2d selected; the default run stays the CI
+  // smoke size.
   json += "  \"fft2d\": [\n";
-  const std::size_t sizes[] = {64, l2d};
-  for (std::size_t s = 0; s < 2; ++s) {
+  std::vector<std::size_t> sizes = {64, l2d};
+  if (paper_sizes) {
+    for (const std::size_t edge : {std::size_t{331}, std::size_t{511}}) {
+      if (std::find(sizes.begin(), sizes.end(), edge) == sizes.end()) {
+        sizes.push_back(edge);
+      }
+    }
+  }
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
     const std::size_t n = sizes[s];
     const auto real = random_real(n * n, 200 + n);
     std::vector<cdouble> input(n * n);
@@ -366,7 +379,7 @@ int main(int argc, char** argv) {
             ",\n";
     json += "      \"max_rel_diff\": " +
             json_number(std::max(div_c2c, div_r2c)) + "\n";
-    json += s == 0 ? "    },\n" : "    }\n";
+    json += s + 1 < sizes.size() ? "    },\n" : "    }\n";
   }
   json += "  ],\n";
 

@@ -28,6 +28,12 @@
 // Flags: --l <edge> (default 64)  --pad <factor> (default 2)
 //        --matchings <count per path> (default 200)
 //        --reps <repetitions per path> (default 5)
+//        --paper_sizes (ALSO time the best tier + scalar at the
+//                       paper's view edges, 331 and 511, on a cheap
+//                       synthetic lattice — opt-in, several GB of
+//                       spectrum and minutes of padded 3D DFT per
+//                       size, so the CI smoke run never pays it)
+//        --paper_matchings <count per paper size> (default 40)
 //        --out <path> (default BENCH_matcher.json)
 
 #include <algorithm>
@@ -101,6 +107,9 @@ int main(int argc, char** argv) {
   const std::size_t matchings =
       static_cast<std::size_t>(cli.get_int("matchings", 200));
   const std::size_t reps = static_cast<std::size_t>(cli.get_int("reps", 5));
+  const bool paper_sizes = cli.get_bool("paper_sizes", false);
+  const std::size_t paper_matchings =
+      static_cast<std::size_t>(cli.get_int("paper_matchings", 40));
   const std::string out = cli.get("out", "BENCH_matcher.json");
   const std::string metrics_out = cli.metrics_out();
   cli.assert_all_consumed();
@@ -249,6 +258,114 @@ int main(int argc, char** argv) {
     steady_state_allocs = g_heap_allocs.load(std::memory_order_relaxed);
   }
 
+  // ---- opt-in paper-size pass (--paper_sizes) ------------------------------
+  // Times the best tier + scalar at the paper's view edges on a cheap
+  // synthetic lattice (rasterizing a blob phantom at 331^3/511^3 costs
+  // more than the measurement would).  One matcher lives at a time —
+  // the 511 spectrum alone is ~17 GB.
+  std::string paper_json;
+  double paper_worst_rel_diff = 0.0;
+  if (paper_sizes) {
+    paper_json = "  \"paper_sizes\": [\n";
+    const std::size_t paper_edges[] = {331, 511};
+    for (std::size_t s = 0; s < 2; ++s) {
+      const std::size_t pl = paper_edges[s];
+      em::Volume<double> lattice_paper(pl);
+      {
+        const double c = static_cast<double>(pl) / 2.0;
+        for (std::size_t z = 0; z < pl; ++z) {
+          for (std::size_t y = 0; y < pl; ++y) {
+            for (std::size_t x = 0; x < pl; ++x) {
+              const double dz = (static_cast<double>(z) - c) / c;
+              const double dy = (static_cast<double>(y) - c) / c;
+              const double dx = (static_cast<double>(x) - c) / c;
+              lattice_paper(z, y, x) =
+                  std::exp(-3.0 * (dz * dz + dy * dy + dx * dx)) *
+                  (1.0 + 0.3 * std::cos(9.0 * dx) * std::sin(7.0 * dy));
+            }
+          }
+        }
+      }
+      std::printf("  paper size %zu: building matcher (padded 3D DFT)...\n",
+                  pl);
+      util::WallTimer paper_build_timer;
+      core::MatchOptions paper_options;
+      paper_options.pad = pad;
+      paper_options.r_map = 16.0;  // the refiners' paper-run radius
+      const core::FourierMatcher paper_matcher(lattice_paper, paper_options);
+      const double paper_build_seconds = paper_build_timer.seconds();
+
+      util::Rng paper_rng(9090 + pl);
+      em::Image<double> paper_view(pl, pl);
+      for (auto& p : paper_view.storage()) p = paper_rng.uniform(-1.0, 1.0);
+      const em::Image<em::cdouble> paper_spectrum =
+          paper_matcher.prepare_view(paper_view);
+      std::vector<em::Orientation> paper_candidates;
+      for (std::size_t i = 0; i < paper_matchings; ++i) {
+        double theta, phi;
+        paper_rng.sphere_point(theta, phi);
+        paper_candidates.push_back(em::Orientation{
+            em::rad2deg(theta), em::rad2deg(phi),
+            paper_rng.uniform(0.0, 360.0)});
+      }
+      (void)paper_matcher.distance(paper_spectrum, paper_candidates[0]);
+      (void)paper_matcher.distance_reference(paper_spectrum,
+                                             paper_candidates[0]);
+
+      double fast_seconds = 0.0, scalar_paper_seconds = 0.0, rel_diff = 0.0;
+      {
+        util::WallTimer timer;
+        for (const auto& candidate : paper_candidates) {
+          (void)paper_matcher.distance(paper_spectrum, candidate);
+        }
+        fast_seconds = timer.seconds();
+      }
+      {
+        util::WallTimer timer;
+        for (const auto& candidate : paper_candidates) {
+          (void)paper_matcher.distance_reference(paper_spectrum, candidate);
+        }
+        scalar_paper_seconds = timer.seconds();
+      }
+      for (const auto& candidate : paper_candidates) {
+        const double fast = paper_matcher.distance(paper_spectrum, candidate);
+        const double scalar =
+            paper_matcher.distance_reference(paper_spectrum, candidate);
+        rel_diff = std::max(rel_diff, std::abs(fast - scalar) /
+                                          std::max(1.0, std::abs(scalar)));
+      }
+      paper_worst_rel_diff = std::max(paper_worst_rel_diff, rel_diff);
+      const double paper_ns_fast =
+          fast_seconds * 1e9 / static_cast<double>(paper_matchings);
+      const double paper_ns_scalar =
+          scalar_paper_seconds * 1e9 / static_cast<double>(paper_matchings);
+      std::printf(
+          "  paper size %zu: build %.1f s  annulus %zu px  ns/matching fast "
+          "%.0f  scalar %.0f (%.2fx)  max rel diff %.3g\n",
+          pl, paper_build_seconds, paper_matcher.annulus().size(),
+          paper_ns_fast, paper_ns_scalar,
+          paper_ns_fast > 0.0 ? paper_ns_scalar / paper_ns_fast : 0.0,
+          rel_diff);
+
+      paper_json += "    {\n";
+      paper_json += "      \"l\": " + std::to_string(pl) + ",\n";
+      paper_json += "      \"table_build_seconds\": " +
+                    json_number(paper_build_seconds) + ",\n";
+      paper_json += "      \"fetches_per_matching\": " +
+                    json_number(static_cast<double>(
+                        paper_matcher.annulus().size())) +
+                    ",\n";
+      paper_json += "      \"ns_per_matching_fast\": " +
+                    json_number(paper_ns_fast) + ",\n";
+      paper_json += "      \"ns_per_matching_scalar\": " +
+                    json_number(paper_ns_scalar) + ",\n";
+      paper_json += "      \"max_rel_diff_vs_scalar\": " +
+                    json_number(rel_diff) + "\n";
+      paper_json += s == 0 ? "    },\n" : "    }\n";
+    }
+    paper_json += "  ],\n";
+  }
+
   std::printf("  annulus pixels (fetches/matching): %zu\n",
               matcher.annulus().size());
   std::printf("  table build: %.3f ms\n", build_seconds * 1e3);
@@ -267,6 +384,7 @@ int main(int argc, char** argv) {
               hit_rate * 100.0);
 
   std::string json = "{\n";
+  json += paper_json;
   json += "  \"l\": " + std::to_string(l) + ",\n";
   json += "  \"pad\": " + std::to_string(pad) + ",\n";
   json += "  \"matchings\": " + std::to_string(matchings) + ",\n";
@@ -330,6 +448,13 @@ int main(int argc, char** argv) {
                  "GATE FAILED: %llu general-heap allocations on the warmed "
                  "steady-state search path (must be 0)\n",
                  static_cast<unsigned long long>(steady_state_allocs));
+    rc = 1;
+  }
+  if (!(paper_worst_rel_diff <= kMaxRelDiff)) {
+    std::fprintf(stderr,
+                 "GATE FAILED: paper-size fast path diverges from scalar by "
+                 "%.3g (> %.0e)\n",
+                 paper_worst_rel_diff, kMaxRelDiff);
     rc = 1;
   }
   return rc;

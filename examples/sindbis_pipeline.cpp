@@ -20,6 +20,15 @@
 //                      [--checkpoint ckpt.porc] [--resume true]
 //                      [--io_retries 3] [--kill_rank R] [--kill_at_step S]
 //                      [--heartbeat_ms 500]
+//                      [--shards DIR] [--prefetch_depth 2]
+//                      [--max_resident_mb 0]
+//
+// Out-of-core demo (DESIGN.md §14): --shards DIR writes the simulated
+// stack, the map and the initial orientations under DIR as a sharded
+// view store and refines through core::parallel_refine_sharded — the
+// paper-scale I/O model where the master never holds the whole stack.
+// --max_resident_mb bounds its resident shard cache; results are
+// bitwise-identical to the in-memory path on the same inputs.
 //
 // With --metrics-out the distributed refinement's obs::RunReport —
 // per-rank counters (matchings, slides, interp fetches, vmpi traffic,
@@ -38,9 +47,13 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 
 #include "por/core/parallel_refiner.hpp"
 #include "por/core/pipeline.hpp"
+#include "por/io/map_io.hpp"
+#include "por/io/orientation_io.hpp"
+#include "por/stream/sharded_stack.hpp"
 #include "por/em/noise.hpp"
 #include "por/em/phantom.hpp"
 #include "por/em/projection.hpp"
@@ -57,7 +70,7 @@ int main(int argc, char** argv) {
   util::CliParser cli(argc, argv);
   if (cli.has("help")) {
     std::printf(
-        "usage: sindbis_pipeline [--l 48] [--views 60] [--snr 2] [--ranks 4]\n\n    [--fft_threads 1] [--refine_workers 1] [--r_map R]\n\n    [--metrics-out report.json] [--checkpoint ckpt.porc] [--resume true]\n\n    [--io_retries 1] [--kill_rank R --kill_at_step N] [--heartbeat_ms 500]\n\n"
+        "usage: sindbis_pipeline [--l 48] [--views 60] [--snr 2] [--ranks 4]\n\n    [--fft_threads 1] [--refine_workers 1] [--r_map R]\n\n    [--metrics-out report.json] [--checkpoint ckpt.porc] [--resume true]\n\n    [--io_retries 1] [--kill_rank R --kill_at_step N] [--heartbeat_ms 500]\n\n    [--shards DIR] [--prefetch_depth 2] [--max_resident_mb 0]\n\n"
         "Environment:\n  POR_FORCE_ISA=sse2|avx2|avx512   pin the SIMD tier of the matching\n                                   kernels (default: best the CPU has;\n                                   clamped to what is available)\n");
     return 0;
   }
@@ -78,6 +91,15 @@ int main(int argc, char** argv) {
   const std::uint64_t kill_at_step =
       static_cast<std::uint64_t>(cli.get_int("kill_at_step", 0));
   const int heartbeat_ms = static_cast<int>(cli.get_int("heartbeat_ms", 500));
+  // Out-of-core demo (DESIGN.md §14): --shards <dir> writes the
+  // simulated stack as a sharded store and refines through the
+  // streaming driver instead of in-memory parallel_refine — the
+  // master's view working set is then bounded by --max_resident_mb.
+  const std::string shards_dir = cli.get("shards", "");
+  const std::size_t prefetch_depth =
+      static_cast<std::size_t>(cli.get_int("prefetch_depth", 2));
+  const std::size_t max_resident_mb =
+      static_cast<std::size_t>(cli.get_int("max_resident_mb", 0));
   cli.assert_all_consumed();
 
   std::printf("sindbis-like pipeline: l=%zu views=%d snr=%.1f ranks=%d\n\n", l,
@@ -157,6 +179,10 @@ int main(int argc, char** argv) {
   // bitwise-identical to the serial default.
   refiner_config.refine_workers = refine_workers;
 
+  // Streaming knobs (DESIGN.md §14) — harmless on the in-memory path.
+  refiner_config.stream.prefetch_depth = prefetch_depth;
+  refiner_config.stream.max_resident_mb = max_resident_mb;
+
   // Resilience knobs (DESIGN.md §10).
   refiner_config.resilience.checkpoint_path = checkpoint;
   refiner_config.resilience.resume = resume;
@@ -173,6 +199,30 @@ int main(int argc, char** argv) {
 
   std::vector<em::Orientation> refined = old_orientations;
   std::vector<std::pair<double, double>> centers(views.size(), {0.0, 0.0});
+
+  // Out-of-core staging: persist the simulated experiment under
+  // --shards DIR and refine through the streaming sharded driver.
+  std::string shard_base, shard_map, shard_in, shard_out;
+  if (!shards_dir.empty()) {
+    std::filesystem::create_directories(shards_dir);
+    shard_base = shards_dir + "/views.shards";
+    shard_map = shards_dir + "/map.porm";
+    shard_in = shards_dir + "/orient_old.txt";
+    shard_out = shards_dir + "/orient_refined.txt";
+    stream::write_sharded_stack(shard_base, views);
+    io::write_map(shard_map, truth_map);
+    std::vector<io::ViewOrientation> records(views.size());
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      records[i] = io::ViewOrientation{i, old_orientations[i],
+                                       centers[i].first, centers[i].second};
+    }
+    io::write_orientations(shard_in, records,
+                           "sindbis_pipeline: 3-degree-grid initials");
+    std::printf("out-of-core: stack sharded under %s (prefetch_depth=%zu, "
+                "max_resident_mb=%zu)\n",
+                shards_dir.c_str(), prefetch_depth, max_resident_mb);
+  }
+
   std::printf("refining on %d vmpi ranks...\n", ranks);
   obs::RunReport obs_report;
   std::uint64_t total_matchings = 0, total_slides = 0;
@@ -181,9 +231,13 @@ int main(int argc, char** argv) {
     std::vector<core::ViewResult> results;
     auto rep = vmpi::RunReport{};
     rep = vmpi::run(ranks, fault_plan, [&](vmpi::Comm& comm) {
-      auto r = core::parallel_refine(comm, truth_map, l, views,
-                                     old_orientations, centers,
-                                     refiner_config);
+      auto r = shards_dir.empty()
+                   ? core::parallel_refine(comm, truth_map, l, views,
+                                           old_orientations, centers,
+                                           refiner_config)
+                   : core::parallel_refine_sharded(comm, shard_map, shard_base,
+                                                   shard_in, shard_out,
+                                                   refiner_config);
       if (comm.is_root()) {
         results = std::move(r.results);
         obs_report = std::move(r.obs);
@@ -213,6 +267,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(reassigned),
               static_cast<unsigned long long>(dead),
               static_cast<unsigned long long>(quarantined));
+  if (!shards_dir.empty()) {
+    std::printf("out-of-core: refined orientations written to %s\n\n",
+                shard_out.c_str());
+  }
   if (!metrics_out.empty()) {
     obs::write_text_file(metrics_out, obs_report.to_json());
     std::printf("metrics run report written to %s\n\n", metrics_out.c_str());

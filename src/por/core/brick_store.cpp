@@ -1,8 +1,13 @@
 #include "por/core/brick_store.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <ostream>
 #include <stdexcept>
+
+#include "por/obs/registry.hpp"
+#include "por/resilience/atomic_file.hpp"
 
 namespace por::core {
 
@@ -65,7 +70,56 @@ BrickStore::BrickStore(vmpi::Comm& comm,
       }
     }
   }
+  if (!config_.spill_dir.empty()) spill_local_bricks();
   comm_.barrier();
+}
+
+void BrickStore::spill_local_bricks() {
+  // Deterministic slot order (sorted brick index), raw cdouble payload
+  // — no header; the in-memory slot map is rebuilt from the same sort
+  // on every rank, so the file needs no self-description.
+  std::vector<std::size_t> indices;
+  indices.reserve(local_bricks_.size());
+  for (const auto& [index, payload] : local_bricks_) indices.push_back(index);
+  std::sort(indices.begin(), indices.end());
+  const std::string path = config_.spill_dir + "/bricks.rank" +
+                           std::to_string(comm_.rank()) + ".porb";
+  resilience::atomic_write_file(path, [&](std::ostream& os) {
+    for (const std::size_t index : indices) {
+      const auto& payload = local_bricks_.at(index);
+      os.write(reinterpret_cast<const char*>(payload.data()),
+               static_cast<std::streamsize>(payload.size() *
+                                            sizeof(em::cdouble)));
+    }
+  });
+  for (std::size_t slot = 0; slot < indices.size(); ++slot) {
+    spill_slot_.emplace(indices[slot], slot);
+  }
+  const std::size_t be = config_.brick_edge;
+  spilled_bytes_ = indices.size() * be * be * be * sizeof(em::cdouble);
+  obs::current_registry().counter("stream.brick_spill.bytes")
+      .add(spilled_bytes_);
+  local_bricks_.clear();
+  local_bricks_.rehash(0);  // actually release the heap copies
+  if (!indices.empty()) {
+    spill_map_ = stream::ShardMapping(path);
+  }
+}
+
+const em::cdouble* BrickStore::local_brick(std::size_t index) const {
+  const auto slot = spill_slot_.find(index);
+  if (slot != spill_slot_.end()) {
+    const std::size_t be = config_.brick_edge;
+    const std::size_t brick_bytes = be * be * be * sizeof(em::cdouble);
+    // Spill payloads are raw cdouble arrays at 16-aligned offsets and
+    // the mapping is a member, so it outlives every reader.
+    // por-lint: allow(reinterpret-cast) mmap'd spill bytes are cdouble payloads
+    return reinterpret_cast<const em::cdouble*>(spill_map_.data() +
+                                                slot->second * brick_bytes);
+  }
+  const auto local = local_bricks_.find(index);
+  if (local != local_bricks_.end()) return local->second.data();
+  return nullptr;
 }
 
 BrickStore::~BrickStore() {
@@ -104,20 +158,23 @@ void BrickStore::server_loop() {
       ++stops_seen;
       continue;
     }
-    auto it = local_bricks_.find(static_cast<std::size_t>(index));
-    if (it == local_bricks_.end()) {
+    const em::cdouble* payload = local_brick(static_cast<std::size_t>(index));
+    if (payload == nullptr) {
       throw std::logic_error("BrickStore: asked for a brick I do not own");
     }
-    comm_.send(requester, kBrickReplyTag, it->second);
+    // Spilled bricks live in the read-only mapping; stage the reply in
+    // the server's scratch vector (send wants a vector either way).
+    const std::size_t be = config_.brick_edge;
+    reply_scratch_.assign(payload, payload + be * be * be);
+    comm_.send(requester, kBrickReplyTag, reply_scratch_);
   }
 }
 
-const std::vector<em::cdouble>& BrickStore::brick(std::size_t index) {
-  // Local bricks are free.
-  auto local = local_bricks_.find(index);
-  if (local != local_bricks_.end()) {
+const em::cdouble* BrickStore::brick(std::size_t index) {
+  // Local bricks are free (heap map or spill mapping).
+  if (const em::cdouble* local = local_brick(index)) {
     ++local_hits_;
-    return local->second;
+    return local;
   }
   // Cached remote bricks: refresh LRU position.
   auto cached = cache_.find(index);
@@ -126,7 +183,7 @@ const std::vector<em::cdouble>& BrickStore::brick(std::size_t index) {
     lru_.erase(lru_pos_[index]);
     lru_.push_front(index);
     lru_pos_[index] = lru_.begin();
-    return cached->second;
+    return cached->second.data();
   }
   // Remote fetch.
   const int owner = owner_of(index);
@@ -145,7 +202,7 @@ const std::vector<em::cdouble>& BrickStore::brick(std::size_t index) {
   auto [it, inserted] = cache_.emplace(index, std::move(payload));
   lru_.push_front(index);
   lru_pos_[index] = lru_.begin();
-  return it->second;
+  return it->second.data();
 }
 
 em::cdouble BrickStore::voxel(long z, long y, long x) {
@@ -158,7 +215,7 @@ em::cdouble BrickStore::voxel(long z, long y, long x) {
   const std::size_t by = static_cast<std::size_t>(y) / be;
   const std::size_t bx = static_cast<std::size_t>(x) / be;
   const std::size_t index = (bz * grid_ + by) * grid_ + bx;
-  const auto& data = brick(index);
+  const em::cdouble* data = brick(index);
   const std::size_t lz = static_cast<std::size_t>(z) % be;
   const std::size_t ly = static_cast<std::size_t>(y) % be;
   const std::size_t lx = static_cast<std::size_t>(x) % be;

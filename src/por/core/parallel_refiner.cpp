@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
+#include <fstream>
 #include <limits>
 #include <memory>
 #include <optional>
@@ -21,6 +23,8 @@
 #include "por/resilience/checkpoint.hpp"
 #include "por/resilience/retry.hpp"
 #include "por/serve/scheduler.hpp"
+#include "por/stream/view_cursor.hpp"
+#include "por/stream/view_source.hpp"
 #include "por/util/log.hpp"
 
 namespace por::core {
@@ -144,11 +148,14 @@ struct WorkerState {
   bool alive = true;  ///< false once the failure detector fired
 };
 
-/// The shared steps (a)-(o) once the root holds map/views/orientations
-/// in memory.
+/// The shared steps (a)-(o) once the root holds the map and the
+/// orientations in memory and can reach the views through a
+/// stream::ViewSource (in-core vector, monolithic stack, or sharded
+/// stack — the protocol below never needs the whole stack resident).
+/// `source_on_root` must be non-null on the root rank only.
 ParallelRefineReport refine_distributed(
     vmpi::Comm& comm, const em::Volume<double>& map_on_root, std::size_t l,
-    const std::vector<em::Image<double>>& views_on_root,
+    stream::ViewSource* source_on_root,
     const std::vector<em::Orientation>& initial_on_root,
     const std::vector<std::pair<double, double>>& centers_on_root,
     const RefinerConfig& config) {
@@ -209,7 +216,8 @@ ParallelRefineReport refine_distributed(
 
   if (comm.is_root()) {
     // ---- master: restore, distribute, listen, recover --------------------
-    const std::size_t total_views = views_on_root.size();
+    stream::ViewSource& source = *source_on_root;
+    const std::size_t total_views = static_cast<std::size_t>(source.count());
     if (initial_on_root.size() != total_views ||
         (!centers_on_root.empty() && centers_on_root.size() != total_views)) {
       throw std::invalid_argument("parallel_refine: input sizes disagree");
@@ -261,11 +269,23 @@ ParallelRefineReport refine_distributed(
       ++n_recorded;
       if (checkpoint) checkpoint->append(to_record(index, vr));
     };
+    // One reused view-sized buffer for every master-local refinement;
+    // the stack itself stays out of core.
+    em::Image<double> scratch(l, l);
+    const auto refine_pixels = [&](std::uint64_t index, const double* pixels) {
+      std::copy(pixels, pixels + l * l, scratch.storage().begin());
+      ViewResult vr =
+          refiner.refine_view(scratch, initial_on_root[index],
+                              center_of(index).first, center_of(index).second);
+      my_matchings += vr.matchings;
+      my_slides += static_cast<std::uint64_t>(vr.window_slides);
+      return vr;
+    };
     const auto refine_local = [&](std::uint64_t index) {
-      ViewResult vr = refiner.refine_view(views_on_root[index],
-                                          initial_on_root[index],
-                                          center_of(index).first,
-                                          center_of(index).second);
+      source.fetch(index, scratch.data());
+      ViewResult vr =
+          refiner.refine_view(scratch, initial_on_root[index],
+                              center_of(index).first, center_of(index).second);
       my_matchings += vr.matchings;
       my_slides += static_cast<std::uint64_t>(vr.window_slides);
       return vr;
@@ -289,11 +309,14 @@ ParallelRefineReport refine_distributed(
       return init;
     };
     const auto pixels_for = [&](const std::vector<std::uint64_t>& idxs) {
-      std::vector<double> flat;
-      flat.reserve(idxs.size() * l * l);
-      for (const std::uint64_t i : idxs) {
-        flat.insert(flat.end(), views_on_root[i].storage().begin(),
-                    views_on_root[i].storage().end());
+      // Ranged streaming (satellite of DESIGN.md §14): the master
+      // fetches exactly the block being shipped — at no point does it
+      // hold more than one assignment's pixels plus its own cursor
+      // window.
+      if (!idxs.empty()) source.will_need(idxs.front(), idxs.size());
+      std::vector<double> flat(idxs.size() * l * l);
+      for (std::size_t k = 0; k < idxs.size(); ++k) {
+        source.fetch(idxs[k], flat.data() + k * l * l);
       }
       return flat;
     };
@@ -409,14 +432,25 @@ ParallelRefineReport refine_distributed(
               : static_cast<std::size_t>(config.refine_workers);
       serve::Scheduler scheduler(sched_options);
       const std::size_t stride = std::max<std::size_t>(scheduler.workers(), 1);
+      std::vector<double> flat;
       for (std::size_t lo = 0; lo < my_block.size(); lo += stride) {
         drain_mailbox();
         const std::size_t hi = std::min(my_block.size(), lo + stride);
+        // Pre-fetch the sub-batch serially: ViewSource fetches are
+        // rank-thread state (seeks, shard LRU), so the scheduler's
+        // worker threads only ever touch the flat pixel buffer.
+        flat.resize((hi - lo) * l * l);
+        for (std::size_t k = 0; k < hi - lo; ++k) {
+          source.fetch(my_block[lo + k], flat.data() + k * l * l);
+        }
         std::vector<ViewResult> sub(hi - lo);
         scheduler.run(hi - lo, [&](std::size_t k) {
           const std::uint64_t index = my_block[lo + k];
-          sub[k] = refiner.refine_view(views_on_root[index],
-                                       initial_on_root[index],
+          em::Image<double> img(l, l);
+          std::copy(flat.begin() + static_cast<std::ptrdiff_t>(k * l * l),
+                    flat.begin() + static_cast<std::ptrdiff_t>((k + 1) * l * l),
+                    img.storage().begin());
+          sub[k] = refiner.refine_view(img, initial_on_root[index],
                                        center_of(index).first,
                                        center_of(index).second);
         });
@@ -425,6 +459,20 @@ ParallelRefineReport refine_distributed(
           my_slides += static_cast<std::uint64_t>(sub[k].window_slides);
           record_result(my_block[lo + k], sub[k]);
         }
+      }
+    } else if (my_block.size() > 1 &&
+               my_block.back() - my_block.front() + 1 == my_block.size()) {
+      // Contiguous block (the common non-resume case): stream it
+      // through a prefetching cursor so the next chunk's pixels are
+      // faulting in while the current view is being matched.
+      stream::PrefetchOptions prefetch;
+      prefetch.depth = config.stream.prefetch_depth;
+      prefetch.batch_views = config.stream.batch_views;
+      stream::ViewCursor cursor(source, my_block.front(), my_block.size(),
+                                prefetch);
+      for (const std::uint64_t index : my_block) {
+        drain_mailbox();
+        record_result(index, refine_pixels(index, cursor.next()));
       }
     } else {
       for (const std::uint64_t index : my_block) {
@@ -647,7 +695,9 @@ ParallelRefineReport parallel_refine(
     const std::vector<em::Orientation>& initial_on_root,
     const std::vector<std::pair<double, double>>& centers_on_root,
     const RefinerConfig& config) {
-  return refine_distributed(comm, map_on_root, l, views_on_root,
+  stream::MemoryViewSource source(views_on_root);
+  return refine_distributed(comm, map_on_root, l,
+                            comm.is_root() ? &source : nullptr,
                             initial_on_root, centers_on_root, config);
 }
 
@@ -655,26 +705,34 @@ ParallelRefineReport parallel_refine_files(
     vmpi::Comm& comm, const std::string& map_path,
     const std::string& stack_path, const std::string& orientations_in_path,
     const std::string& orientations_out_path, const RefinerConfig& config) {
-  // Step (a.1): the master reads the density map and the inputs.
-  // Reads classified transient (shared-filesystem hiccups) are retried
-  // with capped exponential backoff per config.resilience.io_retry;
-  // corrupt inputs are never retried — they throw immediately.
+  // Step (a.1): the master reads the density map and the orientation
+  // file, and *opens* the view stack — pixels stream later, block by
+  // block, through the ViewSource (DESIGN.md §14).  Reads classified
+  // transient (shared-filesystem hiccups) are retried with capped
+  // exponential backoff per config.resilience.io_retry; corrupt inputs
+  // are never retried — they throw immediately.
   const resilience::RetryPolicy& retry = config.resilience.io_retry;
   em::Volume<double> map;
-  std::vector<em::Image<double>> views;
+  std::unique_ptr<stream::ViewSource> source;
   std::vector<em::Orientation> initial;
   std::vector<std::pair<double, double>> centers;
   std::size_t l = 0;
   if (comm.is_root()) {
     map = resilience::with_retry(retry, "read_map",
                                  [&] { return io::read_map(map_path); });
-    views = resilience::with_retry(
-        retry, "read_stack", [&] { return io::read_stack(stack_path); });
+    stream::ShardedStackOptions shard_options;
+    shard_options.use_mmap = config.stream.use_mmap;
+    shard_options.max_resident_bytes =
+        config.stream.max_resident_mb * (std::size_t{1} << 20);
+    shard_options.quarantine_corrupt = config.resilience.quarantine_views;
+    source = resilience::with_retry(retry, "open_view_source", [&] {
+      return stream::open_view_source(stack_path, shard_options);
+    });
     const auto records =
         resilience::with_retry(retry, "read_orientations", [&] {
           return io::read_orientations(orientations_in_path);
         });
-    if (records.size() != views.size()) {
+    if (records.size() != source->count()) {
       throw std::runtime_error(
           "parallel_refine_files: stack and orientation file disagree");
     }
@@ -691,7 +749,7 @@ ParallelRefineReport parallel_refine_files(
   l = meta[0];
 
   ParallelRefineReport report = refine_distributed(
-      comm, map, l, views, initial, centers, config);
+      comm, map, l, source.get(), initial, centers, config);
 
   if (comm.is_root()) {
     std::vector<io::ViewOrientation> out;
@@ -705,6 +763,28 @@ ParallelRefineReport parallel_refine_files(
                            "refined by por::core::parallel_refine_files");
   }
   return report;
+}
+
+ParallelRefineReport parallel_refine_sharded(
+    vmpi::Comm& comm, const std::string& map_path,
+    const std::string& shard_base, const std::string& orientations_in_path,
+    const std::string& orientations_out_path, const RefinerConfig& config) {
+  // The file driver auto-detects sharded manifests by magic, so the
+  // sharded entry point is the same code path with the contract made
+  // explicit in the name (and a type error for a non-sharded input).
+  if (comm.is_root()) {
+    std::ifstream probe(shard_base, std::ios::binary);
+    char magic[4] = {};
+    probe.read(magic, 4);
+    if (!probe || std::memcmp(magic, "PORM", 4) != 0) {
+      throw resilience::corrupt_error(
+          "parallel_refine_sharded: not a sharded-stack manifest: " +
+          shard_base);
+    }
+  }
+  return parallel_refine_files(comm, map_path, shard_base,
+                               orientations_in_path, orientations_out_path,
+                               config);
 }
 
 }  // namespace por::core

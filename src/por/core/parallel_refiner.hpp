@@ -82,11 +82,25 @@ struct ParallelRefineReport {
     const RefinerConfig& config);
 
 /// File-based SPMD driver covering the paper's I/O model: the master
-/// reads the map, the view stack and the orientation file, distributes
-/// work, and writes the refined orientation file at the end.
+/// reads the map and the orientation file, *streams* the view stack in
+/// ranged groups (paper step b — the stack is never loaded whole), and
+/// writes the refined orientation file at the end.  `stack_path` may
+/// be a monolithic PORS stack or a sharded-stack manifest; either is
+/// consumed through a stream::ViewSource with config.stream's
+/// prefetch/residency knobs.
 [[nodiscard]] ParallelRefineReport parallel_refine_files(
     vmpi::Comm& comm, const std::string& map_path,
     const std::string& stack_path, const std::string& orientations_in_path,
+    const std::string& orientations_out_path, const RefinerConfig& config);
+
+/// Out-of-core SPMD driver over a sharded stack produced by the
+/// stack_shard tool or stream::shard_stack_file.  Identical protocol
+/// and bitwise-identical results to parallel_refine_files on the
+/// equivalent monolithic stack; the master's working set is bounded by
+/// config.stream.max_resident_mb instead of the stack size.
+[[nodiscard]] ParallelRefineReport parallel_refine_sharded(
+    vmpi::Comm& comm, const std::string& map_path,
+    const std::string& shard_base, const std::string& orientations_in_path,
     const std::string& orientations_out_path, const RefinerConfig& config);
 
 }  // namespace por::core

@@ -5,6 +5,8 @@
 #include "por/obs/span.hpp"
 #include "por/resilience/quarantine.hpp"
 #include "por/serve/scheduler.hpp"
+#include "por/stream/view_cursor.hpp"
+#include "por/stream/view_source.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -216,6 +218,38 @@ std::vector<ViewResult> OrientationRefiner::refine(
     scheduler.run(views.size(), refine_one);
   } else {
     for (std::size_t i = 0; i < views.size(); ++i) refine_one(i);
+  }
+  return results;
+}
+
+std::vector<ViewResult> OrientationRefiner::refine_stream(
+    stream::ViewSource& source, std::uint64_t first, std::uint64_t count,
+    const std::vector<em::Orientation>& initial_orientations,
+    const std::vector<std::pair<double, double>>& initial_centers) const {
+  if (initial_orientations.size() != count) {
+    throw std::invalid_argument(
+        "refine_stream: views/orientations size mismatch");
+  }
+  if (!initial_centers.empty() && initial_centers.size() != count) {
+    throw std::invalid_argument("refine_stream: centers size mismatch");
+  }
+  const std::size_t l = source.ny();
+  if (source.nx() != l) {
+    throw std::invalid_argument("refine_stream: views must be square");
+  }
+  stream::PrefetchOptions prefetch;
+  prefetch.depth = config_.stream.prefetch_depth;
+  prefetch.batch_views = config_.stream.batch_views;
+  stream::ViewCursor cursor(source, first, count, prefetch);
+
+  std::vector<ViewResult> results(static_cast<std::size_t>(count));
+  em::Image<double> scratch(l, l);  // one reused view-sized buffer
+  for (std::size_t i = 0; i < count; ++i) {
+    const double* pixels = cursor.next();
+    std::copy(pixels, pixels + l * l, scratch.storage().begin());
+    const double cx = initial_centers.empty() ? 0.0 : initial_centers[i].first;
+    const double cy = initial_centers.empty() ? 0.0 : initial_centers[i].second;
+    results[i] = refine_view(scratch, initial_orientations[i], cx, cy);
   }
   return results;
 }

@@ -22,6 +22,10 @@
 #include "por/resilience/retry.hpp"
 #include "por/util/timer.hpp"
 
+namespace por::stream {
+class ViewSource;
+}  // namespace por::stream
+
 namespace por::core {
 
 /// Fault-tolerance knobs for the refinement drivers (DESIGN.md §10).
@@ -56,6 +60,23 @@ struct ResilienceOptions {
   bool quarantine_views = true;
 };
 
+/// Out-of-core streaming knobs (DESIGN.md §14): how the drivers read
+/// view stacks too large for memory.  The defaults stream with a
+/// two-deep prefetch pipeline and no residency cap — identical results
+/// to in-core at any setting (the pipeline only changes *when* pixels
+/// arrive, never *what* they are).
+struct StreamOptions {
+  /// Chunks in flight in each ViewCursor (1 = synchronous).
+  std::size_t prefetch_depth = 2;
+  /// Views per prefetched chunk.
+  std::size_t batch_views = 32;
+  /// Cap on resident (mmapped) shard bytes, in MiB; 0 = unlimited.
+  /// The "Sindbis on a 2 GB box" knob.
+  std::size_t max_resident_mb = 0;
+  /// mmap shards (true) or read() them (false); bitwise identical.
+  bool use_mmap = true;
+};
+
 /// Full refinement configuration.
 struct RefinerConfig {
   std::vector<SearchLevel> schedule;  ///< multi-resolution levels, coarse->fine
@@ -70,6 +91,7 @@ struct RefinerConfig {
   em::CtfCorrection ctf_correction = em::CtfCorrection::kPhaseFlip;
   double wiener_snr = 10.0;
   ResilienceOptions resilience;       ///< checkpoint / recovery / retry
+  StreamOptions stream;               ///< out-of-core stack streaming
   /// Shared-memory workers for refine() batches: 1 = serial loop (the
   /// historical behavior), N > 1 = the por::serve work-stealing
   /// scheduler, 0 = hardware_concurrency.  Per-view refinement is
@@ -132,6 +154,17 @@ class OrientationRefiner {
   /// "Orientation refinement", "Center refinement").
   [[nodiscard]] std::vector<ViewResult> refine(
       const std::vector<em::Image<double>>& views,
+      const std::vector<em::Orientation>& initial_orientations,
+      const std::vector<std::pair<double, double>>& initial_centers = {}) const;
+
+  /// refine() over views [first, first + count) of a ViewSource,
+  /// consumed through a prefetching ViewCursor (config().stream) with
+  /// one reused scratch image — the whole stack is never resident.
+  /// `initial_orientations[i]` / `initial_centers[i]` describe view
+  /// `first + i`.  Bitwise-identical to fetching the range in-core and
+  /// calling refine() serially.
+  [[nodiscard]] std::vector<ViewResult> refine_stream(
+      stream::ViewSource& source, std::uint64_t first, std::uint64_t count,
       const std::vector<em::Orientation>& initial_orientations,
       const std::vector<std::pair<double, double>>& initial_centers = {}) const;
 

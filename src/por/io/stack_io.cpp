@@ -162,4 +162,41 @@ std::vector<em::Image<double>> read_stack_range(const std::string& path,
   return images;
 }
 
+StackReader::StackReader(std::string path) : path_(std::move(path)) {
+  in_ = open_stack(path_, "StackReader");
+  const Header h = read_header(in_, path_);
+  count_ = h.count;
+  ny_ = static_cast<std::size_t>(h.ny);
+  nx_ = static_cast<std::size_t>(h.nx);
+}
+
+void StackReader::read_view(std::uint64_t index, double* dst) {
+  if (index >= count_) {
+    throw std::out_of_range("StackReader::read_view: index out of range");
+  }
+  const std::size_t image_bytes = ny_ * nx_ * sizeof(double);
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(kHeaderBytes + index * image_bytes));
+  in_.read(reinterpret_cast<char*>(dst),
+           static_cast<std::streamsize>(image_bytes));
+  if (in_.gcount() != static_cast<std::streamsize>(image_bytes)) {
+    throw resilience::corrupt_error("StackReader: truncated file " + path_);
+  }
+}
+
+std::vector<em::Image<double>> StackReader::read_range(std::uint64_t first,
+                                                       std::size_t n) {
+  if (first + n > count_) {
+    throw std::out_of_range("StackReader::read_range: range beyond stack");
+  }
+  std::vector<em::Image<double>> images;
+  images.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    em::Image<double> img(ny_, nx_);
+    read_view(first + i, img.data());
+    images.push_back(std::move(img));
+  }
+  return images;
+}
+
 }  // namespace por::io

@@ -8,6 +8,9 @@
 // of image 0 (row-major), image 1, ...
 #pragma once
 
+#include <cstdint>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,5 +34,37 @@ void write_stack(const std::string& path,
 /// to stream groups of views (paper step b).
 [[nodiscard]] std::vector<em::Image<double>> read_stack_range(
     const std::string& path, std::size_t first, std::size_t count);
+
+/// Persistent handle for random-access view reads: validates the
+/// header once at open, then seeks per view.  read_stack_range reopens
+/// and revalidates the file on every call, which is fine for a handful
+/// of block sends but not for a streaming master issuing thousands of
+/// ranged fetches — por::stream's StackViewSource sits on this class.
+class StackReader {
+ public:
+  /// Open + validate.  Throws the same typed errors as read_stack:
+  /// kTransient when the file cannot be opened, kCorrupt for any
+  /// malformed header or a payload shorter than the header promises.
+  explicit StackReader(std::string path);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::size_t ny() const { return ny_; }
+  [[nodiscard]] std::size_t nx() const { return nx_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Copy view `index` (ny*nx doubles, row-major) into `dst`.  Throws
+  /// std::out_of_range past count(), kCorrupt on a short read.
+  void read_view(std::uint64_t index, double* dst);
+
+  /// Views [first, first + n) as Images.
+  [[nodiscard]] std::vector<em::Image<double>> read_range(std::uint64_t first,
+                                                          std::size_t n);
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+  std::uint64_t count_ = 0;
+  std::size_t ny_ = 0, nx_ = 0;
+};
 
 }  // namespace por::io

@@ -1,0 +1,554 @@
+#include "por/stream/sharded_stack.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "por/io/stack_io.hpp"
+#include "por/obs/registry.hpp"
+#include "por/resilience/atomic_file.hpp"
+#include "por/resilience/crc32.hpp"
+#include "por/resilience/error.hpp"
+#include "por/stream/slz4.hpp"
+
+namespace por::stream {
+
+namespace {
+
+constexpr char kManifestMagic[4] = {'P', 'O', 'R', 'M'};
+constexpr char kShardMagic[4] = {'P', 'O', 'R', 'H'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kManifestFields = 48;  ///< bytes after magic+version
+constexpr std::size_t kManifestBytes = 8 + kManifestFields + 4;
+constexpr std::size_t kShardFixed = 48;      ///< magic..pad, before the index
+constexpr std::size_t kIndexEntryBytes = 24;
+constexpr std::size_t kMaxEdge = std::size_t{1} << 14;  // matches stack_io
+constexpr std::uint32_t kFlagCompressed = 1u;
+
+[[nodiscard]] constexpr std::size_t align8(std::size_t n) {
+  return (n + 7) & ~std::size_t{7};
+}
+
+// Element-wise (not insert(range)): GCC 12's -Warray-bounds misfires
+// on char-array ranges inserted into a byte vector.
+void put_magic(std::vector<unsigned char>& out, const char (&magic)[4]) {
+  for (const char c : magic) out.push_back(static_cast<unsigned char>(c));
+}
+
+void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  unsigned char b[4];
+  std::memcpy(b, &v, 4);
+  out.insert(out.end(), b, b + 4);
+}
+
+void put_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+  unsigned char b[8];
+  std::memcpy(b, &v, 8);
+  out.insert(out.end(), b, b + 8);
+}
+
+[[nodiscard]] std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+[[nodiscard]] std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+[[nodiscard]] std::size_t shards_for(std::uint64_t count,
+                                     std::size_t views_per_shard) {
+  if (count == 0) return 0;
+  return static_cast<std::size_t>((count + views_per_shard - 1) /
+                                  views_per_shard);
+}
+
+void fill_nan(double* dst, std::size_t n) {
+  std::fill_n(dst, n, std::numeric_limits<double>::quiet_NaN());
+}
+
+}  // namespace
+
+std::string shard_path(const std::string& base, std::size_t k) {
+  char suffix[24];
+  std::snprintf(suffix, sizeof suffix, ".s%04zu", k);
+  return base + suffix;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+ShardedStackWriter::ShardedStackWriter(std::string base, std::size_t ny,
+                                       std::size_t nx,
+                                       const ShardedStackOptions& options)
+    : base_(std::move(base)), options_(options), ny_(ny), nx_(nx) {
+  if (ny_ == 0 || nx_ == 0 || ny_ > kMaxEdge || nx_ > kMaxEdge) {
+    throw resilience::fatal_error("ShardedStackWriter: bad view size");
+  }
+  if (options_.views_per_shard == 0) {
+    throw resilience::fatal_error(
+        "ShardedStackWriter: views_per_shard must be positive");
+  }
+  pending_.reserve(options_.views_per_shard * ny_ * nx_);
+}
+
+ShardedStackWriter::~ShardedStackWriter() = default;
+
+void ShardedStackWriter::append(const double* pixels) {
+  if (finished_) {
+    throw resilience::fatal_error("ShardedStackWriter: append after finish");
+  }
+  pending_.insert(pending_.end(), pixels, pixels + ny_ * nx_);
+  ++appended_;
+  if (pending_.size() == options_.views_per_shard * ny_ * nx_) {
+    flush_shard();
+  }
+}
+
+void ShardedStackWriter::append(const em::Image<double>& view) {
+  if (view.ny() != ny_ || view.nx() != nx_) {
+    throw resilience::fatal_error("ShardedStackWriter: view size mismatch");
+  }
+  append(view.data());
+}
+
+void ShardedStackWriter::flush_shard() {
+  const std::size_t view_px = ny_ * nx_;
+  const std::size_t view_bytes = view_px * sizeof(double);
+  const std::size_t n = pending_.size() / view_px;
+  if (n == 0) return;
+
+  const std::uint64_t first = appended_ - n;
+  const std::size_t header_bytes = kShardFixed + n * kIndexEntryBytes + 4;
+
+  // Encode every view first so the index offsets are known up front.
+  struct Stored {
+    const unsigned char* data;
+    std::size_t bytes;
+    std::uint32_t flags;
+  };
+  std::vector<Stored> stored(n);
+  std::vector<unsigned char> packed;  // compressed payloads, in view order
+  if (options_.compress) {
+    packed.reserve(n * view_bytes / 2);
+    std::vector<unsigned char> scratch(slz4_max_compressed_size(view_bytes));
+    std::vector<std::size_t> packed_at(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto* raw =
+          reinterpret_cast<const unsigned char*>(pending_.data() + i * view_px);
+      const std::size_t c =
+          slz4_compress(raw, view_bytes, scratch.data(), view_bytes - 1);
+      if (c > 0) {
+        packed_at[i] = packed.size();
+        packed.insert(packed.end(), scratch.data(), scratch.data() + c);
+        stored[i] = {nullptr, c, kFlagCompressed};
+      } else {
+        stored[i] = {raw, view_bytes, 0};  // incompressible: keep raw
+      }
+    }
+    // `packed` has stopped reallocating; resolve the deferred pointers.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (stored[i].flags & kFlagCompressed) {
+        stored[i].data = packed.data() + packed_at[i];
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      stored[i] = {
+          reinterpret_cast<const unsigned char*>(pending_.data() + i * view_px),
+          view_bytes, 0};
+    }
+  }
+
+  std::vector<unsigned char> bytes;
+  bytes.reserve(align8(header_bytes) + n * view_bytes);
+  put_magic(bytes, kShardMagic);
+  put_u32(bytes, kVersion);
+  put_u64(bytes, first);
+  put_u64(bytes, n);
+  put_u64(bytes, ny_);
+  put_u64(bytes, nx_);
+  bytes.push_back(options_.compress ? 1 : 0);
+  bytes.insert(bytes.end(), 7, 0);
+  std::size_t offset = align8(header_bytes);
+  for (std::size_t i = 0; i < n; ++i) {
+    put_u64(bytes, offset);
+    put_u64(bytes, stored[i].bytes);
+    put_u32(bytes, resilience::crc32(stored[i].data, stored[i].bytes));
+    put_u32(bytes, stored[i].flags);
+    offset = align8(offset + stored[i].bytes);
+  }
+  // header_crc covers first_view through the end of the index.
+  put_u32(bytes, resilience::crc32(bytes.data() + 8, bytes.size() - 8));
+  bytes.resize(align8(bytes.size()), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    bytes.insert(bytes.end(), stored[i].data, stored[i].data + stored[i].bytes);
+    bytes.resize(align8(bytes.size()), 0);
+  }
+
+  resilience::atomic_write_file(
+      shard_path(base_, shards_written_), [&](std::ostream& os) {
+        os.write(reinterpret_cast<const char*>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()));
+      });
+  ++shards_written_;
+  pending_.clear();
+}
+
+void ShardedStackWriter::finish() {
+  if (finished_) return;
+  flush_shard();
+  std::vector<unsigned char> bytes;
+  bytes.reserve(kManifestBytes);
+  put_magic(bytes, kManifestMagic);
+  put_u32(bytes, kVersion);
+  put_u64(bytes, appended_);
+  put_u64(bytes, ny_);
+  put_u64(bytes, nx_);
+  put_u64(bytes, options_.views_per_shard);
+  put_u64(bytes, shards_written_);
+  bytes.push_back(options_.compress ? 1 : 0);
+  bytes.insert(bytes.end(), 7, 0);
+  put_u32(bytes, resilience::crc32(bytes.data() + 8, kManifestFields));
+  resilience::atomic_write_file(base_, [&](std::ostream& os) {
+    os.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  });
+  finished_ = true;
+}
+
+void write_sharded_stack(const std::string& base,
+                         const std::vector<em::Image<double>>& views,
+                         const ShardedStackOptions& options) {
+  if (views.empty()) {
+    throw resilience::fatal_error("write_sharded_stack: empty stack");
+  }
+  ShardedStackWriter writer(base, views.front().ny(), views.front().nx(),
+                            options);
+  for (const auto& view : views) writer.append(view);
+  writer.finish();
+}
+
+void shard_stack_file(const std::string& stack_path, const std::string& base,
+                      const ShardedStackOptions& options) {
+  const std::size_t total = io::stack_count(stack_path);
+  if (total == 0) {
+    throw resilience::corrupt_error("shard_stack_file: empty stack " +
+                                    stack_path);
+  }
+  std::unique_ptr<ShardedStackWriter> writer;
+  for (std::size_t first = 0; first < total;
+       first += options.views_per_shard) {
+    const std::size_t n =
+        std::min(options.views_per_shard, total - first);
+    const auto group = io::read_stack_range(stack_path, first, n);
+    if (!writer) {
+      writer = std::make_unique<ShardedStackWriter>(
+          base, group.front().ny(), group.front().nx(), options);
+    }
+    for (const auto& view : group) writer->append(view);
+  }
+  writer->finish();
+}
+
+void unshard_to_stack(const std::string& base, const std::string& stack_path) {
+  ShardedStack shards(base);
+  // Stream shard-sized groups through write_stack-compatible bytes: the
+  // PORS writer wants the whole vector, so build the file by hand with
+  // the same atomic-replacement discipline io::write_stack uses.
+  resilience::atomic_write_file(stack_path, [&](std::ostream& os) {
+    const char magic[4] = {'P', 'O', 'R', 'S'};
+    os.write(magic, 4);
+    const std::uint32_t version = 1;
+    os.write(reinterpret_cast<const char*>(&version), 4);
+    const std::uint64_t dims[3] = {shards.count(), shards.ny(), shards.nx()};
+    os.write(reinterpret_cast<const char*>(dims), sizeof dims);
+    std::vector<double> view(shards.view_pixels());
+    for (std::uint64_t i = 0; i < shards.count(); ++i) {
+      if (!shards.read_view(i, view.data())) {
+        throw resilience::corrupt_error("unshard_to_stack: corrupt view " +
+                                        std::to_string(i));
+      }
+      os.write(reinterpret_cast<const char*>(view.data()),
+               static_cast<std::streamsize>(view.size() * sizeof(double)));
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+ShardedStack::ShardedStack(const std::string& base,
+                           const ShardedStackOptions& options)
+    : base_(base), options_(options) {
+  std::ifstream in(base, std::ios::binary);
+  if (!in) {
+    throw resilience::transient_error("ShardedStack: cannot open manifest " +
+                                      base);
+  }
+  unsigned char m[kManifestBytes];
+  in.read(reinterpret_cast<char*>(m), kManifestBytes);
+  if (in.gcount() != static_cast<std::streamsize>(kManifestBytes)) {
+    throw resilience::corrupt_error("ShardedStack: truncated manifest " +
+                                    base);
+  }
+  if (std::memcmp(m, kManifestMagic, 4) != 0) {
+    throw resilience::corrupt_error("ShardedStack: bad manifest magic in " +
+                                    base);
+  }
+  if (get_u32(m + 4) != kVersion) {
+    throw resilience::corrupt_error("ShardedStack: unsupported version in " +
+                                    base);
+  }
+  if (resilience::crc32(m + 8, kManifestFields) !=
+      get_u32(m + 8 + kManifestFields)) {
+    throw resilience::corrupt_error("ShardedStack: manifest CRC mismatch in " +
+                                    base);
+  }
+  count_ = get_u64(m + 8);
+  ny_ = static_cast<std::size_t>(get_u64(m + 16));
+  nx_ = static_cast<std::size_t>(get_u64(m + 24));
+  views_per_shard_ = static_cast<std::size_t>(get_u64(m + 32));
+  const std::uint64_t shard_count = get_u64(m + 40);
+  compressed_ = m[48] != 0;
+  if (ny_ == 0 || nx_ == 0 || ny_ > kMaxEdge || nx_ > kMaxEdge ||
+      views_per_shard_ == 0 ||
+      shard_count != shards_for(count_, views_per_shard_)) {
+    throw resilience::corrupt_error(
+        "ShardedStack: implausible manifest fields in " + base);
+  }
+  shards_.resize(static_cast<std::size_t>(shard_count));
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    shards_[k].first = static_cast<std::uint64_t>(k) * views_per_shard_;
+    shards_[k].views =
+        std::min<std::uint64_t>(views_per_shard_, count_ - shards_[k].first);
+  }
+}
+
+void ShardedStack::touch_lru(std::size_t k) {
+  lru_.remove(k);
+  lru_.push_front(k);
+}
+
+void ShardedStack::quarantine_shard(std::size_t k, Shard& shard,
+                                    const std::string& why) {
+  if (!options_.quarantine_corrupt) {
+    throw resilience::corrupt_error("ShardedStack: " + why + " in " +
+                                    shard_path(base_, k));
+  }
+  if (shard.open) {
+    resident_bytes_ -= shard.map.size();
+    lru_.remove(k);
+  }
+  shard.map = ShardMapping();
+  shard.index.clear();
+  shard.open = false;
+  shard.quarantined = true;
+  ++quarantined_shards_;
+  obs::current_registry().counter("stream.shards_quarantined").add();
+}
+
+void ShardedStack::parse_shard(std::size_t k, Shard& shard) {
+  const unsigned char* p = shard.map.data();
+  const std::size_t size = shard.map.size();
+  const std::size_t n = static_cast<std::size_t>(shard.views);
+  const std::size_t header_bytes = kShardFixed + n * kIndexEntryBytes + 4;
+  if (size < header_bytes) {
+    throw resilience::corrupt_error("shard header truncated");
+  }
+  if (std::memcmp(p, kShardMagic, 4) != 0) {
+    throw resilience::corrupt_error("bad shard magic");
+  }
+  if (get_u32(p + 4) != kVersion) {
+    throw resilience::corrupt_error("unsupported shard version");
+  }
+  if (resilience::crc32(p + 8, header_bytes - 12) !=
+      get_u32(p + header_bytes - 4)) {
+    throw resilience::corrupt_error("shard header CRC mismatch");
+  }
+  if (get_u64(p + 8) != shard.first || get_u64(p + 16) != shard.views ||
+      get_u64(p + 24) != ny_ || get_u64(p + 32) != nx_) {
+    throw resilience::corrupt_error("shard header disagrees with manifest");
+  }
+  const std::size_t view_bytes = view_pixels() * sizeof(double);
+  const std::size_t payload_begin = align8(header_bytes);
+  shard.index.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned char* e = p + kShardFixed + i * kIndexEntryBytes;
+    IndexEntry& entry = shard.index[i];
+    entry.offset = get_u64(e);
+    entry.stored_bytes = get_u64(e + 8);
+    entry.crc = get_u32(e + 16);
+    entry.flags = get_u32(e + 20);
+    const bool packed = (entry.flags & kFlagCompressed) != 0;
+    if (entry.offset < payload_begin || entry.offset % 8 != 0 ||
+        entry.offset + entry.stored_bytes > size ||
+        entry.stored_bytes > slz4_max_compressed_size(view_bytes) ||
+        (!packed && entry.stored_bytes != view_bytes) ||
+        (packed && !compressed_)) {
+      throw resilience::corrupt_error("shard index entry out of bounds");
+    }
+  }
+}
+
+ShardedStack::Shard* ShardedStack::ensure_open(std::size_t k) {
+  Shard& shard = shards_[k];
+  if (shard.quarantined) return nullptr;
+  if (shard.open) {
+    touch_lru(k);
+    return &shard;
+  }
+  try {
+    shard.map = ShardMapping(shard_path(base_, k), options_.use_mmap);
+    parse_shard(k, shard);
+  } catch (const resilience::Error&) {
+    if (!options_.quarantine_corrupt) throw;
+    quarantine_shard(k, shard, "unreadable shard");
+    return nullptr;
+  }
+  shard.open = true;
+  resident_bytes_ += shard.map.size();
+  lru_.push_front(k);
+  evict_to_budget(k);
+  obs::current_registry()
+      .gauge("stream.resident_bytes")
+      .set(static_cast<double>(resident_bytes_));
+  return &shard;
+}
+
+void ShardedStack::evict_to_budget(std::size_t keep) {
+  if (options_.max_resident_bytes == 0) return;
+  while (resident_bytes_ > options_.max_resident_bytes && lru_.size() > 1) {
+    const std::size_t victim = lru_.back();
+    if (victim == keep) break;  // never evict the shard being read
+    lru_.pop_back();
+    Shard& shard = shards_[victim];
+    resident_bytes_ -= shard.map.size();
+    shard.map = ShardMapping();
+    shard.index.clear();
+    shard.open = false;
+  }
+}
+
+bool ShardedStack::read_view(std::uint64_t index, double* dst) {
+  if (index >= count_) {
+    throw std::out_of_range("ShardedStack::read_view: index out of range");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t px = view_pixels();
+  const std::size_t k = static_cast<std::size_t>(index / views_per_shard_);
+  Shard* shard = ensure_open(k);
+  if (shard == nullptr) {
+    fill_nan(dst, px);
+    ++quarantined_views_;
+    obs::current_registry().counter("stream.views_quarantined").add();
+    return false;
+  }
+  const IndexEntry& entry =
+      shard->index[static_cast<std::size_t>(index - shard->first)];
+  const unsigned char* stored = shard->map.data() + entry.offset;
+  const auto fail = [&](const char* why) -> bool {
+    if (!options_.quarantine_corrupt) {
+      throw resilience::corrupt_error(std::string("ShardedStack: ") + why +
+                                      " for view " + std::to_string(index));
+    }
+    fill_nan(dst, px);
+    ++quarantined_views_;
+    obs::current_registry().counter("stream.views_quarantined").add();
+    return false;
+  };
+  if (resilience::crc32(stored, static_cast<std::size_t>(
+                                    entry.stored_bytes)) != entry.crc) {
+    return fail("view CRC mismatch");
+  }
+  if (entry.flags & kFlagCompressed) {
+    try {
+      slz4_decompress(stored, static_cast<std::size_t>(entry.stored_bytes),
+                      dst, px * sizeof(double));
+    } catch (const resilience::Error&) {
+      return fail("undecodable view");
+    }
+  } else {
+    std::memcpy(dst, stored, px * sizeof(double));
+  }
+  return true;
+}
+
+std::vector<em::Image<double>> ShardedStack::read_range(std::uint64_t first,
+                                                        std::size_t n) {
+  if (first + n > count_) {
+    throw std::out_of_range("ShardedStack::read_range: range out of bounds");
+  }
+  std::vector<em::Image<double>> views;
+  views.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    em::Image<double> view(ny_, nx_);
+    (void)read_view(first + i, view.data());
+    views.push_back(std::move(view));
+  }
+  return views;
+}
+
+std::vector<em::Image<double>> ShardedStack::read_views(
+    const std::vector<std::uint64_t>& indices) {
+  std::vector<em::Image<double>> views;
+  views.reserve(indices.size());
+  for (const std::uint64_t index : indices) {
+    em::Image<double> view(ny_, nx_);
+    (void)read_view(index, view.data());
+    views.push_back(std::move(view));
+  }
+  return views;
+}
+
+void ShardedStack::will_need(std::uint64_t first, std::size_t n) {
+  if (n == 0 || first >= count_) return;
+  const std::uint64_t last = std::min<std::uint64_t>(first + n, count_) - 1;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t k = static_cast<std::size_t>(first / views_per_shard_);
+       k <= static_cast<std::size_t>(last / views_per_shard_); ++k) {
+    Shard* shard = ensure_open(k);
+    if (shard == nullptr) continue;
+    const std::uint64_t lo = std::max<std::uint64_t>(first, shard->first);
+    const std::uint64_t hi =
+        std::min<std::uint64_t>(last, shard->first + shard->views - 1);
+    const IndexEntry& a =
+        shard->index[static_cast<std::size_t>(lo - shard->first)];
+    const IndexEntry& b =
+        shard->index[static_cast<std::size_t>(hi - shard->first)];
+    shard->map.will_need(
+        static_cast<std::size_t>(a.offset),
+        static_cast<std::size_t>(b.offset + b.stored_bytes - a.offset));
+  }
+}
+
+std::size_t ShardedStack::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resident_bytes_;
+}
+
+std::size_t ShardedStack::resident_shards() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::uint64_t ShardedStack::quarantined_shards() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return quarantined_shards_;
+}
+
+std::uint64_t ShardedStack::quarantined_views() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return quarantined_views_;
+}
+
+}  // namespace por::stream

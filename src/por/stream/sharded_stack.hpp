@@ -1,0 +1,202 @@
+// por/stream/sharded_stack.hpp
+//
+// Sharded, memory-mapped view-stack store (DESIGN.md §14) — the
+// out-of-core container behind paper-scale runs (7,917 Sindbis views
+// at 331² ≈ 6.9 GB of f64 pixels; 4,422 reovirus views at 511²).
+//
+// A sharded stack is a manifest file plus fixed-population shard
+// files (`<base>` + `<base>.s0000`, `<base>.s0001`, ...):
+//
+//   manifest "PORM": magic | u32 version | u64 count, ny, nx,
+//                    views_per_shard, shard_count | u8 compressed |
+//                    pad[7] | u32 crc(fields)
+//   shard    "PORH": magic | u32 version | u64 first_view, view_count,
+//                    ny, nx | u8 compressed | pad[7] |
+//                    index[view_count] { u64 offset, u64 stored_bytes,
+//                                        u32 crc32, u32 flags } |
+//                    u32 header_crc | 8-byte-aligned view payloads
+//
+// Every stored view carries its own CRC-32 and (optionally) its own
+// slz4 compression, so any single view is seekable without touching
+// its neighbours and any torn/bit-flipped byte is detected on read.
+// Corrupt-input policy follows the PR 5 taxonomy: malformed bytes are
+// resilience::Error{kCorrupt}; with
+// ShardedStackOptions::quarantine_corrupt the reader degrades
+// per-shard/per-view instead — the bad view arrives NaN-filled (the
+// refiner's quarantine gate then excludes it) and the run survives.
+//
+// The reader keeps at most `max_resident_bytes` of shard mappings
+// resident (LRU), mapping shards on demand via ShardMapping (mmap with
+// a read() fallback; both paths are bitwise identical).  Obs:
+// stream.shards_mapped / stream.bytes_mapped / stream.resident_bytes /
+// stream.shards_quarantined / stream.views_quarantined.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "por/em/grid.hpp"
+#include "por/stream/shard_mapping.hpp"
+
+namespace por::stream {
+
+struct ShardedStackOptions {
+  /// Views per shard file (the last shard may be short).
+  std::size_t views_per_shard = 64;
+  /// Writer: compress each view with slz4 when it actually shrinks
+  /// (incompressible views are stored raw, flagged per view).
+  bool compress = false;
+  /// Reader: mmap shards (true) or read() them into heap buffers
+  /// (false).  Identical bytes either way — tests assert it.
+  bool use_mmap = true;
+  /// Reader: unmap least-recently-used shards beyond this budget
+  /// (0 = keep everything resident).
+  std::size_t max_resident_bytes = 0;
+  /// Reader: a corrupt shard/view is quarantined (NaN-filled pixels,
+  /// read_view returns false) instead of throwing, so one bad shard
+  /// costs its views, not the run.
+  bool quarantine_corrupt = false;
+};
+
+/// Incremental writer: append views one at a time, then finish().
+/// Shards and the manifest are written with atomic (temp+fsync+rename)
+/// replacement, so a crash mid-write never leaves a half shard a
+/// reader would trust — and no complete manifest without its shards.
+class ShardedStackWriter {
+ public:
+  ShardedStackWriter(std::string base, std::size_t ny, std::size_t nx,
+                     const ShardedStackOptions& options = {});
+  ~ShardedStackWriter();
+  ShardedStackWriter(const ShardedStackWriter&) = delete;
+  ShardedStackWriter& operator=(const ShardedStackWriter&) = delete;
+
+  /// Append one ny*nx row-major view.
+  void append(const double* pixels);
+  void append(const em::Image<double>& view);
+
+  /// Flush the tail shard and write the manifest.  Idempotent; must be
+  /// called for the stack to be readable (the destructor does NOT
+  /// finish a stack implicitly — an abandoned writer leaves no
+  /// manifest, which is exactly the crash story).
+  void finish();
+
+  [[nodiscard]] std::uint64_t appended() const { return appended_; }
+
+ private:
+  void flush_shard();
+
+  std::string base_;
+  ShardedStackOptions options_;
+  std::size_t ny_ = 0, nx_ = 0;
+  std::uint64_t appended_ = 0;
+  std::size_t shards_written_ = 0;
+  std::vector<double> pending_;  ///< pixels of the open shard
+  bool finished_ = false;
+};
+
+/// One-shot writer for an in-memory stack.
+void write_sharded_stack(const std::string& base,
+                         const std::vector<em::Image<double>>& views,
+                         const ShardedStackOptions& options = {});
+
+/// Convert a monolithic PORS stack into shards, streaming one shard's
+/// worth of views at a time (never the whole stack) — the `stack_shard`
+/// tool and the examples go through here.
+void shard_stack_file(const std::string& stack_path, const std::string& base,
+                      const ShardedStackOptions& options = {});
+
+/// Convert shards back into a monolithic PORS stack (also streamed).
+void unshard_to_stack(const std::string& base, const std::string& stack_path);
+
+/// Path of shard `k` of the stack rooted at `base`.
+[[nodiscard]] std::string shard_path(const std::string& base, std::size_t k);
+
+/// Random-access reader.  Thread-safe: concurrent read_view calls are
+/// serialized internally (shard I/O is the bottleneck, not the lock).
+class ShardedStack {
+ public:
+  explicit ShardedStack(const std::string& base,
+                        const ShardedStackOptions& options = {});
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::size_t ny() const { return ny_; }
+  [[nodiscard]] std::size_t nx() const { return nx_; }
+  [[nodiscard]] std::size_t view_pixels() const { return ny_ * nx_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] std::size_t views_per_shard() const {
+    return views_per_shard_;
+  }
+  [[nodiscard]] bool compressed() const { return compressed_; }
+  [[nodiscard]] const std::string& base() const { return base_; }
+
+  /// Copy view `index` (ny*nx doubles, row-major) into `dst`.  Returns
+  /// true on success; false when the view was quarantined (pixels are
+  /// NaN-filled so downstream finiteness gates catch any missed check).
+  /// Without quarantine_corrupt a corrupt view/shard throws
+  /// resilience::Error{kCorrupt} instead.
+  bool read_view(std::uint64_t index, double* dst);
+
+  /// Views [first, first + n) as Images (throws std::out_of_range
+  /// beyond count()).
+  [[nodiscard]] std::vector<em::Image<double>> read_range(std::uint64_t first,
+                                                          std::size_t n);
+
+  /// Arbitrary view subset as Images, in the order given.
+  [[nodiscard]] std::vector<em::Image<double>> read_views(
+      const std::vector<std::uint64_t>& indices);
+
+  /// madvise(WILLNEED) the payload window of views [first, first + n)
+  /// — the prefetcher calls this one batch ahead of the consumer.
+  void will_need(std::uint64_t first, std::size_t n);
+
+  // ---- accounting ---------------------------------------------------------
+  [[nodiscard]] std::size_t resident_bytes() const;
+  [[nodiscard]] std::size_t resident_shards() const;
+  [[nodiscard]] std::uint64_t quarantined_shards() const;
+  [[nodiscard]] std::uint64_t quarantined_views() const;
+
+ private:
+  struct IndexEntry {
+    std::uint64_t offset = 0;        ///< from shard file start
+    std::uint64_t stored_bytes = 0;
+    std::uint32_t crc = 0;
+    std::uint32_t flags = 0;         ///< bit 0: slz4-compressed
+  };
+  struct Shard {
+    std::uint64_t first = 0;
+    std::uint64_t views = 0;
+    ShardMapping map;                ///< empty until opened
+    std::vector<IndexEntry> index;   ///< parsed once per open
+    bool open = false;
+    bool quarantined = false;
+  };
+
+  /// Ensure shard `k` is mapped and parsed; returns nullptr when the
+  /// shard is quarantined (only possible with quarantine_corrupt).
+  Shard* ensure_open(std::size_t k);
+  void parse_shard(std::size_t k, Shard& shard);
+  void evict_to_budget(std::size_t keep);
+  void touch_lru(std::size_t k);
+  void quarantine_shard(std::size_t k, Shard& shard,
+                        const std::string& why);
+
+  std::string base_;
+  ShardedStackOptions options_;
+  std::uint64_t count_ = 0;
+  std::size_t ny_ = 0, nx_ = 0;
+  std::size_t views_per_shard_ = 0;
+  bool compressed_ = false;
+
+  mutable std::mutex mutex_;
+  std::vector<Shard> shards_;
+  std::list<std::size_t> lru_;  ///< open shards, front = most recent
+  std::size_t resident_bytes_ = 0;
+  std::uint64_t quarantined_shards_ = 0;
+  std::uint64_t quarantined_views_ = 0;
+};
+
+}  // namespace por::stream

@@ -1,0 +1,58 @@
+// por/stream/slz4.hpp
+//
+// slz4 — a self-contained LZ4-style byte-oriented block codec for cold
+// view shards (DESIGN.md §14).  The format is the classic token /
+// literal-run / 16-bit-offset match stream:
+//
+//   token      1 byte: high nibble = literal length (15 = extended),
+//              low nibble = match length - 4 (15 = extended)
+//   ext bytes  0xFF runs extend either length by 255 per byte
+//   literals   `literal length` raw bytes
+//   offset     2 bytes little-endian, 1..65535 back from the write head
+//   ...        the last sequence is literals-only (no offset/match)
+//
+// Matches are >= 4 bytes within a 64 KiB window, found with a greedy
+// 4-byte hash probe — the proven LZ4 trade: ~GB/s decompression and
+// "good enough" ratios for the smooth, noisy view payloads shards
+// carry.  View stacks compress per-view so the shard index can still
+// seek to any single view without touching its neighbours.
+//
+// No external dependency: the container bakes no compression library,
+// and the format above is simple enough to own (see SNIPPETS.md's
+// slz4.h exemplar for the lineage).
+//
+// Corrupt-input policy: slz4_decompress validates every token, run and
+// offset against both buffer bounds and throws
+// por::resilience::Error{kCorrupt} on the first malformed byte — a
+// truncated or bit-flipped block can never read or write out of
+// bounds, and never returns silently-wrong bytes of the right length
+// (the shard layer additionally CRCs each stored view).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace por::stream {
+
+/// Worst-case compressed size for `raw_bytes` of input (incompressible
+/// data expands by the literal-run headers).
+[[nodiscard]] constexpr std::size_t slz4_max_compressed_size(
+    std::size_t raw_bytes) {
+  return raw_bytes + raw_bytes / 255 + 16;
+}
+
+/// Compress `src[0, src_bytes)` into `dst[0, dst_capacity)`.  Returns
+/// the compressed size, or 0 when the output would not fit in
+/// `dst_capacity` (callers then store the block raw).  Deterministic:
+/// identical input bytes always produce identical output bytes.
+[[nodiscard]] std::size_t slz4_compress(const void* src,
+                                        std::size_t src_bytes, void* dst,
+                                        std::size_t dst_capacity);
+
+/// Decompress exactly `raw_bytes` into `dst` from the `src_bytes`-long
+/// compressed block.  Throws resilience::Error{kCorrupt} if the stream
+/// is malformed, truncated, or does not decode to exactly `raw_bytes`.
+void slz4_decompress(const void* src, std::size_t src_bytes, void* dst,
+                     std::size_t raw_bytes);
+
+}  // namespace por::stream

@@ -1,0 +1,119 @@
+// por/stream/view_source.hpp
+//
+// ViewSource — the one interface the refinement core reads views
+// through (DESIGN.md §14).  Three backings:
+//
+//   MemoryViewSource   in-core vector<Image> (the historical path —
+//                      parallel_refine wraps its input in one)
+//   StackViewSource    monolithic PORS file via io::StackReader, with
+//                      the PR 5 retry envelope around each fetch
+//   ShardedViewSource  sharded stack via stream::ShardedStack (mmap,
+//                      LRU resident budget, quarantine)
+//
+// All three produce bitwise-identical pixels for the same logical
+// stack; the streaming tests assert it.  fetch() copies into the
+// caller's buffer — sources never hand out interior pointers, so the
+// mmap lifetime rule stays inside ShardedStack.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "por/em/grid.hpp"
+#include "por/io/stack_io.hpp"
+#include "por/resilience/retry.hpp"
+#include "por/stream/sharded_stack.hpp"
+
+namespace por::stream {
+
+class ViewSource {
+ public:
+  virtual ~ViewSource() = default;
+
+  [[nodiscard]] virtual std::uint64_t count() const = 0;
+  [[nodiscard]] virtual std::size_t ny() const = 0;
+  [[nodiscard]] virtual std::size_t nx() const = 0;
+  [[nodiscard]] std::size_t view_pixels() const { return ny() * nx(); }
+
+  /// Copy view `index` (ny*nx doubles, row-major) into `dst`.  A
+  /// quarantined view arrives NaN-filled (the refiner's finiteness
+  /// gate then skips it); anything else throws.  Implementations must
+  /// be safe to call from several threads at once — a ViewCursor's
+  /// background fill runs concurrently with direct fetches.
+  virtual void fetch(std::uint64_t index, double* dst) = 0;
+
+  /// Advisory: the caller will fetch [first, first + n) soon.
+  virtual void will_need(std::uint64_t first, std::size_t n) {
+    (void)first;
+    (void)n;
+  }
+
+  /// Convenience: view `index` as a fresh Image.
+  [[nodiscard]] em::Image<double> fetch_image(std::uint64_t index);
+};
+
+/// Borrows an in-memory stack (must outlive the source).
+class MemoryViewSource final : public ViewSource {
+ public:
+  explicit MemoryViewSource(const std::vector<em::Image<double>>& views);
+
+  [[nodiscard]] std::uint64_t count() const override;
+  [[nodiscard]] std::size_t ny() const override { return ny_; }
+  [[nodiscard]] std::size_t nx() const override { return nx_; }
+  void fetch(std::uint64_t index, double* dst) override;
+
+ private:
+  const std::vector<em::Image<double>>* views_;
+  std::size_t ny_ = 0, nx_ = 0;
+};
+
+/// Monolithic PORS stack, fetched with seeks through one persistent
+/// reader.  Short reads are retried under `retry` (default: the
+/// RetryPolicy defaults) by reopening the file — a transient NFS flap
+/// costs a reopen, not the run.
+class StackViewSource final : public ViewSource {
+ public:
+  explicit StackViewSource(std::string path,
+                           resilience::RetryPolicy retry = {});
+
+  [[nodiscard]] std::uint64_t count() const override;
+  [[nodiscard]] std::size_t ny() const override;
+  [[nodiscard]] std::size_t nx() const override;
+  void fetch(std::uint64_t index, double* dst) override;
+
+ private:
+  std::string path_;
+  resilience::RetryPolicy retry_;
+  std::mutex mutex_;  ///< the reader's seek+read pair is one operation
+  std::unique_ptr<io::StackReader> reader_;
+};
+
+/// Sharded stack (owns the ShardedStack reader).
+class ShardedViewSource final : public ViewSource {
+ public:
+  explicit ShardedViewSource(const std::string& base,
+                             const ShardedStackOptions& options = {});
+
+  [[nodiscard]] std::uint64_t count() const override;
+  [[nodiscard]] std::size_t ny() const override;
+  [[nodiscard]] std::size_t nx() const override;
+  void fetch(std::uint64_t index, double* dst) override;
+  void will_need(std::uint64_t first, std::size_t n) override;
+
+  [[nodiscard]] ShardedStack& shards() { return shards_; }
+
+ private:
+  ShardedStack shards_;
+};
+
+/// Open `path` as whichever source fits: a sharded-stack manifest
+/// ("PORM" magic) becomes a ShardedViewSource with `options`, a PORS
+/// stack a StackViewSource — callers (examples, benches) accept either
+/// file kind with one flag.
+[[nodiscard]] std::unique_ptr<ViewSource> open_view_source(
+    const std::string& path, const ShardedStackOptions& options = {});
+
+}  // namespace por::stream

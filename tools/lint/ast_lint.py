@@ -40,6 +40,14 @@ properties over the translation units listed in compile_commands.json:
                       rank-conditioned branch is reached by some ranks
                       and not others — the classic MPI deadlock.
 
+  mmap-escape         A pointer derived from a function-local
+                      stream::ShardMapping's data() that is returned or
+                      stored into a member outlives the mapping: the
+                      destructor munmaps (or frees the read-path
+                      buffer) at end of scope and the pointer dangles.
+                      Long-lived mappings belong in members (see
+                      core::BrickStore::spill_map_), not locals.
+
 Waivers use the same grammar as por_lint.py: append
 ``// por-lint: allow(<rule>) <reason>`` to the offending line or one of
 the two lines above.  A waiver without a reason is itself an error.
@@ -109,6 +117,18 @@ COLLECTIVE_RE = re.compile(
 RANK_COND_RE = re.compile(
     r"\brank\s*\(\s*\)|\brank_?\b\s*[=!<>]|\bis_(?:master|root)\b")
 IF_RE = re.compile(r"\bif\s*\(")
+
+# A by-value ShardMapping declaration: type then a bare name (no & / *
+# between them — references and pointers alias a mapping that someone
+# else owns).  Names with a trailing underscore are members by the
+# repo's naming convention and legitimately outlive the enclosing
+# scope.
+MMAP_DECL_RE = re.compile(
+    r"\b(?:por::)?(?:stream::)?ShardMapping\s+(\w+)\s*[;({=]")
+# `<something>* p = ...` / `auto p = ...` — candidate derived pointer.
+DERIVED_DECL_RE = re.compile(r"(?:[*&]\s*|\bauto\s+)(\w+)\s*=[^=]")
+MEMBER_STORE_RE = re.compile(r"(?:this\s*->\s*\w+|(?<![\w.])\w+_)\s*=[^=]")
+RETURN_RE = re.compile(r"\breturn\b")
 
 
 def strip_line_comment(line: str) -> str:
@@ -403,6 +423,58 @@ def check_vmpi_collectives(rel: str, lines: list[str],
             pending_rank_if = False  # braceless single-statement if
 
 
+def check_mmap_escape(rel: str, lines: list[str],
+                      findings: list[Finding]) -> None:
+    """Flag pointers derived from a local ShardMapping's data() that
+    escape the mapping's scope (returned, or stored into a member).
+    Token-level scoping: brace depth, locals dropped when their block
+    closes; members (trailing-underscore names) are never tracked."""
+    depth = 0
+    mappings: dict[str, int] = {}  # local mapping name -> decl depth
+    derived: dict[str, int] = {}   # derived pointer name -> decl depth
+
+    def sources_in(code: str) -> bool:
+        for name in mappings:
+            if re.search(rf"\b{name}\s*\.\s*data\s*\(", code):
+                return True
+        return any(re.search(rf"\b{name}\b", code) for name in derived)
+
+    for i, raw in enumerate(lines):
+        code = strip_line_comment(raw)
+        decl = MMAP_DECL_RE.search(code)
+        if decl and not decl.group(1).endswith("_"):
+            mappings[decl.group(1)] = depth
+        if mappings and sources_in(code):
+            waivers = waivers_for(lines, i)
+            escaped = (RETURN_RE.search(code)
+                       or MEMBER_STORE_RE.search(code)) is not None
+            if escaped:
+                if "mmap-escape" in waivers:
+                    if not waivers["mmap-escape"]:
+                        findings.append(Finding(rel, i + 1, "mmap-escape",
+                                                "waiver without a reason — "
+                                                "justify it"))
+                else:
+                    findings.append(Finding(
+                        rel, i + 1, "mmap-escape",
+                        "pointer derived from a scope-local ShardMapping "
+                        "escapes (returned or stored into a member); the "
+                        "mapping unmaps at end of scope and the pointer "
+                        "dangles — keep the mapping alive as long as the "
+                        "pointer (member, not local)"))
+            else:
+                ptr = DERIVED_DECL_RE.search(code)
+                if ptr and not ptr.group(1).endswith("_"):
+                    derived[ptr.group(1)] = depth
+        for ch in code:
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                mappings = {n: d for n, d in mappings.items() if d <= depth}
+                derived = {n: d for n, d in derived.items() if d <= depth}
+
+
 # ---- frontends --------------------------------------------------------------
 
 
@@ -564,6 +636,7 @@ def main() -> int:
         check_vmpi_tags(rel, lines, findings)
         check_vmpi_recv_timeout(rel, lines, findings)
         check_vmpi_collectives(rel, lines, findings)
+        check_mmap_escape(rel, lines, findings)
 
     findings.sort(key=lambda f: (f.path, f.line))
     return emit("ast_lint", findings, len(files), args.format, args.json_out)

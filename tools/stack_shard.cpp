@@ -1,0 +1,90 @@
+// tools/stack_shard — convert view stacks between the monolithic PORS
+// format and the sharded PORM/PORH out-of-core format (DESIGN.md §14).
+//
+//   stack_shard --in views.pors --out views.shards
+//       [--views_per_shard 64] [--compress] [--verify]
+//   stack_shard --unshard --in views.shards --out views.pors
+//
+// Sharding streams one shard's worth of views at a time, so a stack
+// far larger than memory converts in bounded space.  --verify re-reads
+// every view from the shards and compares bitwise against the input
+// (also streamed).
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "por/io/stack_io.hpp"
+#include "por/stream/sharded_stack.hpp"
+#include "por/util/cli.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  por::util::CliParser cli(argc, argv);
+  const std::string in = cli.get("in", "");
+  const std::string out = cli.get("out", "");
+  const bool unshard = cli.get_bool("unshard", false);
+  por::stream::ShardedStackOptions options;
+  options.views_per_shard =
+      static_cast<std::size_t>(cli.get_int("views_per_shard", 64));
+  options.compress = cli.get_bool("compress", false);
+  const bool verify = cli.get_bool("verify", false);
+  cli.assert_all_consumed();
+  if (in.empty() || out.empty()) {
+    std::fprintf(stderr,
+                 "usage: stack_shard --in <stack.pors> --out <base> "
+                 "[--views_per_shard N] [--compress] [--verify]\n"
+                 "       stack_shard --unshard --in <base> --out "
+                 "<stack.pors>\n");
+    return 2;
+  }
+
+  if (unshard) {
+    por::stream::unshard_to_stack(in, out);
+    por::io::StackReader reader(out);
+    std::printf("stack_shard: wrote %llu views (%zux%zu) to %s\n",
+                static_cast<unsigned long long>(reader.count()), reader.ny(),
+                reader.nx(), out.c_str());
+    return 0;
+  }
+
+  por::stream::shard_stack_file(in, out, options);
+  por::stream::ShardedStack shards(out);
+  std::printf(
+      "stack_shard: wrote %llu views (%zux%zu) as %zu shard(s) of %zu "
+      "(%scompressed) rooted at %s\n",
+      static_cast<unsigned long long>(shards.count()), shards.ny(),
+      shards.nx(), shards.shard_count(), shards.views_per_shard(),
+      options.compress ? "" : "un", out.c_str());
+
+  if (verify) {
+    por::io::StackReader reference(in);
+    std::vector<double> expect(shards.view_pixels());
+    std::vector<double> got(shards.view_pixels());
+    for (std::uint64_t i = 0; i < shards.count(); ++i) {
+      reference.read_view(i, expect.data());
+      if (!shards.read_view(i, got.data()) ||
+          std::memcmp(expect.data(), got.data(),
+                      expect.size() * sizeof(double)) != 0) {
+        std::fprintf(stderr, "stack_shard: VERIFY FAILED at view %llu\n",
+                     static_cast<unsigned long long>(i));
+        return 1;
+      }
+    }
+    std::printf("stack_shard: verified %llu views bitwise\n",
+                static_cast<unsigned long long>(shards.count()));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "stack_shard: %s\n", error.what());
+    return 1;
+  }
+}
