@@ -15,6 +15,21 @@
 //    p50/p95/p99 job-latency quantiles from the por::obs histogram.
 //
 //   ./refine_server [--l 20] [--workers 4] [--jobs 18] [--queue 6]
+//
+// Crash-only mode (DESIGN.md §15): pass --journal DIR and every
+// accepted job is write-ahead journaled, so the scripted burst can be
+// `kill -9`ed at ANY instant and replayed:
+//
+//   ./refine_server --journal /tmp/por-wal &
+//   sleep 0.2 && kill -9 $!            # murder it mid-burst
+//   ./refine_server --journal /tmp/por-wal --resume
+//
+// The --resume run submits nothing: it replays the journal, re-admits
+// every acknowledged-but-unfinished job (resuming from per-view PORC
+// checkpoints), finishes them, and prints the recovered outcomes —
+// bitwise-identical to what the murdered process would have produced.
+// --deadline-ms puts a per-job deadline on the burst so the demo also
+// shows jobs surfacing kTimedOut instead of hanging.
 
 #include <cstdio>
 #include <string>
@@ -63,7 +78,14 @@ int main(int argc, char** argv) {
   util::CliParser cli(argc, argv);
   if (cli.has("help")) {
     std::printf(
-        "usage: refine_server [--l 20] [--workers 4] [--jobs 18] [--queue 6]\n\n"
+        "usage: refine_server [--l 20] [--workers 4] [--jobs 18] [--queue 6]\n"
+        "                     [--journal DIR] [--resume] [--deadline-ms N]\n\n"
+        "  --journal DIR    write-ahead journal every job transition into DIR;\n"
+        "                   the process becomes kill -9-safe (DESIGN.md 15)\n"
+        "  --resume         submit nothing; replay DIR, re-admit unfinished\n"
+        "                   jobs from their checkpoints and finish them\n"
+        "  --deadline-ms N  per-job deadline; overrunning jobs surface\n"
+        "                   timed_out instead of running forever (0 = none)\n\n"
         "Environment:\n  POR_FORCE_ISA=sse2|avx2|avx512   pin the SIMD tier of the matching\n                                   kernels (default: best the CPU has;\n                                   clamped to what is available)\n");
     return 0;
   }
@@ -72,15 +94,31 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("workers", 4));
   const std::size_t jobs = static_cast<std::size_t>(cli.get_int("jobs", 18));
   const std::size_t queue = static_cast<std::size_t>(cli.get_int("queue", 6));
+  const std::string journal_dir = cli.get("journal", "");
+  const bool resume = cli.has("resume") && cli.get_bool("resume", true);
+  const long long deadline_ms = cli.get_int("deadline-ms", 0);
   cli.assert_all_consumed();
+  if (resume && journal_dir.empty()) {
+    std::fprintf(stderr, "refine_server: --resume requires --journal DIR\n");
+    return 2;
+  }
 
-  std::printf("refine_server: l=%zu workers=%zu jobs=%zu queue=%zu\n\n", l,
-              workers, jobs, queue);
+  const std::string journal_note =
+      journal_dir.empty() ? "" : " journal=" + journal_dir;
+  std::printf("refine_server: l=%zu workers=%zu jobs=%zu queue=%zu%s%s\n\n", l,
+              workers, jobs, queue, journal_note.c_str(),
+              resume ? " (resume)" : "");
 
   // --- 1. the service: three tenants, two of them well-provisioned ---
   serve::ServiceOptions options;
   options.workers = workers;
   options.queue_capacity = queue;
+  options.journal_dir = journal_dir;
+  options.checkpoint_flush_every = 1;  // per-view durability for the demo
+  if (deadline_ms > 0) {
+    options.default_deadline_ns =
+        static_cast<std::uint64_t>(deadline_ms) * 1'000'000ull;
+  }
   options.tenants = {
       serve::TenantConfig{"lab-sindbis", 1e6, 32.0},
       serve::TenantConfig{"lab-reo", 1e6, 32.0},
@@ -101,6 +139,41 @@ int main(int argc, char** argv) {
   service.register_model("reo", reo.rasterize(l), config);
   std::printf("registered models: sindbis, reo  (%zu workers)\n\n",
               service.workers());
+
+  // --- crash recovery: replay whatever a murdered run left ----------
+  if (!journal_dir.empty()) {
+    const std::size_t readmitted = service.recover();
+    const std::vector<std::uint64_t> known = service.job_ids();
+    std::printf("journal replay: %zu known job(s), %zu re-admitted\n",
+                known.size(), readmitted);
+    if (resume) {
+      service.drain();
+      std::printf("recovered jobs drained\n\n");
+      std::printf("%5s  %-11s  %-9s  %s\n", "job", "tenant", "state",
+                  "error");
+      for (const std::uint64_t id : known) {
+        const serve::JobStatus status = service.status(id);
+        std::printf("%5llu  %-11s  %-9s  %s\n",
+                    static_cast<unsigned long long>(id),
+                    status.tenant.c_str(), serve::to_string(status.state),
+                    status.error.c_str());
+      }
+      const obs::Snapshot recovered = obs::current_registry().snapshot();
+      const auto counter = [&recovered](const char* name) {
+        const auto it = recovered.counters.find(name);
+        return it == recovered.counters.end() ? 0ull : it->second;
+      };
+      std::printf(
+          "\nobs: recovery.replayed_jobs=%llu journal.appends=%llu "
+          "journal.fsyncs=%llu journal.torn_tails=%llu\n",
+          static_cast<unsigned long long>(counter("recovery.replayed_jobs")),
+          static_cast<unsigned long long>(counter("journal.appends")),
+          static_cast<unsigned long long>(counter("journal.fsyncs")),
+          static_cast<unsigned long long>(counter("journal.torn_tails")));
+      return 0;
+    }
+    std::printf("\n");
+  }
 
   // --- 2 + 3. the scripted burst ------------------------------------
   util::Rng rng(7101);
@@ -127,6 +200,12 @@ int main(int argc, char** argv) {
     const Shard& shard = use_reo ? reo_shard : sindbis_shard;
     request.views = shard.views;
     request.initial = shard.initial;
+    if (!journal_dir.empty()) {
+      // Stable per-slot keys: re-running the same burst against the
+      // same journal dedups onto the original executions instead of
+      // refining everything twice.
+      request.idempotency_key = "burst-" + std::to_string(j);
+    }
     const serve::SubmitResult result = service.submit(request);
     if (result.accepted()) {
       ++outcome.accepted;
@@ -137,8 +216,10 @@ int main(int argc, char** argv) {
       ++outcome.rejected_queue;
     }
     const std::string verdict =
-        result.accepted() ? "job " + std::to_string(result.job)
-                          : std::string(serve::to_string(result.admission));
+        result.accepted()
+            ? "job " + std::to_string(result.job) +
+                  (result.deduplicated ? " (deduplicated)" : "")
+            : std::string(serve::to_string(result.admission));
     std::printf("submit #%02zu %-11s -> %s\n", j, tenant.c_str(),
                 verdict.c_str());
   }
@@ -191,5 +272,18 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(service.scheduler().steals()),
               static_cast<unsigned long long>(
                   service.scheduler().requeued_tasks()));
+  const auto counter = [&snapshot](const char* name) {
+    const auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? 0ull : it->second;
+  };
+  if (!journal_dir.empty() || deadline_ms > 0) {
+    std::printf(
+        "durability: journal.appends=%llu journal.fsyncs=%llu "
+        "jobs.timed_out=%llu jobs.deduplicated=%llu\n",
+        static_cast<unsigned long long>(counter("journal.appends")),
+        static_cast<unsigned long long>(counter("journal.fsyncs")),
+        static_cast<unsigned long long>(counter("serve.jobs.timed_out")),
+        static_cast<unsigned long long>(counter("serve.jobs.deduplicated")));
+  }
   return 0;
 }

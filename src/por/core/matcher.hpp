@@ -24,6 +24,7 @@
 #include <optional>
 #include <vector>
 
+#include "por/core/cancel.hpp"
 #include "por/em/ctf.hpp"
 #include "por/em/grid.hpp"
 #include "por/em/orientation.hpp"
@@ -83,6 +84,13 @@ struct MatchOptions {
   /// — and builds the matching lattice layout — at CONSTRUCTION, so a
   /// later simd::force_isa() does not affect existing matchers.
   simd::SimdOptions simd;
+
+  /// Cooperative cancellation / deadline token polled inside
+  /// sliding_window_search (see por/core/cancel.hpp).  Matcher-lifetime
+  /// scope — the direct single-run API arms it here; the serving path
+  /// instead passes per-job tokens through the explicit CancelToken*
+  /// parameters (which win when both are set).  Null = never cancels.
+  std::shared_ptr<const CancelToken> cancel;
 };
 
 /// Flattened precomputed annulus: one entry per Fourier pixel of the

@@ -47,9 +47,13 @@ OrientationRefiner::OrientationRefiner(FourierMatcher matcher,
 
 ViewResult OrientationRefiner::refine_view(const em::Image<double>& view,
                                            const em::Orientation& initial,
-                                           double center_x,
-                                           double center_y) const {
+                                           double center_x, double center_y,
+                                           const CancelToken* cancel) const {
   const obs::SpanTimer view_timer(*obs_view_span_);
+
+  // Poll before any per-view work: a job whose deadline already passed
+  // while queued must not pay for the FFT below.
+  if (cancel != nullptr) cancel->check();
 
   // Graceful per-view degradation (DESIGN.md §10): a view with
   // NaN/Inf pixels would drive every matching distance non-finite and
@@ -123,7 +127,7 @@ ViewResult OrientationRefiner::refine_view(const em::Image<double>& view,
       const WindowResult window =
           sliding_window_search(matcher_, *centered, domain,
                                 config_.max_slides,
-                                cache ? &*cache : nullptr);
+                                cache ? &*cache : nullptr, cancel);
       const double moved_deg =
           em::geodesic_deg(result.orientation, window.best);
       result.orientation = window.best;
@@ -138,6 +142,10 @@ ViewResult OrientationRefiner::refine_view(const em::Image<double>& view,
       }
 
       if (!config_.refine_centers) break;
+
+      // Pass boundary: the center search below is the other long leg
+      // of a pass, so poll between the two.
+      if (cancel != nullptr) cancel->check();
 
       // Steps (k)-(l): center refinement against the best cut.
       util::WallTimer center_timer;

@@ -143,11 +143,18 @@ class OrientationRefiner {
   /// the slab-parallel 3D DFT).
   OrientationRefiner(FourierMatcher matcher, const RefinerConfig& config);
 
-  /// Steps (d)-(l) for one view.
+  /// Steps (d)-(l) for one view.  `cancel`, when non-null, is polled
+  /// cooperatively between passes and inside sliding_window_search
+  /// (por/core/cancel.hpp); a fired token unwinds with core::Cancelled
+  /// — the serving layer maps it to the kCancelled / kTimedOut job
+  /// states.  The refiner is shared across jobs, so the token is a
+  /// per-call parameter, not configuration.
   [[nodiscard]] ViewResult refine_view(const em::Image<double>& view,
                                        const em::Orientation& initial,
                                        double center_x = 0.0,
-                                       double center_y = 0.0) const;
+                                       double center_y = 0.0,
+                                       const CancelToken* cancel =
+                                           nullptr) const;
 
   /// Refine a batch; also accumulates per-step wall times into
   /// `times()` under the paper's step names ("FFT analysis",

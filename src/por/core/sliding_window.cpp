@@ -48,9 +48,14 @@ WindowObs& window_obs() {
 WindowResult sliding_window_search(const FourierMatcher& matcher,
                                    const em::Image<em::cdouble>& view_spectrum,
                                    const SearchDomain& initial_domain,
-                                   int max_slides, ScoreCache* cache) {
+                                   int max_slides, ScoreCache* cache,
+                                   const CancelToken* cancel) {
   WindowObs& obs = window_obs();
   obs.searches->add();
+
+  // Per-call token beats the matcher-lifetime one (the serving path
+  // shares one matcher across jobs with different deadlines).
+  if (cancel == nullptr) cancel = matcher.options().cancel.get();
 
   // CONTRACT: a positive window width is what makes `count` non-zero,
   // so the argmin below always selects a real candidate.
@@ -76,6 +81,11 @@ WindowResult sliding_window_search(const FourierMatcher& matcher,
   scores.resize_uninit(count);
 
   for (int round = 0;; ++round) {
+    // Cooperative cancellation: the round boundary is the coarse poll,
+    // the stride check below the fine one.  Throwing here (not inside
+    // the pool fan-out) keeps pool tasks noexcept-clean.
+    if (cancel != nullptr) cancel->check();
+
     // Step (g): enumerate the w^3 candidate grid (theta-major, same
     // order as SearchDomain::enumerate, which fixes tie-breaking).
     candidates.clear();
@@ -120,8 +130,16 @@ WindowResult sliding_window_search(const FourierMatcher& matcher,
     };
     if (pool != nullptr && missing.size() > 1) {
       pool->parallel_for(0, missing.size(), score_one);
+      // The fan-out is one cooperative unit; poll once after it so a
+      // deadline that fired mid-round is honoured before the next.
+      if (cancel != nullptr) cancel->check();
     } else {
-      for (std::size_t mi = 0; mi < missing.size(); ++mi) score_one(mi);
+      for (std::size_t mi = 0; mi < missing.size(); ++mi) {
+        if (cancel != nullptr && (mi % kCancelCheckStride) == 0 && mi != 0) {
+          cancel->check();
+        }
+        score_one(mi);
+      }
     }
     if (cache != nullptr) {
       for (std::size_t mi = 0; mi < missing.size(); ++mi) {

@@ -34,6 +34,14 @@ struct WindowResult {
 /// without a cache — hits return the very score the matcher produced.
 /// When the matcher was built with options().search_threads > 1, the
 /// uncached candidates of each round are fanned across its pool.
+///
+/// `cancel` (or, when null, matcher.options().cancel) is polled
+/// cooperatively — at every round start and every kCancelCheckStride
+/// scored candidates of the serial loop — and throws core::Cancelled
+/// the moment cancellation or the deadline is observed, so a service
+/// job with an expired deadline stops mid-search instead of finishing
+/// the w^3 grid (see por/core/cancel.hpp).
+///
 /// CONTRACT: initial_domain.width > 0 (the w^3 grid must be
 /// non-empty) and every candidate score must be finite — both checked
 /// by POR_EXPECT / POR_FINITE in sliding_window.cpp so a NaN distance
@@ -41,6 +49,6 @@ struct WindowResult {
 [[nodiscard]] WindowResult sliding_window_search(
     const FourierMatcher& matcher, const em::Image<em::cdouble>& view_spectrum,
     const SearchDomain& initial_domain, int max_slides = 8,
-    ScoreCache* cache = nullptr);
+    ScoreCache* cache = nullptr, const CancelToken* cancel = nullptr);
 
 }  // namespace por::core

@@ -7,6 +7,7 @@
 
 #include "por/obs/registry.hpp"
 #include "por/resilience/error.hpp"
+#include "por/resilience/sync_hooks.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
@@ -28,21 +29,6 @@ std::string parent_dir(const std::string& path) {
   return path.substr(0, slash);
 }
 
-/// fsync an already-written file (and, separately, a directory entry)
-/// by path.  Best effort off-POSIX: the stream flush is all we get.
-bool fsync_path(const std::string& path) {
-#if POR_HAVE_FSYNC
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) return false;
-  const bool ok = ::fsync(fd) == 0;
-  ::close(fd);
-  return ok;
-#else
-  (void)path;
-  return true;
-#endif
-}
-
 std::string make_temp_path(const std::string& path) {
   static std::atomic<std::uint64_t> counter{0};
   // por-atomic: stat — temp-name uniqueness counter, atomicity only
@@ -57,41 +43,63 @@ std::string make_temp_path(const std::string& path) {
 
 }  // namespace
 
+// Best effort off-POSIX: the stream flush is all we get.
+bool fsync_path(const std::string& path) {
+#if POR_HAVE_FSYNC
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  return true;
+#endif
+}
+
 void atomic_write_file(const std::string& path,
                        const std::function<void(std::ostream&)>& writer) {
   const std::string temp = make_temp_path(path);
-  {
-    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      throw transient_error("atomic_write_file: cannot open temp file " +
-                            temp);
-    }
-    try {
+  // The whole sequence runs under one remove-on-unwind guard: the
+  // injection seam (sync_hook_point, see sync_hooks.hpp) may throw at
+  // any step to simulate ENOSPC / EINTR / short writes, and every such
+  // unwind must leave no temp file behind and the destination
+  // untouched — a reader only ever sees the old complete artifact or
+  // the new complete one.
+  try {
+    {
+      sync_hook_point(SyncOp::kOpen, temp);
+      std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        throw transient_error("atomic_write_file: cannot open temp file " +
+                              temp);
+      }
+      sync_hook_point(SyncOp::kWrite, temp);
       writer(out);
-    } catch (...) {
-      out.close();
-      std::remove(temp.c_str());
-      throw;
+      sync_hook_point(SyncOp::kFlush, temp);
+      out.flush();
+      if (!out) {
+        out.close();
+        throw transient_error("atomic_write_file: write failed for " + temp);
+      }
     }
-    out.flush();
-    if (!out) {
-      out.close();
-      std::remove(temp.c_str());
-      throw transient_error("atomic_write_file: write failed for " + temp);
+    // Durability before visibility: the temp's bytes must be on stable
+    // storage before the rename makes them the official artifact.
+    sync_hook_point(SyncOp::kFsync, temp);
+    if (!fsync_path(temp)) {
+      throw transient_error("atomic_write_file: fsync failed for " + temp);
     }
-  }
-  // Durability before visibility: the temp's bytes must be on stable
-  // storage before the rename makes them the official artifact.
-  if (!fsync_path(temp)) {
+    sync_hook_point(SyncOp::kRename, temp);
+    if (std::rename(temp.c_str(), path.c_str()) != 0) {
+      throw transient_error("atomic_write_file: rename " + temp + " -> " +
+                            path + " failed");
+    }
+  } catch (...) {
     std::remove(temp.c_str());
-    throw transient_error("atomic_write_file: fsync failed for " + temp);
-  }
-  if (std::rename(temp.c_str(), path.c_str()) != 0) {
-    std::remove(temp.c_str());
-    throw transient_error("atomic_write_file: rename " + temp + " -> " +
-                          path + " failed");
+    throw;
   }
   // And the directory entry itself, so the rename survives a crash.
+  sync_hook_point(SyncOp::kDirFsync, parent_dir(path));
   (void)fsync_path(parent_dir(path));
   obs::current_registry().counter("resilience.io.atomic_writes").add();
 }

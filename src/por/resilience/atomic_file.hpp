@@ -27,4 +27,10 @@ namespace por::resilience {
 void atomic_write_file(const std::string& path,
                        const std::function<void(std::ostream&)>& writer);
 
+/// fsync an already-written file (or a directory entry) by path.
+/// Returns false when the open or fsync fails; best-effort true on
+/// platforms without fsync.  Shared by the checkpoint and journal
+/// writers so every durability point goes through one audited helper.
+bool fsync_path(const std::string& path);
+
 }  // namespace por::resilience

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <random>
 #include <thread>
 
 #include "por/obs/registry.hpp"
@@ -9,15 +10,39 @@
 
 namespace por::resilience::detail {
 
+namespace {
+
+/// Fallback jitter source: one cheap PRNG per thread, seeded once from
+/// the OS.  Thread-local so concurrent retry loops never share (or
+/// contend on) a stream.
+double thread_rand01() {
+  thread_local std::minstd_rand engine{std::random_device{}()};
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine);
+}
+
+}  // namespace
+
 std::chrono::milliseconds backoff_delay(const RetryPolicy& policy,
-                                        int failed_attempt) {
-  const double factor =
-      std::pow(std::max(1.0, policy.multiplier),
-               static_cast<double>(std::max(0, failed_attempt)));
-  const double raw =
-      static_cast<double>(policy.base_delay.count()) * factor;
-  const double capped =
-      std::min(raw, static_cast<double>(policy.max_delay.count()));
+                                        int failed_attempt,
+                                        std::chrono::milliseconds prev_sleep) {
+  const double base = static_cast<double>(policy.base_delay.count());
+  const double cap = static_cast<double>(policy.max_delay.count());
+  double raw = 0.0;
+  if (policy.jitter) {
+    // Decorrelated jitter: draw uniformly from [base, 3 * prev], so
+    // consecutive sleeps random-walk upward instead of marching every
+    // stalled worker through the same instants.
+    const double u = policy.rand01 ? policy.rand01() : thread_rand01();
+    const double span =
+        std::max(0.0, 3.0 * static_cast<double>(prev_sleep.count()) - base);
+    raw = base + u * span;
+  } else {
+    const double factor =
+        std::pow(std::max(1.0, policy.multiplier),
+                 static_cast<double>(std::max(0, failed_attempt)));
+    raw = base * factor;
+  }
+  const double capped = std::min(raw, cap);
   return std::chrono::milliseconds(
       static_cast<std::chrono::milliseconds::rep>(std::max(0.0, capped)));
 }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <utility>
 
 #include "por/resilience/error.hpp"
@@ -25,12 +26,24 @@
 namespace por::resilience {
 
 /// Backoff schedule: attempt k (0-based) sleeps
-/// min(base_delay * multiplier^k, max_delay) before the next try.
+/// min(base_delay * multiplier^k, max_delay) before the next try —
+/// or, with jitter on, the decorrelated-jitter schedule
+/// min(max_delay, base_delay + U[0,1) * (3 * prev_sleep - base_delay)).
+/// Jitter is what keeps a thundering herd apart: when many workers hit
+/// the same NFS flap at once, a deterministic schedule has them all
+/// retrying in lockstep at the exact same instants, re-creating the
+/// very stampede that knocked the mount over.
 struct RetryPolicy {
   int max_attempts = 1;  ///< total tries; 1 means "no retry"
   std::chrono::milliseconds base_delay{10};
   double multiplier = 2.0;
   std::chrono::milliseconds max_delay{2000};
+  /// Decorrelated jitter (opt-in; off keeps the exact deterministic
+  /// schedule long-running configs were tuned against).
+  bool jitter = false;
+  /// Uniform [0, 1) source for the jitter draw.  Injectable so tests
+  /// pin the schedule; null uses a thread-local PRNG.
+  std::function<double()> rand01;
 };
 
 namespace detail {
@@ -39,9 +52,12 @@ namespace detail {
 void on_retry(const char* what, int failed_attempt,
               std::chrono::milliseconds sleep_ms, const char* error);
 
-/// Backoff for the given 0-based failed attempt, capped.
+/// Backoff for the given 0-based failed attempt, capped.  `prev_sleep`
+/// is the previous attempt's sleep (feeds the decorrelated-jitter
+/// recurrence; ignored for the deterministic schedule).
 [[nodiscard]] std::chrono::milliseconds backoff_delay(
-    const RetryPolicy& policy, int failed_attempt);
+    const RetryPolicy& policy, int failed_attempt,
+    std::chrono::milliseconds prev_sleep);
 }  // namespace detail
 
 /// Run `fn`, retrying on Error{kTransient} up to policy.max_attempts
@@ -51,13 +67,16 @@ template <typename F>
 auto with_retry(const RetryPolicy& policy, const char* what, F&& fn)
     -> decltype(fn()) {
   const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  std::chrono::milliseconds prev = policy.base_delay;
   for (int attempt = 0;; ++attempt) {
     try {
       return fn();
     } catch (const Error& error) {
       if (!error.retryable() || attempt + 1 >= attempts) throw;
-      detail::on_retry(what, attempt, detail::backoff_delay(policy, attempt),
-                       error.what());
+      const std::chrono::milliseconds sleep_ms =
+          detail::backoff_delay(policy, attempt, prev);
+      prev = sleep_ms;
+      detail::on_retry(what, attempt, sleep_ms, error.what());
     }
   }
 }

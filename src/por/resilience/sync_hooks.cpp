@@ -1,0 +1,66 @@
+#include "por/resilience/sync_hooks.hpp"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace por::resilience {
+
+const char* to_string(SyncOp op) {
+  switch (op) {
+    case SyncOp::kOpen:
+      return "open";
+    case SyncOp::kWrite:
+      return "write";
+    case SyncOp::kFlush:
+      return "flush";
+    case SyncOp::kFsync:
+      return "fsync";
+    case SyncOp::kRename:
+      return "rename";
+    case SyncOp::kDirFsync:
+      return "dir_fsync";
+    case SyncOp::kRemove:
+      return "remove";
+  }
+  return "?";
+}
+
+namespace {
+
+// The fast path is the `installed` flag: production code pays one
+// relaxed load per hook point and never touches the mutex.  The mutex
+// only serializes install/clear against firing hooks in tests (where
+// checkpoint writes on scheduler workers race the installing thread).
+std::mutex hook_mutex;
+std::shared_ptr<const SyncHook> hook_slot;  // guarded by hook_mutex
+// por-atomic-file: monitor — the flag is a best-effort fast-path gate;
+// a stale read only routes one call through (or past) the mutex, and
+// the hook itself is read under the lock.
+std::atomic<bool> hook_installed{false};
+
+}  // namespace
+
+void set_sync_hook(SyncHook hook) {
+  std::lock_guard<std::mutex> lock(hook_mutex);
+  if (hook) {
+    hook_slot = std::make_shared<const SyncHook>(std::move(hook));
+    hook_installed.store(true, std::memory_order_release);
+  } else {
+    hook_slot.reset();
+    hook_installed.store(false, std::memory_order_release);
+  }
+}
+
+void sync_hook_point(SyncOp op, const std::string& path) {
+  if (!hook_installed.load(std::memory_order_relaxed)) return;
+  std::shared_ptr<const SyncHook> hook;
+  {
+    std::lock_guard<std::mutex> lock(hook_mutex);
+    hook = hook_slot;
+  }
+  if (hook && *hook) (*hook)(op, path);
+}
+
+}  // namespace por::resilience

@@ -15,10 +15,28 @@
 //     service sheds load with kQueueFull instead of growing an
 //     unbounded queue and blowing its latency promise.
 //
-// Job lifecycle: kQueued -> kRunning -> {kDone, kFailed}; a queued job
-// can be cancelled (kCancelled).  Rejected submissions never get a job
-// id.  drain() stops admission and waits for the backlog to empty;
-// shutdown() drains and joins; the destructor is a shutdown().
+// Job lifecycle: kQueued -> kRunning -> {kDone, kFailed, kCancelled,
+// kTimedOut}.  A queued job cancels immediately; a running job is
+// cancelled cooperatively (CancelToken, polled down inside
+// sliding_window_search) and lands in exactly one terminal state.
+// Per-job deadlines (request.deadline_ns, or the service-wide
+// default_deadline_ns) surface as kTimedOut through the same token.
+// Rejected submissions never get a job id.  drain() stops admission
+// and waits for the backlog to empty; shutdown() drains and joins; the
+// destructor is a shutdown().
+//
+// Crash-only serving (DESIGN.md §15): with ServiceOptions::journal_dir
+// set, every submission is appended to a por::journal write-ahead
+// journal and fsync'd BEFORE submit() returns — the ack the client
+// holds us to — and every lifecycle transition follows it.  Per-view
+// progress is checkpointed to <journal_dir>/job-<id>.porc (PR 5 PORC
+// format).  After a crash, construct the service on the same
+// journal_dir, register the models, then call recover(): incomplete
+// jobs are re-admitted (already-checkpointed views restored, the rest
+// refined), terminal jobs are rematerialized with their results, and
+// duplicate submissions are absorbed by idempotency key.  Per-view
+// determinism makes a recovered job's orientations bitwise-identical
+// to an uninterrupted run.
 //
 // Determinism: per-view refinement is deterministic and the Scheduler
 // executes every view of a job exactly once, so a job's refined
@@ -43,7 +61,11 @@
 #include <utility>
 #include <vector>
 
+#include "por/core/cancel.hpp"
 #include "por/core/refiner.hpp"
+#include "por/journal/journal.hpp"
+#include "por/resilience/checkpoint.hpp"
+#include "por/serve/job_record.hpp"
 #include "por/serve/scheduler.hpp"
 #include "por/serve/token_bucket.hpp"
 
@@ -67,6 +89,7 @@ enum class JobState : std::uint8_t {
   kDone,
   kFailed,
   kCancelled,
+  kTimedOut,  ///< the per-job deadline fired (structured, not kFailed)
 };
 
 enum class Admission : std::uint8_t {
@@ -100,6 +123,17 @@ struct ServiceOptions {
   /// Injectable clock (monotonic nanoseconds) for quota refill and
   /// latency measurement; tests drive it by hand.  Null → steady clock.
   std::function<std::uint64_t()> clock_ns;
+  /// Write-ahead journal directory (DESIGN.md §15).  Empty → journaling
+  /// and recovery disabled (the PR 6 in-memory behaviour).
+  std::string journal_dir;
+  /// Rotate journal segments at this size.
+  std::size_t journal_max_segment_bytes = 4u << 20;
+  /// Default per-job deadline as a DURATION in nanoseconds, applied
+  /// when a request carries none.  0 → no deadline.
+  std::uint64_t default_deadline_ns = 0;
+  /// Per-view checkpoint records buffered between atomic rewrites of a
+  /// job's PORC file (1 = checkpoint after every view).
+  std::size_t checkpoint_flush_every = 8;
 };
 
 struct JobRequest {
@@ -109,11 +143,23 @@ struct JobRequest {
   std::vector<em::Orientation> initial;
   /// Optional per-view centers (empty → all (0, 0)).
   std::vector<std::pair<double, double>> centers;
+  /// Client-supplied dedup key.  A resubmission carrying a key the
+  /// service has already journal-acknowledged — including across a
+  /// crash/recovery — returns the ORIGINAL job id (deduplicated=true)
+  /// instead of admitting a second execution.  Empty → no dedup.
+  std::string idempotency_key;
+  /// Deadline as a DURATION in nanoseconds from submission (restarted
+  /// from re-admission for a recovered job — wall time spent dead is
+  /// not charged).  0 → ServiceOptions::default_deadline_ns.
+  std::uint64_t deadline_ns = 0;
 };
 
 struct SubmitResult {
   std::uint64_t job = 0;  ///< valid only when accepted
   Admission admission = Admission::kAccepted;
+  /// True when the idempotency key matched an existing job: `job` is
+  /// that original job's id and nothing new was admitted.
+  bool deduplicated = false;
   [[nodiscard]] bool accepted() const {
     return admission == Admission::kAccepted;
   }
@@ -145,16 +191,40 @@ class RefineService {
   void register_model(const std::string& name, const em::Volume<double>& map,
                       const core::RefinerConfig& config);
 
-  /// Admission-controlled, non-blocking submit.
+  /// Admission-controlled, non-blocking submit.  With journaling on,
+  /// the submission record is fsync'd before this returns — an
+  /// accepted result is durable against SIGKILL.  Throws
+  /// resilience::Error{kTransient} if the journal write itself fails
+  /// (the job was NOT admitted; retry).
   SubmitResult submit(JobRequest request);
+
+  /// Crash recovery (journaling only; call once, after register_model):
+  /// replays the journal, rematerializes terminal jobs (results from
+  /// their checkpoints), re-admits every incomplete job — restored
+  /// views are not refined again — and compacts the journal.  A job
+  /// whose model is not registered fails with a structured error
+  /// rather than blocking recovery.  Returns the number of re-admitted
+  /// jobs.
+  std::size_t recover();
 
   /// Snapshot of one job's lifecycle (results included once done).
   [[nodiscard]] JobStatus status(std::uint64_t job) const;
 
+  /// Ids of every job the service knows, ascending — including jobs
+  /// rematerialized from the journal by recover(), which is what
+  /// recovery tooling enumerates after a restart.
+  [[nodiscard]] std::vector<std::uint64_t> job_ids() const;
+
   /// Block until the job reaches a terminal state, then return it.
   JobStatus wait(std::uint64_t job);
 
-  /// Cancel a queued job.  False if unknown or already running/done.
+  /// Cancel a job.  A queued job transitions to kCancelled
+  /// immediately; a running job has its CancelToken fired and finishes
+  /// in exactly one terminal state — kCancelled once a worker observes
+  /// the token, or kDone if every view had already completed (the
+  /// cancel arrived too late; the returned `true` means "request
+  /// delivered", not "job will end cancelled").  False if the job is
+  /// unknown or already terminal.
   bool cancel(std::uint64_t job);
 
   /// Stop admitting and wait until queued == running == 0.
@@ -180,14 +250,35 @@ class RefineService {
     std::string tenant;
     std::string model;
     std::string error;
+    std::string idempotency_key;
+    std::uint64_t deadline_ns = 0;  ///< duration from submit_ns; 0 = none
     std::shared_ptr<const core::OrientationRefiner> refiner;
     std::vector<em::Image<double>> views;
     std::vector<em::Orientation> initial;
     std::vector<std::pair<double, double>> centers;
     std::vector<core::ViewResult> results;
+    /// Cooperative cancel/deadline token; created at dispatch, shared
+    /// with every batch task of the job.
+    std::shared_ptr<core::CancelToken> token;
+    /// restored[i] != 0: results[i] came from the recovery checkpoint
+    /// and must not be refined (or checkpointed) again.
+    std::vector<char> restored;
+    /// Per-view PORC checkpoint log (journaling only).  checkpoint_mutex
+    /// serializes worker-thread appends; never taken with mutex_ held.
+    std::unique_ptr<resilience::CheckpointWriter> checkpoint;
+    std::mutex checkpoint_mutex;
+    std::size_t views_done = 0;  ///< guarded by checkpoint_mutex
     std::uint64_t submit_ns = 0;
     std::uint64_t start_ns = 0;
     std::uint64_t end_ns = 0;
+  };
+
+  /// One journal-replayed job, parked until recover() can look the
+  /// model up.
+  struct RecoveredJob {
+    SubmittedJob request;
+    JobState state = JobState::kQueued;  ///< kQueued = incomplete
+    std::string error;
   };
 
   void dispatcher_loop();
@@ -196,6 +287,10 @@ class RefineService {
   Tenant& tenant_entry_locked(const std::string& name);
   [[nodiscard]] JobStatus status_locked(const Job& job) const;
   [[nodiscard]] std::uint64_t now_ns() const { return clock_(); }
+  void journal_append_locked(JobRecordType type, const std::string& payload,
+                             bool durable);
+  [[nodiscard]] std::string checkpoint_path(std::uint64_t job) const;
+  void replay_journal_locked();
 
   ServiceOptions options_;
   std::function<std::uint64_t()> clock_;
@@ -219,11 +314,23 @@ class RefineService {
   std::unique_ptr<JobChannel<std::uint64_t>> queue_;
   std::unique_ptr<Scheduler> scheduler_;
 
+  /// Write-ahead journal (null when options_.journal_dir is empty) and
+  /// the replayed-but-not-yet-materialized jobs recover() consumes.
+  std::unique_ptr<journal::Journal> journal_;
+  std::map<std::uint64_t, RecoveredJob> recovery_plan_;
+  bool recovered_ = false;
+  /// idempotency key -> job id, spanning live AND terminal jobs (a key
+  /// resubmitted after completion still dedups).
+  std::map<std::string, std::uint64_t> idempotency_;
+
   obs::Counter* submitted_;
   obs::Counter* accepted_;
   obs::Counter* completed_;
   obs::Counter* failed_;
   obs::Counter* cancelled_;
+  obs::Counter* timed_out_;
+  obs::Counter* deduplicated_;
+  obs::Counter* replayed_jobs_;
   obs::Counter* rejected_queue_;
   obs::Counter* rejected_quota_;
   obs::Counter* rejected_other_;

@@ -1,0 +1,212 @@
+// tests/fuzz — common driver for the parser fuzz targets.
+//
+// Every target defines the libFuzzer entry point
+//
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t n);
+//
+// so the same sources link against real libFuzzer when a clang with
+// -fsanitize=fuzzer is the toolchain (configure with
+// -DPOR_FUZZ_ENGINE=libfuzzer).  The default build on this tree is
+// gcc, which has no fuzzer runtime, so fuzz_common.hpp also supplies a
+// standalone driver: it replays every corpus file it is given, then
+// spends a fixed, seeded mutation budget flipping bits / truncating /
+// splicing / planting interesting integers on corpus-derived inputs.
+// Not coverage-guided — but deterministic, sanitizer-instrumented, and
+// cheap enough to gate CI on (the fuzz-smoke job), which is the job a
+// smoke budget has.  Feed the same corpus to a real libFuzzer build
+// for the long-haul coverage-guided runs.
+//
+// Driver usage:
+//   fuzz_<target> [--runs=N] [--seed=S] [--max-len=L] corpus-dir|file...
+// Defaults: runs from POR_FUZZ_RUNS env (else 5000), seed 1,
+// max-len 65536.  Exit 0 = budget survived; a sanitizer abort or
+// uncaught exception is the failure signal.
+#pragma once
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace por::fuzz {
+
+/// Scratch file shared by the file-format targets: parsers in this
+/// tree read paths, not buffers, so each input is staged here.
+inline const std::string& scratch_path(const char* tag) {
+  static const std::string path = [tag] {
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / "por_fuzz" /
+        (std::string(tag) + "_" + std::to_string(::getpid()));
+    fs::create_directories(dir);
+    return (dir / "input.bin").string();
+  }();
+  return path;
+}
+
+inline void write_scratch(const std::string& path, const std::uint8_t* data,
+                          std::size_t size) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+}
+
+}  // namespace por::fuzz
+
+#if !defined(POR_FUZZ_LIBFUZZER)
+
+namespace por::fuzz::detail {
+
+inline std::vector<std::uint8_t> slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+/// One mutation step.  The menu is the classic dumb-fuzzer set: the
+/// point is sanitizer-instrumented breadth, not cleverness.
+inline void mutate(std::vector<std::uint8_t>& input,
+                   const std::vector<std::vector<std::uint8_t>>& corpus,
+                   std::mt19937_64& rng, std::size_t max_len) {
+  const auto rand_index = [&rng](std::size_t n) {
+    return static_cast<std::size_t>(rng() % n);
+  };
+  switch (rng() % 7u) {
+    case 0:  // flip one bit
+      if (!input.empty()) {
+        input[rand_index(input.size())] ^=
+            static_cast<std::uint8_t>(1u << (rng() % 8u));
+      }
+      break;
+    case 1:  // overwrite one byte
+      if (!input.empty()) {
+        input[rand_index(input.size())] = static_cast<std::uint8_t>(rng());
+      }
+      break;
+    case 2:  // truncate
+      if (!input.empty()) input.resize(rand_index(input.size()));
+      break;
+    case 3:  // extend with random bytes
+      for (std::size_t i = 0, n = 1 + rng() % 32u;
+           i < n && input.size() < max_len; ++i) {
+        input.push_back(static_cast<std::uint8_t>(rng()));
+      }
+      break;
+    case 4: {  // plant an "interesting" little-endian integer
+      static constexpr std::uint64_t kMagicInts[] = {
+          0,          1,          0x7fu,          0xffu,
+          0x7fffu,    0xffffu,    0x7fffffffu,    0xffffffffu,
+          0x100000000ull, ~0ull};
+      const std::uint64_t value = kMagicInts[rng() % 10u];
+      const std::size_t width = (rng() % 2u) ? 4 : 8;
+      if (input.size() >= width) {
+        std::memcpy(&input[rand_index(input.size() - width + 1)], &value,
+                    width);
+      }
+      break;
+    }
+    case 5: {  // splice a window from another corpus input
+      if (!corpus.empty()) {
+        const auto& donor = corpus[rand_index(corpus.size())];
+        if (!donor.empty() && !input.empty()) {
+          const std::size_t from = rand_index(donor.size());
+          const std::size_t to = rand_index(input.size());
+          const std::size_t n = std::min(
+              {donor.size() - from, input.size() - to, std::size_t{64}});
+          std::memcpy(&input[to], &donor[from], n);
+        }
+      }
+      break;
+    }
+    default:  // swap two bytes
+      if (input.size() >= 2) {
+        std::swap(input[rand_index(input.size())],
+                  input[rand_index(input.size())]);
+      }
+      break;
+  }
+}
+
+inline int standalone_main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::uint64_t runs = 5000;
+  if (const char* env = std::getenv("POR_FUZZ_RUNS")) {
+    const long long parsed = std::atoll(env);
+    if (parsed > 0) runs = static_cast<std::uint64_t>(parsed);
+  }
+  std::uint64_t seed = 1;
+  std::size_t max_len = 1u << 16;
+  std::vector<std::vector<std::uint8_t>> corpus;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--runs=", 0) == 0) {
+      runs = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--max-len=", 0) == 0) {
+      max_len = static_cast<std::size_t>(std::atoll(arg.c_str() + 10));
+    } else if (fs::is_directory(arg)) {
+      std::vector<fs::path> files;
+      for (const auto& entry : fs::directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());  // determinism across FS order
+      for (const auto& file : files) corpus.push_back(slurp(file));
+    } else if (fs::is_regular_file(arg)) {
+      corpus.push_back(slurp(arg));
+    } else {
+      std::fprintf(stderr, "fuzz: no such corpus input: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  // Phase 1: replay the corpus verbatim — a regression gate in itself.
+  for (const auto& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+
+  // Phase 2: the seeded mutation budget.
+  std::mt19937_64 rng(seed);
+  for (std::uint64_t run = 0; run < runs; ++run) {
+    std::vector<std::uint8_t> input =
+        corpus.empty()
+            ? std::vector<std::uint8_t>{}
+            : corpus[static_cast<std::size_t>(rng() % corpus.size())];
+    const std::size_t steps = 1 + static_cast<std::size_t>(rng() % 8u);
+    for (std::size_t step = 0; step < steps; ++step) {
+      mutate(input, corpus, rng, max_len);
+    }
+    if (input.size() > max_len) input.resize(max_len);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  std::fprintf(stderr,
+               "fuzz: %llu corpus inputs replayed, %llu mutated runs, seed "
+               "%llu — no crash\n",
+               static_cast<unsigned long long>(corpus.size()),
+               static_cast<unsigned long long>(runs),
+               static_cast<unsigned long long>(seed));
+  return 0;
+}
+
+}  // namespace por::fuzz::detail
+
+int main(int argc, char** argv) {
+  return por::fuzz::detail::standalone_main(argc, argv);
+}
+
+#endif  // !POR_FUZZ_LIBFUZZER

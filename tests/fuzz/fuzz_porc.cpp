@@ -1,0 +1,22 @@
+// Fuzz target: the PORC checkpoint parser (por/resilience/checkpoint).
+//
+// load_checkpoint's contract is load-what-proves-valid: per-record
+// CRCs, a dropped torn tail, kCorrupt on structural damage — and the
+// recovery path (RefineService::recover) trusts it blindly, so the
+// parser must hold against arbitrary bytes.
+#include <exception>
+
+#include "fuzz_common.hpp"
+#include "por/resilience/checkpoint.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string& path = por::fuzz::scratch_path("porc");
+  por::fuzz::write_scratch(path, data, size);
+  try {
+    (void)por::resilience::load_checkpoint(path);
+  } catch (const std::exception&) {
+    // Typed rejection is the expected outcome for malformed input.
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Fuzz target: the PORM density-map parser (por/io/map_io).
+#include <exception>
+
+#include "fuzz_common.hpp"
+#include "por/io/map_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string& path = por::fuzz::scratch_path("porm");
+  por::fuzz::write_scratch(path, data, size);
+  try {
+    (void)por::io::read_map(path);
+  } catch (const std::exception&) {
+    // Typed rejection is the expected outcome for malformed input.
+  }
+  return 0;
+}

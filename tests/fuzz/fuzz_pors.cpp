@@ -1,0 +1,33 @@
+// Fuzz target: the PORS image-stack parser (por/io/stack_io).
+//
+// Contract under test (stack_io.hpp): arbitrary bytes produce either a
+// valid stack or a typed resilience::Error — never a crash, never an
+// unbounded allocation, never a garbage image.  Both the whole-file
+// reader and the seek-per-view StackReader walk the input.
+#include <exception>
+
+#include "fuzz_common.hpp"
+#include "por/io/stack_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string& path = por::fuzz::scratch_path("pors");
+  por::fuzz::write_scratch(path, data, size);
+  try {
+    const auto images = por::io::read_stack(path);
+    if (!images.empty()) {
+      // A stack the parser accepted must also serve random access.
+      por::io::StackReader reader(path);
+      std::vector<double> view(reader.ny() * reader.nx());
+      reader.read_view(0, view.data());
+      reader.read_view(reader.count() - 1, view.data());
+    }
+  } catch (const std::exception&) {
+    // Typed rejection is the expected outcome for malformed input.
+  }
+  try {
+    (void)por::io::stack_count(path);
+  } catch (const std::exception&) {
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fuzz target: the slz4 block decoder (por/stream/slz4).
+//
+// Two modes per input, split on the first byte:
+//   * decode-hostile: the remaining bytes are fed to slz4_decompress
+//     as a compressed block with a claimed raw size taken from the
+//     next two bytes (0..4095) — every token, literal run, and match
+//     offset must be bounds-checked (typed kCorrupt), with the output
+//     buffer red-zoned by ASan;
+//   * round-trip: the remaining bytes are compressed and decompressed,
+//     and the result must be byte-identical (the invariant every shard
+//     read depends on).
+#include <cstring>
+#include <exception>
+#include <vector>
+
+#include "fuzz_common.hpp"
+#include "por/stream/slz4.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 3) return 0;
+  const bool round_trip = (data[0] & 1) != 0;
+  if (round_trip) {
+    const std::uint8_t* raw = data + 1;
+    const std::size_t raw_bytes = size - 1;
+    std::vector<std::uint8_t> compressed(
+        por::stream::slz4_max_compressed_size(raw_bytes));
+    const std::size_t packed = por::stream::slz4_compress(
+        raw, raw_bytes, compressed.data(), compressed.size());
+    if (packed == 0) return 0;  // caller would store raw
+    std::vector<std::uint8_t> restored(raw_bytes);
+    por::stream::slz4_decompress(compressed.data(), packed, restored.data(),
+                                 raw_bytes);
+    if (raw_bytes != 0 &&
+        std::memcmp(restored.data(), raw, raw_bytes) != 0) {
+      __builtin_trap();  // lossy round trip — a real bug, crash loudly
+    }
+  } else {
+    const std::size_t raw_bytes =
+        (static_cast<std::size_t>(data[1]) |
+         (static_cast<std::size_t>(data[2]) << 8)) &
+        0xfffu;
+    std::vector<std::uint8_t> out(raw_bytes);
+    try {
+      por::stream::slz4_decompress(data + 3, size - 3, out.data(),
+                                   raw_bytes);
+    } catch (const std::exception&) {
+      // Typed rejection is the expected outcome for hostile blocks.
+    }
+  }
+  return 0;
+}

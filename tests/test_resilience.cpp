@@ -35,6 +35,7 @@
 #include "por/resilience/crc32.hpp"
 #include "por/resilience/error.hpp"
 #include "por/resilience/retry.hpp"
+#include "por/resilience/sync_hooks.hpp"
 #include "por/vmpi/runtime.hpp"
 #include "test_helpers.hpp"
 
@@ -143,6 +144,81 @@ TEST(Retry, ExhaustsAttemptsAndRethrows) {
   EXPECT_EQ(calls, 3);
 }
 
+TEST(Retry, DeterministicScheduleUnchangedByDefault) {
+  // jitter defaults off: existing tuned configs keep the exact
+  // base * multiplier^k (capped) schedule.
+  resilience::RetryPolicy policy;
+  policy.base_delay = 10ms;
+  policy.multiplier = 2.0;
+  policy.max_delay = 65ms;
+  EXPECT_EQ(resilience::detail::backoff_delay(policy, 0, 10ms), 10ms);
+  EXPECT_EQ(resilience::detail::backoff_delay(policy, 1, 10ms), 20ms);
+  EXPECT_EQ(resilience::detail::backoff_delay(policy, 2, 20ms), 40ms);
+  EXPECT_EQ(resilience::detail::backoff_delay(policy, 3, 40ms), 65ms);  // cap
+}
+
+TEST(Retry, DecorrelatedJitterFollowsRecurrence) {
+  // With an injected uniform source the whole schedule is pinned:
+  // sleep_k = min(cap, base + u_k * (3 * sleep_{k-1} - base)).
+  resilience::RetryPolicy policy;
+  policy.jitter = true;
+  policy.base_delay = 10ms;
+  policy.max_delay = 1000ms;
+  std::vector<double> draws = {0.0, 1.0, 0.5};
+  std::size_t next = 0;
+  policy.rand01 = [&] { return draws[next++]; };
+
+  // u = 0 collapses to the base delay.
+  const auto d0 = resilience::detail::backoff_delay(policy, 0, 10ms);
+  EXPECT_EQ(d0, 10ms);
+  // u = 1 reaches the full 3 * prev span: 10 + (3*10 - 10) = 30.
+  const auto d1 = resilience::detail::backoff_delay(policy, 1, d0);
+  EXPECT_EQ(d1, 30ms);
+  // u = 0.5 lands mid-span: 10 + 0.5 * (90 - 10) = 50.
+  const auto d2 = resilience::detail::backoff_delay(policy, 2, d1);
+  EXPECT_EQ(d2, 50ms);
+}
+
+TEST(Retry, JitterIsCappedAndBoundedBelow) {
+  resilience::RetryPolicy policy;
+  policy.jitter = true;
+  policy.base_delay = 10ms;
+  policy.max_delay = 40ms;
+  policy.rand01 = [] { return 0.999; };
+  // A huge previous sleep caps at max_delay...
+  EXPECT_EQ(resilience::detail::backoff_delay(policy, 5, 500ms), 40ms);
+  // ...and a draw of zero never dips below the base.
+  policy.rand01 = [] { return 0.0; };
+  EXPECT_EQ(resilience::detail::backoff_delay(policy, 5, 500ms), 10ms);
+}
+
+TEST(Retry, JitteredWithRetryConsumesInjectedDraws) {
+  // End-to-end through with_retry: the recurrence feeds each sleep back
+  // as the next prev, and the injected source is consumed once per
+  // performed retry (not per attempt).
+  obs::MetricsRegistry registry;
+  obs::RegistryScope scope(registry);
+  resilience::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.jitter = true;
+  policy.base_delay = 0ms;  // keep the test sleepless
+  policy.max_delay = 0ms;
+  int draws = 0;
+  policy.rand01 = [&] {
+    ++draws;
+    return 0.5;
+  };
+  int calls = 0;
+  const int value = resilience::with_retry(policy, "jittered", [&] {
+    if (++calls < 4) throw resilience::transient_error("hiccup");
+    return 11;
+  });
+  EXPECT_EQ(value, 11);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(draws, 3);  // one per retry, none for the final success
+  EXPECT_EQ(registry.snapshot().counters.at("resilience.io.retries"), 3u);
+}
+
 // ---- atomic file replacement ---------------------------------------------
 
 TEST(AtomicFile, ReplacesWholeFileOrNothing) {
@@ -174,16 +250,6 @@ TEST(AtomicFile, ReplacesWholeFileOrNothing) {
   EXPECT_EQ(slurp(path), "second");
 }
 
-// ---- crc32 ----------------------------------------------------------------
-
-TEST(Crc32, MatchesKnownVector) {
-  // The classic IEEE 802.3 check value.
-  EXPECT_EQ(resilience::crc32("123456789", 9), 0xCBF43926u);
-  EXPECT_EQ(resilience::crc32("", 0), 0u);
-}
-
-// ---- checkpoint -----------------------------------------------------------
-
 resilience::CheckpointRecord make_record(std::uint64_t index) {
   resilience::CheckpointRecord rec;
   rec.view_index = index;
@@ -196,6 +262,120 @@ resilience::CheckpointRecord make_record(std::uint64_t index) {
   rec.matchings = 100 + index;
   return rec;
 }
+
+// ---- sync-hook fault injection (DESIGN.md §15) ----------------------------
+//
+// The SyncHooks seam fires immediately before every step of a durable
+// write sequence.  These tests throw a transient error at each step in
+// turn — the ENOSPC / EINTR / short-write shapes — and verify the
+// atomicity contract: the destination always holds the OLD complete
+// artifact, and no temp file survives the unwind.
+
+TEST(SyncHooks, InjectedFailureAtEveryStepLeavesOldArtifact) {
+  const fs::path dir = test_dir("hooks_steps");
+  const fs::path path = dir / "artifact.bin";
+  resilience::atomic_write_file(path.string(),
+                                [](std::ostream& out) { out << "old"; });
+
+  const resilience::SyncOp steps[] = {
+      resilience::SyncOp::kOpen, resilience::SyncOp::kWrite,
+      resilience::SyncOp::kFlush, resilience::SyncOp::kFsync,
+      resilience::SyncOp::kRename};
+  for (const resilience::SyncOp failing : steps) {
+    {
+      resilience::ScopedSyncHook hook(
+          [failing](resilience::SyncOp op, const std::string&) {
+            if (op == failing) {
+              throw resilience::transient_error("injected ENOSPC");
+            }
+          });
+      expect_error_kind(resilience::ErrorKind::kTransient, [&] {
+        resilience::atomic_write_file(
+            path.string(), [](std::ostream& out) { out << "new-half"; });
+      });
+    }
+    EXPECT_EQ(slurp(path), "old")
+        << "partial artifact after failure at "
+        << resilience::to_string(failing);
+    std::size_t entries = 0;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      (void)entry;
+      ++entries;
+    }
+    EXPECT_EQ(entries, 1u) << "temp leaked after failure at "
+                           << resilience::to_string(failing);
+  }
+
+  // The hook gone, the same write succeeds.
+  resilience::atomic_write_file(path.string(),
+                                [](std::ostream& out) { out << "new"; });
+  EXPECT_EQ(slurp(path), "new");
+}
+
+TEST(SyncHooks, IntermittentFailureIsRetryable) {
+  // EINTR shape: the first two attempts die inside the sequence, the
+  // third goes through — with_retry turns the burst into one artifact.
+  const fs::path path = test_dir("hooks_eintr") / "artifact.bin";
+  int failures = 2;
+  resilience::ScopedSyncHook hook(
+      [&failures](resilience::SyncOp op, const std::string&) {
+        if (op == resilience::SyncOp::kFsync && failures > 0) {
+          --failures;
+          throw resilience::transient_error("injected EINTR");
+        }
+      });
+  obs::MetricsRegistry registry;
+  obs::RegistryScope scope(registry);
+  resilience::with_retry(fast_retry(5), "hooked_write", [&] {
+    resilience::atomic_write_file(path.string(),
+                                  [](std::ostream& out) { out << "payload"; });
+  });
+  EXPECT_EQ(slurp(path), "payload");
+  EXPECT_EQ(failures, 0);
+  EXPECT_EQ(registry.snapshot().counters.at("resilience.io.retries"), 2u);
+}
+
+TEST(SyncHooks, CheckpointWriterNeverExposesPartialState) {
+  // A checkpoint flush that dies mid-sequence must leave the previous
+  // checkpoint fully intact; once the fault clears, a re-flush
+  // persists everything appended so far (nothing was dropped).
+  const fs::path path = test_dir("hooks_ckpt") / "run.porc";
+  resilience::CheckpointWriter writer(path.string(), /*flush_every=*/1);
+  writer.append(make_record(0));
+  ASSERT_EQ(resilience::load_checkpoint(path.string()).size(), 1u);
+
+  {
+    resilience::ScopedSyncHook hook(
+        [](resilience::SyncOp op, const std::string&) {
+          if (op == resilience::SyncOp::kWrite) {
+            throw resilience::transient_error("injected short write");
+          }
+        });
+    expect_error_kind(resilience::ErrorKind::kTransient,
+                      [&] { writer.append(make_record(1)); });
+  }
+  // The on-disk checkpoint is still the old, provably-intact one.
+  const auto during = resilience::load_checkpoint(path.string());
+  ASSERT_EQ(during.size(), 1u);
+  EXPECT_EQ(during[0], make_record(0));
+
+  // Fault cleared: the failed record was retained in the buffer, and
+  // the next flush lands both.
+  writer.flush();
+  const auto after = resilience::load_checkpoint(path.string());
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_EQ(after[1], make_record(1));
+}
+
+// ---- crc32 ----------------------------------------------------------------
+
+TEST(Crc32, MatchesKnownVector) {
+  // The classic IEEE 802.3 check value.
+  EXPECT_EQ(resilience::crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(resilience::crc32("", 0), 0u);
+}
+
+// ---- checkpoint -----------------------------------------------------------
 
 TEST(Checkpoint, RoundTripsRecords) {
   const fs::path path = test_dir("ckpt") / "run.porc";

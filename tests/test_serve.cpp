@@ -6,18 +6,30 @@
 // ThreadSanitizer in CI.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "por/core/refiner.hpp"
+#include "por/journal/journal.hpp"
+#include "por/obs/registry.hpp"
+#include "por/resilience/checkpoint.hpp"
 #include "por/serve/job_channel.hpp"
+#include "por/serve/job_record.hpp"
 #include "por/serve/scheduler.hpp"
 #include "por/serve/service.hpp"
 #include "por/serve/steal_deque.hpp"
 #include "por/serve/token_bucket.hpp"
 #include "test_helpers.hpp"
+
+namespace fs = std::filesystem;
 
 namespace {
 
@@ -485,7 +497,7 @@ TEST(RefineService, LifecycleCancelAndDrain) {
   service.register_model("phantom", model.rasterize(l), serve_test_config());
 
   // Malformed requests never enter the queue.
-  EXPECT_EQ(service.submit(JobRequest{"t", "phantom", {}, {}, {}}).admission,
+  EXPECT_EQ(service.submit(JobRequest{"t", "phantom", {}, {}, {}, {}, 0}).admission,
             Admission::kBadRequest);
   EXPECT_EQ(service.submit(make_job("t", "no-such-model", set, 0, 1)).admission,
             Admission::kUnknownModel);
@@ -503,13 +515,22 @@ TEST(RefineService, LifecycleCancelAndDrain) {
   // Cancellation inherently races the dispatcher (on a loaded one-core
   // host this thread can be starved past the whole backlog), so assert
   // the atomicity contract rather than a fixed winner: cancel()
-  // returning true pins the job to kCancelled; returning false means
-  // the job was already running and must complete normally.  A second
-  // cancel never succeeds either way.
+  // returning false means the job was already terminal and must have
+  // completed normally; returning true means the request was delivered
+  // — a queued job pins to kCancelled, a running one finishes in
+  // exactly one of {kCancelled, kDone} (kDone iff every view had
+  // already completed when the token fired).
   const bool cancelled = service.cancel(third.job);
+  const JobStatus third_status = service.wait(third.job);
+  if (cancelled) {
+    EXPECT_TRUE(third_status.state == JobState::kCancelled ||
+                third_status.state == JobState::kDone)
+        << to_string(third_status.state);
+  } else {
+    EXPECT_EQ(third_status.state, JobState::kDone);
+  }
+  // Terminal now, whichever way the race went: cancel must refuse.
   EXPECT_FALSE(service.cancel(third.job));
-  EXPECT_EQ(service.wait(third.job).state,
-            cancelled ? JobState::kCancelled : JobState::kDone);
 
   EXPECT_EQ(service.wait(first.job).state, JobState::kDone);
   EXPECT_EQ(service.wait(second.job).state, JobState::kDone);
@@ -563,6 +584,282 @@ TEST(RefineService, WorkerDeathDoesNotFailJobs) {
       expect_bitwise_equal(status.results[i], serial, i);
     }
   }
+  service.shutdown();
+}
+
+// ---- journaled service: recovery, idempotency, deadlines -------------------
+
+fs::path serve_test_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() /
+                       ("por_serve_" + std::to_string(::getpid())) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+TEST(RefineServiceJournal, TerminalJobsSurviveRestartBitwise) {
+  const std::size_t l = 20;
+  const em::BlobModel model = small_phantom(l, 12);
+  const auto set = make_views(model, l, 3, /*seed=*/61);
+  const fs::path dir = serve_test_dir("restart_done");
+
+  ServiceOptions options;
+  options.workers = 2;
+  options.journal_dir = dir.string();
+  options.checkpoint_flush_every = 1;
+
+  std::vector<core::ViewResult> first_results;
+  std::uint64_t id = 0;
+  {
+    RefineService service(options);
+    service.register_model("phantom", model.rasterize(l),
+                           serve_test_config());
+    EXPECT_EQ(service.recover(), 0u);  // empty journal
+    JobRequest request = make_job("t", "phantom", set, 0, 3);
+    request.idempotency_key = "job-key-1";
+    const SubmitResult submitted = service.submit(std::move(request));
+    ASSERT_TRUE(submitted.accepted());
+    EXPECT_FALSE(submitted.deduplicated);
+    id = submitted.job;
+    const JobStatus status = service.wait(id);
+    ASSERT_EQ(status.state, JobState::kDone) << status.error;
+    first_results = status.results;
+    service.shutdown();
+  }
+
+  // A fresh process on the same journal dir sees the finished job —
+  // same id, same state, bitwise-identical orientations — and dedups
+  // a retried submission onto it.
+  RefineService service(options);
+  service.register_model("phantom", model.rasterize(l), serve_test_config());
+  EXPECT_EQ(service.recover(), 0u);  // nothing incomplete
+  const JobStatus recovered = service.status(id);
+  ASSERT_EQ(recovered.state, JobState::kDone) << recovered.error;
+  ASSERT_EQ(recovered.results.size(), first_results.size());
+  for (std::size_t i = 0; i < first_results.size(); ++i) {
+    expect_bitwise_equal(recovered.results[i], first_results[i], i);
+  }
+  JobRequest retry = make_job("t", "phantom", set, 0, 3);
+  retry.idempotency_key = "job-key-1";
+  const SubmitResult deduped = service.submit(std::move(retry));
+  EXPECT_TRUE(deduped.accepted());
+  EXPECT_TRUE(deduped.deduplicated);
+  EXPECT_EQ(deduped.job, id);
+  service.shutdown();
+}
+
+TEST(RefineServiceJournal, IncompleteJobIsReadmittedAndRestoredViewsSkipped) {
+  const std::size_t l = 20;
+  const em::BlobModel model = small_phantom(l, 12);
+  const auto set = make_views(model, l, 2, /*seed=*/67);
+  const fs::path dir = serve_test_dir("readmit");
+  const core::OrientationRefiner reference(model.rasterize(l),
+                                           serve_test_config());
+  const core::ViewResult ref0 =
+      reference.refine_view(set.views[0], set.orientations[0]);
+  const core::ViewResult ref1 =
+      reference.refine_view(set.views[1], set.orientations[1]);
+
+  // Forge the journal a crashed process would leave behind: a durable
+  // submission record with no terminal, plus a checkpoint holding view
+  // 0.  The checkpoint's record is deliberately POISONED (theta + 1)
+  // so the test can prove recovery restored it verbatim instead of
+  // quietly re-refining it.
+  const std::uint64_t id = 1;
+  {
+    journal::Journal journal(dir.string());
+    SubmittedJob submitted;
+    submitted.job = id;
+    submitted.tenant = "t";
+    submitted.model = "phantom";
+    submitted.idempotency_key = "crashed-key";
+    submitted.views = {set.views[0], set.views[1]};
+    submitted.initial = {set.orientations[0], set.orientations[1]};
+    journal.append(static_cast<std::uint32_t>(JobRecordType::kSubmitted),
+                   encode_submitted(submitted));
+    LifecycleEvent running;
+    running.job = id;
+    journal.append(static_cast<std::uint32_t>(JobRecordType::kRunning),
+                   encode_lifecycle(running), /*durable=*/false);
+  }
+  {
+    resilience::CheckpointWriter checkpoint(
+        (dir / ("job-" + std::to_string(id) + ".porc")).string(), 1);
+    resilience::CheckpointRecord record;
+    record.view_index = 0;
+    record.theta = ref0.orientation.theta + 1.0;  // the poison marker
+    record.phi = ref0.orientation.phi;
+    record.omega = ref0.orientation.omega;
+    record.center_x = ref0.center_x;
+    record.center_y = ref0.center_y;
+    record.final_distance = ref0.final_distance;
+    record.matchings = ref0.matchings;
+    checkpoint.append(record);
+  }
+
+  ServiceOptions options;
+  options.workers = 2;
+  options.journal_dir = dir.string();
+  RefineService service(options);
+  service.register_model("phantom", model.rasterize(l), serve_test_config());
+  EXPECT_EQ(service.recover(), 1u);
+
+  const JobStatus status = service.wait(id);
+  ASSERT_EQ(status.state, JobState::kDone) << status.error;
+  ASSERT_EQ(status.results.size(), 2u);
+  // View 0 came from the checkpoint, poison intact (not re-refined)...
+  EXPECT_EQ(status.results[0].orientation.theta,
+            ref0.orientation.theta + 1.0);
+  // ...and view 1 was actually refined, bitwise-identical to an
+  // uninterrupted run.
+  expect_bitwise_equal(status.results[1], ref1, 1);
+
+  // The recovered job's idempotency key dedups too.
+  JobRequest retry = make_job("t", "phantom", set, 0, 2);
+  retry.idempotency_key = "crashed-key";
+  const SubmitResult deduped = service.submit(std::move(retry));
+  EXPECT_TRUE(deduped.deduplicated);
+  EXPECT_EQ(deduped.job, id);
+  service.shutdown();
+}
+
+TEST(RefineServiceJournal, UnknownModelAtRecoveryFailsStructured) {
+  const std::size_t l = 20;
+  const em::BlobModel model = small_phantom(l, 12);
+  const auto set = make_views(model, l, 1, /*seed=*/71);
+  const fs::path dir = serve_test_dir("unknown_model");
+  {
+    journal::Journal journal(dir.string());
+    SubmittedJob submitted;
+    submitted.job = 1;
+    submitted.tenant = "t";
+    submitted.model = "never-registered";
+    submitted.views = {set.views[0]};
+    submitted.initial = {set.orientations[0]};
+    journal.append(static_cast<std::uint32_t>(JobRecordType::kSubmitted),
+                   encode_submitted(submitted));
+  }
+  ServiceOptions options;
+  options.workers = 1;
+  options.journal_dir = dir.string();
+  RefineService service(options);
+  service.register_model("phantom", model.rasterize(l), serve_test_config());
+  EXPECT_EQ(service.recover(), 0u);
+  const JobStatus status = service.status(1);
+  EXPECT_EQ(status.state, JobState::kFailed);
+  EXPECT_NE(status.error.find("never-registered"), std::string::npos);
+  service.shutdown();
+}
+
+TEST(RefineService, DeadlineSurfacesTimedOut) {
+  const std::size_t l = 20;
+  const em::BlobModel model = small_phantom(l, 12);
+  const auto set = make_views(model, l, 2, /*seed=*/73);
+
+  obs::MetricsRegistry registry;
+  obs::RegistryScope scope(registry);
+
+  // A clock that leaps 1 ms per reading: by the time the dispatcher
+  // (or the first in-refinement poll) looks, a 1 ns deadline is long
+  // gone — whichever side of the dequeue the expiry lands on, the job
+  // must surface kTimedOut.
+  auto fake_now = std::make_shared<std::atomic<std::uint64_t>>(1'000'000);
+  ServiceOptions options;
+  options.workers = 1;
+  options.clock_ns = [fake_now] { return fake_now->fetch_add(1'000'000); };
+  RefineService service(options);
+  service.register_model("phantom", model.rasterize(l), serve_test_config());
+
+  JobRequest request = make_job("t", "phantom", set, 0, 2);
+  request.deadline_ns = 1;
+  const SubmitResult submitted = service.submit(std::move(request));
+  ASSERT_TRUE(submitted.accepted());
+  const JobStatus status = service.wait(submitted.job);
+  EXPECT_EQ(status.state, JobState::kTimedOut) << status.error;
+  EXPECT_EQ(registry.snapshot().counters.at("serve.jobs.timed_out"), 1u);
+
+  // A generous deadline does not fire.
+  JobRequest relaxed = make_job("t", "phantom", set, 0, 2);
+  relaxed.deadline_ns = std::uint64_t{1} << 62;
+  const SubmitResult ok = service.submit(std::move(relaxed));
+  ASSERT_TRUE(ok.accepted());
+  EXPECT_EQ(service.wait(ok.job).state, JobState::kDone);
+  service.shutdown();
+}
+
+TEST(RefineService, DefaultDeadlineAppliesWhenRequestCarriesNone) {
+  const std::size_t l = 20;
+  const em::BlobModel model = small_phantom(l, 12);
+  const auto set = make_views(model, l, 1, /*seed=*/79);
+  auto fake_now = std::make_shared<std::atomic<std::uint64_t>>(1'000'000);
+  ServiceOptions options;
+  options.workers = 1;
+  options.default_deadline_ns = 1;
+  options.clock_ns = [fake_now] { return fake_now->fetch_add(1'000'000); };
+  RefineService service(options);
+  service.register_model("phantom", model.rasterize(l), serve_test_config());
+  const SubmitResult submitted =
+      service.submit(make_job("t", "phantom", set, 0, 1));
+  ASSERT_TRUE(submitted.accepted());
+  EXPECT_EQ(service.wait(submitted.job).state, JobState::kTimedOut);
+  service.shutdown();
+}
+
+// Satellite of DESIGN.md §15: the cancel-vs-dispatcher race.  A cancel
+// issued from another thread while the dispatcher is between dequeue
+// and the kRunning publication must land the job in EXACTLY one
+// terminal state, every time, under as many interleavings as a stress
+// loop (run under TSan in CI) can provoke.
+TEST(RefineService, CancelRaceAlwaysExactlyOneTerminalState) {
+  const std::size_t l = 20;
+  const em::BlobModel model = small_phantom(l, 12);
+  const auto set = make_views(model, l, 1, /*seed=*/83);
+
+  obs::MetricsRegistry registry;
+  obs::RegistryScope scope(registry);
+  ServiceOptions options;
+  options.workers = 2;
+  options.queue_capacity = 8;
+  RefineService service(options);
+  service.register_model("phantom", model.rasterize(l), serve_test_config());
+
+  constexpr int kRounds = 120;
+  int cancelled_seen = 0;
+  int done_seen = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    // A cancelled job occupies its backlog slot until the dispatcher
+    // pops the stale id, so rapid submit/cancel rounds can transiently
+    // see kQueueFull — retry; anything else is a real failure.
+    SubmitResult submitted;
+    for (int attempt = 0;; ++attempt) {
+      submitted = service.submit(make_job("t", "phantom", set, 0, 1));
+      if (submitted.accepted()) break;
+      ASSERT_EQ(submitted.admission, Admission::kQueueFull);
+      ASSERT_LT(attempt, 1000) << "backlog never drained";
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // Race the cancel against the dispatcher from a second thread.
+    std::thread canceller([&service, id = submitted.job] {
+      (void)service.cancel(id);
+    });
+    const JobStatus status = service.wait(submitted.job);
+    canceller.join();
+    ASSERT_TRUE(status.state == JobState::kCancelled ||
+                status.state == JobState::kDone)
+        << to_string(status.state) << ": " << status.error;
+    (status.state == JobState::kCancelled ? cancelled_seen : done_seen)++;
+    // The state is terminal and stable: a second read agrees, and a
+    // late cancel is refused.
+    EXPECT_EQ(service.status(submitted.job).state, status.state);
+    EXPECT_FALSE(service.cancel(submitted.job));
+  }
+  // Exactly one terminal per round — the counters must account for
+  // every job once.
+  const auto snapshot = registry.snapshot();
+  const std::uint64_t terminals =
+      snapshot.counters.at("serve.jobs.completed") +
+      snapshot.counters.at("serve.jobs.cancelled");
+  EXPECT_EQ(terminals, static_cast<std::uint64_t>(kRounds));
   service.shutdown();
 }
 
